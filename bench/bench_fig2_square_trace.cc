@@ -1,0 +1,77 @@
+// FIG2: regenerates Figure 2 of the paper — the step-by-step computation
+// of T_square (Example 6.1) on input "abc": at every step the machine
+// consumes one input symbol and calls the append subtransducer, whose
+// output (one more copy of the input) overwrites the output tape.
+// The timed series then verifies |out| = n^2 across input sizes.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sequence/sequence_pool.h"
+#include "transducer/library.h"
+
+namespace {
+
+using namespace seqlog;
+
+void PrintFigure2() {
+  bench::Banner("FIG2", "squaring the input (paper Figure 2)");
+  SymbolTable symbols;
+  SequencePool pool;
+  auto square = transducer::MakeSquare("Tsquare").value();
+  SeqId input = pool.FromChars("abc", &symbols);
+  transducer::RunStats stats;
+  std::vector<transducer::TraceRow> trace;
+  auto out = square->Run(std::vector<SeqId>{input}, &pool, &stats, &trace);
+  std::printf("%-5s %-7s %-10s %-22s %s\n", "step", "input", "output",
+              "operation", "new output");
+  for (const auto& row : trace) {
+    std::string before =
+        pool.Render(pool.Intern(row.output_before), symbols);
+    std::string after = pool.Render(pool.Intern(row.output_after), symbols);
+    std::printf("%-5zu %-7zu %-10s %-22s %s\n", row.step,
+                row.head_positions[0] + 1,
+                before.empty() ? "(empty)" : before.c_str(),
+                row.operation.c_str(), after.c_str());
+  }
+  std::printf("final output: %s  (|out| = %zu = 3^2)\n",
+              pool.Render(out.value(), symbols).c_str(),
+              pool.Length(out.value()));
+  std::printf("top-level steps: %zu, total steps incl. subtransducer: %zu,"
+              " calls: %zu\n",
+              stats.top_steps, stats.total_steps, stats.calls);
+
+  // The quadratic-output series (Theorem 4 order-2 lower bound).
+  std::printf("\n%-6s %-10s %-12s %s\n", "n", "|out|", "n^2", "total steps");
+  for (size_t n : {4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
+    std::string in(n, 'a');
+    SeqId in_id = pool.FromChars(in, &symbols);
+    transducer::RunStats s;
+    auto o = square->Run(std::vector<SeqId>{in_id}, &pool, &s, nullptr);
+    std::printf("%-6zu %-10zu %-12zu %zu\n", n, pool.Length(o.value()),
+                n * n, s.total_steps);
+  }
+}
+
+void BM_SquareTransducer(benchmark::State& state) {
+  SymbolTable symbols;
+  SequencePool pool;
+  auto square = transducer::MakeSquare("Tsquare").value();
+  size_t n = static_cast<size_t>(state.range(0));
+  SeqId input = pool.FromChars(std::string(n, 'a'), &symbols);
+  for (auto _ : state) {
+    transducer::RunStats stats;
+    auto out = square->Run(std::vector<SeqId>{input}, &pool, &stats);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["output_len"] = static_cast<double>(n * n);
+}
+BENCHMARK(BM_SquareTransducer)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// ND: ablation for the nondeterministic-transducer executor (the
+// generalization noted after Definition 7). A machine with b choices per
+// consumed symbol has b^n runs; the executor memoizes (state, heads,
+// output) configurations, so exploration cost tracks the number of
+// *distinct configurations*, not the number of runs. This bench prints
+// runs-vs-steps to show the gap, and the output-set sizes for machines
+// whose run count collapses (scatter on a^n) versus machines whose runs
+// are all distinct (binary guess).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "sequence/sequence_pool.h"
+#include "transducer/nondet.h"
+
+namespace {
+
+using namespace seqlog;
+using transducer::HeadMove;
+using transducer::NdOutput;
+using transducer::NondetBuilder;
+using transducer::NondetTransducer;
+using transducer::SymPattern;
+
+std::shared_ptr<const NondetTransducer> MakeGuess(SymbolTable* symbols) {
+  NondetBuilder b("guess", 1);
+  transducer::StateId q = b.State("q");
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+        NdOutput::Emit(symbols->Intern("0")));
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+        NdOutput::Emit(symbols->Intern("1")));
+  auto m = b.Build();
+  if (!m.ok()) std::abort();
+  return m.value();
+}
+
+std::shared_ptr<const NondetTransducer> MakeScatter() {
+  NondetBuilder b("scatter", 1);
+  transducer::StateId q = b.State("q");
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+        NdOutput::Echo(0));
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+        NdOutput::Epsilon());
+  auto m = b.Build();
+  if (!m.ok()) std::abort();
+  return m.value();
+}
+
+void PrintTable() {
+  bench::Banner("ND", "nondeterministic transducer exploration (Def. 7 "
+                      "remark)");
+  SymbolTable symbols;
+  SequencePool pool;
+  auto guess = MakeGuess(&symbols);
+  auto scatter = MakeScatter();
+
+  std::printf("scatter (copy/skip) on a^n: 2^n runs, O(n^2) configs\n");
+  std::printf("%-6s %-10s %-10s %-10s %-10s\n", "n", "runs(2^n)",
+              "outputs", "steps", "dedup");
+  for (size_t n : {4u, 8u, 12u, 16u, 20u}) {
+    SeqId input = pool.FromChars(std::string(n, 'a'), &symbols);
+    transducer::NdRunStats stats;
+    auto out = scatter->RunAll(std::vector<SeqId>{input}, &pool,
+                               transducer::NdRunLimits{}, &stats);
+    if (!out.ok()) std::abort();
+    std::printf("%-6zu %-10.0f %-10zu %-10zu %-10zu\n", n,
+                std::pow(2.0, static_cast<double>(n)), out->size(),
+                stats.steps, stats.dedup_hits);
+  }
+
+  std::printf("\nbinary guess on a^n: all 2^n outputs are distinct, so\n"
+              "exploration is genuinely exponential (budgeted):\n");
+  std::printf("%-6s %-10s %-10s\n", "n", "outputs", "steps");
+  for (size_t n : {4u, 8u, 12u, 16u}) {
+    SeqId input = pool.FromChars(std::string(n, 'a'), &symbols);
+    transducer::NdRunStats stats;
+    auto out = guess->RunAll(std::vector<SeqId>{input}, &pool,
+                             transducer::NdRunLimits{}, &stats);
+    if (!out.ok()) std::abort();
+    std::printf("%-6zu %-10zu %-10zu\n", n, out->size(), stats.steps);
+  }
+}
+
+void BM_ScatterMemoized(benchmark::State& state) {
+  SymbolTable symbols;
+  SequencePool pool;
+  auto scatter = MakeScatter();
+  SeqId input = pool.FromChars(
+      std::string(static_cast<size_t>(state.range(0)), 'a'), &symbols);
+  for (auto _ : state) {
+    auto out = scatter->RunAll(std::vector<SeqId>{input}, &pool);
+    if (!out.ok()) std::abort();
+    benchmark::DoNotOptimize(out->size());
+  }
+}
+BENCHMARK(BM_ScatterMemoized)->Arg(8)->Arg(16)->Arg(24);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

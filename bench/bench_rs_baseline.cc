@@ -1,0 +1,130 @@
+// RS: the Section 1.1 baseline — rs-operations (mergers/extractors, after
+// Ginsburg and Wang [16, 34]) versus Sequence Datalog on queries both can
+// express. Reproduces the paper's qualitative comparison:
+//
+//  * on extraction-style queries (suffixes, pattern selection) both
+//    formalisms agree and the specialised baseline operators are faster;
+//  * the baseline performs a fixed number of merges per expression
+//    (data-independent), so restructurings whose output length depends on
+//    the database — reverse, echo, square — are out of its reach, while
+//    strongly safe Transducer Datalog expresses them (Corollary 3).
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "rs/algebra.h"
+#include "rs/pattern.h"
+#include "transducer/library.h"
+
+namespace {
+
+using namespace seqlog;
+
+struct SuffixWorkload {
+  std::vector<std::string> seqs;
+};
+
+SuffixWorkload MakeWorkload(size_t count, size_t len) {
+  SuffixWorkload w;
+  w.seqs = bench::RandomDna(23, count, len);
+  return w;
+}
+
+/// Suffixes via the baseline: extract X2 from X1X2.
+size_t RunRs(const SuffixWorkload& w, double* millis) {
+  SymbolTable symbols;
+  SequencePool pool;
+  rs::Table r;
+  r.arity = 1;
+  for (const std::string& s : w.seqs) {
+    r.rows.push_back({pool.FromChars(s, &symbols)});
+  }
+  rs::TableEnv env;
+  env["r"] = std::move(r);
+  auto pattern = rs::Pattern::Parse("X1X2", &pool, &symbols);
+  if (!pattern.ok()) std::abort();
+  auto expr = rs::Project(
+      rs::Extract(rs::Base("r"), 0, pattern.value(), 1), {1});
+  auto start = std::chrono::steady_clock::now();
+  auto out = expr->Eval(env, &pool);
+  *millis = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+  if (!out.ok()) std::abort();
+  return out->rows.size();
+}
+
+/// Suffixes via Sequence Datalog (Example 1.1).
+size_t RunSd(const SuffixWorkload& w, double* millis) {
+  Engine engine;
+  if (!engine.LoadProgram("suffix(X[N:end]) :- r(X).").ok()) std::abort();
+  for (const std::string& s : w.seqs) engine.AddFact("r", {s});
+  eval::EvalOutcome outcome = engine.Evaluate();
+  if (!outcome.status.ok()) std::abort();
+  *millis = outcome.stats.millis;
+  auto rows = engine.Query("suffix");
+  if (!rows.ok()) std::abort();
+  return rows->size();
+}
+
+void PrintTable() {
+  bench::Banner("RS",
+                "rs-operation baseline vs Sequence Datalog (Section 1.1)");
+  std::printf("suffix extraction over synthetic DNA (len 24):\n");
+  std::printf("%-8s %-12s %-12s %-12s %-12s %s\n", "|db|", "rs rows",
+              "sd rows", "rs ms", "sd ms", "agree");
+  for (size_t count : {2u, 4u, 8u, 16u, 32u}) {
+    SuffixWorkload w = MakeWorkload(count, 24);
+    double rs_ms = 0, sd_ms = 0;
+    size_t rs_rows = RunRs(w, &rs_ms);
+    size_t sd_rows = RunSd(w, &sd_ms);
+    std::printf("%-8zu %-12zu %-12zu %-12.2f %-12.2f %s\n", count,
+                rs_rows, sd_rows, rs_ms, sd_ms,
+                rs_rows == sd_rows ? "yes" : "NO");
+  }
+
+  std::printf(
+      "\nexpressiveness frontier (the paper's qualitative claim):\n"
+      "%-12s %-22s %s\n", "query", "rs baseline", "seqlog");
+  std::printf("%-12s %-22s %s\n", "suffixes", "extractor X1X2/X2",
+              "suffix(X[N:end]) :- r(X).");
+  std::printf("%-12s %-22s %s\n", "append", "merger X1X2",
+              "pair(X ++ Y) :- r(X), r(Y).");
+  std::printf("%-12s %-22s %s\n", "squares ww", "select X1X1",
+              "rep1 (Example 1.5)");
+  std::printf("%-12s %-22s %s\n", "reverse", "INEXPRESSIBLE [20]",
+              "reverse (Example 1.4) / @reverse");
+  std::printf("%-12s %-22s %s\n", "echo", "INEXPRESSIBLE [16]",
+              "echo (Example 1.6, budgeted) / @echo");
+  std::printf("%-12s %-22s %s\n", "square n^2", "INEXPRESSIBLE (fixed "
+              "merges)", "@square (Example 6.1)");
+}
+
+void BM_RsSuffixes(benchmark::State& state) {
+  SuffixWorkload w = MakeWorkload(static_cast<size_t>(state.range(0)), 24);
+  for (auto _ : state) {
+    double ms = 0;
+    benchmark::DoNotOptimize(RunRs(w, &ms));
+  }
+}
+BENCHMARK(BM_RsSuffixes)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+void BM_SdSuffixes(benchmark::State& state) {
+  SuffixWorkload w = MakeWorkload(static_cast<size_t>(state.range(0)), 24);
+  for (auto _ : state) {
+    double ms = 0;
+    benchmark::DoNotOptimize(RunSd(w, &ms));
+  }
+}
+BENCHMARK(BM_SdSuffixes)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,106 @@
+// THM1: Theorem 1 — Sequence Datalog expresses every computable sequence
+// function, by simulating Turing machines with conf/4 rules. The
+// reproduction table runs the generated programs against the direct TM
+// runner: one conf fact per reachable configuration, identical outputs.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "tm/machines.h"
+#include "tm/turing.h"
+#include "translate/tm_to_sd.h"
+
+namespace {
+
+using namespace seqlog;
+
+std::string StripBlanks(std::string s) {
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  return s;
+}
+
+void PrintTable() {
+  bench::Banner("THM1", "Turing machine -> Sequence Datalog (Theorem 1)");
+  std::printf("%-18s %-8s %-10s %-9s %-9s %-8s %s\n", "machine", "input",
+              "tm steps", "sd iters", "facts", "match", "millis");
+  Engine shared;
+  struct Workload {
+    tm::TuringMachine machine;
+    std::vector<std::string> inputs;
+  };
+  std::vector<Workload> workloads;
+  workloads.push_back({tm::MakeBitFlip(shared.symbols()),
+                       {"0101", "00110011", "1111111111111111"}});
+  workloads.push_back({tm::MakeBinaryIncrement(shared.symbols()),
+                       {"0111", "010101", "00111111"}});
+  workloads.push_back({tm::MakeUnaryDouble(shared.symbols()),
+                       {"111", "11111", "1111111"}});
+
+  for (const Workload& w : workloads) {
+    for (const std::string& in : w.inputs) {
+      // Direct run.
+      std::vector<Symbol> input;
+      for (char c : in) {
+        input.push_back(shared.symbols()->Intern(std::string_view(&c, 1)));
+      }
+      auto direct = tm::RunMachine(w.machine, input, 1000000);
+      if (!direct.ok()) std::abort();
+      std::string expected = shared.pool()->Render(
+          shared.pool()->Intern(tm::ExtractOutput(w.machine, *direct)),
+          *shared.symbols());
+
+      // Datalog simulation in the same engine: the machines' state and
+      // tape symbols live in `shared`'s symbol table, so the generated
+      // program must be interned and evaluated there too.
+      auto program = translate::TmToSequenceDatalog(
+          w.machine, shared.pool(), "input", "output");
+      if (!program.ok()) std::abort();
+      if (!shared.LoadProgramAst(program.value()).ok()) std::abort();
+      shared.ClearFacts();
+      if (!shared.AddFact("input", {in}).ok()) std::abort();
+      eval::EvalOptions options;
+      options.limits.max_iterations = 1000000;
+      eval::EvalOutcome outcome = shared.Evaluate(options);
+      if (!outcome.status.ok()) std::abort();
+      auto rows = shared.Query("output");
+      bool match = false;
+      for (const auto& row : rows.value()) {
+        if (StripBlanks(row[0]) == expected) match = true;
+      }
+      std::printf("%-18s %-8s %-10zu %-9zu %-9zu %-8s %.2f\n",
+                  w.machine.name.c_str(), in.c_str(), direct->steps,
+                  outcome.stats.iterations, outcome.stats.facts,
+                  match ? "yes" : "NO", outcome.stats.millis);
+      if (!match) std::abort();
+    }
+  }
+  std::printf("(sd iters tracks tm steps: the program derives one new"
+              " configuration per iteration)\n");
+}
+
+void BM_TmSimulation(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    tm::TuringMachine machine = tm::MakeBitFlip(engine.symbols());
+    auto program = translate::TmToSequenceDatalog(machine, engine.pool(),
+                                                  "input", "output");
+    if (!engine.LoadProgramAst(program.value()).ok()) std::abort();
+    engine.AddFact("input", {std::string(n, '1')});
+    eval::EvalOptions options;
+    options.limits.max_iterations = 100000;
+    eval::EvalOutcome outcome = engine.Evaluate(options);
+    benchmark::DoNotOptimize(outcome.stats.facts);
+  }
+}
+BENCHMARK(BM_TmSimulation)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

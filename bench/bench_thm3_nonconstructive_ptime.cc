@@ -1,0 +1,86 @@
+// THM3: Theorem 3 — Non-constructive Sequence Datalog has data
+// complexity complete for PTIME. Empirically: evaluation time and model
+// size grow polynomially in database size (the fitted log-log exponent
+// stays a small constant as the database scales).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "core/programs.h"
+
+namespace {
+
+using namespace seqlog;
+
+eval::EvalOutcome RunAbcN(size_t count, size_t len) {
+  Engine engine;
+  if (!engine.LoadProgram(programs::kAbcN).ok()) std::abort();
+  for (const std::string& seq :
+       bench::RandomSequences(17, count, len, "abc")) {
+    engine.AddFact("r", {seq});
+  }
+  // One guaranteed member of the language.
+  size_t n = len / 3;
+  engine.AddFact("r", {std::string(n, 'a') + std::string(n, 'b') +
+                       std::string(n, 'c')});
+  eval::EvalOutcome outcome = engine.Evaluate();
+  if (!outcome.status.ok()) std::abort();
+  return outcome;
+}
+
+void PrintTable() {
+  bench::Banner(
+      "THM3", "non-constructive programs are PTIME (Theorem 3)");
+  std::printf("scaling the number of database sequences (length 9):\n");
+  std::printf("%-8s %-10s %-10s %s\n", "|db|", "facts", "domain",
+              "millis");
+  std::vector<double> xs;
+  std::vector<double> fact_ys;
+  std::vector<double> time_ys;
+  for (size_t count : {2u, 4u, 8u, 16u, 32u}) {
+    eval::EvalOutcome outcome = RunAbcN(count, 9);
+    std::printf("%-8zu %-10zu %-10zu %.2f\n", count, outcome.stats.facts,
+                outcome.stats.domain_sequences, outcome.stats.millis);
+    xs.push_back(static_cast<double>(count));
+    fact_ys.push_back(static_cast<double>(outcome.stats.facts));
+    time_ys.push_back(outcome.stats.millis + 0.01);
+  }
+  std::printf("fitted exponents: facts ~ db^%.2f, time ~ db^%.2f"
+              "  (polynomial, as Theorem 3 requires)\n\n",
+              bench::FittedExponent(xs, fact_ys),
+              bench::FittedExponent(xs, time_ys));
+
+  std::printf("scaling sequence length (4 sequences):\n");
+  std::printf("%-8s %-10s %-10s %s\n", "len", "facts", "domain",
+              "millis");
+  xs.clear();
+  fact_ys.clear();
+  for (size_t len : {6u, 9u, 12u, 15u, 18u}) {
+    eval::EvalOutcome outcome = RunAbcN(4, len);
+    std::printf("%-8zu %-10zu %-10zu %.2f\n", len, outcome.stats.facts,
+                outcome.stats.domain_sequences, outcome.stats.millis);
+    xs.push_back(static_cast<double>(len));
+    fact_ys.push_back(static_cast<double>(outcome.stats.facts));
+  }
+  std::printf("fitted exponent: facts ~ len^%.2f (polynomial)\n",
+              bench::FittedExponent(xs, fact_ys));
+}
+
+void BM_NonConstructive(benchmark::State& state) {
+  size_t count = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    eval::EvalOutcome outcome = RunAbcN(count, 9);
+    benchmark::DoNotOptimize(outcome.stats.facts);
+  }
+}
+BENCHMARK(BM_NonConstructive)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// THM4: Theorem 4 — output-size bounds for transducer networks.
+//  * Order 2, diameter d: |out| <= poly(n); attained: n^(2^d) for a
+//    chain of d square machines.
+//  * Order 3: |out| <= hyperexponential; attained: the double-exp
+//    machine reaches (n + |out_{i-1}|)^2 growth = 2^2^Theta(n).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "transducer/library.h"
+#include "transducer/network.h"
+
+namespace {
+
+using namespace seqlog;
+
+void PrintTable() {
+  bench::Banner("THM4", "network output-size bounds (Theorem 4)");
+  SymbolTable symbols;
+  SequencePool pool;
+
+  std::printf("order-2 chains of square machines: |out| = n^(2^d)\n");
+  std::printf("%-4s %-4s %-12s %-12s\n", "d", "n", "|out|", "predicted");
+  for (size_t d : {1u, 2u, 3u}) {
+    transducer::TransducerNetwork net("chain" + std::to_string(d), 1);
+    transducer::InputSource src = transducer::InputSource::FromNetwork(0);
+    for (size_t i = 0; i < d; ++i) {
+      auto sq = transducer::MakeSquare("sq");
+      auto node = net.AddNode(sq.value(), {src});
+      src = transducer::InputSource::FromNode(node.value());
+    }
+    if (!net.SetOutput(src.index).ok()) std::abort();
+    for (size_t n : {2u, 3u}) {
+      SeqId in = pool.FromChars(std::string(n, 'a'), &symbols);
+      auto out = net.Apply(std::vector<SeqId>{in}, &pool);
+      if (!out.ok()) std::abort();
+      size_t predicted = n;
+      for (size_t i = 0; i < d; ++i) predicted *= predicted;
+      std::printf("%-4zu %-4zu %-12zu %-12zu\n", d, n,
+                  pool.Length(out.value()), predicted);
+      if (pool.Length(out.value()) != predicted) std::abort();
+    }
+  }
+
+  std::printf("\norder-3 machine: |out_i| = (n + |out_{i-1}|)^2"
+              " (doubly exponential)\n");
+  std::printf("%-4s %-14s %-14s\n", "n", "|out|", "predicted");
+  auto dexp = transducer::MakeDoubleExp("dx").value();
+  for (size_t n : {1u, 2u, 3u, 4u}) {
+    SeqId in = pool.FromChars(std::string(n, 'a'), &symbols);
+    size_t predicted = 0;
+    for (size_t i = 0; i < n; ++i) predicted = (n + predicted) * (n + predicted);
+    if (predicted > dexp->max_output_length()) {
+      std::printf("%-4zu %-14s %-14zu (exceeds machine output budget —"
+                  " growth confirmed)\n",
+                  n, "(budget)", predicted);
+      continue;
+    }
+    auto out = dexp->Apply(std::vector<SeqId>{in}, &pool);
+    if (!out.ok()) std::abort();
+    std::printf("%-4zu %-14zu %-14zu\n", n, pool.Length(out.value()),
+                predicted);
+    if (pool.Length(out.value()) != predicted) std::abort();
+  }
+  std::printf("(the paper's 2^2^n lower bound: already n=4 would need"
+              " 2.7e10 symbols)\n");
+}
+
+void BM_SquareChain(benchmark::State& state) {
+  SymbolTable symbols;
+  SequencePool pool;
+  size_t d = static_cast<size_t>(state.range(0));
+  transducer::TransducerNetwork net("chain", 1);
+  transducer::InputSource src = transducer::InputSource::FromNetwork(0);
+  for (size_t i = 0; i < d; ++i) {
+    auto sq = transducer::MakeSquare("sq");
+    auto node = net.AddNode(sq.value(), {src});
+    src = transducer::InputSource::FromNode(node.value());
+  }
+  if (!net.SetOutput(src.index).ok()) std::abort();
+  SeqId in = pool.FromChars("aa", &symbols);
+  for (auto _ : state) {
+    auto out = net.Apply(std::vector<SeqId>{in}, &pool);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_SquareChain)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// THM7: Theorem 7 — Transducer Datalog and Sequence Datalog are
+// expressively equivalent, and the translation preserves finiteness. The
+// reproduction table runs three Transducer Datalog workloads directly
+// (machines interpreted) and through the generated Sequence Datalog
+// simulation: identical answers, finite (but larger) models, higher cost
+// — the simulation materialises every partial machine computation.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "translate/td_to_sd.h"
+#include "transducer/genome.h"
+#include "transducer/library.h"
+
+namespace {
+
+using namespace seqlog;
+
+std::vector<Symbol> CharAlphabet(SymbolTable* symbols,
+                                 std::string_view chars) {
+  std::vector<Symbol> out;
+  for (char c : chars) {
+    out.push_back(symbols->Intern(std::string_view(&c, 1)));
+  }
+  return out;
+}
+
+struct RunResult {
+  eval::EvalStats stats;
+  std::vector<RenderedRow> rows;
+};
+
+void PrintTable() {
+  bench::Banner("THM7",
+                "Transducer Datalog == Sequence Datalog (Theorem 7)");
+  std::printf("%-12s %-7s %-22s %-22s %s\n", "workload", "len",
+              "direct (facts/ms)", "translated (facts/ms)", "answers equal");
+
+  struct Workload {
+    const char* name;
+    const char* program;
+    const char* alphabet;
+    const char* query;
+  } workloads[] = {
+      {"transcribe", "rna(D, @transcribe(D)) :- dna(D).\n", "acgt", "rna"},
+      {"append", "cat(@append(X, X)) :- dna(X).\n", "acgt", "cat"},
+      {"reverse", "bwd(@rev(X)) :- dna(X).\n", "acgt", "bwd"},
+  };
+
+  for (const auto& w : workloads) {
+    for (size_t len : {2u, 4u, 6u}) {
+      Engine engine;
+      auto transcribe =
+          transducer::MakeTranscribe("transcribe", engine.symbols());
+      auto append = transducer::MakeAppend("append", 2);
+      auto rev = transducer::MakeReverse(
+          "rev", CharAlphabet(engine.symbols(), "acgt"));
+      if (!engine.RegisterTransducer(transcribe.value()).ok()) std::abort();
+      if (!engine.RegisterTransducer(append.value()).ok()) std::abort();
+      if (!engine.RegisterTransducer(rev.value()).ok()) std::abort();
+      if (!engine.LoadProgram(w.program).ok()) std::abort();
+      for (const std::string& d : bench::RandomDna(23, 2, len)) {
+        engine.AddFact("dna", {d});
+      }
+      eval::EvalOutcome direct = engine.Evaluate();
+      if (!direct.status.ok()) std::abort();
+      auto direct_rows = engine.Query(w.query).value();
+
+      translate::TdToSdOptions options;
+      options.alphabet = CharAlphabet(engine.symbols(), w.alphabet);
+      auto sd = translate::TransducerDatalogToSequenceDatalog(
+          engine.program(), *engine.registry(), engine.symbols(),
+          engine.pool(), options);
+      if (!sd.ok()) std::abort();
+      if (!engine.LoadProgramAst(sd.value()).ok()) std::abort();
+      eval::EvalOptions eval_options;
+      eval_options.limits.max_iterations = 1000000;
+      eval::EvalOutcome translated = engine.Evaluate(eval_options);
+      if (!translated.status.ok()) std::abort();
+      auto translated_rows = engine.Query(w.query).value();
+
+      bool equal = direct_rows == translated_rows;
+      std::printf("%-12s %-7zu %7zu / %-12.2f %7zu / %-12.2f %s\n",
+                  w.name, len, direct.stats.facts, direct.stats.millis,
+                  translated.stats.facts, translated.stats.millis,
+                  equal ? "yes" : "NO");
+      if (!equal) std::abort();
+    }
+  }
+  std::printf("(finiteness preserved: both sides terminate; the"
+              " simulation's model is larger by the intermediate"
+              " comp_T computations)\n");
+}
+
+void BM_TranslatedTranscribe(benchmark::State& state) {
+  size_t len = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Engine engine;
+    auto transcribe =
+        transducer::MakeTranscribe("transcribe", engine.symbols());
+    if (!engine.RegisterTransducer(transcribe.value()).ok()) std::abort();
+    if (!engine.LoadProgram("rna(D, @transcribe(D)) :- dna(D).\n").ok()) {
+      std::abort();
+    }
+    for (const std::string& d : bench::RandomDna(29, 2, len)) {
+      engine.AddFact("dna", {d});
+    }
+    translate::TdToSdOptions options;
+    options.alphabet = CharAlphabet(engine.symbols(), "acgt");
+    auto sd = translate::TransducerDatalogToSequenceDatalog(
+        engine.program(), *engine.registry(), engine.symbols(),
+        engine.pool(), options);
+    if (!engine.LoadProgramAst(sd.value()).ok()) std::abort();
+    eval::EvalOutcome outcome = engine.Evaluate();
+    benchmark::DoNotOptimize(outcome.stats.facts);
+  }
+}
+BENCHMARK(BM_TranslatedTranscribe)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

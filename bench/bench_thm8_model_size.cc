@@ -1,0 +1,102 @@
+// THM8: Theorem 8 — strongly safe order-2 programs have minimal models
+// of size polynomial in database size (size = number of sequences in the
+// extended active domain, Definition 11). The table sweeps database size
+// for three strongly safe programs and fits the growth exponent.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "transducer/library.h"
+
+namespace {
+
+using namespace seqlog;
+
+struct Workload {
+  const char* name;
+  const char* program;
+  bool needs_square;
+};
+
+const Workload kWorkloads[] = {
+    // Order 0: pure structural extraction + one construction layer.
+    {"pairs",
+     "pre(X[1:N]) :- r(X).\n"
+     "pair(X ++ Y) :- pre(X), pre(Y).\n",
+     false},
+    // Order 2 machine behind a non-recursive rule.
+    {"square",
+     "sq(@square(X)) :- r(X).\n"
+     "sub(Y[I:J]) :- sq(Y).\n",
+     true},
+    // Two construction strata (Example 5.1 shape).
+    {"double4",
+     "d(X ++ X) :- r(X).\n"
+     "q(X ++ X) :- d(X).\n",
+     false},
+};
+
+eval::EvalOutcome RunWorkload(const Workload& w, size_t db_size,
+                              size_t* domain) {
+  Engine engine;
+  if (w.needs_square) {
+    auto square = transducer::MakeSquare("square");
+    if (!engine.RegisterTransducer(square.value()).ok()) std::abort();
+  }
+  if (!engine.LoadProgram(w.program).ok()) std::abort();
+  analysis::SafetyReport report = engine.AnalyzeSafety();
+  if (!report.strongly_safe) std::abort();  // precondition of Theorem 8
+  for (const std::string& seq :
+       bench::RandomSequences(31, db_size, 4, "ab")) {
+    engine.AddFact("r", {seq});
+  }
+  eval::EvalOptions options;
+  options.strategy = eval::Strategy::kStratified;
+  eval::EvalOutcome outcome = engine.Evaluate(options);
+  if (!outcome.status.ok()) std::abort();
+  *domain = outcome.stats.domain_sequences;
+  return outcome;
+}
+
+void PrintTable() {
+  bench::Banner("THM8",
+                "strongly safe order-2: polynomial model size (Theorem 8)");
+  for (const Workload& w : kWorkloads) {
+    std::printf("program '%s':\n", w.name);
+    std::printf("  %-8s %-12s %-12s %s\n", "|db|", "facts",
+                "domain size", "millis");
+    std::vector<double> xs;
+    std::vector<double> ys;
+    for (size_t db : {2u, 4u, 8u, 16u, 32u}) {
+      size_t domain = 0;
+      eval::EvalOutcome outcome = RunWorkload(w, db, &domain);
+      std::printf("  %-8zu %-12zu %-12zu %.2f\n", db,
+                  outcome.stats.facts, domain, outcome.stats.millis);
+      xs.push_back(static_cast<double>(db));
+      ys.push_back(static_cast<double>(domain));
+    }
+    std::printf("  fitted: domain ~ db^%.2f (Theorem 8 bound:"
+                " polynomial)\n\n",
+                bench::FittedExponent(xs, ys));
+  }
+}
+
+void BM_StronglySafe(benchmark::State& state) {
+  size_t db = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    size_t domain = 0;
+    eval::EvalOutcome outcome = RunWorkload(kWorkloads[0], db, &domain);
+    benchmark::DoNotOptimize(outcome.stats.facts);
+  }
+}
+BENCHMARK(BM_StronglySafe)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,82 @@
+// THM9: Theorem 9 — strongly safe programs of order 3 still have finite
+// models, but their size can be hyperexponential in database size. The
+// table runs a one-rule program with the order-3 double-exp machine on
+// single sequences of growing length: the model stays finite (strong
+// safety!) while its size explodes doubly exponentially.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/engine.h"
+#include "transducer/library.h"
+
+namespace {
+
+using namespace seqlog;
+
+eval::EvalOutcome RunOrder3(size_t n, size_t* domain, bool* ok) {
+  Engine engine;
+  auto dexp = transducer::MakeDoubleExp("dexp");
+  if (!engine.RegisterTransducer(dexp.value()).ok()) std::abort();
+  if (!engine.LoadProgram("big(@dexp(X)) :- r(X).\n").ok()) std::abort();
+  analysis::SafetyReport report = engine.AnalyzeSafety();
+  if (!report.strongly_safe) std::abort();
+  engine.AddFact("r", {std::string(n, 'a')});
+  eval::EvalOptions options;
+  options.strategy = eval::Strategy::kStratified;
+  // n=3 produces a 21609-symbol output; its subsequence closure has
+  // ~2.3e8 slots (21610 distinct for a uniform sequence, but the
+  // closure enumeration still walks every (from,len) pair). Cap both
+  // the sequence length and the domain so the blow-up is *reported*
+  // rather than materialised.
+  options.limits.max_sequence_length = 2000;
+  options.limits.max_domain_sequences = 2'000'000;
+  eval::EvalOutcome outcome = engine.Evaluate(options);
+  *domain = outcome.stats.domain_sequences;
+  *ok = outcome.status.ok();
+  return outcome;
+}
+
+void PrintTable() {
+  bench::Banner("THM9",
+                "strongly safe order-3: hyperexponential models"
+                " (Theorem 9)");
+  std::printf("program: big(@dexp(X)) :- r(X).   (dexp has order 3)\n");
+  std::printf("%-4s %-16s %-14s %s\n", "n", "|dexp(a^n)|",
+              "domain size", "status");
+  for (size_t n : {1u, 2u, 3u}) {
+    size_t predicted = 0;
+    for (size_t i = 0; i < n; ++i) {
+      predicted = (n + predicted) * (n + predicted);
+    }
+    size_t domain = 0;
+    bool ok = false;
+    eval::EvalOutcome outcome = RunOrder3(n, &domain, &ok);
+    std::printf("%-4zu %-16zu %-14zu %s\n", n, predicted, domain,
+                outcome.status.ok() ? "finite (Corollary 2)"
+                                    : outcome.status.ToString().c_str());
+  }
+  std::printf("(n=3 creates a 21609-symbol sequence; the length budget"
+              " documents the hyperexponential blow-up without"
+              " materialising its domain closure — n=4 would need"
+              " ~7e20 domain sequences)\n");
+}
+
+void BM_Order3Model(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    size_t domain = 0;
+    bool ok = false;
+    eval::EvalOutcome outcome = RunOrder3(n, &domain, &ok);
+    benchmark::DoNotOptimize(outcome.stats.facts);
+  }
+}
+BENCHMARK(BM_Order3Model)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// seqlog benchmarks: shared workload generators and table printing.
+//
+// Every bench binary reproduces one figure/example/theorem of the paper
+// (see DESIGN.md's per-experiment index): it first prints the
+// reproduction table — the rows/series the paper reports, regenerated —
+// and then runs google-benchmark timings.
+#ifndef SEQLOG_BENCH_BENCH_UTIL_H_
+#define SEQLOG_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace seqlog {
+namespace bench {
+
+/// Deterministic random sequences over `alphabet`.
+inline std::vector<std::string> RandomSequences(unsigned seed, size_t count,
+                                                size_t len,
+                                                std::string_view alphabet) {
+  std::mt19937 rng(seed);
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    std::string s;
+    s.reserve(len);
+    for (size_t j = 0; j < len; ++j) {
+      s += alphabet[rng() % alphabet.size()];
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Synthetic DNA (the paper has no datasets; genome databases are its
+/// motivating example, so we generate uniform random nucleotides).
+inline std::vector<std::string> RandomDna(unsigned seed, size_t count,
+                                          size_t len) {
+  return RandomSequences(seed, count, len, "acgt");
+}
+
+/// Least-squares slope of log(y) vs log(x): the growth exponent of a
+/// polynomial relationship (used to check PTIME claims empirically).
+inline double FittedExponent(const std::vector<double>& xs,
+                             const std::vector<double>& ys) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  size_t n = xs.size();
+  for (size_t i = 0; i < n; ++i) {
+    double lx = std::log(xs[i]);
+    double ly = std::log(ys[i] > 0 ? ys[i] : 1e-9);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  double denom = n * sxx - sx * sx;
+  return denom == 0 ? 0 : (n * sxy - sx * sy) / denom;
+}
+
+/// Section header for the reproduction tables.
+inline void Banner(const char* experiment_id, const char* title) {
+  std::printf("\n==== %s: %s ====\n", experiment_id, title);
+}
+
+}  // namespace bench
+}  // namespace seqlog
+
+#endif  // SEQLOG_BENCH_BENCH_UTIL_H_

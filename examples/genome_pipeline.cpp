@@ -1,0 +1,96 @@
+// seqlog example: the paper's motivating domain — genome databases
+// (Example 7.1). A Transducer Datalog program transcribes DNA to RNA and
+// translates RNA to protein; a second program block computes reverse
+// complements and looks for a restriction-site motif, mixing machine
+// calls with structural pattern matching.
+#include <iostream>
+#include <random>
+
+#include "core/engine.h"
+#include "core/programs.h"
+#include "transducer/genome.h"
+
+namespace {
+
+std::string RandomDna(std::mt19937* rng, size_t len) {
+  static const char kBases[] = "acgt";
+  std::string out;
+  for (size_t i = 0; i < len; ++i) out += kBases[(*rng)() % 4];
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  seqlog::Engine engine;
+
+  // Register the machines used by the program.
+  auto transcribe =
+      seqlog::transducer::MakeTranscribe("transcribe", engine.symbols());
+  auto translate =
+      seqlog::transducer::MakeTranslate("translate", engine.symbols());
+  auto complement =
+      seqlog::transducer::MakeDnaComplement("complement", engine.symbols());
+  auto reverse =
+      seqlog::transducer::MakeDnaReverse("reverse", engine.symbols());
+  for (const auto& machine : {transcribe, translate, complement, reverse}) {
+    if (!machine.ok()) {
+      std::cerr << machine.status().ToString() << "\n";
+      return 1;
+    }
+    if (!engine.RegisterTransducer(machine.value()).ok()) return 1;
+  }
+
+  // Example 7.1's pipeline plus reverse-complement and a motif scan:
+  // gaattc is the EcoRI restriction site; the scan is pure structural
+  // recursion (indexed terms), the chemistry is done by machines.
+  seqlog::Status status = engine.LoadProgram(R"(
+    rnaseq(D, @transcribe(D)) :- dnaseq(D).
+    proteinseq(D, @translate(R)) :- rnaseq(D, R).
+    revcomp(D, @reverse(@complement(D))) :- dnaseq(D).
+    ecori(D) :- dnaseq(D), D[N:N+5] = gaattc.
+    ecori_either_strand(D) :- ecori(D).
+    ecori_either_strand(D) :- revcomp(D, R), ecori_rc(D, R).
+    ecori_rc(D, R) :- revcomp(D, R), R[N:N+5] = gaattc.
+  )");
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  std::mt19937 rng(42);
+  // A fixed sequence containing the EcoRI site plus random ones.
+  engine.AddFact("dnaseq", {"acgaattcgtacgt"});
+  for (int i = 0; i < 4; ++i) {
+    engine.AddFact("dnaseq", {RandomDna(&rng, 12)});
+  }
+
+  seqlog::eval::EvalOutcome outcome = engine.Evaluate();
+  if (!outcome.status.ok()) {
+    std::cerr << outcome.status.ToString() << "\n";
+    return 1;
+  }
+
+  auto print = [&](const char* pred) {
+    auto rows = engine.Query(pred);
+    if (!rows.ok()) {
+      std::cerr << rows.status().ToString() << "\n";
+      return;
+    }
+    std::cout << pred << ":\n";
+    for (const auto& row : rows.value()) {
+      std::cout << "  ";
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::cout << (i > 0 ? " -> " : "") << row[i];
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\n";
+  };
+
+  print("rnaseq");
+  print("proteinseq");
+  print("revcomp");
+  print("ecori_either_strand");
+  return 0;
+}

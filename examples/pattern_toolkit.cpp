@@ -1,0 +1,65 @@
+// seqlog example: pattern matching with pure structural recursion —
+// no machine, no construction, guaranteed-safe queries (Theorem 3 says
+// this fragment has polynomial data complexity).
+//
+//  * a^n b^n c^n     — the paper's non-context-free Example 1.3
+//  * repeats Y^k     — Example 1.5 (rep1, the safe variant)
+//  * palindromes     — classic two-pointer structural recursion
+#include <iostream>
+
+#include "core/engine.h"
+#include "core/programs.h"
+
+int main() {
+  seqlog::Engine engine;
+  std::string program = std::string(seqlog::programs::kAbcN) + R"(
+    repeat(X, Y) :- r(X), rep1(X, Y), X != Y.
+    rep1(X, X) :- true.
+    rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).
+    palindrome(X) :- r(X), ispal(X).
+    ispal(eps) :- true.
+    ispal(X) :- X = X[1].
+    ispal(X) :- X[1] = X[end], ispal(X[2:end-1]).
+  )";
+  seqlog::Status status = engine.LoadProgram(program);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  const char* data[] = {"aabbcc", "abc",    "aabbc",  "abcabcabc",
+                        "abab",   "racecar", "abba",  "abcba",
+                        "ab",     ""};
+  for (const char* seq : data) {
+    if (!engine.AddFact("r", {seq}).ok()) return 1;
+  }
+
+  seqlog::eval::EvalOutcome outcome = engine.Evaluate();
+  if (!outcome.status.ok()) {
+    std::cerr << outcome.status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "facts=" << outcome.stats.facts
+            << " domain=" << outcome.stats.domain_sequences
+            << " iterations=" << outcome.stats.iterations << "\n\n";
+
+  auto print = [&](const char* pred, const char* title) {
+    auto rows = engine.Query(pred);
+    if (!rows.ok()) return;
+    std::cout << title << ":\n";
+    for (const auto& row : rows.value()) {
+      std::cout << "  ";
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::cout << (i > 0 ? "  =  (" : "\"") << row[i]
+                  << (i > 0 ? ")^k" : "\"");
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\n";
+  };
+
+  print("answer", "sequences of the form a^n b^n c^n (Example 1.3)");
+  print("repeat", "proper repeats X = Y^k, k > 1 (Example 1.5)");
+  print("palindrome", "palindromes");
+  return 0;
+}

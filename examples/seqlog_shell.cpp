@@ -1,0 +1,305 @@
+// seqlog_shell: an interactive Sequence/Transducer Datalog console.
+//
+//   $ ./seqlog_shell
+//   seqlog> suffix(X[N:end]) :- r(X).
+//   seqlog> +r acgt
+//   seqlog> :run
+//   seqlog> :query suffix
+//
+// Rule lines (anything containing ":-") accumulate into the program;
+// "+pred arg1 arg2 ..." adds a database fact; commands start with ':'.
+// The standard transducer library (append, reverse, complement, square,
+// transcribe, translate, ...) is pre-registered, so @-terms work out of
+// the box:
+//
+//   seqlog> sq(@square(X)) :- r(X).
+//
+// This example doubles as a manual-testing harness for every public
+// surface of the Engine facade: program loading, fact entry, the three
+// evaluation strategies, safety analysis, dependency-graph export, and
+// budget configuration.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/safety.h"
+#include "core/engine.h"
+#include "transducer/genome.h"
+#include "transducer/library.h"
+
+namespace {
+
+using seqlog::Engine;
+using seqlog::Status;
+
+constexpr char kHelp[] = R"(seqlog shell commands
+  <rule>.                 add a rule (any line containing ":-")
+  +<pred> <arg> ...       add a database fact, e.g.  +r acgt
+  :run [naive|semi|strat] evaluate (default: semi-naive)
+  :query <pred>           print the predicate's tuples in the model
+  :program                show the accumulated program
+  :safety                 safety report (Definitions 8-10)
+  :dot                    dependency graph in Graphviz format (Figure 3)
+  :limits <iters> <facts> set evaluation budgets
+  :load <file>            append rules from a file
+  :clear                  drop program and facts
+  :machines               list registered transducers
+  :help                   this text
+  :quit                   exit
+)";
+
+/// Registers the standard machine library so @-terms resolve.
+Status RegisterStandardMachines(Engine* engine) {
+  auto reg = [&](auto result) -> Status {
+    if (!result.ok()) return result.status();
+    return engine->RegisterTransducer(result.value());
+  };
+  seqlog::SymbolTable* syms = engine->symbols();
+  std::vector<seqlog::Symbol> dna = {
+      syms->Intern("a"), syms->Intern("c"), syms->Intern("g"),
+      syms->Intern("t")};
+  SEQLOG_RETURN_IF_ERROR(reg(seqlog::transducer::MakeAppend("append", 2)));
+  SEQLOG_RETURN_IF_ERROR(reg(seqlog::transducer::MakeIdentity("id")));
+  SEQLOG_RETURN_IF_ERROR(reg(seqlog::transducer::MakeSquare("square")));
+  SEQLOG_RETURN_IF_ERROR(
+      reg(seqlog::transducer::MakeReverse("reverse", dna)));
+  SEQLOG_RETURN_IF_ERROR(reg(seqlog::transducer::MakeEcho("echo", dna)));
+  SEQLOG_RETURN_IF_ERROR(
+      reg(seqlog::transducer::MakeTranscribe("transcribe", syms)));
+  SEQLOG_RETURN_IF_ERROR(
+      reg(seqlog::transducer::MakeTranslate("translate", syms)));
+  return Status::Ok();
+}
+
+/// Holds the shell's accumulated state; the Engine is rebuilt lazily on
+/// :run so rules can arrive in any order.
+class Shell {
+ public:
+  Shell() { Reset(); }
+
+  int Loop() {
+    std::string line;
+    std::cout << "seqlog shell - :help for commands\n";
+    while (true) {
+      std::cout << "seqlog> " << std::flush;
+      if (!std::getline(std::cin, line)) break;
+      if (!Dispatch(line)) break;
+    }
+    return 0;
+  }
+
+ private:
+  void Reset() {
+    engine_ = std::make_unique<Engine>();
+    Status s = RegisterStandardMachines(engine_.get());
+    if (!s.ok()) std::cout << "! " << s.ToString() << "\n";
+    program_.clear();
+    facts_.clear();
+    evaluated_ = false;
+  }
+
+  bool Dispatch(const std::string& line) {
+    std::string trimmed = Trim(line);
+    if (trimmed.empty()) return true;
+    if (trimmed[0] == '+') return AddFact(trimmed.substr(1));
+    if (trimmed[0] == ':') return Command(trimmed);
+    if (trimmed.find(":-") != std::string::npos ||
+        trimmed.find("<=") != std::string::npos) {
+      program_ += trimmed;
+      program_ += '\n';
+      evaluated_ = false;
+      return true;
+    }
+    std::cout << "? not a rule, fact or command (:help)\n";
+    return true;
+  }
+
+  bool AddFact(const std::string& rest) {
+    std::istringstream in(rest);
+    std::string pred;
+    in >> pred;
+    std::vector<std::string> args;
+    std::string arg;
+    while (in >> arg) args.push_back(arg == "eps" ? "" : arg);
+    if (pred.empty()) {
+      std::cout << "? usage: +pred arg1 arg2 ...\n";
+      return true;
+    }
+    facts_.emplace_back(pred, args);
+    evaluated_ = false;
+    return true;
+  }
+
+  bool Command(const std::string& line) {
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == ":quit" || cmd == ":q") return false;
+    if (cmd == ":help") {
+      std::cout << kHelp;
+    } else if (cmd == ":clear") {
+      Reset();
+      std::cout << "cleared\n";
+    } else if (cmd == ":program") {
+      std::cout << (program_.empty() ? "(empty)\n" : program_);
+    } else if (cmd == ":machines") {
+      for (const auto& [name, order] : engine_->registry()->Orders()) {
+        std::cout << "  @" << name << "  (order " << order << ")\n";
+      }
+    } else if (cmd == ":limits") {
+      in >> limits_.max_iterations >> limits_.max_facts;
+      std::cout << "budgets: " << limits_.max_iterations << " iterations, "
+                << limits_.max_facts << " facts\n";
+    } else if (cmd == ":load") {
+      std::string path;
+      in >> path;
+      LoadFile(path);
+    } else if (cmd == ":run") {
+      std::string mode;
+      in >> mode;
+      Run(mode);
+    } else if (cmd == ":query") {
+      std::string pred;
+      in >> pred;
+      Query(pred);
+    } else if (cmd == ":safety") {
+      Safety(/*dot=*/false);
+    } else if (cmd == ":dot") {
+      Safety(/*dot=*/true);
+    } else {
+      std::cout << "? unknown command (:help)\n";
+    }
+    return true;
+  }
+
+  void LoadFile(const std::string& path) {
+    std::ifstream file(path);
+    if (!file) {
+      std::cout << "! cannot open " << path << "\n";
+      return;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    program_ += buffer.str();
+    evaluated_ = false;
+    std::cout << "loaded " << path << "\n";
+  }
+
+  /// (Re)loads program and facts into a fresh engine; reports errors.
+  bool Reload() {
+    std::unique_ptr<Engine> fresh = std::make_unique<Engine>();
+    Status s = RegisterStandardMachines(fresh.get());
+    if (s.ok()) s = fresh->LoadProgram(program_);
+    if (!s.ok()) {
+      std::cout << "! " << s.ToString() << "\n";
+      return false;
+    }
+    for (const auto& [pred, args] : facts_) {
+      s = fresh->AddFact(pred, args);
+      if (!s.ok()) {
+        std::cout << "! " << s.ToString() << "\n";
+        return false;
+      }
+    }
+    engine_ = std::move(fresh);
+    return true;
+  }
+
+  void Run(const std::string& mode) {
+    if (!Reload()) return;
+    seqlog::eval::EvalOptions options;
+    options.limits = limits_;
+    if (mode == "naive") {
+      options.strategy = seqlog::eval::Strategy::kNaive;
+    } else if (mode == "strat") {
+      options.strategy = seqlog::eval::Strategy::kStratified;
+    } else {
+      options.strategy = seqlog::eval::Strategy::kSemiNaive;
+    }
+    seqlog::eval::EvalOutcome outcome = engine_->Evaluate(options);
+    if (!outcome.status.ok()) {
+      std::cout << "! " << outcome.status.ToString() << "\n";
+      std::cout << "  (partial model kept: " << outcome.stats.facts
+                << " facts)\n";
+    } else {
+      std::cout << "fixpoint: " << outcome.stats.facts << " facts, "
+                << outcome.stats.domain_sequences << " domain sequences, "
+                << outcome.stats.iterations << " iterations, "
+                << outcome.stats.millis << " ms\n";
+    }
+    evaluated_ = true;
+  }
+
+  void Query(const std::string& pred) {
+    if (!evaluated_) {
+      std::cout << "? run :run first\n";
+      return;
+    }
+    auto rows = engine_->Query(pred);
+    if (!rows.ok()) {
+      std::cout << "! " << rows.status().ToString() << "\n";
+      return;
+    }
+    for (const seqlog::RenderedRow& row : rows.value()) {
+      std::cout << "  (";
+      for (size_t i = 0; i < row.size(); ++i) {
+        std::cout << (i > 0 ? ", " : "") << '"' << row[i] << '"';
+      }
+      std::cout << ")\n";
+    }
+    std::cout << rows->size() << " tuple(s)\n";
+  }
+
+  void Safety(bool dot) {
+    if (!Reload()) return;
+    seqlog::analysis::SafetyReport report = engine_->AnalyzeSafety();
+    if (dot) {
+      std::cout << report.graph.ToDot();
+      return;
+    }
+    std::cout << "non-constructive: " << (report.non_constructive ? "yes"
+                                                                  : "no")
+              << "\nstrongly safe:    " << (report.strongly_safe ? "yes"
+                                                                 : "no")
+              << "\n";
+    if (report.offending_edge.has_value()) {
+      std::cout << "constructive cycle through "
+                << report.offending_edge->first << " -> "
+                << report.offending_edge->second << "\n";
+    }
+    std::cout << "strata:\n";
+    for (size_t i = 0; i < report.strata.size(); ++i) {
+      std::cout << "  " << i << ": {";
+      const auto& preds = report.strata[i].predicates;
+      for (size_t j = 0; j < preds.size(); ++j) {
+        std::cout << (j > 0 ? ", " : "") << preds[j];
+      }
+      std::cout << "}  " << report.strata[i].constructive_clauses.size()
+                << " constructive / "
+                << report.strata[i].nonconstructive_clauses.size()
+                << " plain clause(s)\n";
+    }
+  }
+
+  static std::string Trim(const std::string& s) {
+    size_t b = s.find_first_not_of(" \t\r\n");
+    if (b == std::string::npos) return "";
+    size_t e = s.find_last_not_of(" \t\r\n");
+    return s.substr(b, e - b + 1);
+  }
+
+  std::unique_ptr<Engine> engine_;
+  std::string program_;
+  std::vector<std::pair<std::string, std::vector<std::string>>> facts_;
+  seqlog::eval::EvalLimits limits_;
+  bool evaluated_ = false;
+};
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  return shell.Loop();
+}

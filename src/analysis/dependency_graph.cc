@@ -1,0 +1,142 @@
+#include "analysis/dependency_graph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace analysis {
+
+DependencyGraph DependencyGraph::Build(const ast::Program& program) {
+  DependencyGraph g;
+  std::set<std::string> node_set;
+  for (const ast::Clause& clause : program.clauses) {
+    if (clause.head.kind != ast::Atom::Kind::kPredicate) continue;
+    const std::string& head = clause.head.predicate;
+    node_set.insert(head);
+    bool constructive = clause.IsConstructiveClause();
+    for (const ast::Atom& atom : clause.body) {
+      if (atom.kind != ast::Atom::Kind::kPredicate) continue;
+      node_set.insert(atom.predicate);
+      g.edges_[head].insert(atom.predicate);
+      if (constructive) {
+        g.constructive_edges_[head].insert(atom.predicate);
+      }
+    }
+  }
+  g.nodes_.assign(node_set.begin(), node_set.end());
+  return g;
+}
+
+bool DependencyGraph::HasEdge(const std::string& p,
+                              const std::string& q) const {
+  auto it = edges_.find(p);
+  return it != edges_.end() && it->second.count(q) > 0;
+}
+
+bool DependencyGraph::HasConstructiveEdge(const std::string& p,
+                                          const std::string& q) const {
+  auto it = constructive_edges_.find(p);
+  return it != constructive_edges_.end() && it->second.count(q) > 0;
+}
+
+std::vector<std::string> DependencyGraph::Successors(
+    const std::string& p) const {
+  auto it = edges_.find(p);
+  if (it == edges_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::vector<std::vector<std::string>>
+DependencyGraph::StronglyConnectedComponents() const {
+  // Tarjan's algorithm. Components are emitted in reverse topological
+  // order of the condensation (dependencies before dependents), which is
+  // exactly the stratum order needed by the Theorem 8 evaluation.
+  std::map<std::string, int> index;
+  std::map<std::string, int> lowlink;
+  std::map<std::string, bool> on_stack;
+  std::vector<std::string> stack;
+  std::vector<std::vector<std::string>> components;
+  int next_index = 0;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = next_index;
+        lowlink[v] = next_index;
+        ++next_index;
+        stack.push_back(v);
+        on_stack[v] = true;
+        auto it = edges_.find(v);
+        if (it != edges_.end()) {
+          for (const std::string& w : it->second) {
+            if (index.find(w) == index.end()) {
+              strongconnect(w);
+              lowlink[v] = std::min(lowlink[v], lowlink[w]);
+            } else if (on_stack[w]) {
+              lowlink[v] = std::min(lowlink[v], index[w]);
+            }
+          }
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<std::string> component;
+          while (true) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            component.push_back(w);
+            if (w == v) break;
+          }
+          std::sort(component.begin(), component.end());
+          components.push_back(std::move(component));
+        }
+      };
+
+  for (const std::string& v : nodes_) {
+    if (index.find(v) == index.end()) strongconnect(v);
+  }
+  return components;
+}
+
+bool DependencyGraph::HasConstructiveCycle(
+    std::pair<std::string, std::string>* witness) const {
+  // A constructive edge p -> q lies on a cycle iff p and q are in the
+  // same strongly connected component.
+  auto components = StronglyConnectedComponents();
+  std::map<std::string, size_t> component_of;
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (const std::string& v : components[i]) component_of[v] = i;
+  }
+  for (const auto& [p, targets] : constructive_edges_) {
+    for (const std::string& q : targets) {
+      if (component_of.at(p) == component_of.at(q)) {
+        if (witness != nullptr) *witness = {p, q};
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string DependencyGraph::ToDot() const {
+  std::string out = "digraph dependencies {\n";
+  for (const std::string& v : nodes_) {
+    out += StrCat("  \"", v, "\";\n");
+  }
+  for (const auto& [p, targets] : edges_) {
+    for (const std::string& q : targets) {
+      if (HasConstructiveEdge(p, q)) {
+        out += StrCat("  \"", p, "\" -> \"", q,
+                      "\" [style=bold, label=\"constructive\"];\n");
+      } else {
+        out += StrCat("  \"", p, "\" -> \"", q, "\";\n");
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace seqlog

@@ -1,0 +1,62 @@
+// seqlog: predicate dependency graphs (Definitions 8 and 9).
+//
+// Nodes are the predicate symbols of a program. There is an edge p -> q
+// when p is the head predicate of a clause whose body mentions q; the
+// edge is *constructive* when some such clause is constructive (has a ++
+// or @T term in its head). A *constructive cycle* is a cycle containing a
+// constructive edge; programs without one are strongly safe (Def. 10).
+#ifndef SEQLOG_ANALYSIS_DEPENDENCY_GRAPH_H_
+#define SEQLOG_ANALYSIS_DEPENDENCY_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/clause.h"
+
+namespace seqlog {
+namespace analysis {
+
+/// Directed predicate dependency graph with constructive edge marks.
+class DependencyGraph {
+ public:
+  /// Builds the graph of `program` (Definition 9).
+  static DependencyGraph Build(const ast::Program& program);
+
+  /// All predicate names (head or body) of the program, sorted.
+  const std::vector<std::string>& nodes() const { return nodes_; }
+
+  /// True if p -> q.
+  bool HasEdge(const std::string& p, const std::string& q) const;
+  /// True if p -> q is constructive.
+  bool HasConstructiveEdge(const std::string& p, const std::string& q) const;
+
+  /// Successors of p (body predicates of p's clauses).
+  std::vector<std::string> Successors(const std::string& p) const;
+
+  /// Strongly connected components in *reverse topological order* of the
+  /// condensation: if component i mentions a predicate that depends on a
+  /// predicate in component j, then j < i. Singleton nodes with no
+  /// self-loop are their own components.
+  std::vector<std::vector<std::string>> StronglyConnectedComponents() const;
+
+  /// True if some cycle goes through a constructive edge (Definition 10
+  /// fails). If `witness` is non-null, receives one offending edge.
+  bool HasConstructiveCycle(
+      std::pair<std::string, std::string>* witness = nullptr) const;
+
+  /// Graphviz rendering; constructive edges are labelled and bold
+  /// (regenerates the shape of the paper's Figure 3).
+  std::string ToDot() const;
+
+ private:
+  std::vector<std::string> nodes_;
+  std::map<std::string, std::set<std::string>> edges_;
+  std::map<std::string, std::set<std::string>> constructive_edges_;
+};
+
+}  // namespace analysis
+}  // namespace seqlog
+
+#endif  // SEQLOG_ANALYSIS_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,100 @@
+#include "analysis/guarded.h"
+
+#include <map>
+#include <set>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace analysis {
+
+namespace {
+
+using ast::Atom;
+using ast::Clause;
+using ast::Program;
+
+/// Collects every predicate (name, arity) mentioned in the program.
+std::map<std::string, size_t> MentionedPredicates(const Program& program) {
+  std::map<std::string, size_t> preds;
+  auto visit = [&](const Atom& atom) {
+    if (atom.kind == Atom::Kind::kPredicate) {
+      preds.emplace(atom.predicate, atom.args.size());
+    }
+  };
+  for (const Clause& c : program.clauses) {
+    visit(c.head);
+    for (const Atom& a : c.body) visit(a);
+  }
+  return preds;
+}
+
+}  // namespace
+
+std::string DomPredicateName(const ast::Program& program) {
+  std::map<std::string, size_t> preds = MentionedPredicates(program);
+  std::string name = "dom__";
+  while (preds.count(name) > 0) name += "x";
+  return name;
+}
+
+ast::Program GuardedTransform(
+    const ast::Program& program,
+    const std::vector<std::pair<std::string, size_t>>& schema_predicates) {
+  std::string dom = DomPredicateName(program);
+  Program out;
+
+  // Step 1: copy each clause, guarding unguarded sequence variables with
+  // dom(X) premises (clause (1) of Appendix B).
+  for (const Clause& clause : program.clauses) {
+    Clause guarded = clause;
+    std::set<std::string> seq_vars;
+    ast::CollectAtomVars(clause.head, &seq_vars, nullptr);
+    for (const Atom& a : clause.body) {
+      ast::CollectAtomVars(a, &seq_vars, nullptr);
+    }
+    std::set<std::string> already = ast::GuardedVars(clause);
+    for (const std::string& v : seq_vars) {
+      if (already.count(v) > 0) continue;
+      guarded.body.push_back(
+          ast::MakePredicateAtom(dom, {ast::MakeVariable(v)}));
+    }
+    out.clauses.push_back(std::move(guarded));
+  }
+
+  // Step 2: dom is closed under subsequences (clause (2)):
+  //   dom(X[M:N]) :- dom(X).
+  {
+    Clause c;
+    c.head = ast::MakePredicateAtom(
+        dom, {ast::MakeIndexed(ast::MakeVariable("X"),
+                               ast::MakeIndexVariable("M"),
+                               ast::MakeIndexVariable("N"))});
+    c.body.push_back(ast::MakePredicateAtom(dom, {ast::MakeVariable("X")}));
+    out.clauses.push_back(std::move(c));
+  }
+
+  // Step 3: every argument of every predicate feeds dom (clauses (3)).
+  std::map<std::string, size_t> preds = MentionedPredicates(program);
+  for (const auto& [name, arity] : schema_predicates) {
+    preds.emplace(name, arity);
+  }
+  for (const auto& [name, arity] : preds) {
+    for (size_t i = 0; i < arity; ++i) {
+      Clause c;
+      std::vector<ast::SeqTermPtr> args;
+      args.reserve(arity);
+      for (size_t j = 0; j < arity; ++j) {
+        args.push_back(ast::MakeVariable(StrCat("X", j + 1)));
+      }
+      c.head = ast::MakePredicateAtom(
+          dom, {ast::MakeVariable(StrCat("X", i + 1))});
+      c.body.push_back(ast::MakePredicateAtom(name, std::move(args)));
+      out.clauses.push_back(std::move(c));
+    }
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace seqlog

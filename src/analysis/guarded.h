@@ -1,0 +1,38 @@
+// seqlog: guarded programs and the guarded transformation (Appendix B).
+//
+// A clause is guarded when every sequence variable in it occurs in the
+// body as a direct argument of some predicate atom. Theorem 10: every
+// program P has a guarded program PG expressing the same queries, built
+// by adding a dom/1 predicate that enumerates the extended active domain
+// and guarding every previously unguarded variable with it.
+#ifndef SEQLOG_ANALYSIS_GUARDED_H_
+#define SEQLOG_ANALYSIS_GUARDED_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/clause.h"
+
+namespace seqlog {
+namespace analysis {
+
+/// Applies the Appendix B transformation to `program`.
+///
+/// `schema_predicates` lists base predicates (name, arity) that may hold
+/// database facts but never occur in the program text; clauses (3) of the
+/// construction must cover them too so that database sequences reach dom.
+/// The dom predicate is named `dom__` (suffixed with primes until fresh).
+/// Index variables need no guarding — they already range over the finite
+/// integer part of the domain.
+ast::Program GuardedTransform(
+    const ast::Program& program,
+    const std::vector<std::pair<std::string, size_t>>& schema_predicates);
+
+/// The name the transformation picked for dom in the given program.
+std::string DomPredicateName(const ast::Program& program);
+
+}  // namespace analysis
+}  // namespace seqlog
+
+#endif  // SEQLOG_ANALYSIS_GUARDED_H_

@@ -1,0 +1,65 @@
+#include "analysis/safety.h"
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace analysis {
+
+SafetyReport AnalyzeSafety(const ast::Program& program) {
+  SafetyReport report;
+  report.graph = DependencyGraph::Build(program);
+
+  report.non_constructive = true;
+  for (const ast::Clause& clause : program.clauses) {
+    if (clause.IsConstructiveClause()) {
+      report.non_constructive = false;
+      break;
+    }
+  }
+
+  std::pair<std::string, std::string> witness;
+  bool has_cycle = report.graph.HasConstructiveCycle(&witness);
+  report.strongly_safe = !has_cycle;
+  if (has_cycle) report.offending_edge = witness;
+
+  // Build strata from the SCC condensation (dependency order).
+  auto components = report.graph.StronglyConnectedComponents();
+  std::map<std::string, size_t> component_of;
+  for (size_t i = 0; i < components.size(); ++i) {
+    for (const std::string& p : components[i]) component_of[p] = i;
+  }
+  report.strata.resize(components.size());
+  for (size_t i = 0; i < components.size(); ++i) {
+    report.strata[i].predicates = components[i];
+  }
+  for (size_t ci = 0; ci < program.clauses.size(); ++ci) {
+    const ast::Clause& clause = program.clauses[ci];
+    if (clause.head.kind != ast::Atom::Kind::kPredicate) continue;
+    auto it = component_of.find(clause.head.predicate);
+    if (it == component_of.end()) continue;  // unreachable by construction
+    Stratum& stratum = report.strata[it->second];
+    if (clause.IsConstructiveClause()) {
+      stratum.constructive_clauses.push_back(ci);
+    } else {
+      stratum.nonconstructive_clauses.push_back(ci);
+    }
+  }
+  return report;
+}
+
+Result<int> ProgramOrder(const ast::Program& program,
+                         const std::map<std::string, int>& orders) {
+  int max_order = 0;
+  for (const std::string& name : program.MentionedTransducers()) {
+    auto it = orders.find(name);
+    if (it == orders.end()) {
+      return Status::NotFound(
+          StrCat("transducer '", name, "' has no registered order"));
+    }
+    max_order = std::max(max_order, it->second);
+  }
+  return max_order;
+}
+
+}  // namespace analysis
+}  // namespace seqlog

@@ -1,0 +1,65 @@
+// seqlog: safety analysis (Section 8).
+//
+// A Transducer Datalog program is *strongly safe* when its predicate
+// dependency graph has no constructive cycle (Definition 10). Strongly
+// safe programs can be stratified with respect to construction: the
+// strongly connected components of the graph, in dependency order, give
+// strata in which constructive rules never depend on their own stratum.
+// Theorem 8's evaluation applies each constructive stratum once and
+// saturates non-constructive rules, guaranteeing a finite minimal model.
+#ifndef SEQLOG_ANALYSIS_SAFETY_H_
+#define SEQLOG_ANALYSIS_SAFETY_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/dependency_graph.h"
+#include "ast/clause.h"
+#include "base/result.h"
+
+namespace seqlog {
+namespace analysis {
+
+/// One construction stratum: the clauses whose head predicates belong to
+/// one strongly connected component of the dependency graph.
+struct Stratum {
+  /// Predicates defined by this stratum (one SCC).
+  std::vector<std::string> predicates;
+  /// Indices into program.clauses of constructive clauses of the stratum.
+  std::vector<size_t> constructive_clauses;
+  /// Indices of the non-constructive clauses of the stratum.
+  std::vector<size_t> nonconstructive_clauses;
+};
+
+/// Result of the static safety analysis of a program.
+struct SafetyReport {
+  /// No ++ or @T terms anywhere: the paper's Non-constructive Sequence
+  /// Datalog, data complexity complete for PTIME (Theorem 3).
+  bool non_constructive = false;
+  /// Definition 10: no constructive cycle in the dependency graph.
+  bool strongly_safe = false;
+  /// One constructive edge on a cycle, when !strongly_safe.
+  std::optional<std::pair<std::string, std::string>> offending_edge;
+  /// Construction strata in dependency order (valid only when
+  /// strongly_safe; otherwise the stratification is still returned but
+  /// constructive rules may depend on their own stratum).
+  std::vector<Stratum> strata;
+  /// The dependency graph itself (for reporting / Figure 3 rendering).
+  DependencyGraph graph;
+};
+
+/// Runs the full analysis of Definitions 8-10 on `program`.
+SafetyReport AnalyzeSafety(const ast::Program& program);
+
+/// The order of a Transducer Datalog program (Section 7.1): the maximum
+/// order of any mentioned transducer, 0 if none. `orders` maps transducer
+/// names to their orders; unknown names yield kNotFound.
+Result<int> ProgramOrder(const ast::Program& program,
+                         const std::map<std::string, int>& orders);
+
+}  // namespace analysis
+}  // namespace seqlog
+
+#endif  // SEQLOG_ANALYSIS_SAFETY_H_

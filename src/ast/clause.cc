@@ -1,0 +1,160 @@
+#include "ast/clause.h"
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace ast {
+
+Atom MakePredicateAtom(std::string predicate,
+                       std::vector<SeqTermPtr> args) {
+  Atom a;
+  a.kind = Atom::Kind::kPredicate;
+  a.predicate = std::move(predicate);
+  a.args = std::move(args);
+  return a;
+}
+
+Atom MakeEqAtom(SeqTermPtr lhs, SeqTermPtr rhs) {
+  Atom a;
+  a.kind = Atom::Kind::kEq;
+  a.args = {std::move(lhs), std::move(rhs)};
+  return a;
+}
+
+Atom MakeNeqAtom(SeqTermPtr lhs, SeqTermPtr rhs) {
+  Atom a;
+  a.kind = Atom::Kind::kNeq;
+  a.args = {std::move(lhs), std::move(rhs)};
+  return a;
+}
+
+bool Clause::IsConstructiveClause() const {
+  for (const SeqTermPtr& t : head.args) {
+    if (IsConstructive(t)) return true;
+  }
+  return false;
+}
+
+bool Program::IsTransducerDatalog() const {
+  for (const Clause& c : clauses) {
+    for (const SeqTermPtr& t : c.head.args) {
+      if (ContainsTransducerTerm(t)) return true;
+    }
+    for (const Atom& a : c.body) {
+      for (const SeqTermPtr& t : a.args) {
+        if (ContainsTransducerTerm(t)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::set<std::string> Program::MentionedTransducers() const {
+  std::set<std::string> out;
+  for (const Clause& c : clauses) {
+    for (const SeqTermPtr& t : c.head.args) CollectTransducers(t, &out);
+    for (const Atom& a : c.body) {
+      for (const SeqTermPtr& t : a.args) CollectTransducers(t, &out);
+    }
+  }
+  return out;
+}
+
+std::set<std::string> Program::HeadPredicates() const {
+  std::set<std::string> out;
+  for (const Clause& c : clauses) {
+    if (c.head.kind == Atom::Kind::kPredicate) out.insert(c.head.predicate);
+  }
+  return out;
+}
+
+void CollectAtomVars(const Atom& atom, std::set<std::string>* seq_vars,
+                     std::set<std::string>* index_vars) {
+  for (const SeqTermPtr& t : atom.args) {
+    if (seq_vars != nullptr) CollectSeqVars(t, seq_vars);
+    if (index_vars != nullptr) CollectIndexVars(t, index_vars);
+  }
+}
+
+std::set<std::string> GuardedVars(const Clause& clause) {
+  std::set<std::string> guarded;
+  for (const Atom& a : clause.body) {
+    if (a.kind != Atom::Kind::kPredicate) continue;
+    for (const SeqTermPtr& t : a.args) {
+      if (t->kind == SeqTerm::Kind::kVariable) guarded.insert(t->var);
+    }
+  }
+  return guarded;
+}
+
+bool IsGuarded(const Clause& clause) {
+  std::set<std::string> seq_vars;
+  CollectAtomVars(clause.head, &seq_vars, nullptr);
+  for (const Atom& a : clause.body) CollectAtomVars(a, &seq_vars, nullptr);
+  std::set<std::string> guarded = GuardedVars(clause);
+  for (const std::string& v : seq_vars) {
+    if (guarded.count(v) == 0) return false;
+  }
+  return true;
+}
+
+bool IsGuarded(const Program& program) {
+  for (const Clause& c : program.clauses) {
+    if (!IsGuarded(c)) return false;
+  }
+  return true;
+}
+
+std::string ToString(const Atom& atom, const SequencePool& pool,
+                     const SymbolTable& symbols) {
+  switch (atom.kind) {
+    case Atom::Kind::kPredicate: {
+      if (atom.args.empty()) return atom.predicate;
+      std::vector<std::string> parts;
+      parts.reserve(atom.args.size());
+      for (const SeqTermPtr& t : atom.args) {
+        parts.push_back(ToString(t, pool, symbols));
+      }
+      return StrCat(atom.predicate, "(", Join(parts, ", "), ")");
+    }
+    case Atom::Kind::kEq:
+      SEQLOG_CHECK(atom.args.size() == 2);
+      return StrCat(ToString(atom.args[0], pool, symbols), " = ",
+                    ToString(atom.args[1], pool, symbols));
+    case Atom::Kind::kNeq:
+      SEQLOG_CHECK(atom.args.size() == 2);
+      return StrCat(ToString(atom.args[0], pool, symbols), " != ",
+                    ToString(atom.args[1], pool, symbols));
+  }
+  return "?";
+}
+
+std::string ToString(const Clause& clause, const SequencePool& pool,
+                     const SymbolTable& symbols) {
+  std::string out = ToString(clause.head, pool, symbols);
+  if (!clause.body.empty()) {
+    out += " :- ";
+    std::vector<std::string> parts;
+    parts.reserve(clause.body.size());
+    for (const Atom& a : clause.body) {
+      parts.push_back(ToString(a, pool, symbols));
+    }
+    out += Join(parts, ", ");
+  }
+  out += ".";
+  return out;
+}
+
+std::string ToString(const Program& program, const SequencePool& pool,
+                     const SymbolTable& symbols) {
+  std::string out;
+  for (const Clause& c : program.clauses) {
+    out += ToString(c, pool, symbols);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ast
+}  // namespace seqlog

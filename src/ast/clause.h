@@ -1,0 +1,73 @@
+// seqlog: atoms, clauses and programs (Section 3.1).
+#ifndef SEQLOG_AST_CLAUSE_H_
+#define SEQLOG_AST_CLAUSE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/term.h"
+
+namespace seqlog {
+namespace ast {
+
+/// An atom: p(s1,...,sn), s1 = s2, or s1 != s2.
+struct Atom {
+  enum class Kind { kPredicate, kEq, kNeq };
+  Kind kind = Kind::kPredicate;
+  std::string predicate;         ///< kPredicate only.
+  std::vector<SeqTermPtr> args;  ///< kEq/kNeq use exactly two args.
+};
+
+Atom MakePredicateAtom(std::string predicate, std::vector<SeqTermPtr> args);
+Atom MakeEqAtom(SeqTermPtr lhs, SeqTermPtr rhs);
+Atom MakeNeqAtom(SeqTermPtr lhs, SeqTermPtr rhs);
+
+/// A clause (rule) head :- body. A fact is a clause with an empty body
+/// (the paper writes `head <- true`).
+struct Clause {
+  Atom head;
+  std::vector<Atom> body;
+
+  /// A *constructive clause* has a ++ or @T(...) term in its head.
+  bool IsConstructiveClause() const;
+};
+
+/// A program is a list of clauses. Programs with transducer terms are
+/// Transducer Datalog programs; without, Sequence Datalog programs.
+struct Program {
+  std::vector<Clause> clauses;
+
+  /// True if any clause mentions a transducer term.
+  bool IsTransducerDatalog() const;
+
+  /// Names of transducers mentioned anywhere in the program.
+  std::set<std::string> MentionedTransducers() const;
+
+  /// Names of predicates appearing in clause heads.
+  std::set<std::string> HeadPredicates() const;
+};
+
+/// Variable names of `atom`, split by role.
+void CollectAtomVars(const Atom& atom, std::set<std::string>* seq_vars,
+                     std::set<std::string>* index_vars);
+
+/// Sequence variables that are *guarded* in `clause`: those occurring in
+/// the body as a direct argument of a predicate atom (Section 3.1). The
+/// clause is guarded iff every sequence variable in it is guarded.
+std::set<std::string> GuardedVars(const Clause& clause);
+bool IsGuarded(const Clause& clause);
+bool IsGuarded(const Program& program);
+
+/// Rendering in the parser's surface syntax.
+std::string ToString(const Atom& atom, const SequencePool& pool,
+                     const SymbolTable& symbols);
+std::string ToString(const Clause& clause, const SequencePool& pool,
+                     const SymbolTable& symbols);
+std::string ToString(const Program& program, const SequencePool& pool,
+                     const SymbolTable& symbols);
+
+}  // namespace ast
+}  // namespace seqlog
+
+#endif  // SEQLOG_AST_CLAUSE_H_

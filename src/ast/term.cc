@@ -1,0 +1,252 @@
+#include "ast/term.h"
+
+#include "base/logging.h"
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace ast {
+
+namespace {
+
+std::shared_ptr<IndexTerm> NewIndex(IndexTerm::Kind kind) {
+  auto t = std::make_shared<IndexTerm>();
+  t->kind = kind;
+  return t;
+}
+
+std::shared_ptr<SeqTerm> NewSeq(SeqTerm::Kind kind) {
+  auto t = std::make_shared<SeqTerm>();
+  t->kind = kind;
+  return t;
+}
+
+}  // namespace
+
+IndexTermPtr MakeIndexLiteral(int64_t value) {
+  auto t = NewIndex(IndexTerm::Kind::kLiteral);
+  t->literal = value;
+  return t;
+}
+
+IndexTermPtr MakeIndexVariable(std::string name) {
+  auto t = NewIndex(IndexTerm::Kind::kVariable);
+  t->var = std::move(name);
+  return t;
+}
+
+IndexTermPtr MakeIndexEnd() { return NewIndex(IndexTerm::Kind::kEnd); }
+
+IndexTermPtr MakeIndexAdd(IndexTermPtr lhs, IndexTermPtr rhs) {
+  auto t = NewIndex(IndexTerm::Kind::kAdd);
+  t->lhs = std::move(lhs);
+  t->rhs = std::move(rhs);
+  return t;
+}
+
+IndexTermPtr MakeIndexSub(IndexTermPtr lhs, IndexTermPtr rhs) {
+  auto t = NewIndex(IndexTerm::Kind::kSub);
+  t->lhs = std::move(lhs);
+  t->rhs = std::move(rhs);
+  return t;
+}
+
+SeqTermPtr MakeConstant(SeqId value) {
+  auto t = NewSeq(SeqTerm::Kind::kConstant);
+  t->constant = value;
+  return t;
+}
+
+SeqTermPtr MakeVariable(std::string name) {
+  auto t = NewSeq(SeqTerm::Kind::kVariable);
+  t->var = std::move(name);
+  return t;
+}
+
+SeqTermPtr MakeIndexed(SeqTermPtr base, IndexTermPtr lo, IndexTermPtr hi) {
+  auto t = NewSeq(SeqTerm::Kind::kIndexed);
+  t->base = std::move(base);
+  t->lo = std::move(lo);
+  t->hi = std::move(hi);
+  return t;
+}
+
+SeqTermPtr MakeIndexedPoint(SeqTermPtr base, IndexTermPtr at) {
+  return MakeIndexed(std::move(base), at, at);
+}
+
+SeqTermPtr MakeConcat(SeqTermPtr left, SeqTermPtr right) {
+  auto t = NewSeq(SeqTerm::Kind::kConcat);
+  t->left = std::move(left);
+  t->right = std::move(right);
+  return t;
+}
+
+SeqTermPtr MakeTransducerTerm(std::string name,
+                              std::vector<SeqTermPtr> args) {
+  auto t = NewSeq(SeqTerm::Kind::kTransducer);
+  t->transducer = std::move(name);
+  t->args = std::move(args);
+  return t;
+}
+
+bool IsConstructive(const SeqTermPtr& term) {
+  if (term == nullptr) return false;
+  switch (term->kind) {
+    case SeqTerm::Kind::kConstant:
+    case SeqTerm::Kind::kVariable:
+      return false;
+    case SeqTerm::Kind::kIndexed:
+      return IsConstructive(term->base);
+    case SeqTerm::Kind::kConcat:
+    case SeqTerm::Kind::kTransducer:
+      return true;
+  }
+  return false;
+}
+
+bool ContainsTransducerTerm(const SeqTermPtr& term) {
+  if (term == nullptr) return false;
+  switch (term->kind) {
+    case SeqTerm::Kind::kConstant:
+    case SeqTerm::Kind::kVariable:
+      return false;
+    case SeqTerm::Kind::kIndexed:
+      return ContainsTransducerTerm(term->base);
+    case SeqTerm::Kind::kConcat:
+      return ContainsTransducerTerm(term->left) ||
+             ContainsTransducerTerm(term->right);
+    case SeqTerm::Kind::kTransducer:
+      return true;
+  }
+  return false;
+}
+
+void CollectIndexVars(const IndexTermPtr& term,
+                      std::set<std::string>* out) {
+  if (term == nullptr) return;
+  switch (term->kind) {
+    case IndexTerm::Kind::kLiteral:
+    case IndexTerm::Kind::kEnd:
+      return;
+    case IndexTerm::Kind::kVariable:
+      out->insert(term->var);
+      return;
+    case IndexTerm::Kind::kAdd:
+    case IndexTerm::Kind::kSub:
+      CollectIndexVars(term->lhs, out);
+      CollectIndexVars(term->rhs, out);
+      return;
+  }
+}
+
+void CollectSeqVars(const SeqTermPtr& term, std::set<std::string>* out) {
+  if (term == nullptr) return;
+  switch (term->kind) {
+    case SeqTerm::Kind::kConstant:
+      return;
+    case SeqTerm::Kind::kVariable:
+      out->insert(term->var);
+      return;
+    case SeqTerm::Kind::kIndexed:
+      CollectSeqVars(term->base, out);
+      return;
+    case SeqTerm::Kind::kConcat:
+      CollectSeqVars(term->left, out);
+      CollectSeqVars(term->right, out);
+      return;
+    case SeqTerm::Kind::kTransducer:
+      for (const SeqTermPtr& a : term->args) CollectSeqVars(a, out);
+      return;
+  }
+}
+
+void CollectIndexVars(const SeqTermPtr& term, std::set<std::string>* out) {
+  if (term == nullptr) return;
+  switch (term->kind) {
+    case SeqTerm::Kind::kConstant:
+    case SeqTerm::Kind::kVariable:
+      return;
+    case SeqTerm::Kind::kIndexed:
+      CollectIndexVars(term->lo, out);
+      CollectIndexVars(term->hi, out);
+      return;
+    case SeqTerm::Kind::kConcat:
+      CollectIndexVars(term->left, out);
+      CollectIndexVars(term->right, out);
+      return;
+    case SeqTerm::Kind::kTransducer:
+      for (const SeqTermPtr& a : term->args) CollectIndexVars(a, out);
+      return;
+  }
+}
+
+void CollectTransducers(const SeqTermPtr& term,
+                        std::set<std::string>* out) {
+  if (term == nullptr) return;
+  switch (term->kind) {
+    case SeqTerm::Kind::kConstant:
+    case SeqTerm::Kind::kVariable:
+      return;
+    case SeqTerm::Kind::kIndexed:
+      CollectTransducers(term->base, out);
+      return;
+    case SeqTerm::Kind::kConcat:
+      CollectTransducers(term->left, out);
+      CollectTransducers(term->right, out);
+      return;
+    case SeqTerm::Kind::kTransducer:
+      out->insert(term->transducer);
+      for (const SeqTermPtr& a : term->args) CollectTransducers(a, out);
+      return;
+  }
+}
+
+std::string ToString(const IndexTermPtr& term) {
+  SEQLOG_CHECK(term != nullptr);
+  switch (term->kind) {
+    case IndexTerm::Kind::kLiteral:
+      return std::to_string(term->literal);
+    case IndexTerm::Kind::kVariable:
+      return term->var;
+    case IndexTerm::Kind::kEnd:
+      return "end";
+    case IndexTerm::Kind::kAdd:
+      return StrCat(ToString(term->lhs), "+", ToString(term->rhs));
+    case IndexTerm::Kind::kSub:
+      return StrCat(ToString(term->lhs), "-", ToString(term->rhs));
+  }
+  return "?";
+}
+
+std::string ToString(const SeqTermPtr& term, const SequencePool& pool,
+                     const SymbolTable& symbols) {
+  SEQLOG_CHECK(term != nullptr);
+  switch (term->kind) {
+    case SeqTerm::Kind::kConstant: {
+      if (term->constant == kEmptySeq) return "eps";
+      return StrCat("\"", pool.Render(term->constant, symbols), "\"");
+    }
+    case SeqTerm::Kind::kVariable:
+      return term->var;
+    case SeqTerm::Kind::kIndexed: {
+      std::string base = ToString(term->base, pool, symbols);
+      return StrCat(base, "[", ToString(term->lo), ":", ToString(term->hi),
+                    "]");
+    }
+    case SeqTerm::Kind::kConcat:
+      return StrCat(ToString(term->left, pool, symbols), " ++ ",
+                    ToString(term->right, pool, symbols));
+    case SeqTerm::Kind::kTransducer: {
+      std::vector<std::string> parts;
+      parts.reserve(term->args.size());
+      for (const SeqTermPtr& a : term->args) {
+        parts.push_back(ToString(a, pool, symbols));
+      }
+      return StrCat("@", term->transducer, "(", Join(parts, ", "), ")");
+    }
+  }
+  return "?";
+}
+
+}  // namespace ast
+}  // namespace seqlog

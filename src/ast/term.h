@@ -1,0 +1,99 @@
+// seqlog: the term language of Sequence Datalog (Section 3.1).
+//
+// Two kinds of terms exist:
+//  * index terms    — integers, index variables, `end`, combined with + and -
+//  * sequence terms — constant sequences, sequence variables, indexed terms
+//                     s[n1:n2], constructive terms s1 ++ s2, and (Transducer
+//                     Datalog, Section 7) transducer terms @T(s1,...,sm).
+//
+// Terms are immutable trees shared via shared_ptr<const ...>; program
+// transformations copy pointers freely.
+#ifndef SEQLOG_AST_TERM_H_
+#define SEQLOG_AST_TERM_H_
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+
+namespace seqlog {
+namespace ast {
+
+struct IndexTerm;
+using IndexTermPtr = std::shared_ptr<const IndexTerm>;
+
+/// An index term (Section 3.1): evaluates to an integer under a
+/// substitution. `end` denotes the length of the enclosing indexed term's
+/// base sequence and is only legal inside an indexed term.
+struct IndexTerm {
+  enum class Kind { kLiteral, kVariable, kEnd, kAdd, kSub };
+  Kind kind;
+  int64_t literal = 0;  ///< kLiteral payload.
+  std::string var;      ///< kVariable payload (index variable name).
+  IndexTermPtr lhs;     ///< kAdd/kSub operands.
+  IndexTermPtr rhs;
+};
+
+IndexTermPtr MakeIndexLiteral(int64_t value);
+IndexTermPtr MakeIndexVariable(std::string name);
+IndexTermPtr MakeIndexEnd();
+IndexTermPtr MakeIndexAdd(IndexTermPtr lhs, IndexTermPtr rhs);
+IndexTermPtr MakeIndexSub(IndexTermPtr lhs, IndexTermPtr rhs);
+
+struct SeqTerm;
+using SeqTermPtr = std::shared_ptr<const SeqTerm>;
+
+/// A sequence term (Section 3.1). Indexed terms may only have a constant
+/// or a variable as base — (s1++s2)[1:N] and S[1:N][M:end] are not terms;
+/// the validator rejects them (see validate.h).
+struct SeqTerm {
+  enum class Kind { kConstant, kVariable, kIndexed, kConcat, kTransducer };
+  Kind kind;
+  SeqId constant = kEmptySeq;    ///< kConstant payload (interned sequence).
+  std::string var;               ///< kVariable payload (sequence variable).
+  SeqTermPtr base;               ///< kIndexed base (constant or variable).
+  IndexTermPtr lo;               ///< kIndexed lower index.
+  IndexTermPtr hi;               ///< kIndexed upper index.
+  SeqTermPtr left;               ///< kConcat operands.
+  SeqTermPtr right;
+  std::string transducer;        ///< kTransducer machine name.
+  std::vector<SeqTermPtr> args;  ///< kTransducer arguments.
+};
+
+SeqTermPtr MakeConstant(SeqId value);
+SeqTermPtr MakeVariable(std::string name);
+SeqTermPtr MakeIndexed(SeqTermPtr base, IndexTermPtr lo, IndexTermPtr hi);
+/// Shorthand for the paper's s[n] == s[n:n].
+SeqTermPtr MakeIndexedPoint(SeqTermPtr base, IndexTermPtr at);
+SeqTermPtr MakeConcat(SeqTermPtr left, SeqTermPtr right);
+SeqTermPtr MakeTransducerTerm(std::string name, std::vector<SeqTermPtr> args);
+
+/// True if the term contains a constructive (++) or transducer subterm.
+/// Clauses whose head contains one are the paper's *constructive clauses*.
+bool IsConstructive(const SeqTermPtr& term);
+
+/// True if the term contains a transducer subterm.
+bool ContainsTransducerTerm(const SeqTermPtr& term);
+
+/// Adds the names of sequence variables occurring in `term` to `out`.
+void CollectSeqVars(const SeqTermPtr& term, std::set<std::string>* out);
+/// Adds the names of index variables occurring in `term` to `out`.
+void CollectIndexVars(const SeqTermPtr& term, std::set<std::string>* out);
+void CollectIndexVars(const IndexTermPtr& term, std::set<std::string>* out);
+
+/// Adds the names of transducers mentioned in `term` to `out`.
+void CollectTransducers(const SeqTermPtr& term, std::set<std::string>* out);
+
+/// Renders a term in the parser's surface syntax.
+std::string ToString(const IndexTermPtr& term);
+std::string ToString(const SeqTermPtr& term, const SequencePool& pool,
+                     const SymbolTable& symbols);
+
+}  // namespace ast
+}  // namespace seqlog
+
+#endif  // SEQLOG_AST_TERM_H_

@@ -1,0 +1,140 @@
+#include "ast/validate.h"
+
+#include <map>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace ast {
+
+namespace {
+
+/// Checks term-structure restrictions common to every position.
+Status CheckTermStructure(const SeqTermPtr& term) {
+  if (term == nullptr) {
+    return Status::Internal("null sequence term");
+  }
+  switch (term->kind) {
+    case SeqTerm::Kind::kConstant:
+    case SeqTerm::Kind::kVariable:
+      return Status::Ok();
+    case SeqTerm::Kind::kIndexed: {
+      if (term->base == nullptr || term->lo == nullptr ||
+          term->hi == nullptr) {
+        return Status::Internal("indexed term with null components");
+      }
+      if (term->base->kind != SeqTerm::Kind::kConstant &&
+          term->base->kind != SeqTerm::Kind::kVariable) {
+        return Status::InvalidArgument(
+            "indexed terms must have a constant or variable base "
+            "(nested indexing and indexing of constructive terms is not "
+            "part of the term language)");
+      }
+      return Status::Ok();
+    }
+    case SeqTerm::Kind::kConcat: {
+      SEQLOG_RETURN_IF_ERROR(CheckTermStructure(term->left));
+      return CheckTermStructure(term->right);
+    }
+    case SeqTerm::Kind::kTransducer: {
+      for (const SeqTermPtr& a : term->args) {
+        SEQLOG_RETURN_IF_ERROR(CheckTermStructure(a));
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unknown term kind");
+}
+
+Status CheckBodyTerm(const SeqTermPtr& term) {
+  SEQLOG_RETURN_IF_ERROR(CheckTermStructure(term));
+  if (IsConstructive(term)) {
+    return Status::InvalidArgument(
+        "constructive and transducer terms may appear only in clause "
+        "heads, not in bodies (Section 3.1)");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Validate(const Program& program) {
+  std::map<std::string, size_t> arities;
+  for (size_t ci = 0; ci < program.clauses.size(); ++ci) {
+    const Clause& clause = program.clauses[ci];
+    auto fail = [&](const Status& s) {
+      return Status(s.code(),
+                    StrCat("clause ", ci + 1, ": ", s.message()));
+    };
+
+    if (clause.head.kind != Atom::Kind::kPredicate) {
+      return fail(Status::InvalidArgument(
+          "clause head must be a predicate atom"));
+    }
+    for (const SeqTermPtr& t : clause.head.args) {
+      Status s = CheckTermStructure(t);
+      if (!s.ok()) return fail(s);
+    }
+
+    for (const Atom& atom : clause.body) {
+      if (atom.kind != Atom::Kind::kPredicate && atom.args.size() != 2) {
+        return fail(Status::InvalidArgument(
+            "equality atoms take exactly two arguments"));
+      }
+      for (const SeqTermPtr& t : atom.args) {
+        Status s = CheckBodyTerm(t);
+        if (!s.ok()) return fail(s);
+      }
+    }
+
+    // Arity consistency.
+    auto check_arity = [&](const Atom& atom) -> Status {
+      if (atom.kind != Atom::Kind::kPredicate) return Status::Ok();
+      auto [it, inserted] =
+          arities.emplace(atom.predicate, atom.args.size());
+      if (!inserted && it->second != atom.args.size()) {
+        return Status::InvalidArgument(
+            StrCat("predicate '", atom.predicate, "' used with arity ",
+                   atom.args.size(), " and ", it->second));
+      }
+      return Status::Ok();
+    };
+    Status s = check_arity(clause.head);
+    if (!s.ok()) return fail(s);
+    for (const Atom& atom : clause.body) {
+      s = check_arity(atom);
+      if (!s.ok()) return fail(s);
+    }
+
+    // Variable role consistency within the clause: V_Sigma and V_I are
+    // disjoint sets in the paper.
+    std::set<std::string> seq_vars;
+    std::set<std::string> index_vars;
+    CollectAtomVars(clause.head, &seq_vars, &index_vars);
+    for (const Atom& atom : clause.body) {
+      CollectAtomVars(atom, &seq_vars, &index_vars);
+    }
+    for (const std::string& v : seq_vars) {
+      if (index_vars.count(v) > 0) {
+        return fail(Status::InvalidArgument(
+            StrCat("variable '", v,
+                   "' is used both as a sequence variable and as an "
+                   "index variable")));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateSequenceDatalog(const Program& program) {
+  SEQLOG_RETURN_IF_ERROR(Validate(program));
+  if (program.IsTransducerDatalog()) {
+    return Status::InvalidArgument(
+        "transducer terms are not part of Sequence Datalog; use the "
+        "Transducer Datalog entry points");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ast
+}  // namespace seqlog

@@ -1,0 +1,28 @@
+// seqlog: well-formedness checks for programs (Section 3.1 restrictions).
+#ifndef SEQLOG_AST_VALIDATE_H_
+#define SEQLOG_AST_VALIDATE_H_
+
+#include "ast/clause.h"
+#include "base/status.h"
+
+namespace seqlog {
+namespace ast {
+
+/// Validates the syntactic restrictions of Sections 3.1 and 7.1:
+///  * clause heads are predicate atoms (no =, != heads);
+///  * constructive (++) and transducer (@T) terms appear only in heads;
+///  * indexed terms have a constant or variable base (no nesting, no
+///    indexing of constructive terms);
+///  * equality atoms have exactly two arguments;
+///  * a predicate name is used with one arity throughout the program;
+///  * no variable is used both as a sequence and as an index variable.
+Status Validate(const Program& program);
+
+/// Validate() plus the Sequence Datalog restriction: no transducer terms
+/// anywhere (Section 3 language only).
+Status ValidateSequenceDatalog(const Program& program);
+
+}  // namespace ast
+}  // namespace seqlog
+
+#endif  // SEQLOG_AST_VALIDATE_H_

@@ -1,0 +1,30 @@
+// seqlog: hashing helpers shared by interning pools and relation indexes.
+#ifndef SEQLOG_BASE_HASH_H_
+#define SEQLOG_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace seqlog {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit constant).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// FNV-1a over a span of integers; used to hash sequences and tuples
+/// without materialising a byte string.
+template <typename T>
+size_t HashSpan(std::span<const T> data) {
+  uint64_t h = 1469598103934665603ULL;
+  for (const T& v : data) {
+    h ^= static_cast<uint64_t>(v);
+    h *= 1099511628211ULL;
+  }
+  return static_cast<size_t>(h);
+}
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_BASE_HASH_H_

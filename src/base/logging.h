@@ -1,0 +1,72 @@
+// seqlog: check macros for internal invariants.
+//
+// SEQLOG_CHECK is always on; SEQLOG_DCHECK compiles away in NDEBUG builds.
+// Both support streaming extra context: SEQLOG_CHECK(x) << "details".
+// These are for programming errors only — user-facing failures must go
+// through Status (status.h).
+#ifndef SEQLOG_BASE_LOGGING_H_
+#define SEQLOG_BASE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace seqlog {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << expr
+            << " ";
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed operands when a check is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Lets a streaming expression appear on the false branch of ?: by
+/// converting it to void (the glog idiom; & binds looser than <<).
+class Voidify {
+ public:
+  void operator&(CheckFailure&) {}
+  void operator&(CheckFailure&&) {}
+  void operator&(NullStream&) {}
+  void operator&(NullStream&&) {}
+};
+
+}  // namespace internal
+}  // namespace seqlog
+
+#define SEQLOG_CHECK(cond)                 \
+  (cond) ? (void)0                         \
+         : ::seqlog::internal::Voidify() & \
+               ::seqlog::internal::CheckFailure(__FILE__, __LINE__, #cond)
+
+#ifdef NDEBUG
+#define SEQLOG_DCHECK(cond) \
+  true ? (void)0 : ::seqlog::internal::Voidify() & ::seqlog::internal::NullStream()
+#else
+#define SEQLOG_DCHECK(cond) SEQLOG_CHECK(cond)
+#endif
+
+#endif  // SEQLOG_BASE_LOGGING_H_

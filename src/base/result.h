@@ -1,0 +1,69 @@
+// seqlog: Result<T> — value-or-Status, the companion of status.h.
+#ifndef SEQLOG_BASE_RESULT_H_
+#define SEQLOG_BASE_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "base/logging.h"
+#include "base/status.h"
+
+namespace seqlog {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Mirrors absl::StatusOr. Constructing from an OK status is a programming
+/// error (checked). Access to the value of an errored Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from an error status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    SEQLOG_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    SEQLOG_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    SEQLOG_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    SEQLOG_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace seqlog
+
+/// Evaluates `expr` (a Result<T>), propagating errors; on success binds the
+/// moved value to `lhs`. Usable in functions returning Status or Result<U>.
+#define SEQLOG_ASSIGN_OR_RETURN(lhs, expr)          \
+  SEQLOG_ASSIGN_OR_RETURN_IMPL_(                    \
+      SEQLOG_CONCAT_(seqlog_result_, __LINE__), lhs, expr)
+
+#define SEQLOG_CONCAT_INNER_(a, b) a##b
+#define SEQLOG_CONCAT_(a, b) SEQLOG_CONCAT_INNER_(a, b)
+#define SEQLOG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // SEQLOG_BASE_RESULT_H_

@@ -1,0 +1,100 @@
+// seqlog: Status-based error handling.
+//
+// The library does not use C++ exceptions. Every fallible operation returns
+// a Status (or a Result<T>, see result.h) carrying a machine-readable code
+// and a human-readable message, in the style of RocksDB / Abseil.
+#ifndef SEQLOG_BASE_STATUS_H_
+#define SEQLOG_BASE_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace seqlog {
+
+/// Machine-readable error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller supplied a malformed argument (bad syntax, bad arity, ...).
+  kInvalidArgument = 1,
+  /// A named entity (predicate, transducer, relation) does not exist.
+  kNotFound = 2,
+  /// Operation is valid but the object is in the wrong state for it.
+  kFailedPrecondition = 3,
+  /// An evaluation budget (iterations, facts, domain, time) was exhausted.
+  /// This is the expected outcome when evaluating programs with an
+  /// infinite least fixpoint (the finiteness problem is undecidable,
+  /// Theorem 2 of the paper).
+  kResourceExhausted = 4,
+  /// A value fell outside its legal range (index arithmetic, ids).
+  kOutOfRange = 5,
+  /// Requested feature is recognised but not implemented.
+  kUnimplemented = 6,
+  /// Invariant violation inside the library; always a bug.
+  kInternal = 7,
+};
+
+/// Returns a stable lower-case name for `code` (e.g. "invalid_argument").
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap, copyable success-or-error value.
+///
+/// An OK status carries no allocation. Error statuses carry a message that
+/// should make sense to an end user of the query engine.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>"; suitable for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace seqlog
+
+/// Propagates a non-OK status to the caller. Usable in functions returning
+/// Status or Result<T> (Result is constructible from Status).
+#define SEQLOG_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::seqlog::Status seqlog_status_ = (expr);        \
+    if (!seqlog_status_.ok()) return seqlog_status_; \
+  } while (0)
+
+#endif  // SEQLOG_BASE_STATUS_H_

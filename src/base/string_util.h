@@ -1,0 +1,28 @@
+// seqlog: small string helpers (no dependency on the rest of the library).
+#ifndef SEQLOG_BASE_STRING_UTIL_H_
+#define SEQLOG_BASE_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace seqlog {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` on `sep`, keeping empty fields.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Streams all arguments into one string (StrCat-lite).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream out;
+  (out << ... << args);
+  return out.str();
+}
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_BASE_STRING_UTIL_H_

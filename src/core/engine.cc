@@ -1,0 +1,106 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+
+Engine::Engine()
+    : edb_(std::make_unique<Database>(&catalog_)),
+      evaluator_(
+          std::make_unique<eval::Evaluator>(&catalog_, &pool_, &registry_)) {}
+
+Status Engine::RegisterTransducer(
+    std::shared_ptr<const SequenceFunction> fn) {
+  if (fn == nullptr) return Status::InvalidArgument("null transducer");
+  registry_.Register(std::move(fn));
+  return Status::Ok();
+}
+
+Status Engine::LoadProgram(std::string_view text) {
+  SEQLOG_ASSIGN_OR_RETURN(ast::Program program,
+                          parser::ParseProgram(text, &symbols_, &pool_));
+  return LoadProgramAst(program);
+}
+
+Status Engine::LoadProgramAst(const ast::Program& program) {
+  SEQLOG_RETURN_IF_ERROR(evaluator_->SetProgram(program));
+  program_ = program;
+  program_loaded_ = true;
+  model_.reset();
+  return Status::Ok();
+}
+
+Status Engine::AddFact(std::string_view predicate,
+                       const std::vector<std::string>& args) {
+  std::vector<SeqId> ids;
+  ids.reserve(args.size());
+  for (const std::string& a : args) {
+    ids.push_back(pool_.FromChars(a, &symbols_));
+  }
+  return AddFactIds(predicate, std::move(ids));
+}
+
+Status Engine::AddFactIds(std::string_view predicate,
+                          std::vector<SeqId> args) {
+  SEQLOG_ASSIGN_OR_RETURN(PredId pred,
+                          catalog_.GetOrCreate(predicate, args.size()));
+  edb_->Insert(pred, args);
+  return Status::Ok();
+}
+
+void Engine::ClearFacts() {
+  edb_ = std::make_unique<Database>(&catalog_);
+  model_.reset();
+}
+
+analysis::SafetyReport Engine::AnalyzeSafety() const {
+  return analysis::AnalyzeSafety(program_);
+}
+
+eval::EvalOutcome Engine::Evaluate(const eval::EvalOptions& options) {
+  eval::EvalOutcome outcome;
+  if (!program_loaded_) {
+    outcome.status = Status::FailedPrecondition("no program loaded");
+    return outcome;
+  }
+  model_ = std::make_unique<Database>(&catalog_);
+  return evaluator_->Evaluate(*edb_, options, model_.get());
+}
+
+Result<std::vector<std::vector<SeqId>>> Engine::QueryIds(
+    std::string_view predicate) const {
+  if (model_ == nullptr) {
+    return Status::FailedPrecondition("call Evaluate before Query");
+  }
+  SEQLOG_ASSIGN_OR_RETURN(PredId pred, catalog_.Find(predicate));
+  std::vector<std::vector<SeqId>> rows;
+  const Relation* rel = model_->Get(pred);
+  if (rel != nullptr) {
+    rows.reserve(rel->size());
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      TupleView row = rel->Row(i);
+      rows.emplace_back(row.begin(), row.end());
+    }
+  }
+  return rows;
+}
+
+Result<std::vector<RenderedRow>> Engine::Query(
+    std::string_view predicate) const {
+  SEQLOG_ASSIGN_OR_RETURN(std::vector<std::vector<SeqId>> id_rows,
+                          QueryIds(predicate));
+  std::vector<RenderedRow> rows;
+  rows.reserve(id_rows.size());
+  for (const auto& id_row : id_rows) {
+    RenderedRow row;
+    row.reserve(id_row.size());
+    for (SeqId id : id_row) row.push_back(pool_.Render(id, symbols_));
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace seqlog

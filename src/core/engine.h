@@ -1,0 +1,107 @@
+// seqlog: the public facade.
+//
+// Engine bundles a symbol table, sequence pool, predicate catalog,
+// transducer registry, database and evaluator behind one object:
+//
+//   seqlog::Engine engine;
+//   engine.LoadProgram("suffix(X[N:end]) :- r(X).");
+//   engine.AddFact("r", {"acgt"});
+//   auto outcome = engine.Evaluate();
+//   auto rows = engine.Query("suffix");
+//
+// Transducer Datalog programs additionally register machines:
+//
+//   engine.RegisterTransducer(transducer::MakeSquare("square").value());
+//   engine.LoadProgram("sq(@square(X)) :- r(X).");
+#ifndef SEQLOG_CORE_ENGINE_H_
+#define SEQLOG_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/safety.h"
+#include "ast/clause.h"
+#include "base/result.h"
+#include "eval/engine.h"
+#include "eval/function_registry.h"
+#include "parser/parser.h"
+#include "sequence/domain.h"
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+#include "storage/database.h"
+
+namespace seqlog {
+
+/// One query result row: rendered sequences (Render semantics: single
+/// character symbols concatenated, longer names in <...>).
+using RenderedRow = std::vector<std::string>;
+
+class Engine {
+ public:
+  Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SymbolTable* symbols() { return &symbols_; }
+  SequencePool* pool() { return &pool_; }
+  Catalog* catalog() { return &catalog_; }
+  eval::FunctionRegistry* registry() { return &registry_; }
+
+  /// Registers a machine (or network) for @name(...) terms. Must be
+  /// called before LoadProgram of a program using the name.
+  Status RegisterTransducer(std::shared_ptr<const SequenceFunction> fn);
+
+  /// Parses, validates and compiles a program (replacing any previous
+  /// one).
+  Status LoadProgram(std::string_view text);
+  /// Same from an already-built AST.
+  Status LoadProgramAst(const ast::Program& program);
+
+  const ast::Program& program() const { return program_; }
+
+  /// Adds a database fact; each argument string is interned one symbol
+  /// per character (use AddFactIds for multi-character symbols).
+  Status AddFact(std::string_view predicate,
+                 const std::vector<std::string>& args);
+  Status AddFactIds(std::string_view predicate, std::vector<SeqId> args);
+  /// Drops all database facts (the program stays loaded).
+  void ClearFacts();
+  const Database& edb() const { return *edb_; }
+
+  /// Static analysis of the loaded program (Definitions 8-10).
+  analysis::SafetyReport AnalyzeSafety() const;
+
+  /// Computes the least fixpoint over the current database. The model is
+  /// kept for Query until the next Evaluate/LoadProgram.
+  eval::EvalOutcome Evaluate(const eval::EvalOptions& options = {});
+
+  /// The computed interpretation (null before Evaluate).
+  const Database* model() const { return model_.get(); }
+
+  /// All tuples of `predicate` in the computed model, rendered; rows are
+  /// sorted for deterministic comparison.
+  Result<std::vector<RenderedRow>> Query(std::string_view predicate) const;
+  /// Raw SeqId rows.
+  Result<std::vector<std::vector<SeqId>>> QueryIds(
+      std::string_view predicate) const;
+
+  /// Renders one pool sequence (convenience for tests/examples).
+  std::string Render(SeqId id) const { return pool_.Render(id, symbols_); }
+
+ private:
+  SymbolTable symbols_;
+  SequencePool pool_;
+  Catalog catalog_;
+  eval::FunctionRegistry registry_;
+  std::unique_ptr<Database> edb_;
+  std::unique_ptr<Database> model_;
+  ast::Program program_;
+  std::unique_ptr<eval::Evaluator> evaluator_;
+  bool program_loaded_ = false;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_CORE_ENGINE_H_

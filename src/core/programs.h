@@ -1,0 +1,99 @@
+// seqlog: every numbered example program of the paper, in surface syntax.
+//
+// These constants are used by the integration tests, the examples and
+// the benchmark harness; each is annotated with the example number it
+// reproduces.
+#ifndef SEQLOG_CORE_PROGRAMS_H_
+#define SEQLOG_CORE_PROGRAMS_H_
+
+namespace seqlog {
+namespace programs {
+
+/// Example 1.1 — all suffixes of all sequences in r (structural
+/// recursion; note N is enumerated over the domain's integer range).
+inline constexpr char kSuffixes[] =
+    "suffix(X[N:end]) :- r(X).\n";
+
+/// Example 1.2 — all pairwise concatenations (constructive, safe:
+/// non-recursive construction).
+inline constexpr char kConcatPairs[] =
+    "answer(X ++ Y) :- r(X), r(Y).\n";
+
+/// Example 1.3 — retrieve sequences of the form a^n b^n c^n
+/// (a non-context-free pattern, pure structural recursion).
+inline constexpr char kAbcN[] =
+    "answer(X) :- r(X), abcn(X[1:N1], X[N1+1:N2], X[N2+1:end]).\n"
+    "abcn(eps, eps, eps) :- true.\n"
+    "abcn(X, Y, Z) :- X[1] = a, Y[1] = b, Z[1] = c,\n"
+    "                 abcn(X[2:end], Y[2:end], Z[2:end]).\n";
+
+/// Example 1.4 — reverse of every sequence in r (constructive recursion
+/// bounded by the input: finite semantics, not strongly safe).
+inline constexpr char kReverse[] =
+    "answer(Y) :- r(X), reverse(X, Y).\n"
+    "reverse(eps, eps) :- true.\n"
+    "reverse(X[1:N+1], X[N+1] ++ Y) :- r(X), reverse(X[1:N], Y).\n";
+
+/// Example 1.5 — multiple repeats, structural version (finite):
+/// rep1(X, Y) holds iff X = Y^k for some k >= 1... with X, Y drawn from
+/// the extended active domain.
+inline constexpr char kRep1[] =
+    "rep1(X, X) :- true.\n"
+    "rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).\n";
+
+/// Example 1.5 — constructive version (infinite least fixpoint!).
+inline constexpr char kRep2[] =
+    "rep2(X, X) :- true.\n"
+    "rep2(X ++ Y, Y) :- rep2(X, Y).\n";
+
+/// Example 1.6 — echo sequences; finite answers, infinite least fixpoint
+/// (the domain expands forever).
+inline constexpr char kEcho[] =
+    "answer(X, Y) :- r(X), echo(X, Y).\n"
+    "echo(eps, eps) :- true.\n"
+    "echo(X, X[1] ++ X[1] ++ Z) :- echo(X[2:end], Z).\n";
+
+/// Example 5.1 — stratified construction.
+inline constexpr char kStratifiedDouble[] =
+    "double(X ++ X) :- r(X).\n"
+    "quadruple(X ++ X) :- double(X).\n";
+
+/// Example 8.1 — program P1 (strongly safe: cycles, but none through a
+/// constructive edge).
+inline constexpr char kP1[] =
+    "p(X) :- r(X, Y), q(Y).\n"
+    "q(X) :- r(X, Y), p(Y).\n"
+    "r(@t1(X), @t2(Y)) :- a(X, Y).\n";
+
+/// Example 8.1 — program P2 (constructive self-loop: not strongly safe).
+inline constexpr char kP2[] = "p(@t(X)) :- p(X).\n";
+
+/// Example 8.1 — program P3 (constructive cycle q -> r -> p -> q... not
+/// strongly safe).
+inline constexpr char kP3[] =
+    "q(X) :- r(X).\n"
+    "r(@t(X)) :- p(X).\n"
+    "p(X) :- q(X).\n";
+
+/// Example 7.1 — DNA -> RNA -> protein pipeline (Transducer Datalog;
+/// register @transcribe and @translate first).
+inline constexpr char kGenomePipeline[] =
+    "rnaseq(D, @transcribe(D)) :- dnaseq(D).\n"
+    "proteinseq(D, @translate(R)) :- rnaseq(D, R).\n";
+
+/// Example 7.2 — hand-written Sequence Datalog simulation of the
+/// transcription half of Example 7.1.
+inline constexpr char kTranscribeSimulation[] =
+    "rnaseq(D, R) :- dnaseq(D), transcribe(D, R).\n"
+    "transcribe(eps, eps) :- true.\n"
+    "transcribe(D[1:N+1], R ++ T) :- dnaseq(D), transcribe(D[1:N], R),\n"
+    "                                trans(D[N+1], T).\n"
+    "trans(a, u) :- true.\n"
+    "trans(t, a) :- true.\n"
+    "trans(c, g) :- true.\n"
+    "trans(g, c) :- true.\n";
+
+}  // namespace programs
+}  // namespace seqlog
+
+#endif  // SEQLOG_CORE_PROGRAMS_H_

@@ -1,0 +1,91 @@
+#include "eval/cterm.h"
+
+#include "base/logging.h"
+
+namespace seqlog {
+namespace eval {
+
+int64_t EvalIndexTerm(const CIndexTerm& term, const Env& env,
+                      int64_t base_len) {
+  switch (term.kind) {
+    case CIndexTerm::Kind::kLiteral:
+      return term.literal;
+    case CIndexTerm::Kind::kVariable:
+      SEQLOG_DCHECK(env.idx_bound[term.var]);
+      return env.idx_vals[term.var];
+    case CIndexTerm::Kind::kEnd:
+      return base_len;
+    case CIndexTerm::Kind::kAdd:
+      return EvalIndexTerm(*term.lhs, env, base_len) +
+             EvalIndexTerm(*term.rhs, env, base_len);
+    case CIndexTerm::Kind::kSub:
+      return EvalIndexTerm(*term.lhs, env, base_len) -
+             EvalIndexTerm(*term.rhs, env, base_len);
+  }
+  SEQLOG_CHECK(false) << "unknown index term kind";
+  return 0;
+}
+
+Result<std::optional<SeqId>> EvalSeqTerm(const CSeqTerm& term,
+                                         const Env& env,
+                                         SequencePool* pool) {
+  switch (term.kind) {
+    case CSeqTerm::Kind::kConstant:
+      return std::optional<SeqId>(term.constant);
+    case CSeqTerm::Kind::kVariable:
+      SEQLOG_DCHECK(env.seq_bound[term.var]);
+      return std::optional<SeqId>(env.seq_vals[term.var]);
+    case CSeqTerm::Kind::kIndexed: {
+      SeqId base =
+          term.base_is_var ? env.seq_vals[term.var] : term.constant;
+      SEQLOG_DCHECK(!term.base_is_var || env.seq_bound[term.var]);
+      int64_t len = static_cast<int64_t>(pool->Length(base));
+      int64_t lo = EvalIndexTerm(*term.lo, env, len);
+      int64_t hi = EvalIndexTerm(*term.hi, env, len);
+      // Section 3.2 definedness: 1 <= lo <= hi+1 <= len+1.
+      if (!(1 <= lo && lo <= hi + 1 && hi + 1 <= len + 1)) {
+        return std::optional<SeqId>();
+      }
+      return std::optional<SeqId>(pool->Subsequence(base, lo, hi));
+    }
+    case CSeqTerm::Kind::kConcat: {
+      SEQLOG_ASSIGN_OR_RETURN(std::optional<SeqId> l,
+                              EvalSeqTerm(*term.left, env, pool));
+      if (!l.has_value()) return std::optional<SeqId>();
+      SEQLOG_ASSIGN_OR_RETURN(std::optional<SeqId> r,
+                              EvalSeqTerm(*term.right, env, pool));
+      if (!r.has_value()) return std::optional<SeqId>();
+      return std::optional<SeqId>(pool->Concat(*l, *r));
+    }
+    case CSeqTerm::Kind::kFunction: {
+      std::vector<SeqId> inputs;
+      inputs.reserve(term.args.size());
+      for (const auto& arg : term.args) {
+        SEQLOG_ASSIGN_OR_RETURN(std::optional<SeqId> v,
+                                EvalSeqTerm(*arg, env, pool));
+        if (!v.has_value()) return std::optional<SeqId>();
+        inputs.push_back(*v);
+      }
+      Result<SeqId> out = term.fn->Apply(inputs, pool);
+      if (out.ok()) return std::optional<SeqId>(out.value());
+      if (out.status().code() == StatusCode::kFailedPrecondition) {
+        // Partial machine undefined at this input (Section 7.1
+        // semantics): the substitution is undefined at the term.
+        return std::optional<SeqId>();
+      }
+      return out.status();
+    }
+  }
+  SEQLOG_CHECK(false) << "unknown sequence term kind";
+  return std::optional<SeqId>();
+}
+
+bool AllVarsBound(const CSeqTerm& term, const Env& env) {
+  for (VarRef v : term.vars) {
+    if (!env.IsBound(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace eval
+}  // namespace seqlog

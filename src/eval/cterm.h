@@ -1,0 +1,122 @@
+// seqlog: compiled terms and substitution environments.
+//
+// Clause compilation (clause_plan.h) resolves variable names to dense
+// per-clause ids and AST terms to these compiled trees, so that rule
+// firing does no string lookups. Term evaluation implements the partial
+// substitution semantics of Section 3.2: indexed terms are undefined
+// outside 1 <= n1 <= n2+1 <= len+1, `end` is the length of the enclosing
+// base, and s[n:n-1] is the empty sequence.
+#ifndef SEQLOG_EVAL_CTERM_H_
+#define SEQLOG_EVAL_CTERM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "base/result.h"
+#include "sequence/seq_function.h"
+#include "sequence/sequence_pool.h"
+
+namespace seqlog {
+namespace eval {
+
+/// Reference to a clause-local variable.
+struct VarRef {
+  bool is_index;  ///< index variable vs sequence variable
+  uint32_t id;    ///< dense id within its class
+
+  bool operator==(const VarRef& o) const {
+    return is_index == o.is_index && id == o.id;
+  }
+  bool operator<(const VarRef& o) const {
+    return is_index != o.is_index ? is_index < o.is_index : id < o.id;
+  }
+};
+
+/// A substitution restricted to one clause's variables.
+struct Env {
+  std::vector<SeqId> seq_vals;
+  std::vector<char> seq_bound;
+  std::vector<int64_t> idx_vals;
+  std::vector<char> idx_bound;
+
+  void Resize(size_t num_seq, size_t num_idx) {
+    seq_vals.assign(num_seq, kEmptySeq);
+    seq_bound.assign(num_seq, 0);
+    idx_vals.assign(num_idx, 0);
+    idx_bound.assign(num_idx, 0);
+  }
+  bool IsBound(VarRef v) const {
+    return v.is_index ? idx_bound[v.id] != 0 : seq_bound[v.id] != 0;
+  }
+  void BindSeq(uint32_t id, SeqId val) {
+    seq_vals[id] = val;
+    seq_bound[id] = 1;
+  }
+  void BindIdx(uint32_t id, int64_t val) {
+    idx_vals[id] = val;
+    idx_bound[id] = 1;
+  }
+  void Unbind(VarRef v) {
+    if (v.is_index) {
+      idx_bound[v.id] = 0;
+    } else {
+      seq_bound[v.id] = 0;
+    }
+  }
+};
+
+/// Compiled index term.
+struct CIndexTerm {
+  enum class Kind { kLiteral, kVariable, kEnd, kAdd, kSub };
+  Kind kind;
+  int64_t literal = 0;
+  uint32_t var = 0;
+  std::unique_ptr<CIndexTerm> lhs;
+  std::unique_ptr<CIndexTerm> rhs;
+};
+
+/// Compiled sequence term.
+struct CSeqTerm {
+  enum class Kind { kConstant, kVariable, kIndexed, kConcat, kFunction };
+  Kind kind;
+  SeqId constant = kEmptySeq;  ///< kConstant / kIndexed constant base.
+  uint32_t var = 0;            ///< kVariable / kIndexed variable base.
+  bool base_is_var = false;    ///< kIndexed base discriminator.
+  std::unique_ptr<CIndexTerm> lo;
+  std::unique_ptr<CIndexTerm> hi;
+  std::unique_ptr<CSeqTerm> left;
+  std::unique_ptr<CSeqTerm> right;
+  const SequenceFunction* fn = nullptr;  ///< kFunction.
+  std::vector<std::unique_ptr<CSeqTerm>> args;
+
+  /// All variables occurring in the term (deduplicated).
+  std::vector<VarRef> vars;
+
+  /// True if `kind == kVariable` (a "plain" argument that can collect a
+  /// binding directly from a fact).
+  bool IsPlainVar() const { return kind == Kind::kVariable; }
+};
+
+/// Evaluates an index term. All its variables must be bound. `base_len`
+/// interprets `end`. Never undefined (arithmetic is total on int64).
+int64_t EvalIndexTerm(const CIndexTerm& term, const Env& env,
+                      int64_t base_len);
+
+/// Evaluates a sequence term under `env`; all variables must be bound
+/// (callers guarantee this via planning). Returns nullopt when the term
+/// is undefined at the substitution (index out of range, or a partial
+/// machine is stuck). Non-OK status aborts evaluation (internal errors,
+/// exhausted machine output budgets).
+Result<std::optional<SeqId>> EvalSeqTerm(const CSeqTerm& term,
+                                         const Env& env,
+                                         SequencePool* pool);
+
+/// True once every variable of `term` is bound in `env`.
+bool AllVarsBound(const CSeqTerm& term, const Env& env);
+
+}  // namespace eval
+}  // namespace seqlog
+
+#endif  // SEQLOG_EVAL_CTERM_H_

@@ -1,0 +1,262 @@
+#include "eval/engine.h"
+
+#include <chrono>
+#include <memory>
+#include <numeric>
+
+#include "analysis/safety.h"
+#include "ast/validate.h"
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace eval {
+
+namespace {
+constexpr size_t kNoDelta = static_cast<size_t>(-1);
+}  // namespace
+
+struct Evaluator::RunState {
+  Database* model = nullptr;
+  std::unique_ptr<ExtendedDomain> domain;
+  std::unique_ptr<Database> delta;
+  std::unique_ptr<Database> scratch;
+  EvalOptions options;
+  EvalStats stats;
+  std::chrono::steady_clock::time_point start;
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
+  bool domain_grew = false;  ///< during the most recently merged round
+  size_t last_merged_new = 0;  ///< facts added by the last merge
+};
+
+Evaluator::Evaluator(Catalog* catalog, SequencePool* pool,
+                     const FunctionRegistry* registry)
+    : catalog_(catalog), pool_(pool), registry_(registry) {}
+
+Status Evaluator::SetProgram(const ast::Program& program) {
+  SEQLOG_RETURN_IF_ERROR(ast::Validate(program));
+  std::vector<ClausePlan> plans;
+  plans.reserve(program.clauses.size());
+  for (const ast::Clause& clause : program.clauses) {
+    SEQLOG_ASSIGN_OR_RETURN(ClausePlan plan,
+                            CompileClause(clause, catalog_, registry_));
+    plans.push_back(std::move(plan));
+  }
+  program_ = program;
+  plans_ = std::move(plans);
+  return Status::Ok();
+}
+
+Status Evaluator::InitState(const Database& edb, const EvalOptions& options,
+                            Database* model, RunState* state) const {
+  if (model->TotalFacts() != 0) {
+    return Status::InvalidArgument("model database must start empty");
+  }
+  state->model = model;
+  state->options = options;
+  state->domain = std::make_unique<ExtendedDomain>(pool_);
+  state->delta = std::make_unique<Database>(catalog_);
+  state->scratch = std::make_unique<Database>(catalog_);
+  state->start = std::chrono::steady_clock::now();
+  if (options.limits.max_millis > 0) {
+    state->has_deadline = true;
+    state->deadline =
+        state->start + std::chrono::milliseconds(options.limits.max_millis);
+  }
+  // The database is a set of ground clauses with empty bodies
+  // (Definition 4 treats db atoms as clauses): load it as the starting
+  // interpretation and seed the extended active domain (Definition 3).
+  for (PredId pred : edb.PredicatesWithRelations()) {
+    const Relation* rel = edb.Get(pred);
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      TupleView row = rel->Row(i);
+      model->Insert(pred, row);
+      state->delta->Insert(pred, row);
+      for (SeqId arg : row) {
+        SEQLOG_RETURN_IF_ERROR(state->domain->AddRoot(
+            arg, options.limits.max_domain_sequences));
+      }
+    }
+  }
+  state->domain_grew = true;
+  return Status::Ok();
+}
+
+Status Evaluator::CheckIterationBudget(RunState* state) const {
+  ++state->stats.iterations;
+  if (state->stats.iterations > state->options.limits.max_iterations) {
+    return Status::ResourceExhausted(
+        StrCat("exceeded ", state->options.limits.max_iterations,
+               " iterations"));
+  }
+  // The per-firing deadline poll uses a tick counter local to one firing;
+  // an evaluation made of many short iterations would never reach a poll
+  // point, so the deadline must also be checked once per iteration here.
+  if (state->has_deadline &&
+      std::chrono::steady_clock::now() > state->deadline) {
+    return Status::ResourceExhausted("evaluation exceeded time budget");
+  }
+  return Status::Ok();
+}
+
+Status Evaluator::FireSubsetOnce(const std::vector<size_t>& subset,
+                                 RunState* state) const {
+  SEQLOG_RETURN_IF_ERROR(CheckIterationBudget(state));
+  state->scratch->Clear();
+  FireContext ctx;
+  ctx.pool = pool_;
+  ctx.domain = state->domain.get();
+  ctx.full = state->model;
+  ctx.delta = nullptr;
+  ctx.out = state->scratch.get();
+  ctx.limits = &state->options.limits;
+  ctx.stats = &state->stats;
+  ctx.deadline = state->deadline;
+  ctx.has_deadline = state->has_deadline;
+  ctx.existing_facts = state->model->TotalFacts();
+  for (size_t idx : subset) {
+    SEQLOG_RETURN_IF_ERROR(FireClause(plans_[idx], kNoDelta, &ctx));
+  }
+  return MergeScratch(state);
+}
+
+Status Evaluator::MergeScratch(RunState* state) const {
+  auto delta_new = std::make_unique<Database>(catalog_);
+  size_t domain_before = state->domain->size();
+  state->last_merged_new = 0;
+  for (PredId pred : state->scratch->PredicatesWithRelations()) {
+    const Relation* rel = state->scratch->Get(pred);
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      TupleView row = rel->Row(i);
+      if (!state->model->Insert(pred, row)) continue;
+      ++state->last_merged_new;
+      delta_new->Insert(pred, row);
+      for (SeqId arg : row) {
+        SEQLOG_RETURN_IF_ERROR(state->domain->AddRoot(
+            arg, state->options.limits.max_domain_sequences));
+      }
+    }
+  }
+  state->domain_grew = state->domain->size() != domain_before;
+  state->delta = std::move(delta_new);
+  if (state->options.track_growth) {
+    state->stats.growth.emplace_back(state->model->TotalFacts(),
+                                     state->domain->size());
+  }
+  return Status::Ok();
+}
+
+Status Evaluator::Saturate(const std::vector<size_t>& subset, bool naive,
+                           RunState* state) const {
+  if (subset.empty()) return Status::Ok();
+  bool first = true;
+  while (true) {
+    SEQLOG_RETURN_IF_ERROR(CheckIterationBudget(state));
+    state->scratch->Clear();
+    FireContext ctx;
+    ctx.pool = pool_;
+    ctx.domain = state->domain.get();
+    ctx.full = state->model;
+    ctx.delta = state->delta.get();
+    ctx.out = state->scratch.get();
+    ctx.limits = &state->options.limits;
+    ctx.stats = &state->stats;
+    ctx.deadline = state->deadline;
+    ctx.has_deadline = state->has_deadline;
+    ctx.existing_facts = state->model->TotalFacts();
+
+    bool domain_grew_last_round = state->domain_grew;
+    for (size_t idx : subset) {
+      const ClausePlan& plan = plans_[idx];
+      if (naive || first) {
+        SEQLOG_RETURN_IF_ERROR(FireClause(plan, kNoDelta, &ctx));
+        continue;
+      }
+      if (plan.domain_sensitive && domain_grew_last_round) {
+        // New domain elements can satisfy enumerated variables with old
+        // facts; a full re-fire is the only sound option.
+        SEQLOG_RETURN_IF_ERROR(FireClause(plan, kNoDelta, &ctx));
+        continue;
+      }
+      for (size_t si : plan.match_steps) {
+        SEQLOG_RETURN_IF_ERROR(FireClause(plan, si, &ctx));
+      }
+    }
+    SEQLOG_RETURN_IF_ERROR(MergeScratch(state));
+    first = false;
+    // Progress is measured after the merge: naive evaluation re-derives
+    // old facts into the scratch set every round, so scratch inserts
+    // alone do not indicate a growing interpretation.
+    if (state->last_merged_new == 0 && !state->domain_grew) break;
+  }
+  return Status::Ok();
+}
+
+Status Evaluator::EvaluateFlat(const EvalOptions& options,
+                               RunState* state) const {
+  (void)options;
+  std::vector<size_t> all(plans_.size());
+  std::iota(all.begin(), all.end(), 0);
+  return Saturate(all, options.strategy == Strategy::kNaive, state);
+}
+
+Status Evaluator::EvaluateStratified(const EvalOptions& options,
+                                     RunState* state) const {
+  (void)options;
+  analysis::SafetyReport report = analysis::AnalyzeSafety(program_);
+  if (!report.strongly_safe) {
+    std::string detail;
+    if (report.offending_edge.has_value()) {
+      detail = StrCat(" (constructive cycle through ",
+                      report.offending_edge->first, " -> ",
+                      report.offending_edge->second, ")");
+    }
+    return Status::FailedPrecondition(
+        StrCat("stratified evaluation requires a strongly safe program",
+               detail));
+  }
+  state->stats.strata = report.strata.size();
+  // Map head predicates to clause indices once: strata store indices into
+  // program_.clauses, which align with plans_ by construction.
+  for (const analysis::Stratum& stratum : report.strata) {
+    if (!stratum.constructive_clauses.empty()) {
+      // Theorem 8: constructive rules of a stratum depend only on lower
+      // strata, so one application saturates them.
+      SEQLOG_RETURN_IF_ERROR(
+          FireSubsetOnce(stratum.constructive_clauses, state));
+    }
+    SEQLOG_RETURN_IF_ERROR(
+        Saturate(stratum.nonconstructive_clauses, /*naive=*/false, state));
+  }
+  return Status::Ok();
+}
+
+EvalOutcome Evaluator::Evaluate(const Database& edb,
+                                const EvalOptions& options,
+                                Database* model) {
+  EvalOutcome outcome;
+  RunState state;
+  outcome.status = InitState(edb, options, model, &state);
+  if (outcome.status.ok()) {
+    switch (options.strategy) {
+      case Strategy::kNaive:
+      case Strategy::kSemiNaive:
+        outcome.status = EvaluateFlat(options, &state);
+        break;
+      case Strategy::kStratified:
+        outcome.status = EvaluateStratified(options, &state);
+        break;
+    }
+  }
+  state.stats.facts = model->TotalFacts();
+  state.stats.domain_sequences = state.domain ? state.domain->size() : 0;
+  state.stats.millis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - state.start)
+          .count();
+  outcome.stats = std::move(state.stats);
+  return outcome;
+}
+
+}  // namespace eval
+}  // namespace seqlog

@@ -1,0 +1,102 @@
+// seqlog: bottom-up fixpoint evaluation (Section 3.3).
+//
+// Three strategies compute lfp(T_{P,db}) = T_{P,db} ^ omega:
+//
+//  * kNaive      — executable definition of the T-operator: every clause
+//                  is fired fully each iteration. Used as a test oracle.
+//  * kSemiNaive  — production path: after the first iteration a clause
+//                  fires once per body predicate literal with that
+//                  literal restricted to the previous iteration's new
+//                  facts; clauses that enumerate the domain (domain
+//                  sensitive) additionally re-fire fully whenever the
+//                  extended active domain grew.
+//  * kStratified — the Theorem 8 strategy for strongly safe programs:
+//                  strata in dependency-graph order, constructive rules
+//                  applied once per stratum, non-constructive rules
+//                  saturated semi-naively.
+//
+// All strategies are budgeted (Theorem 2: finiteness is undecidable);
+// divergent programs such as Example 1.6 end with kResourceExhausted and
+// partial results left in the model for inspection.
+#ifndef SEQLOG_EVAL_ENGINE_H_
+#define SEQLOG_EVAL_ENGINE_H_
+
+#include <vector>
+
+#include "ast/clause.h"
+#include "eval/clause_plan.h"
+#include "eval/executor.h"
+#include "eval/function_registry.h"
+#include "sequence/domain.h"
+#include "storage/database.h"
+
+namespace seqlog {
+namespace eval {
+
+enum class Strategy { kNaive, kSemiNaive, kStratified };
+
+struct EvalOptions {
+  Strategy strategy = Strategy::kSemiNaive;
+  EvalLimits limits;
+  /// Record (facts, domain) after every iteration into stats.growth.
+  bool track_growth = false;
+};
+
+/// Status plus statistics; stats are valid even when status is an error
+/// (budget exhaustion leaves partial results in the model).
+struct EvalOutcome {
+  Status status;
+  EvalStats stats;
+};
+
+/// Compiles a program once and evaluates it over databases.
+class Evaluator {
+ public:
+  /// `registry` may be null for pure Sequence Datalog programs.
+  Evaluator(Catalog* catalog, SequencePool* pool,
+            const FunctionRegistry* registry);
+
+  /// Compiles `program`; replaces any previous program.
+  Status SetProgram(const ast::Program& program);
+
+  const ast::Program& program() const { return program_; }
+  const std::vector<ClausePlan>& plans() const { return plans_; }
+
+  /// Computes the least fixpoint of the program over `edb` into `model`
+  /// (which must be empty and share the evaluator's catalog). On return
+  /// `model` holds T^omega (or a budget-truncated prefix of it).
+  EvalOutcome Evaluate(const Database& edb, const EvalOptions& options,
+                       Database* model);
+
+ private:
+  struct RunState;
+
+  Status InitState(const Database& edb, const EvalOptions& options,
+                   Database* model, RunState* state) const;
+  /// One least-fixpoint loop over the given clause subset; shared by all
+  /// strategies. `first_full` forces a full firing pass first.
+  Status Saturate(const std::vector<size_t>& subset, bool naive,
+                  RunState* state) const;
+  Status FireSubsetOnce(const std::vector<size_t>& subset,
+                        RunState* state) const;
+  /// Bumps the iteration counter and enforces the iteration and wall-time
+  /// budgets. Called once per fixpoint round.
+  Status CheckIterationBudget(RunState* state) const;
+  /// Merges state->scratch into the model, refreshing delta and domain.
+  Status MergeScratch(RunState* state) const;
+
+  Status EvaluateFlat(const EvalOptions& options, RunState* state) const;
+  Status EvaluateStratified(const EvalOptions& options,
+                            RunState* state) const;
+
+  Catalog* catalog_;
+  SequencePool* pool_;
+  const FunctionRegistry* registry_;
+  ast::Program program_;
+  std::vector<ClausePlan> plans_;
+};
+
+}  // namespace eval
+}  // namespace seqlog
+
+#endif  // SEQLOG_EVAL_ENGINE_H_

@@ -1,0 +1,75 @@
+// seqlog: clause firing.
+//
+// ClauseFirer evaluates one compiled clause against an interpretation,
+// deriving head facts into an output database. It implements one clause's
+// contribution to the T-operator of Definition 4: find every substitution
+// theta based on the extended active domain with theta(body) contained in
+// the interpretation, and add theta(head) when defined.
+//
+// For semi-naive evaluation a firing can restrict one predicate literal
+// to the delta relation (facts new in the previous iteration).
+#ifndef SEQLOG_EVAL_EXECUTOR_H_
+#define SEQLOG_EVAL_EXECUTOR_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "eval/clause_plan.h"
+#include "sequence/domain.h"
+#include "storage/database.h"
+
+namespace seqlog {
+namespace eval {
+
+/// Evaluation budgets (Theorem 2 makes finiteness undecidable, so every
+/// run is budgeted; exceeding any budget yields kResourceExhausted with
+/// partial results intact).
+struct EvalLimits {
+  size_t max_iterations = 100000;
+  size_t max_facts = 5'000'000;
+  size_t max_domain_sequences = 5'000'000;
+  size_t max_sequence_length = 1'000'000;
+  int64_t max_millis = 0;  ///< 0 = no deadline.
+};
+
+/// Counters reported by an evaluation.
+struct EvalStats {
+  size_t iterations = 0;
+  size_t facts = 0;             ///< atoms in the computed interpretation
+  size_t domain_sequences = 0;  ///< extended active domain size (Def. 11)
+  size_t derivations = 0;       ///< head emissions attempted
+  size_t strata = 0;            ///< stratified strategy only
+  double millis = 0;
+  /// Per-iteration (facts, domain size) when growth tracking is on; used
+  /// by the Example 1.5 / 1.6 benchmarks to plot divergence.
+  std::vector<std::pair<size_t, size_t>> growth;
+};
+
+/// Shared mutable state for all firings within one iteration.
+struct FireContext {
+  SequencePool* pool = nullptr;
+  const ExtendedDomain* domain = nullptr;
+  const Database* full = nullptr;
+  const Database* delta = nullptr;  ///< may be null
+  Database* out = nullptr;          ///< derived facts accumulate here
+  const EvalLimits* limits = nullptr;
+  EvalStats* stats = nullptr;
+  std::chrono::steady_clock::time_point deadline;
+  bool has_deadline = false;
+  size_t existing_facts = 0;  ///< facts in `full` (for max_facts checks)
+  size_t out_new = 0;         ///< new facts inserted into `out`
+  size_t tick = 0;            ///< deadline polling counter
+};
+
+/// Fires `plan` once. `delta_step` is the index into plan.steps of the
+/// single predicate literal to source from ctx->delta, or SIZE_MAX to
+/// source every literal from ctx->full.
+Status FireClause(const ClausePlan& plan, size_t delta_step,
+                  FireContext* ctx);
+
+}  // namespace eval
+}  // namespace seqlog
+
+#endif  // SEQLOG_EVAL_EXECUTOR_H_

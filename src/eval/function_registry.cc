@@ -1,0 +1,32 @@
+#include "eval/function_registry.h"
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace eval {
+
+void FunctionRegistry::Register(
+    std::shared_ptr<const SequenceFunction> fn) {
+  SEQLOG_CHECK(fn != nullptr);
+  std::string name = fn->name();
+  fns_[name] = std::move(fn);
+}
+
+Result<const SequenceFunction*> FunctionRegistry::Find(
+    const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return Status::NotFound(
+        StrCat("no transducer registered under name '", name, "'"));
+  }
+  return it->second.get();
+}
+
+std::map<std::string, int> FunctionRegistry::Orders() const {
+  std::map<std::string, int> out;
+  for (const auto& [name, fn] : fns_) out[name] = fn->Order();
+  return out;
+}
+
+}  // namespace eval
+}  // namespace seqlog

@@ -1,0 +1,38 @@
+// seqlog: registry of interpreted sequence functions for @T(...) terms.
+#ifndef SEQLOG_EVAL_FUNCTION_REGISTRY_H_
+#define SEQLOG_EVAL_FUNCTION_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/result.h"
+#include "sequence/seq_function.h"
+
+namespace seqlog {
+namespace eval {
+
+/// Name -> SequenceFunction map used when compiling transducer terms.
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+
+  /// Registers `fn` under fn->name(). Re-registering a name replaces the
+  /// previous binding (convenient for tests).
+  void Register(std::shared_ptr<const SequenceFunction> fn);
+
+  /// Looks up a function by name.
+  Result<const SequenceFunction*> Find(const std::string& name) const;
+
+  /// Orders of all registered functions, keyed by name (for
+  /// analysis::ProgramOrder).
+  std::map<std::string, int> Orders() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<const SequenceFunction>> fns_;
+};
+
+}  // namespace eval
+}  // namespace seqlog
+
+#endif  // SEQLOG_EVAL_FUNCTION_REGISTRY_H_

@@ -1,0 +1,113 @@
+#include "model/model_theory.h"
+
+#include <utility>
+
+#include "ast/validate.h"
+#include "eval/executor.h"
+#include "sequence/domain.h"
+
+namespace seqlog {
+namespace model {
+
+namespace {
+constexpr size_t kNoDelta = static_cast<size_t>(-1);
+}  // namespace
+
+ModelChecker::ModelChecker(Catalog* catalog, SequencePool* pool,
+                           const eval::FunctionRegistry* registry)
+    : catalog_(catalog), pool_(pool), registry_(registry) {}
+
+Status ModelChecker::SetProgram(const ast::Program& program) {
+  SEQLOG_RETURN_IF_ERROR(ast::Validate(program));
+  std::vector<eval::ClausePlan> plans;
+  plans.reserve(program.clauses.size());
+  for (const ast::Clause& clause : program.clauses) {
+    SEQLOG_ASSIGN_OR_RETURN(eval::ClausePlan plan,
+                            eval::CompileClause(clause, catalog_, registry_));
+    plans.push_back(std::move(plan));
+  }
+  program_ = program;
+  plans_ = std::move(plans);
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Database>> ModelChecker::ApplyTOnce(
+    const Database& db, const Database& interp) const {
+  // Definition 4: substitutions are based on the extended active domain
+  // of I. Note D_ext(I), not D_ext(I union db): db atoms enter through
+  // their (empty-bodied) clauses, whose heads are ground, so the result
+  // is identical either way for ground databases.
+  ExtendedDomain domain(pool_);
+  for (PredId pred : interp.PredicatesWithRelations()) {
+    const Relation* rel = interp.Get(pred);
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      for (SeqId arg : rel->Row(i)) {
+        SEQLOG_RETURN_IF_ERROR(domain.AddRoot(arg));
+      }
+    }
+  }
+
+  auto out = std::make_unique<Database>(catalog_);
+  // Database atoms are clauses with empty bodies: every one of them is in
+  // T(I) unconditionally.
+  for (PredId pred : db.PredicatesWithRelations()) {
+    const Relation* rel = db.Get(pred);
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      out->Insert(pred, rel->Row(i));
+    }
+  }
+
+  eval::EvalLimits limits;
+  eval::EvalStats stats;
+  eval::FireContext ctx;
+  ctx.pool = pool_;
+  ctx.domain = &domain;
+  ctx.full = &interp;
+  ctx.delta = nullptr;
+  ctx.out = out.get();
+  ctx.limits = &limits;
+  ctx.stats = &stats;
+  ctx.existing_facts = 0;
+  for (const eval::ClausePlan& plan : plans_) {
+    SEQLOG_RETURN_IF_ERROR(eval::FireClause(plan, kNoDelta, &ctx));
+  }
+  return out;
+}
+
+Result<ModelCheckResult> ModelChecker::IsModel(const Database& db,
+                                               const Database& interp) const {
+  SEQLOG_ASSIGN_OR_RETURN(std::unique_ptr<Database> t_of_i,
+                          ApplyTOnce(db, interp));
+  ModelCheckResult result;
+  result.is_model = true;
+  for (PredId pred : t_of_i->PredicatesWithRelations()) {
+    const Relation* rel = t_of_i->Get(pred);
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      TupleView row = rel->Row(i);
+      if (interp.Contains(pred, row)) continue;
+      result.is_model = false;
+      Violation v;
+      v.pred = pred;
+      v.tuple.assign(row.begin(), row.end());
+      result.violation = std::move(v);
+      return result;
+    }
+  }
+  return result;
+}
+
+Result<bool> ModelChecker::Entails(const Database& db, PredId pred,
+                                   const std::vector<SeqId>& tuple,
+                                   const eval::EvalLimits& limits) const {
+  eval::Evaluator evaluator(catalog_, pool_, registry_);
+  SEQLOG_RETURN_IF_ERROR(evaluator.SetProgram(program_));
+  eval::EvalOptions options;
+  options.limits = limits;
+  Database model(catalog_);
+  eval::EvalOutcome outcome = evaluator.Evaluate(db, options, &model);
+  if (!outcome.status.ok()) return outcome.status;
+  return model.Contains(pred, TupleView(tuple.data(), tuple.size()));
+}
+
+}  // namespace model
+}  // namespace seqlog

@@ -1,0 +1,86 @@
+// seqlog: model-theoretic semantics (Appendix A of the paper).
+//
+// An interpretation I is a *model* of a clause gamma iff for every
+// substitution theta based on D_ext(I) and defined at gamma,
+// theta(body) in I implies theta(head) in I (Definition 12). I models a
+// program P and database db when it models every clause of P union db.
+// Lemma 4 gives the operational test used here: I is a model iff
+// T_{P,db}(I) is a subset of I. Corollary 5 states that the unique
+// minimal model equals lfp(T_{P,db}); Corollary 6 reduces entailment
+// P,db |= alpha to membership alpha in T_{P,db} ^ omega. This module
+// makes all of those executable so tests can cross-check the fixpoint
+// engine against the declarative semantics.
+#ifndef SEQLOG_MODEL_MODEL_THEORY_H_
+#define SEQLOG_MODEL_MODEL_THEORY_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ast/clause.h"
+#include "base/result.h"
+#include "eval/engine.h"
+#include "eval/function_registry.h"
+#include "sequence/sequence_pool.h"
+#include "storage/database.h"
+
+namespace seqlog {
+namespace model {
+
+/// Reason a model check failed: a ground head atom required by some
+/// satisfied body but missing from the interpretation.
+struct Violation {
+  PredId pred = 0;
+  std::vector<SeqId> tuple;
+};
+
+/// Outcome of ModelChecker::IsModel.
+struct ModelCheckResult {
+  bool is_model = false;
+  /// One witness when is_model is false (the first missing head found).
+  std::optional<Violation> violation;
+};
+
+/// Checks interpretations against the declarative semantics. The checker
+/// compiles the program once; `registry` may be null for pure Sequence
+/// Datalog. All methods treat `db` atoms as clauses with empty bodies
+/// (Definition 4).
+class ModelChecker {
+ public:
+  ModelChecker(Catalog* catalog, SequencePool* pool,
+               const eval::FunctionRegistry* registry);
+
+  /// Compiles `program`; replaces any previous program.
+  Status SetProgram(const ast::Program& program);
+
+  /// Applies the T-operator once: returns T_{P,db}(I) as a fresh
+  /// database. The domain of substitutions is D_ext(I) computed from
+  /// `interp` (plus db, which Definition 4 folds into the clause set).
+  Result<std::unique_ptr<Database>> ApplyTOnce(const Database& db,
+                                               const Database& interp) const;
+
+  /// Definition 12 via Lemma 4: `interp` models P and db iff
+  /// T_{P,db}(interp) is contained in interp.
+  Result<ModelCheckResult> IsModel(const Database& db,
+                                   const Database& interp) const;
+
+  /// Corollary 6: P,db |= pred(tuple) iff the atom is in the least
+  /// fixpoint. Evaluates with `limits` (finiteness is undecidable, so the
+  /// check is budgeted; budget exhaustion propagates as an error).
+  Result<bool> Entails(const Database& db, PredId pred,
+                       const std::vector<SeqId>& tuple,
+                       const eval::EvalLimits& limits = {}) const;
+
+ private:
+  Catalog* catalog_;
+  SequencePool* pool_;
+  const eval::FunctionRegistry* registry_;
+  ast::Program program_;
+  std::vector<eval::ClausePlan> plans_;
+};
+
+}  // namespace model
+}  // namespace seqlog
+
+#endif  // SEQLOG_MODEL_MODEL_THEORY_H_

@@ -1,0 +1,215 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace parser {
+
+std::string_view TokenTypeName(TokenType type) {
+  switch (type) {
+    case TokenType::kIdent:
+      return "identifier";
+    case TokenType::kVariable:
+      return "variable";
+    case TokenType::kInt:
+      return "integer";
+    case TokenType::kString:
+      return "string constant";
+    case TokenType::kQuotedSymbol:
+      return "symbol constant";
+    case TokenType::kLParen:
+      return "'('";
+    case TokenType::kRParen:
+      return "')'";
+    case TokenType::kLBracket:
+      return "'['";
+    case TokenType::kRBracket:
+      return "']'";
+    case TokenType::kColon:
+      return "':'";
+    case TokenType::kComma:
+      return "','";
+    case TokenType::kPeriod:
+      return "'.'";
+    case TokenType::kImplies:
+      return "':-'";
+    case TokenType::kEq:
+      return "'='";
+    case TokenType::kNeq:
+      return "'!='";
+    case TokenType::kPlus:
+      return "'+'";
+    case TokenType::kMinus:
+      return "'-'";
+    case TokenType::kConcat:
+      return "'++'";
+    case TokenType::kAt:
+      return "'@'";
+    case TokenType::kEndKw:
+      return "'end'";
+    case TokenType::kEpsKw:
+      return "'eps'";
+    case TokenType::kTrueKw:
+      return "'true'";
+    case TokenType::kEof:
+      return "end of input";
+  }
+  return "token";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> out;
+  int line = 1;
+  int column = 1;
+  size_t i = 0;
+  auto error = [&](std::string_view what) {
+    return Status::InvalidArgument(
+        StrCat("lex error at ", line, ":", column, ": ", what));
+  };
+  auto push = [&](TokenType type, std::string text) {
+    out.push_back(Token{type, std::move(text), line, column});
+  };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < source.size(); ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < source.size()) {
+    char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '%') {  // comment to end of line
+      while (i < source.size() && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      std::string text(source.substr(start, i - start));
+      // Columns: we bypassed advance(); restore bookkeeping.
+      Token t{TokenType::kInt, std::move(text), line, column};
+      column += static_cast<int>(i - start);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[i])) ||
+              source[i] == '_')) {
+        ++i;
+      }
+      std::string text(source.substr(start, i - start));
+      TokenType type;
+      if (text == "end") {
+        type = TokenType::kEndKw;
+      } else if (text == "eps") {
+        type = TokenType::kEpsKw;
+      } else if (text == "true") {
+        type = TokenType::kTrueKw;
+      } else if (std::isupper(static_cast<unsigned char>(text[0])) ||
+                 text[0] == '_') {
+        type = TokenType::kVariable;
+      } else {
+        type = TokenType::kIdent;
+      }
+      Token t{type, std::move(text), line, column};
+      column += static_cast<int>(i - start);
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      size_t start = i + 1;
+      size_t j = start;
+      while (j < source.size() && source[j] != quote && source[j] != '\n') {
+        ++j;
+      }
+      if (j >= source.size() || source[j] != quote) {
+        return error("unterminated quoted constant");
+      }
+      std::string text(source.substr(start, j - start));
+      if (quote == '\'' && text.empty()) {
+        return error("empty symbol constant ''");
+      }
+      push(quote == '"' ? TokenType::kString : TokenType::kQuotedSymbol,
+           std::move(text));
+      advance(j + 1 - i);
+      continue;
+    }
+    auto two = source.substr(i, 2);
+    if (two == ":-") {
+      push(TokenType::kImplies, ":-");
+      advance(2);
+      continue;
+    }
+    if (two == "!=") {
+      push(TokenType::kNeq, "!=");
+      advance(2);
+      continue;
+    }
+    if (two == "++") {
+      push(TokenType::kConcat, "++");
+      advance(2);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLParen, "(");
+        break;
+      case ')':
+        push(TokenType::kRParen, ")");
+        break;
+      case '[':
+        push(TokenType::kLBracket, "[");
+        break;
+      case ']':
+        push(TokenType::kRBracket, "]");
+        break;
+      case ':':
+        push(TokenType::kColon, ":");
+        break;
+      case ',':
+        push(TokenType::kComma, ",");
+        break;
+      case '.':
+        push(TokenType::kPeriod, ".");
+        break;
+      case '=':
+        push(TokenType::kEq, "=");
+        break;
+      case '+':
+        push(TokenType::kPlus, "+");
+        break;
+      case '-':
+        push(TokenType::kMinus, "-");
+        break;
+      case '@':
+        push(TokenType::kAt, "@");
+        break;
+      default:
+        return error(StrCat("unexpected character '", std::string(1, c),
+                            "'"));
+    }
+    advance(1);
+    continue;
+  }
+  out.push_back(Token{TokenType::kEof, "", line, column});
+  return out;
+}
+
+}  // namespace parser
+}  // namespace seqlog

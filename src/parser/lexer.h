@@ -1,0 +1,68 @@
+// seqlog: tokenizer for the Sequence/Transducer Datalog surface syntax.
+//
+// Syntax summary (see parser.h for the grammar):
+//   suffix(X[N:end]) :- r(X).            % structural recursion
+//   answer(X ++ Y)   :- r(X), r(Y).      % constructive term
+//   rna(D, @transcribe(D)) :- dna(D).    % transducer term
+// Comments run from '%' to end of line. Sequence constants are written
+// bare (acgt), quoted ("ac gt"), or as single multi-character symbols
+// ('q0'). `eps` is the empty sequence; `end` is the last-position keyword;
+// `true` is the empty body.
+#ifndef SEQLOG_PARSER_LEXER_H_
+#define SEQLOG_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace seqlog {
+namespace parser {
+
+enum class TokenType {
+  kIdent,         // lowercase-initial identifier (predicate / constant)
+  kVariable,      // uppercase-initial identifier
+  kInt,           // non-negative integer literal
+  kString,        // "..." sequence constant (one symbol per character)
+  kQuotedSymbol,  // '...' single multi-character symbol
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kColon,
+  kComma,
+  kPeriod,
+  kImplies,  // :-
+  kEq,       // =
+  kNeq,      // !=
+  kPlus,
+  kMinus,
+  kConcat,  // ++
+  kAt,      // @
+  kEndKw,   // end
+  kEpsKw,   // eps
+  kTrueKw,  // true
+  kEof,
+};
+
+/// Returns a printable name for diagnostics ("':-'", "identifier", ...).
+std::string_view TokenTypeName(TokenType type);
+
+struct Token {
+  TokenType type;
+  std::string text;  // identifier/string/integer payload
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes `source`. On error returns kInvalidArgument with the
+/// offending line and column in the message.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace parser
+}  // namespace seqlog
+
+#endif  // SEQLOG_PARSER_LEXER_H_

@@ -1,0 +1,260 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "ast/validate.h"
+#include "base/string_util.h"
+#include "parser/lexer.h"
+
+namespace seqlog {
+namespace parser {
+
+namespace {
+
+using ast::Atom;
+using ast::Clause;
+using ast::IndexTermPtr;
+using ast::Program;
+using ast::SeqTermPtr;
+
+/// Token-stream cursor with one-token lookahead.
+class TokenCursor {
+ public:
+  TokenCursor(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Peek2() const {
+    return tokens_[pos_ + 1 < tokens_.size() ? pos_ + 1 : pos_];
+  }
+  Token Next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEof() const { return Peek().type == TokenType::kEof; }
+
+  Status Error(std::string_view what) const {
+    const Token& t = Peek();
+    return Status::InvalidArgument(StrCat("parse error at ", t.line, ":",
+                                          t.column, ": ", what, ", got ",
+                                          TokenTypeName(t.type),
+                                          t.text.empty() ? "" : " '",
+                                          t.text, t.text.empty() ? "" : "'"));
+  }
+
+  Result<Token> Expect(TokenType type) {
+    if (Peek().type != type) {
+      return Error(StrCat("expected ", TokenTypeName(type)));
+    }
+    return Next();
+  }
+
+  bool Accept(TokenType type) {
+    if (Peek().type == type) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, SymbolTable* symbols, SequencePool* pool)
+      : cur_(std::move(tokens)), symbols_(symbols), pool_(pool) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (!cur_.AtEof()) {
+      SEQLOG_ASSIGN_OR_RETURN(Clause clause, ParseClause());
+      program.clauses.push_back(std::move(clause));
+    }
+    return program;
+  }
+
+  Result<Clause> ParseClause() {
+    Clause clause;
+    SEQLOG_ASSIGN_OR_RETURN(clause.head, ParseAtom());
+    if (clause.head.kind != Atom::Kind::kPredicate) {
+      return cur_.Error("clause head must be a predicate atom");
+    }
+    if (cur_.Accept(TokenType::kImplies)) {
+      if (cur_.Accept(TokenType::kTrueKw)) {
+        // `head :- true.` is a fact.
+      } else {
+        do {
+          SEQLOG_ASSIGN_OR_RETURN(Atom literal, ParseAtom());
+          clause.body.push_back(std::move(literal));
+        } while (cur_.Accept(TokenType::kComma));
+      }
+    }
+    SEQLOG_ASSIGN_OR_RETURN(Token dot, cur_.Expect(TokenType::kPeriod));
+    (void)dot;
+    return clause;
+  }
+
+ private:
+  /// Parses a predicate atom or an (in)equality literal.
+  Result<Atom> ParseAtom() {
+    // Predicate atom: IDENT followed by '(' or by a clause delimiter.
+    if (cur_.Peek().type == TokenType::kIdent &&
+        (cur_.Peek2().type == TokenType::kLParen ||
+         cur_.Peek2().type == TokenType::kImplies ||
+         cur_.Peek2().type == TokenType::kPeriod ||
+         cur_.Peek2().type == TokenType::kComma)) {
+      Token name = cur_.Next();
+      std::vector<SeqTermPtr> args;
+      if (cur_.Accept(TokenType::kLParen)) {
+        do {
+          SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr term, ParseSeqTerm());
+          args.push_back(std::move(term));
+        } while (cur_.Accept(TokenType::kComma));
+        SEQLOG_ASSIGN_OR_RETURN(Token rp, cur_.Expect(TokenType::kRParen));
+        (void)rp;
+      }
+      return ast::MakePredicateAtom(name.text, std::move(args));
+    }
+    // Otherwise an equality literal: seqterm (= | !=) seqterm.
+    SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr lhs, ParseSeqTerm());
+    if (cur_.Accept(TokenType::kEq)) {
+      SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr rhs, ParseSeqTerm());
+      return ast::MakeEqAtom(std::move(lhs), std::move(rhs));
+    }
+    if (cur_.Accept(TokenType::kNeq)) {
+      SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr rhs, ParseSeqTerm());
+      return ast::MakeNeqAtom(std::move(lhs), std::move(rhs));
+    }
+    return cur_.Error("expected '=' or '!=' in equality literal");
+  }
+
+  Result<SeqTermPtr> ParseSeqTerm() {
+    SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr term, ParsePrimary());
+    while (cur_.Accept(TokenType::kConcat)) {
+      SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr rhs, ParsePrimary());
+      term = ast::MakeConcat(std::move(term), std::move(rhs));
+    }
+    return term;
+  }
+
+  Result<SeqTermPtr> ParsePrimary() {
+    const Token& t = cur_.Peek();
+    switch (t.type) {
+      case TokenType::kEpsKw:
+        cur_.Next();
+        return ast::MakeConstant(kEmptySeq);
+      case TokenType::kAt: {
+        cur_.Next();
+        SEQLOG_ASSIGN_OR_RETURN(Token name, cur_.Expect(TokenType::kIdent));
+        SEQLOG_ASSIGN_OR_RETURN(Token lp, cur_.Expect(TokenType::kLParen));
+        (void)lp;
+        std::vector<SeqTermPtr> args;
+        do {
+          SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr a, ParseSeqTerm());
+          args.push_back(std::move(a));
+        } while (cur_.Accept(TokenType::kComma));
+        SEQLOG_ASSIGN_OR_RETURN(Token rp, cur_.Expect(TokenType::kRParen));
+        (void)rp;
+        return ast::MakeTransducerTerm(name.text, std::move(args));
+      }
+      case TokenType::kVariable: {
+        Token var = cur_.Next();
+        return MaybeIndexed(ast::MakeVariable(var.text));
+      }
+      case TokenType::kString:
+      case TokenType::kIdent:
+      case TokenType::kInt: {
+        Token text = cur_.Next();
+        SeqId id = pool_->FromChars(text.text, symbols_);
+        return MaybeIndexed(ast::MakeConstant(id));
+      }
+      case TokenType::kQuotedSymbol: {
+        Token sym = cur_.Next();
+        SeqId id = pool_->Singleton(symbols_->Intern(sym.text));
+        return MaybeIndexed(ast::MakeConstant(id));
+      }
+      default:
+        return cur_.Error("expected a sequence term");
+    }
+  }
+
+  /// Parses an optional [lo : hi] or [at] suffix on `base`.
+  Result<SeqTermPtr> MaybeIndexed(SeqTermPtr base) {
+    if (!cur_.Accept(TokenType::kLBracket)) return base;
+    SEQLOG_ASSIGN_OR_RETURN(IndexTermPtr lo, ParseIndexExpr());
+    IndexTermPtr hi = lo;
+    if (cur_.Accept(TokenType::kColon)) {
+      SEQLOG_ASSIGN_OR_RETURN(hi, ParseIndexExpr());
+    }
+    SEQLOG_ASSIGN_OR_RETURN(Token rb, cur_.Expect(TokenType::kRBracket));
+    (void)rb;
+    return ast::MakeIndexed(std::move(base), std::move(lo), std::move(hi));
+  }
+
+  Result<IndexTermPtr> ParseIndexExpr() {
+    SEQLOG_ASSIGN_OR_RETURN(IndexTermPtr term, ParseIndexAtom());
+    while (true) {
+      if (cur_.Accept(TokenType::kPlus)) {
+        SEQLOG_ASSIGN_OR_RETURN(IndexTermPtr rhs, ParseIndexAtom());
+        term = ast::MakeIndexAdd(std::move(term), std::move(rhs));
+      } else if (cur_.Accept(TokenType::kMinus)) {
+        SEQLOG_ASSIGN_OR_RETURN(IndexTermPtr rhs, ParseIndexAtom());
+        term = ast::MakeIndexSub(std::move(term), std::move(rhs));
+      } else {
+        return term;
+      }
+    }
+  }
+
+  Result<IndexTermPtr> ParseIndexAtom() {
+    const Token& t = cur_.Peek();
+    switch (t.type) {
+      case TokenType::kInt: {
+        if (cur_.Peek().text.size() > 18) {
+          return cur_.Error("integer literal too large");
+        }
+        Token lit = cur_.Next();
+        return ast::MakeIndexLiteral(std::stoll(lit.text));
+      }
+      case TokenType::kVariable: {
+        Token var = cur_.Next();
+        return ast::MakeIndexVariable(var.text);
+      }
+      case TokenType::kEndKw:
+        cur_.Next();
+        return ast::MakeIndexEnd();
+      default:
+        return cur_.Error("expected an index term (integer, variable, "
+                          "or 'end')");
+    }
+  }
+
+  TokenCursor cur_;
+  SymbolTable* symbols_;
+  SequencePool* pool_;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source, SymbolTable* symbols,
+                             SequencePool* pool) {
+  SEQLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens), symbols, pool);
+  SEQLOG_ASSIGN_OR_RETURN(Program program, parser.ParseProgram());
+  SEQLOG_RETURN_IF_ERROR(ast::Validate(program));
+  return program;
+}
+
+Result<ast::Clause> ParseClause(std::string_view source,
+                                SymbolTable* symbols, SequencePool* pool) {
+  SEQLOG_ASSIGN_OR_RETURN(Program program,
+                          ParseProgram(source, symbols, pool));
+  if (program.clauses.size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("expected exactly one clause, found ",
+               program.clauses.size()));
+  }
+  return program.clauses[0];
+}
+
+}  // namespace parser
+}  // namespace seqlog

@@ -1,0 +1,47 @@
+// seqlog: recursive-descent parser for Sequence/Transducer Datalog.
+//
+// Grammar (EBNF):
+//   program    := clause*
+//   clause     := atom [ ":-" body ] "."
+//   body       := "true" | literal { "," literal }
+//   literal    := atom | seqterm ("=" | "!=") seqterm
+//   atom       := IDENT [ "(" seqterm { "," seqterm } ")" ]
+//   seqterm    := primary { "++" primary }          (left associative)
+//   primary    := "eps"
+//              | STRING | INT | IDENT               (constant sequences)
+//              | QUOTED_SYMBOL                      (one symbol)
+//              | "@" IDENT "(" seqterm { "," seqterm } ")"
+//              | (VARIABLE | constant) [ "[" index [ ":" index ] "]" ]
+//   index      := iatom { ("+"|"-") iatom }
+//   iatom      := INT | VARIABLE | "end"
+//
+// A bare IDENT or INT in sequence position denotes the sequence of its
+// characters; s[n] abbreviates s[n:n]. Constants are interned into the
+// supplied SymbolTable/SequencePool at parse time.
+#ifndef SEQLOG_PARSER_PARSER_H_
+#define SEQLOG_PARSER_PARSER_H_
+
+#include <string_view>
+
+#include "ast/clause.h"
+#include "base/result.h"
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+
+namespace seqlog {
+namespace parser {
+
+/// Parses `source` into a validated program (ast::Validate is applied).
+/// Errors carry line:column positions.
+Result<ast::Program> ParseProgram(std::string_view source,
+                                  SymbolTable* symbols, SequencePool* pool);
+
+/// Parses a single clause (convenience for tests and the REPL-style
+/// examples). `source` must contain exactly one clause.
+Result<ast::Clause> ParseClause(std::string_view source,
+                                SymbolTable* symbols, SequencePool* pool);
+
+}  // namespace parser
+}  // namespace seqlog
+
+#endif  // SEQLOG_PARSER_PARSER_H_

@@ -1,0 +1,319 @@
+#include "rs/algebra.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace rs {
+
+void Table::Normalize() {
+  std::sort(rows.begin(), rows.end());
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+}
+
+namespace {
+
+class BaseExpr final : public SExpr {
+ public:
+  explicit BaseExpr(std::string name) : name_(std::move(name)) {}
+
+  Result<Table> Eval(const TableEnv& env, SequencePool*) const override {
+    auto it = env.find(name_);
+    if (it == env.end()) {
+      return Status::NotFound(StrCat("base relation '", name_, "'"));
+    }
+    Table copy = it->second;
+    copy.Normalize();
+    return copy;
+  }
+
+  size_t MergeCount() const override { return 0; }
+
+ private:
+  std::string name_;
+};
+
+class UnionExpr final : public SExpr {
+ public:
+  UnionExpr(SExprPtr left, SExprPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<Table> Eval(const TableEnv& env,
+                     SequencePool* pool) const override {
+    SEQLOG_ASSIGN_OR_RETURN(Table l, left_->Eval(env, pool));
+    SEQLOG_ASSIGN_OR_RETURN(Table r, right_->Eval(env, pool));
+    if (l.arity != r.arity) {
+      return Status::InvalidArgument(
+          StrCat("union arity mismatch: ", l.arity, " vs ", r.arity));
+    }
+    l.rows.insert(l.rows.end(), r.rows.begin(), r.rows.end());
+    l.Normalize();
+    return l;
+  }
+
+  size_t MergeCount() const override {
+    return left_->MergeCount() + right_->MergeCount();
+  }
+
+ private:
+  SExprPtr left_;
+  SExprPtr right_;
+};
+
+class ProductExpr final : public SExpr {
+ public:
+  ProductExpr(SExprPtr left, SExprPtr right)
+      : left_(std::move(left)), right_(std::move(right)) {}
+
+  Result<Table> Eval(const TableEnv& env,
+                     SequencePool* pool) const override {
+    SEQLOG_ASSIGN_OR_RETURN(Table l, left_->Eval(env, pool));
+    SEQLOG_ASSIGN_OR_RETURN(Table r, right_->Eval(env, pool));
+    Table out;
+    out.arity = l.arity + r.arity;
+    out.rows.reserve(l.rows.size() * r.rows.size());
+    for (const auto& lrow : l.rows) {
+      for (const auto& rrow : r.rows) {
+        std::vector<SeqId> row = lrow;
+        row.insert(row.end(), rrow.begin(), rrow.end());
+        out.rows.push_back(std::move(row));
+      }
+    }
+    out.Normalize();
+    return out;
+  }
+
+  size_t MergeCount() const override {
+    return left_->MergeCount() + right_->MergeCount();
+  }
+
+ private:
+  SExprPtr left_;
+  SExprPtr right_;
+};
+
+class ProjectExpr final : public SExpr {
+ public:
+  ProjectExpr(SExprPtr input, std::vector<size_t> columns)
+      : input_(std::move(input)), columns_(std::move(columns)) {}
+
+  Result<Table> Eval(const TableEnv& env,
+                     SequencePool* pool) const override {
+    SEQLOG_ASSIGN_OR_RETURN(Table in, input_->Eval(env, pool));
+    for (size_t c : columns_) {
+      if (c >= in.arity) {
+        return Status::InvalidArgument(
+            StrCat("project column ", c, " out of range (arity ",
+                   in.arity, ")"));
+      }
+    }
+    Table out;
+    out.arity = columns_.size();
+    out.rows.reserve(in.rows.size());
+    for (const auto& row : in.rows) {
+      std::vector<SeqId> projected;
+      projected.reserve(columns_.size());
+      for (size_t c : columns_) projected.push_back(row[c]);
+      out.rows.push_back(std::move(projected));
+    }
+    out.Normalize();
+    return out;
+  }
+
+  size_t MergeCount() const override { return input_->MergeCount(); }
+
+ private:
+  SExprPtr input_;
+  std::vector<size_t> columns_;
+};
+
+class SelectExpr final : public SExpr {
+ public:
+  SelectExpr(SExprPtr input, size_t column, Pattern pattern)
+      : input_(std::move(input)),
+        column_(column),
+        pattern_(std::move(pattern)) {}
+
+  Result<Table> Eval(const TableEnv& env,
+                     SequencePool* pool) const override {
+    SEQLOG_ASSIGN_OR_RETURN(Table in, input_->Eval(env, pool));
+    if (column_ >= in.arity) {
+      return Status::InvalidArgument(
+          StrCat("select column ", column_, " out of range"));
+    }
+    Table out;
+    out.arity = in.arity;
+    for (auto& row : in.rows) {
+      if (pattern_.Matches(pool->View(row[column_]), pool)) {
+        out.rows.push_back(std::move(row));
+      }
+    }
+    return out;  // input was normalised; filtering preserves order
+  }
+
+  size_t MergeCount() const override { return input_->MergeCount(); }
+
+ private:
+  SExprPtr input_;
+  size_t column_;
+  Pattern pattern_;
+};
+
+class SelectEqExpr final : public SExpr {
+ public:
+  SelectEqExpr(SExprPtr input, size_t left, size_t right)
+      : input_(std::move(input)), left_(left), right_(right) {}
+
+  Result<Table> Eval(const TableEnv& env,
+                     SequencePool* pool) const override {
+    SEQLOG_ASSIGN_OR_RETURN(Table in, input_->Eval(env, pool));
+    if (left_ >= in.arity || right_ >= in.arity) {
+      return Status::InvalidArgument("select-eq column out of range");
+    }
+    Table out;
+    out.arity = in.arity;
+    for (auto& row : in.rows) {
+      if (row[left_] == row[right_]) out.rows.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  size_t MergeCount() const override { return input_->MergeCount(); }
+
+ private:
+  SExprPtr input_;
+  size_t left_;
+  size_t right_;
+};
+
+class ExtractExpr final : public SExpr {
+ public:
+  ExtractExpr(SExprPtr input, size_t column, Pattern pattern, size_t var)
+      : input_(std::move(input)),
+        column_(column),
+        pattern_(std::move(pattern)),
+        var_(var) {}
+
+  Result<Table> Eval(const TableEnv& env,
+                     SequencePool* pool) const override {
+    SEQLOG_ASSIGN_OR_RETURN(Table in, input_->Eval(env, pool));
+    if (column_ >= in.arity) {
+      return Status::InvalidArgument(
+          StrCat("extract column ", column_, " out of range"));
+    }
+    if (var_ >= pattern_.num_vars()) {
+      return Status::InvalidArgument(
+          StrCat("extract variable x", var_ + 1, " not in pattern"));
+    }
+    Table out;
+    out.arity = in.arity + 1;
+    for (const auto& row : in.rows) {
+      pattern_.Match(pool->View(row[column_]), pool,
+                     [&](std::span<const SeqId> binding) {
+                       std::vector<SeqId> extended = row;
+                       extended.push_back(binding[var_]);
+                       out.rows.push_back(std::move(extended));
+                     });
+    }
+    out.Normalize();
+    return out;
+  }
+
+  size_t MergeCount() const override { return input_->MergeCount(); }
+
+ private:
+  SExprPtr input_;
+  size_t column_;
+  Pattern pattern_;
+  size_t var_;
+};
+
+class MergeExpr final : public SExpr {
+ public:
+  MergeExpr(SExprPtr input, Pattern pattern, std::vector<size_t> columns)
+      : input_(std::move(input)),
+        pattern_(std::move(pattern)),
+        columns_(std::move(columns)) {}
+
+  Result<Table> Eval(const TableEnv& env,
+                     SequencePool* pool) const override {
+    SEQLOG_ASSIGN_OR_RETURN(Table in, input_->Eval(env, pool));
+    if (columns_.size() != pattern_.num_vars()) {
+      return Status::InvalidArgument(
+          StrCat("merge pattern has ", pattern_.num_vars(),
+                 " variables, got ", columns_.size(), " columns"));
+    }
+    for (size_t c : columns_) {
+      if (c >= in.arity) {
+        return Status::InvalidArgument(
+            StrCat("merge column ", c, " out of range"));
+      }
+    }
+    Table out;
+    out.arity = in.arity + 1;
+    std::vector<SeqId> values(columns_.size());
+    for (const auto& row : in.rows) {
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        values[i] = row[columns_[i]];
+      }
+      SEQLOG_ASSIGN_OR_RETURN(SeqId merged,
+                              pattern_.Instantiate(values, pool));
+      std::vector<SeqId> extended = row;
+      extended.push_back(merged);
+      out.rows.push_back(std::move(extended));
+    }
+    out.Normalize();
+    return out;
+  }
+
+  size_t MergeCount() const override { return input_->MergeCount() + 1; }
+
+ private:
+  SExprPtr input_;
+  Pattern pattern_;
+  std::vector<size_t> columns_;
+};
+
+}  // namespace
+
+SExprPtr Base(std::string name) {
+  return std::make_shared<BaseExpr>(std::move(name));
+}
+
+SExprPtr Union(SExprPtr left, SExprPtr right) {
+  return std::make_shared<UnionExpr>(std::move(left), std::move(right));
+}
+
+SExprPtr Product(SExprPtr left, SExprPtr right) {
+  return std::make_shared<ProductExpr>(std::move(left), std::move(right));
+}
+
+SExprPtr Project(SExprPtr input, std::vector<size_t> columns) {
+  return std::make_shared<ProjectExpr>(std::move(input),
+                                       std::move(columns));
+}
+
+SExprPtr Select(SExprPtr input, size_t column, Pattern pattern) {
+  return std::make_shared<SelectExpr>(std::move(input), column,
+                                      std::move(pattern));
+}
+
+SExprPtr SelectEq(SExprPtr input, size_t left, size_t right) {
+  return std::make_shared<SelectEqExpr>(std::move(input), left, right);
+}
+
+SExprPtr Extract(SExprPtr input, size_t column, Pattern pattern,
+                 size_t var) {
+  return std::make_shared<ExtractExpr>(std::move(input), column,
+                                       std::move(pattern), var);
+}
+
+SExprPtr Merge(SExprPtr input, Pattern pattern,
+               std::vector<size_t> columns) {
+  return std::make_shared<MergeExpr>(std::move(input), std::move(pattern),
+                                     std::move(columns));
+}
+
+}  // namespace rs
+}  // namespace seqlog

@@ -1,0 +1,102 @@
+// seqlog: the s-algebra baseline (Section 1.1, after [16, 34]).
+//
+// Ginsburg and Wang's extended relational model stores tuples of
+// sequences and queries them with an algebra whose sequence-specific
+// operators are pattern-driven rs-operations. This module implements
+// that baseline so benchmarks can compare it with Sequence Datalog on
+// the queries both can express (pattern selection, subsequence
+// extraction, bounded merging):
+//
+//   select   - keep rows whose column matches a pattern
+//   extract  - per row, one output row per pattern binding, appending
+//              the designated variable's factor as a new column
+//   merge    - append a column built by instantiating a pattern from
+//              existing columns
+//   union / product / project / rename-free column ops
+//
+// Every merge applies one fixed pattern, so an expression performs a
+// number of concatenations independent of the database — exactly the
+// limitation the paper ascribes to the safe fragment (and to stratified
+// construction, end of Section 5): queries whose answer length depends
+// on the data, such as reverse or complement, are out of reach. The
+// benchmarks demonstrate the flip side: on extraction-style queries the
+// specialised operators are fast.
+#ifndef SEQLOG_RS_ALGEBRA_H_
+#define SEQLOG_RS_ALGEBRA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "rs/pattern.h"
+#include "sequence/sequence_pool.h"
+
+namespace seqlog {
+namespace rs {
+
+/// A materialised s-relation: rows of interned sequences, fixed arity.
+/// Self-contained (no catalog) so baseline code stays independent of the
+/// engine's storage layer.
+struct Table {
+  size_t arity = 0;
+  std::vector<std::vector<SeqId>> rows;
+
+  /// Sorts rows and removes duplicates (set semantics, Section 2.2).
+  void Normalize();
+};
+
+/// Inputs to an expression: named base relations.
+using TableEnv = std::map<std::string, Table>;
+
+/// An s-algebra expression tree. Build with the factory functions below;
+/// evaluate with Eval. Expressions are immutable and shareable.
+class SExpr {
+ public:
+  virtual ~SExpr() = default;
+
+  /// Evaluates the expression bottom-up; rows are set-normalised.
+  virtual Result<Table> Eval(const TableEnv& env,
+                             SequencePool* pool) const = 0;
+
+  /// Number of pattern-instantiation (merge) nodes in the tree: the
+  /// "fixed number of concatenations" the baseline performs per row,
+  /// mirroring the stratified-construction bound of Section 5.
+  virtual size_t MergeCount() const = 0;
+};
+
+using SExprPtr = std::shared_ptr<const SExpr>;
+
+/// Base relation by name; arity checked against the environment at Eval.
+SExprPtr Base(std::string name);
+
+/// Set union; both sides must have equal arity.
+SExprPtr Union(SExprPtr left, SExprPtr right);
+
+/// Cartesian product (column concatenation).
+SExprPtr Product(SExprPtr left, SExprPtr right);
+
+/// Projection onto `columns` (0-based, may repeat/reorder).
+SExprPtr Project(SExprPtr input, std::vector<size_t> columns);
+
+/// Keeps rows where `pattern` matches column `column`.
+SExprPtr Select(SExprPtr input, size_t column, Pattern pattern);
+
+/// Keeps rows where columns `left` and `right` hold equal sequences.
+SExprPtr SelectEq(SExprPtr input, size_t left, size_t right);
+
+/// Extractor: for each row and each binding of `pattern` against column
+/// `column`, emits the row extended by the binding of variable `var`.
+SExprPtr Extract(SExprPtr input, size_t column, Pattern pattern,
+                 size_t var);
+
+/// Merger: extends each row by `pattern` instantiated with the values of
+/// `columns` (one column per pattern variable).
+SExprPtr Merge(SExprPtr input, Pattern pattern,
+               std::vector<size_t> columns);
+
+}  // namespace rs
+}  // namespace seqlog
+
+#endif  // SEQLOG_RS_ALGEBRA_H_

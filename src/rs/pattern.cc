@@ -1,0 +1,188 @@
+#include "rs/pattern.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace rs {
+
+Result<Pattern> Pattern::Create(std::vector<PatternItem> items,
+                                size_t num_vars) {
+  std::vector<bool> seen(num_vars, false);
+  for (const PatternItem& item : items) {
+    if (item.kind == PatternItem::Kind::kVar) {
+      if (item.var >= num_vars) {
+        return Status::InvalidArgument(
+            StrCat("pattern variable x", item.var + 1, " out of range (",
+                   num_vars, " variables)"));
+      }
+      seen[item.var] = true;
+    }
+  }
+  for (size_t v = 0; v < num_vars; ++v) {
+    if (!seen[v]) {
+      return Status::InvalidArgument(
+          StrCat("pattern variable x", v + 1, " never occurs"));
+    }
+  }
+  return Pattern(std::move(items), num_vars);
+}
+
+Result<SeqId> Pattern::Instantiate(std::span<const SeqId> values,
+                                   SequencePool* pool) const {
+  if (values.size() != num_vars_) {
+    return Status::InvalidArgument(
+        StrCat("pattern has ", num_vars_, " variables, got ",
+               values.size(), " values"));
+  }
+  std::vector<Symbol> out;
+  for (const PatternItem& item : items_) {
+    SeqView piece = pool->View(item.kind == PatternItem::Kind::kLiteral
+                                   ? item.literal
+                                   : values[item.var]);
+    out.insert(out.end(), piece.begin(), piece.end());
+  }
+  return pool->Intern(out);
+}
+
+namespace {
+
+/// Backtracking matcher: items[i..] must cover s[pos..]; bound[v] is the
+/// factor bound to variable v or kInvalidSeq.
+class Matcher {
+ public:
+  Matcher(const std::vector<PatternItem>& items, SeqView s,
+          SequencePool* pool,
+          const std::function<void(std::span<const SeqId>)>* emit,
+          bool first_only)
+      : items_(items),
+        s_(s),
+        pool_(pool),
+        emit_(emit),
+        first_only_(first_only) {}
+
+  size_t Run(size_t num_vars) {
+    bound_.assign(num_vars, SequencePool::kInvalidSeq);
+    Step(0, 0);
+    return count_;
+  }
+
+ private:
+  void Step(size_t item, size_t pos) {
+    if (first_only_ && count_ > 0) return;
+    if (item == items_.size()) {
+      if (pos == s_.size()) {
+        ++count_;
+        if (emit_ != nullptr) (*emit_)(bound_);
+      }
+      return;
+    }
+    const PatternItem& it = items_[item];
+    if (it.kind == PatternItem::Kind::kLiteral) {
+      SeqView lit = pool_->View(it.literal);
+      if (pos + lit.size() <= s_.size() &&
+          std::equal(lit.begin(), lit.end(), s_.begin() + pos)) {
+        Step(item + 1, pos + lit.size());
+      }
+      return;
+    }
+    if (bound_[it.var] != SequencePool::kInvalidSeq) {
+      // Repeated variable: must rebind to an equal factor.
+      SeqView prev = pool_->View(bound_[it.var]);
+      if (pos + prev.size() <= s_.size() &&
+          std::equal(prev.begin(), prev.end(), s_.begin() + pos)) {
+        Step(item + 1, pos + prev.size());
+      }
+      return;
+    }
+    // Fresh variable: try every factor length (including empty).
+    for (size_t len = 0; pos + len <= s_.size(); ++len) {
+      bound_[it.var] = pool_->Intern(s_.subspan(pos, len));
+      Step(item + 1, pos + len);
+      if (first_only_ && count_ > 0) break;
+    }
+    bound_[it.var] = SequencePool::kInvalidSeq;
+  }
+
+  const std::vector<PatternItem>& items_;
+  SeqView s_;
+  SequencePool* pool_;
+  const std::function<void(std::span<const SeqId>)>* emit_;
+  bool first_only_;
+  std::vector<SeqId> bound_;
+  size_t count_ = 0;
+};
+
+}  // namespace
+
+size_t Pattern::Match(
+    SeqView s, SequencePool* pool,
+    const std::function<void(std::span<const SeqId>)>& emit) const {
+  Matcher matcher(items_, s, pool, &emit, /*first_only=*/false);
+  return matcher.Run(num_vars_);
+}
+
+bool Pattern::Matches(SeqView s, SequencePool* pool) const {
+  Matcher matcher(items_, s, pool, nullptr, /*first_only=*/true);
+  return matcher.Run(num_vars_) > 0;
+}
+
+Result<Pattern> Pattern::Parse(std::string_view text, SequencePool* pool,
+                               SymbolTable* symbols) {
+  std::vector<PatternItem> items;
+  size_t max_var = 0;
+  std::vector<Symbol> literal;
+  auto flush_literal = [&]() {
+    if (!literal.empty()) {
+      items.push_back(PatternItem::Literal(pool->Intern(literal)));
+      literal.clear();
+    }
+  };
+  size_t i = 0;
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == 'X' && i + 1 < text.size() && isdigit(text[i + 1])) {
+      flush_literal();
+      size_t j = i + 1;
+      size_t index = 0;
+      while (j < text.size() && isdigit(text[j])) {
+        index = index * 10 + static_cast<size_t>(text[j] - '0');
+        ++j;
+      }
+      if (index == 0) {
+        return Status::InvalidArgument("pattern variables start at X1");
+      }
+      items.push_back(PatternItem::Var(index - 1));
+      max_var = std::max(max_var, index);
+      i = j;
+      continue;
+    }
+    if (isalnum(static_cast<unsigned char>(c)) && c != 'X') {
+      literal.push_back(symbols->Intern(std::string_view(&c, 1)));
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument(
+        StrCat("bad pattern character '", std::string_view(&c, 1),
+               "' at offset ", i));
+  }
+  flush_literal();
+  return Create(std::move(items), max_var);
+}
+
+std::string Pattern::ToString(const SequencePool& pool,
+                              const SymbolTable& symbols) const {
+  std::string out;
+  for (const PatternItem& item : items_) {
+    if (item.kind == PatternItem::Kind::kVar) {
+      out += StrCat("X", item.var + 1);
+    } else {
+      out += pool.Render(item.literal, symbols);
+    }
+  }
+  return out;
+}
+
+}  // namespace rs
+}  // namespace seqlog

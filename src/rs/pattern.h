@@ -1,0 +1,110 @@
+// seqlog: sequence patterns for rs-operations (the Section 1.1 baseline).
+//
+// The paper positions Sequence Datalog against the rs-operations of
+// Ginsburg and Wang [16, 34]: every rs-operation is a *merger* or an
+// *extractor*, both driven by patterns. A pattern is a string of items,
+// each either a literal sequence or a variable; variables stand for
+// contiguous factors. Given a pattern pi over variables x1..xm:
+//
+//  * a merger instantiates pi with given sequences (one per variable),
+//    concatenating literals and bindings — "merge a set of sequences";
+//  * an extractor enumerates every way to match pi against a sequence
+//    (variables bind to factors, repeated variables to equal factors)
+//    and retrieves the binding of one designated variable — "retrieve
+//    subsequences of a given sequence".
+//
+// Example: pi = x1 x2 with extraction of x2 yields all suffixes; pi =
+// x1 x1 matches exactly the squares ww (compare Example 1.5's rep
+// patterns). algebra.h lifts these operations to relations.
+#ifndef SEQLOG_RS_PATTERN_H_
+#define SEQLOG_RS_PATTERN_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "sequence/sequence_pool.h"
+
+namespace seqlog {
+namespace rs {
+
+/// One pattern position: a literal sequence or a variable index.
+struct PatternItem {
+  enum class Kind : uint8_t { kLiteral, kVar };
+  Kind kind = Kind::kVar;
+  SeqId literal = kEmptySeq;  ///< kLiteral payload (pool id)
+  size_t var = 0;             ///< kVar payload, in [0, num_vars)
+
+  static PatternItem Literal(SeqId id) {
+    PatternItem item;
+    item.kind = Kind::kLiteral;
+    item.literal = id;
+    return item;
+  }
+  static PatternItem Var(size_t index) {
+    PatternItem item;
+    item.kind = Kind::kVar;
+    item.var = index;
+    return item;
+  }
+};
+
+/// An immutable rs-pattern. Variables may repeat; every variable in
+/// [0, num_vars) must occur at least once (checked at Create), so
+/// mergers are total and extractor bindings are fully determined.
+class Pattern {
+ public:
+  /// Validates and freezes a pattern.
+  static Result<Pattern> Create(std::vector<PatternItem> items,
+                                size_t num_vars);
+
+  size_t num_vars() const { return num_vars_; }
+  const std::vector<PatternItem>& items() const { return items_; }
+
+  /// Merger: instantiates the pattern with `values` (one sequence per
+  /// variable), interning the concatenation. values.size() must equal
+  /// num_vars().
+  Result<SeqId> Instantiate(std::span<const SeqId> values,
+                            SequencePool* pool) const;
+
+  /// Extractor support: enumerates every binding theta (one factor per
+  /// variable) with theta(pattern) == s, invoking `emit` with the
+  /// binding. Repeated variables must bind equal factors. Bindings are
+  /// emitted in lexicographic order of split positions; duplicates (two
+  /// different splits inducing the same binding cannot happen — the
+  /// split *is* the binding) are not possible. Returns the number of
+  /// bindings.
+  ///
+  /// Matching is O(n^v) for v distinct variable slots; patterns are
+  /// fixed query text, so this is polynomial data complexity, matching
+  /// the tractability claims of [16].
+  size_t Match(SeqView s, SequencePool* pool,
+               const std::function<void(std::span<const SeqId>)>& emit) const;
+
+  /// True if some binding matches (Match with early exit).
+  bool Matches(SeqView s, SequencePool* pool) const;
+
+  /// Parses a compact pattern syntax over one-character symbols:
+  /// lowercase letters and digits are literal symbols; 'X1'..'Xn'
+  /// (uppercase X followed by digits) are variables, e.g. "X1abX2X1".
+  /// `symbols` interns literal characters.
+  static Result<Pattern> Parse(std::string_view text, SequencePool* pool,
+                               SymbolTable* symbols);
+
+  /// Round-trip rendering of Parse syntax.
+  std::string ToString(const SequencePool& pool,
+                       const SymbolTable& symbols) const;
+
+ private:
+  Pattern(std::vector<PatternItem> items, size_t num_vars)
+      : items_(std::move(items)), num_vars_(num_vars) {}
+
+  std::vector<PatternItem> items_;
+  size_t num_vars_ = 0;
+};
+
+}  // namespace rs
+}  // namespace seqlog
+
+#endif  // SEQLOG_RS_PATTERN_H_

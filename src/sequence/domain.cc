@@ -1,0 +1,70 @@
+#include "sequence/domain.h"
+
+#include "base/string_util.h"
+
+namespace seqlog {
+
+ExtendedDomain::ExtendedDomain(SequencePool* pool) : pool_(pool) {
+  // The empty sequence is a contiguous subsequence of every sequence; it
+  // is present from the start so that programs over an empty database
+  // still have epsilon available.
+  seqs_.push_back(kEmptySeq);
+  members_.insert(kEmptySeq);
+  by_length_.resize(1);
+  by_length_[0].push_back(kEmptySeq);
+}
+
+Status ExtendedDomain::AddRoot(SeqId id, size_t max_sequences) {
+  if (Contains(id)) return Status::Ok();
+  SeqView v = pool_->View(id);
+  size_t n = v.size();
+  if (n > lmax_) lmax_ = n;
+  // Enumerate all contiguous subsequences, shortest-last so that the full
+  // sequence is inserted first (Contains(root) then short-circuits future
+  // re-adds even if we bail out mid-way on budget).
+  auto insert = [&](SeqId s) {
+    if (members_.insert(s).second) {
+      seqs_.push_back(s);
+      size_t len = pool_->Length(s);
+      if (len >= by_length_.size()) by_length_.resize(len + 1);
+      by_length_[len].push_back(s);
+    }
+  };
+  insert(id);
+  // Uniform sequences (a^n — poly-A tails and unary counters are
+  // common) have only n+1 distinct subsequences; the generic loop below
+  // would still hash all ~n^2/2 subspans (O(n^3) symbol work). Insert
+  // the n prefixes directly instead.
+  bool uniform = n > 0;
+  for (size_t i = 1; uniform && i < n; ++i) {
+    if (v[i] != v[0]) uniform = false;
+  }
+  if (uniform) {
+    for (size_t len = 1; len < n; ++len) {
+      insert(pool_->Intern(v.subspan(0, len)));
+      if (max_sequences != 0 && seqs_.size() > max_sequences) {
+        return Status::ResourceExhausted(
+            StrCat("extended active domain exceeded ", max_sequences,
+                   " sequences"));
+      }
+    }
+    return Status::Ok();
+  }
+  for (size_t len = 1; len < n; ++len) {
+    for (size_t from = 0; from + len <= n; ++from) {
+      insert(pool_->Intern(v.subspan(from, len)));
+      if (max_sequences != 0 && seqs_.size() > max_sequences) {
+        return Status::ResourceExhausted(
+            StrCat("extended active domain exceeded ", max_sequences,
+                   " sequences"));
+      }
+    }
+  }
+  if (max_sequences != 0 && seqs_.size() > max_sequences) {
+    return Status::ResourceExhausted(StrCat(
+        "extended active domain exceeded ", max_sequences, " sequences"));
+  }
+  return Status::Ok();
+}
+
+}  // namespace seqlog

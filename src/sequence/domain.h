@@ -1,0 +1,75 @@
+// seqlog: the extended active domain (Definitions 2 and 3 of the paper).
+//
+// The active domain of an interpretation is the set of sequences occurring
+// in it. The *extended* active domain additionally contains every
+// contiguous subsequence of those sequences, plus the integers
+// [0, lmax + 1] where lmax is the maximum sequence length. Substitutions
+// during rule evaluation range over this extended domain; it grows
+// whenever rule heads create new sequences (constructive or transducer
+// terms), which is exactly the paper's source of non-finiteness.
+#ifndef SEQLOG_SEQUENCE_DOMAIN_H_
+#define SEQLOG_SEQUENCE_DOMAIN_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "base/status.h"
+#include "sequence/sequence_pool.h"
+
+namespace seqlog {
+
+/// Incrementally maintained extended active domain.
+///
+/// Adding a root sequence closes it under contiguous subsequences (at most
+/// k(k+1)/2 + 1 of them for length k, per Section 2.1) and extends the
+/// integer range. Membership is closed: if a sequence is in the domain all
+/// its subsequences are too, so re-adding a contained sequence is a no-op.
+class ExtendedDomain {
+ public:
+  explicit ExtendedDomain(SequencePool* pool);
+
+  /// Adds `id` and its subsequence closure. Returns kResourceExhausted if
+  /// the domain would exceed `max_sequences` (0 = unlimited); the domain
+  /// may then be partially extended, which is fine because callers abort
+  /// evaluation on that status.
+  Status AddRoot(SeqId id, size_t max_sequences = 0);
+
+  /// True if `id` is in the extended domain.
+  bool Contains(SeqId id) const { return members_.count(id) > 0; }
+
+  /// All domain sequences in insertion order. Stable index positions:
+  /// evaluation watermarks slice this vector to find "new" sequences.
+  const std::vector<SeqId>& sequences() const { return seqs_; }
+
+  /// Number of sequences in the extended domain (the paper's notion of
+  /// database/interpretation *size*, Definition 11).
+  size_t size() const { return seqs_.size(); }
+
+  /// Maximum length over all domain sequences (lmax in Definition 2).
+  size_t lmax() const { return lmax_; }
+
+  /// Domain sequences of exactly `len` symbols (insertion order). Used
+  /// by the evaluator's inverse matching of suffix-style indexed terms:
+  /// candidates for B with B[c:end] = v all have length len(v)+c-1, so
+  /// only this bucket needs scanning instead of the whole domain.
+  const std::vector<SeqId>& WithLength(size_t len) const {
+    static const std::vector<SeqId> kNone;
+    return len < by_length_.size() ? by_length_[len] : kNone;
+  }
+
+  /// Largest integer in the domain: lmax + 1. Index variables range over
+  /// [0, MaxInt()].
+  int64_t MaxInt() const { return static_cast<int64_t>(lmax_) + 1; }
+
+ private:
+  SequencePool* pool_;
+  std::vector<SeqId> seqs_;
+  std::unordered_set<SeqId> members_;
+  std::vector<std::vector<SeqId>> by_length_;  ///< length -> members
+  size_t lmax_ = 0;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_SEQUENCE_DOMAIN_H_

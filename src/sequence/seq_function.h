@@ -1,0 +1,48 @@
+// seqlog: interpreted sequence functions.
+//
+// Transducer Datalog (Section 7) interprets function terms @T(s1,...,sm)
+// as the output of a machine on the argument sequences. The evaluator
+// only needs this abstract interface; generalized sequence transducers
+// (src/transducer) implement it, and tests plug in ad-hoc functions.
+#ifndef SEQLOG_SEQUENCE_SEQ_FUNCTION_H_
+#define SEQLOG_SEQUENCE_SEQ_FUNCTION_H_
+
+#include <span>
+#include <string>
+
+#include "base/result.h"
+#include "sequence/sequence_pool.h"
+
+namespace seqlog {
+
+/// A total or partial mapping (Sigma*)^m -> Sigma*.
+class SequenceFunction {
+ public:
+  virtual ~SequenceFunction() = default;
+
+  /// Name used in @name(...) terms.
+  virtual const std::string& name() const = 0;
+
+  /// Number of input sequences (m >= 1).
+  virtual size_t NumInputs() const = 0;
+
+  /// The order of the machine (Definition 7); 1 for ordinary transducers.
+  /// Determines the complexity guarantees of strongly safe programs
+  /// (Theorems 8 and 9).
+  virtual int Order() const = 0;
+
+  /// Computes the output for `inputs` (each a pool id), interning the
+  /// result in `pool`.
+  ///
+  /// Contract: kFailedPrecondition means the machine's (partial)
+  /// transition function is undefined on this input; the evaluator treats
+  /// the function term as undefined and derives nothing. Any other error
+  /// (e.g. kResourceExhausted for outputs over an internal limit) aborts
+  /// evaluation.
+  virtual Result<SeqId> Apply(std::span<const SeqId> inputs,
+                              SequencePool* pool) const = 0;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_SEQUENCE_SEQ_FUNCTION_H_

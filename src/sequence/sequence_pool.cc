@@ -1,0 +1,79 @@
+#include "sequence/sequence_pool.h"
+
+#include <algorithm>
+
+namespace seqlog {
+
+SequencePool::SequencePool() {
+  // Intern the empty sequence so kEmptySeq is valid from the start.
+  SeqId empty = Intern(SeqView{});
+  SEQLOG_CHECK(empty == kEmptySeq);
+}
+
+SeqId SequencePool::Intern(SeqView symbols) {
+  auto it = ids_.find(symbols);
+  if (it != ids_.end()) return it->second;
+  SeqId id = static_cast<SeqId>(seqs_.size());
+  SEQLOG_CHECK(id != kInvalidSeq) << "sequence pool overflow";
+  seqs_.emplace_back(symbols.begin(), symbols.end());
+  ids_.emplace(SeqView(seqs_.back()), id);
+  return id;
+}
+
+SeqId SequencePool::Find(SeqView symbols) const {
+  auto it = ids_.find(symbols);
+  return it == ids_.end() ? kInvalidSeq : it->second;
+}
+
+SeqId SequencePool::Concat(SeqId a, SeqId b) {
+  if (a == kEmptySeq) return b;
+  if (b == kEmptySeq) return a;
+  SeqView va = View(a);
+  SeqView vb = View(b);
+  std::vector<Symbol> joined;
+  joined.reserve(va.size() + vb.size());
+  joined.insert(joined.end(), va.begin(), va.end());
+  joined.insert(joined.end(), vb.begin(), vb.end());
+  return Intern(joined);
+}
+
+SeqId SequencePool::Subsequence(SeqId id, int64_t from, int64_t to) {
+  SeqView v = View(id);
+  SEQLOG_CHECK(from >= 1 && from <= to + 1 &&
+               to + 1 <= static_cast<int64_t>(v.size()) + 1)
+      << "undefined subsequence [" << from << ":" << to << "] of length "
+      << v.size();
+  if (from == to + 1) return kEmptySeq;
+  return Intern(v.subspan(static_cast<size_t>(from - 1),
+                          static_cast<size_t>(to - from + 1)));
+}
+
+SeqId SequencePool::Singleton(Symbol sym) {
+  return Intern(SeqView(&sym, 1));
+}
+
+SeqId SequencePool::FromChars(std::string_view text, SymbolTable* symbols) {
+  std::vector<Symbol> syms;
+  syms.reserve(text.size());
+  for (char c : text) {
+    syms.push_back(symbols->Intern(std::string_view(&c, 1)));
+  }
+  return Intern(syms);
+}
+
+std::string SequencePool::Render(SeqId id, const SymbolTable& symbols) const {
+  std::string out;
+  for (Symbol s : View(id)) {
+    std::string_view name = symbols.Name(s);
+    if (name.size() == 1) {
+      out += name;
+    } else {
+      out += '<';
+      out += name;
+      out += '>';
+    }
+  }
+  return out;
+}
+
+}  // namespace seqlog

@@ -1,0 +1,101 @@
+// seqlog: interned sequences.
+//
+// All sequences that exist during query evaluation — database sequences,
+// their contiguous subsequences, and sequences created by concatenation or
+// transducer runs — are interned in a SequencePool. A sequence value is a
+// dense SeqId; two equal symbol strings always share one id, so relations
+// store integer tuples and joins compare integers.
+#ifndef SEQLOG_SEQUENCE_SEQUENCE_POOL_H_
+#define SEQLOG_SEQUENCE_SEQUENCE_POOL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/logging.h"
+#include "sequence/symbol_table.h"
+
+namespace seqlog {
+
+/// Id of an interned sequence. Dense, starting at 0. Id 0 is always the
+/// empty sequence (the paper's epsilon).
+using SeqId = uint32_t;
+
+/// The empty sequence is interned first, so its id is stable.
+inline constexpr SeqId kEmptySeq = 0;
+
+/// A read-only view of a sequence's symbols.
+using SeqView = std::span<const Symbol>;
+
+/// Interning pool for symbol strings.
+///
+/// Storage uses a deque-like vector-of-vectors; the inner vectors never
+/// move once inserted, so views handed out stay valid for the pool's
+/// lifetime. Not thread-safe; one pool per Engine.
+class SequencePool {
+ public:
+  SequencePool();
+  SequencePool(const SequencePool&) = delete;
+  SequencePool& operator=(const SequencePool&) = delete;
+
+  /// Interns the symbol string `symbols`, returning its id.
+  SeqId Intern(SeqView symbols);
+
+  /// Returns the id of `symbols` if interned, or kInvalidSeq otherwise.
+  static constexpr SeqId kInvalidSeq = 0xFFFFFFFFu;
+  SeqId Find(SeqView symbols) const;
+
+  /// Returns the symbols of sequence `id`.
+  SeqView View(SeqId id) const {
+    SEQLOG_CHECK(id < seqs_.size()) << "bad sequence id " << id;
+    return seqs_[id];
+  }
+
+  /// len(sigma): the number of symbols in sequence `id`.
+  size_t Length(SeqId id) const { return View(id).size(); }
+
+  /// Interns the concatenation sigma1 sigma2 (the paper's s1 . s2).
+  SeqId Concat(SeqId a, SeqId b);
+
+  /// Interns the contiguous subsequence of `id` from 1-based position
+  /// `from` to `to` inclusive. Precondition (checked): the range is
+  /// defined per Section 3.2, i.e. 1 <= from <= to+1 <= Length(id)+1.
+  /// from == to+1 yields the empty sequence.
+  SeqId Subsequence(SeqId id, int64_t from, int64_t to);
+
+  /// Interns a single-symbol sequence.
+  SeqId Singleton(Symbol sym);
+
+  /// Interns the sequence whose symbols are the characters of `text`,
+  /// interning each character as a one-character symbol name.
+  SeqId FromChars(std::string_view text, SymbolTable* symbols);
+
+  /// Renders sequence `id` using `symbols` names. One-character symbol
+  /// names are concatenated bare; longer names are wrapped in '<...>'.
+  /// The empty sequence renders as "" (callers add quoting as needed).
+  std::string Render(SeqId id, const SymbolTable& symbols) const;
+
+  /// Number of interned sequences.
+  size_t size() const { return seqs_.size(); }
+
+ private:
+  struct ViewHash {
+    size_t operator()(SeqView v) const { return HashSpan(v); }
+  };
+  struct ViewEq {
+    bool operator()(SeqView a, SeqView b) const {
+      return a.size() == b.size() &&
+             std::equal(a.begin(), a.end(), b.begin());
+    }
+  };
+
+  std::vector<std::vector<Symbol>> seqs_;
+  std::unordered_map<SeqView, SeqId, ViewHash, ViewEq> ids_;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_SEQUENCE_SEQUENCE_POOL_H_

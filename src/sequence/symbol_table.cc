@@ -1,0 +1,20 @@
+#include "sequence/symbol_table.h"
+
+namespace seqlog {
+
+Symbol SymbolTable::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  Symbol id = static_cast<Symbol>(names_.size());
+  SEQLOG_CHECK(id != kEndMarker) << "symbol table overflow";
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Symbol SymbolTable::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  return it == ids_.end() ? kEndMarker : it->second;
+}
+
+}  // namespace seqlog

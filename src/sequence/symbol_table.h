@@ -1,0 +1,59 @@
+// seqlog: interned symbols.
+//
+// The paper's alphabet Sigma is a finite set of symbols. Symbols here are
+// interned strings so that multi-character symbol names (Turing-machine
+// states like "q0", tape markers, amino-acid codes) coexist with ordinary
+// one-character genome/text symbols. A sequence (sequence_pool.h) is a
+// vector of Symbol ids.
+#ifndef SEQLOG_SEQUENCE_SYMBOL_TABLE_H_
+#define SEQLOG_SEQUENCE_SYMBOL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace seqlog {
+
+/// Id of an interned symbol. Dense, starting at 0.
+using Symbol = uint32_t;
+
+/// Sentinel used by the transducer machinery for the end-of-tape marker
+/// (the paper's left-triangle). Never handed out by SymbolTable.
+inline constexpr Symbol kEndMarker = 0xFFFFFFFFu;
+
+/// Bidirectional map between symbol names and dense Symbol ids.
+///
+/// Not thread-safe; one table per Engine.
+class SymbolTable {
+ public:
+  SymbolTable() = default;
+  SymbolTable(const SymbolTable&) = delete;
+  SymbolTable& operator=(const SymbolTable&) = delete;
+
+  /// Returns the id for `name`, interning it on first use.
+  Symbol Intern(std::string_view name);
+
+  /// Returns the id for `name` or kEndMarker if it was never interned.
+  Symbol Find(std::string_view name) const;
+
+  /// Returns the name of an interned symbol. `sym` must be valid.
+  std::string_view Name(Symbol sym) const {
+    SEQLOG_CHECK(sym < names_.size()) << "bad symbol id " << sym;
+    return names_[sym];
+  }
+
+  /// Number of interned symbols.
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, Symbol> ids_;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_SEQUENCE_SYMBOL_TABLE_H_

@@ -1,0 +1,31 @@
+#include "storage/catalog.h"
+
+#include "base/string_util.h"
+
+namespace seqlog {
+
+Result<PredId> Catalog::GetOrCreate(std::string_view name, size_t arity) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    if (infos_[it->second].arity != arity) {
+      return Status::InvalidArgument(
+          StrCat("predicate '", name, "' used with arity ", arity,
+                 " but registered with arity ", infos_[it->second].arity));
+    }
+    return it->second;
+  }
+  PredId id = static_cast<PredId>(infos_.size());
+  infos_.push_back(Info{std::string(name), arity});
+  ids_.emplace(std::string(name), id);
+  return id;
+}
+
+Result<PredId> Catalog::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return Status::NotFound(StrCat("unknown predicate '", name, "'"));
+  }
+  return it->second;
+}
+
+}  // namespace seqlog

@@ -1,0 +1,53 @@
+// seqlog: the predicate catalog (database schema, Section 2.2).
+//
+// Every predicate symbol gets a dense PredId and a fixed arity. Base
+// predicates (database schema) and derived predicates share the catalog;
+// the distinction is made by the evaluator (a predicate is *base* for a
+// program if it never appears in a clause head).
+#ifndef SEQLOG_STORAGE_CATALOG_H_
+#define SEQLOG_STORAGE_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "base/status.h"
+
+namespace seqlog {
+
+using PredId = uint32_t;
+
+/// Name/arity registry for predicate symbols.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Returns the id for predicate `name` with `arity`, registering it on
+  /// first use. Fails with kInvalidArgument if `name` is already
+  /// registered with a different arity.
+  Result<PredId> GetOrCreate(std::string_view name, size_t arity);
+
+  /// Returns the id for `name` or kNotFound.
+  Result<PredId> Find(std::string_view name) const;
+
+  const std::string& Name(PredId id) const { return infos_[id].name; }
+  size_t Arity(PredId id) const { return infos_[id].arity; }
+  size_t size() const { return infos_.size(); }
+
+ private:
+  struct Info {
+    std::string name;
+    size_t arity;
+  };
+  std::vector<Info> infos_;
+  std::unordered_map<std::string, PredId> ids_;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_STORAGE_CATALOG_H_

@@ -1,0 +1,60 @@
+#include "storage/database.h"
+
+namespace seqlog {
+
+Relation* Database::GetOrCreate(PredId pred) {
+  if (pred >= relations_.size()) {
+    relations_.resize(pred + 1);
+  }
+  if (relations_[pred] == nullptr) {
+    relations_[pred] = std::make_unique<Relation>(catalog_->Arity(pred));
+  }
+  return relations_[pred].get();
+}
+
+const Relation* Database::Get(PredId pred) const {
+  if (pred >= relations_.size()) return nullptr;
+  return relations_[pred].get();
+}
+
+bool Database::Insert(PredId pred, TupleView tuple) {
+  return GetOrCreate(pred)->Insert(tuple);
+}
+
+bool Database::Contains(PredId pred, TupleView tuple) const {
+  const Relation* rel = Get(pred);
+  return rel != nullptr && rel->Contains(tuple);
+}
+
+size_t Database::TotalFacts() const {
+  size_t total = 0;
+  for (const auto& rel : relations_) {
+    if (rel != nullptr) total += rel->size();
+  }
+  return total;
+}
+
+void Database::Clear() {
+  for (auto& rel : relations_) {
+    if (rel != nullptr) rel->Clear();
+  }
+}
+
+void Database::UnionWith(const Database& other) {
+  for (PredId pred : other.PredicatesWithRelations()) {
+    const Relation* rel = other.Get(pred);
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      Insert(pred, rel->Row(i));
+    }
+  }
+}
+
+std::vector<PredId> Database::PredicatesWithRelations() const {
+  std::vector<PredId> out;
+  for (PredId p = 0; p < relations_.size(); ++p) {
+    if (relations_[p] != nullptr) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace seqlog

@@ -1,0 +1,59 @@
+// seqlog: a database / Herbrand interpretation (Sections 2.2 and 3.3).
+//
+// A Database maps predicate ids to relations. The same class represents
+// both the extensional database and intermediate interpretations during
+// fixpoint computation (an interpretation is any subset of the Herbrand
+// base; ours are always finite sets of ground atoms).
+#ifndef SEQLOG_STORAGE_DATABASE_H_
+#define SEQLOG_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/result.h"
+#include "storage/catalog.h"
+#include "storage/relation.h"
+
+namespace seqlog {
+
+/// A set of ground atoms, organised per predicate.
+class Database {
+ public:
+  explicit Database(Catalog* catalog) : catalog_(catalog) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() const { return catalog_; }
+
+  /// Relation for `pred`, created (empty) on first access.
+  Relation* GetOrCreate(PredId pred);
+
+  /// Relation for `pred` or nullptr if no fact with that predicate exists.
+  const Relation* Get(PredId pred) const;
+
+  /// Inserts the atom pred(tuple...); returns true if new.
+  bool Insert(PredId pred, TupleView tuple);
+
+  /// True if the atom is present.
+  bool Contains(PredId pred, TupleView tuple) const;
+
+  /// Total number of atoms.
+  size_t TotalFacts() const;
+
+  /// Removes every atom (keeps the catalog).
+  void Clear();
+
+  /// Copies all atoms of `other` into this database (same catalog).
+  void UnionWith(const Database& other);
+
+  /// Ids of predicates that have a (possibly empty) relation.
+  std::vector<PredId> PredicatesWithRelations() const;
+
+ private:
+  Catalog* catalog_;
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_STORAGE_DATABASE_H_

@@ -1,0 +1,60 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+namespace seqlog {
+
+Relation::Relation(size_t arity) : arity_(arity), col_index_(arity) {}
+
+bool Relation::Insert(TupleView tuple) {
+  SEQLOG_CHECK(tuple.size() == arity_)
+      << "tuple arity " << tuple.size() << " != relation arity " << arity_;
+  size_t h = HashSpan(tuple);
+  auto& bucket = dedup_[h];
+  for (uint32_t row : bucket) {
+    TupleView existing = Row(row);
+    if (std::equal(existing.begin(), existing.end(), tuple.begin())) {
+      return false;
+    }
+  }
+  uint32_t row = static_cast<uint32_t>(count_);
+  rows_.insert(rows_.end(), tuple.begin(), tuple.end());
+  ++count_;
+  bucket.push_back(row);
+  for (size_t c = 0; c < arity_; ++c) {
+    col_index_[c][tuple[c]].push_back(row);
+  }
+  return true;
+}
+
+bool Relation::Contains(TupleView tuple) const {
+  if (tuple.size() != arity_) return false;
+  size_t h = HashSpan(tuple);
+  auto it = dedup_.find(h);
+  if (it == dedup_.end()) return false;
+  for (uint32_t row : it->second) {
+    TupleView existing = Row(row);
+    if (std::equal(existing.begin(), existing.end(), tuple.begin())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+const std::vector<uint32_t>* Relation::RowsWithValue(size_t col,
+                                                     SeqId value) const {
+  SEQLOG_DCHECK(col < arity_);
+  const auto& index = col_index_[col];
+  auto it = index.find(value);
+  if (it == index.end()) return nullptr;
+  return &it->second;
+}
+
+void Relation::Clear() {
+  count_ = 0;
+  rows_.clear();
+  dedup_.clear();
+  for (auto& index : col_index_) index.clear();
+}
+
+}  // namespace seqlog

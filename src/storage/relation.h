@@ -1,0 +1,67 @@
+// seqlog: relations of sequence tuples.
+//
+// A relation of arity k is a duplicate-free set of k-tuples of SeqIds
+// (Section 2.2: finite subsets of the k-fold product of Sigma*). Tuples
+// are stored flattened row-major; every column is hash-indexed so the
+// evaluator can seek on any bound argument position.
+#ifndef SEQLOG_STORAGE_RELATION_H_
+#define SEQLOG_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/logging.h"
+#include "sequence/sequence_pool.h"
+
+namespace seqlog {
+
+/// Tuple view into a relation's row storage.
+using TupleView = std::span<const SeqId>;
+
+/// A set of SeqId tuples with per-column hash indexes.
+class Relation {
+ public:
+  explicit Relation(size_t arity);
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// Inserts `tuple`; returns true if it was not already present.
+  bool Insert(TupleView tuple);
+
+  /// True if `tuple` is present.
+  bool Contains(TupleView tuple) const;
+
+  /// Returns row `i` (0 <= i < size()).
+  TupleView Row(uint32_t i) const {
+    SEQLOG_DCHECK(i < count_);
+    return TupleView(rows_.data() + static_cast<size_t>(i) * arity_,
+                     arity_);
+  }
+
+  /// Row indices whose column `col` equals `value`, or nullptr if none.
+  /// The returned vector is invalidated by Insert.
+  const std::vector<uint32_t>* RowsWithValue(size_t col, SeqId value) const;
+
+  /// Removes all tuples (keeps arity). Used for delta swapping.
+  void Clear();
+
+ private:
+  size_t arity_;
+  size_t count_ = 0;
+  std::vector<SeqId> rows_;  // flattened row-major
+  // Dedup: tuple hash -> candidate row ids (open chaining on collisions).
+  std::unordered_map<size_t, std::vector<uint32_t>> dedup_;
+  // Column indexes: for each column, value -> row ids.
+  std::vector<std::unordered_map<SeqId, std::vector<uint32_t>>> col_index_;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_STORAGE_RELATION_H_

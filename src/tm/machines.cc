@@ -1,0 +1,166 @@
+#include "tm/machines.h"
+
+namespace seqlog {
+namespace tm {
+
+namespace {
+
+Symbol S(SymbolTable* symbols, std::string_view name) {
+  return symbols->Intern(name);
+}
+
+}  // namespace
+
+TuringMachine MakeUnaryDouble(SymbolTable* symbols) {
+  TuringMachine m;
+  m.name = "unary_double";
+  Symbol one = S(symbols, "1");
+  Symbol x = S(symbols, "X");
+  Symbol y = S(symbols, "Y");
+  Symbol blank = S(symbols, "_");
+  Symbol marker = S(symbols, "|-");
+  Symbol q0 = S(symbols, "q0");
+  Symbol qscan = S(symbols, "qscan");
+  Symbol qfwd = S(symbols, "qfwd");
+  Symbol qback = S(symbols, "qback");
+  Symbol qrl = S(symbols, "qrl");
+  Symbol qrr = S(symbols, "qrr");
+  Symbol qh = S(symbols, "qh");
+
+  m.initial_state = q0;
+  m.blank = blank;
+  m.left_marker = marker;
+  m.states = {q0, qscan, qfwd, qback, qrl, qrr, qh};
+  m.halting_states = {qh};
+  m.tape_alphabet = {one, x, y, blank, marker};
+
+  // q0: step off the marker.
+  m.delta[{q0, marker}] = {qscan, marker, TmMove::kRight};
+  // qscan: at the leftmost unprocessed cell. 1 -> mark X and run right;
+  // Y -> all ones processed, restore; blank -> empty input, halt.
+  m.delta[{qscan, one}] = {qfwd, x, TmMove::kRight};
+  m.delta[{qscan, y}] = {qrl, y, TmMove::kLeft};
+  m.delta[{qscan, blank}] = {qh, blank, TmMove::kStay};
+  // qfwd: run right over 1s and Ys to the first blank; append a Y.
+  m.delta[{qfwd, one}] = {qfwd, one, TmMove::kRight};
+  m.delta[{qfwd, y}] = {qfwd, y, TmMove::kRight};
+  m.delta[{qfwd, blank}] = {qback, y, TmMove::kLeft};
+  // qback: run left to the X just marked, then step right.
+  m.delta[{qback, one}] = {qback, one, TmMove::kLeft};
+  m.delta[{qback, y}] = {qback, y, TmMove::kLeft};
+  m.delta[{qback, x}] = {qscan, x, TmMove::kRight};
+  // qrl: restore Xs to 1s moving left to the marker.
+  m.delta[{qrl, x}] = {qrl, one, TmMove::kLeft};
+  m.delta[{qrl, marker}] = {qrr, marker, TmMove::kRight};
+  // qrr: move right converting Ys to 1s; halt at the blank.
+  m.delta[{qrr, one}] = {qrr, one, TmMove::kRight};
+  m.delta[{qrr, y}] = {qrr, one, TmMove::kRight};
+  m.delta[{qrr, blank}] = {qh, blank, TmMove::kStay};
+  return m;
+}
+
+TuringMachine MakeBinaryIncrement(SymbolTable* symbols) {
+  TuringMachine m;
+  m.name = "binary_increment";
+  Symbol zero = S(symbols, "0");
+  Symbol one = S(symbols, "1");
+  Symbol blank = S(symbols, "_");
+  Symbol marker = S(symbols, "|-");
+  Symbol q0 = S(symbols, "q0");
+  Symbol qright = S(symbols, "qright");
+  Symbol qcarry = S(symbols, "qcarry");
+  Symbol qh = S(symbols, "qh");
+
+  m.initial_state = q0;
+  m.blank = blank;
+  m.left_marker = marker;
+  m.states = {q0, qright, qcarry, qh};
+  m.halting_states = {qh};
+  m.tape_alphabet = {zero, one, blank, marker};
+
+  m.delta[{q0, marker}] = {qright, marker, TmMove::kRight};
+  // Run to the rightmost digit.
+  m.delta[{qright, zero}] = {qright, zero, TmMove::kRight};
+  m.delta[{qright, one}] = {qright, one, TmMove::kRight};
+  m.delta[{qright, blank}] = {qcarry, blank, TmMove::kLeft};
+  // Propagate the carry leftwards.
+  m.delta[{qcarry, one}] = {qcarry, zero, TmMove::kLeft};
+  m.delta[{qcarry, zero}] = {qh, one, TmMove::kStay};
+  // A leading 0 is guaranteed, but all-ones inputs just stop (the
+  // result then needs one more digit than the input width provides).
+  m.delta[{qcarry, marker}] = {qh, marker, TmMove::kStay};
+  // Empty input: qright sees the blank right after the marker; qcarry
+  // then sees the marker and halts.
+  return m;
+}
+
+TuringMachine MakeBitFlip(SymbolTable* symbols) {
+  TuringMachine m;
+  m.name = "bit_flip";
+  Symbol zero = S(symbols, "0");
+  Symbol one = S(symbols, "1");
+  Symbol blank = S(symbols, "_");
+  Symbol marker = S(symbols, "|-");
+  Symbol q0 = S(symbols, "q0");
+  Symbol qrun = S(symbols, "qrun");
+  Symbol qh = S(symbols, "qh");
+
+  m.initial_state = q0;
+  m.blank = blank;
+  m.left_marker = marker;
+  m.states = {q0, qrun, qh};
+  m.halting_states = {qh};
+  m.tape_alphabet = {zero, one, blank, marker};
+
+  m.delta[{q0, marker}] = {qrun, marker, TmMove::kRight};
+  m.delta[{qrun, zero}] = {qrun, one, TmMove::kRight};
+  m.delta[{qrun, one}] = {qrun, zero, TmMove::kRight};
+  m.delta[{qrun, blank}] = {qh, blank, TmMove::kStay};
+  return m;
+}
+
+TuringMachine MakeBinaryCountUp(SymbolTable* symbols) {
+  TuringMachine m;
+  m.name = "binary_count_up";
+  Symbol zero = S(symbols, "0");
+  Symbol one = S(symbols, "1");
+  Symbol blank = S(symbols, "_");
+  Symbol marker = S(symbols, "|-");
+  Symbol q0 = S(symbols, "q0");
+  Symbol qcheck = S(symbols, "qcheck");
+  Symbol qseek = S(symbols, "qseek");
+  Symbol qinc = S(symbols, "qinc");
+  Symbol qrewind = S(symbols, "qrewind");
+  Symbol qh = S(symbols, "qh");
+
+  m.initial_state = q0;
+  m.blank = blank;
+  m.left_marker = marker;
+  m.states = {q0, qcheck, qseek, qinc, qrewind, qh};
+  m.halting_states = {qh};
+  m.tape_alphabet = {zero, one, blank, marker};
+
+  m.delta[{q0, marker}] = {qcheck, marker, TmMove::kRight};
+  // qcheck: scan right looking for a 0. All ones (blank reached): halt.
+  m.delta[{qcheck, one}] = {qcheck, one, TmMove::kRight};
+  m.delta[{qcheck, zero}] = {qseek, zero, TmMove::kRight};
+  m.delta[{qcheck, blank}] = {qh, blank, TmMove::kStay};
+  // qseek: run right to the blank, then step left onto the LSB.
+  m.delta[{qseek, zero}] = {qseek, zero, TmMove::kRight};
+  m.delta[{qseek, one}] = {qseek, one, TmMove::kRight};
+  m.delta[{qseek, blank}] = {qinc, blank, TmMove::kLeft};
+  // qinc: binary increment with carry, moving left. A 0 absorbs the
+  // carry (there is one: qcheck found it). The marker case cannot arise
+  // but halting there keeps delta safe.
+  m.delta[{qinc, one}] = {qinc, zero, TmMove::kLeft};
+  m.delta[{qinc, zero}] = {qrewind, one, TmMove::kLeft};
+  m.delta[{qinc, marker}] = {qh, marker, TmMove::kStay};
+  // qrewind: back to the marker, then re-check.
+  m.delta[{qrewind, zero}] = {qrewind, zero, TmMove::kLeft};
+  m.delta[{qrewind, one}] = {qrewind, one, TmMove::kLeft};
+  m.delta[{qrewind, marker}] = {qcheck, marker, TmMove::kRight};
+  return m;
+}
+
+}  // namespace tm
+}  // namespace seqlog

@@ -1,0 +1,34 @@
+// seqlog: a small library of Turing machines for the Theorem 1 / 5
+// reproductions.
+#ifndef SEQLOG_TM_MACHINES_H_
+#define SEQLOG_TM_MACHINES_H_
+
+#include "tm/turing.h"
+
+namespace seqlog {
+namespace tm {
+
+/// 1^n -> 1^{2n}. Quadratic time: repeatedly marks a 1 and appends a
+/// fresh 1 at the right end, then restores markers. A genuinely
+/// super-linear machine, so its Theorem 5 network needs a counter of
+/// length >= c n^2.
+TuringMachine MakeUnaryDouble(SymbolTable* symbols);
+
+/// Binary increment for fixed-width inputs with a leading 0 (e.g.
+/// 0111 -> 1000), avoiding left-edge insertion. Linear time.
+TuringMachine MakeBinaryIncrement(SymbolTable* symbols);
+
+/// Flips every bit (0 <-> 1). Linear time; the simplest sanity machine.
+TuringMachine MakeBitFlip(SymbolTable* symbols);
+
+/// Binary count-up: repeatedly increments the tape (LSB rightmost) until
+/// it is all ones, then halts. From 0^n this takes Theta(n 2^n) steps —
+/// a genuinely exponential-time machine, used by the Theorem 6
+/// reproduction (order-3 networks express elementary time; its counter
+/// must be hyperexponential, not polynomial).
+TuringMachine MakeBinaryCountUp(SymbolTable* symbols);
+
+}  // namespace tm
+}  // namespace seqlog
+
+#endif  // SEQLOG_TM_MACHINES_H_

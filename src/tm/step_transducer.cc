@@ -1,0 +1,235 @@
+#include "tm/step_transducer.h"
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "base/string_util.h"
+#include "transducer/builder.h"
+
+namespace seqlog {
+namespace tm {
+
+namespace {
+
+using transducer::HeadMove;
+using transducer::Output;
+using transducer::StateId;
+using transducer::SymPattern;
+using transducer::TransducerBuilder;
+
+constexpr size_t kFuel1 = 0;
+constexpr size_t kFuel2 = 1;
+constexpr size_t kConfig = 2;
+
+/// Abstract machine state of the step transducer.
+struct StepState {
+  enum class Mode { kCopy, kSawQ, kDone };
+  Mode mode = Mode::kCopy;
+  std::optional<Symbol> hold;        ///< lagged, not-yet-emitted symbol
+  Symbol q = 0;                      ///< kSawQ: the TM state just read
+  std::vector<Symbol> pending;       ///< symbols to flush (<= 2)
+  bool just_moved_right = false;     ///< append blank if config ends now
+
+  std::string Key() const {
+    std::string k = StrCat("m", static_cast<int>(mode));
+    k += hold.has_value() ? StrCat("_h", *hold) : "_h-";
+    k += StrCat("_q", q, "_p");
+    for (Symbol s : pending) k += StrCat(s, ".");
+    k += just_moved_right ? "_j1" : "_j0";
+    return k;
+  }
+};
+
+/// Generates transducer states/transitions reachable from the initial
+/// step-state by breadth-first closure.
+class Generator {
+ public:
+  Generator(const TuringMachine& tm, TransducerBuilder* builder)
+      : tm_(tm), builder_(builder) {}
+
+  Status Run() {
+    StepState init;
+    StateId s0 = Visit(init);
+    builder_->SetInitial(s0);
+    while (!queue_.empty()) {
+      StepState state = queue_.front();
+      queue_.pop_front();
+      Expand(state);
+    }
+    return Status::Ok();
+  }
+
+ private:
+  StateId Visit(const StepState& state) {
+    std::string key = state.Key();
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+    StateId id = builder_->State(key);
+    ids_.emplace(key, id);
+    queue_.push_back(state);
+    return id;
+  }
+
+  /// Adds a "consume one fuel symbol" pair of rows (tape 1, falling back
+  /// to tape 2) firing `out` and entering `to`. Used for pending flushes
+  /// and end-of-config emissions, which must not consume config symbols.
+  void AddFuelRows(StateId from, SymPattern config_pat, Output out,
+                   StateId to) {
+    builder_->Add(from,
+                  {SymPattern::Any(), SymPattern::Wildcard(), config_pat},
+                  to,
+                  {HeadMove::kAdvance, HeadMove::kStay, HeadMove::kStay},
+                  out);
+    builder_->Add(
+        from, {SymPattern::Marker(), SymPattern::Any(), config_pat}, to,
+        {HeadMove::kStay, HeadMove::kAdvance, HeadMove::kStay}, out);
+  }
+
+  void Expand(const StepState& state) {
+    StateId from = Visit(state);
+
+    // 1. Flush pending output symbols, consuming fuel.
+    if (!state.pending.empty()) {
+      StepState next = state;
+      Symbol front = next.pending.front();
+      next.pending.erase(next.pending.begin());
+      AddFuelRows(from, SymPattern::Wildcard(), Output::Emit(front),
+                  Visit(next));
+      return;
+    }
+
+    // 2. Done: drain all tapes silently.
+    if (state.mode == StepState::Mode::kDone) {
+      builder_->Add(
+          from,
+          {SymPattern::Any(), SymPattern::Wildcard(),
+           SymPattern::Wildcard()},
+          from, {HeadMove::kAdvance, HeadMove::kStay, HeadMove::kStay},
+          Output::Epsilon());
+      builder_->Add(
+          from,
+          {SymPattern::Marker(), SymPattern::Any(), SymPattern::Wildcard()},
+          from, {HeadMove::kStay, HeadMove::kAdvance, HeadMove::kStay},
+          Output::Epsilon());
+      builder_->Add(
+          from,
+          {SymPattern::Marker(), SymPattern::Marker(), SymPattern::Any()},
+          from, {HeadMove::kStay, HeadMove::kStay, HeadMove::kAdvance},
+          Output::Epsilon());
+      return;
+    }
+
+    // 3. Just read the (non-halting) state symbol: apply delta.
+    if (state.mode == StepState::Mode::kSawQ) {
+      for (Symbol a : tm_.tape_alphabet) {
+        auto it = tm_.delta.find({state.q, a});
+        if (it == tm_.delta.end()) continue;  // stuck (partial machine)
+        const TmAction& act = it->second;
+        std::vector<Symbol> emit_list;
+        StepState next;
+        next.mode = StepState::Mode::kCopy;
+        switch (act.move) {
+          case TmMove::kStay:
+            // ... hold q a ...  ->  ... hold q' b ...
+            if (state.hold) emit_list.push_back(*state.hold);
+            emit_list.push_back(act.next_state);
+            emit_list.push_back(act.write);
+            break;
+          case TmMove::kRight:
+            // ... hold q a ...  ->  ... hold b q' ...
+            if (state.hold) emit_list.push_back(*state.hold);
+            emit_list.push_back(act.write);
+            emit_list.push_back(act.next_state);
+            next.just_moved_right = true;
+            break;
+          case TmMove::kLeft:
+            // ... hold q a ...  ->  ... q' hold b ...
+            if (!state.hold.has_value()) continue;  // cannot occur
+            emit_list.push_back(act.next_state);
+            emit_list.push_back(*state.hold);
+            emit_list.push_back(act.write);
+            break;
+        }
+        Symbol first = emit_list.front();
+        next.pending.assign(emit_list.begin() + 1, emit_list.end());
+        builder_->Add(from,
+                      {SymPattern::Wildcard(), SymPattern::Wildcard(),
+                       SymPattern::Exact(a)},
+                      Visit(next),
+                      {HeadMove::kStay, HeadMove::kStay,
+                       HeadMove::kAdvance},
+                      Output::Emit(first));
+      }
+      return;
+    }
+
+    // 4. Copy mode.
+    //    Non-halting state symbol: remember it, emit nothing yet.
+    for (Symbol q : tm_.states) {
+      if (tm_.halting_states.count(q) > 0) continue;
+      StepState next;
+      next.mode = StepState::Mode::kSawQ;
+      next.q = q;
+      next.hold = state.hold;
+      builder_->Add(from,
+                    {SymPattern::Wildcard(), SymPattern::Wildcard(),
+                     SymPattern::Exact(q)},
+                    Visit(next),
+                    {HeadMove::kStay, HeadMove::kStay, HeadMove::kAdvance},
+                    Output::Epsilon());
+    }
+    //    Ordinary symbols (and halting states): lagged copy.
+    std::vector<Symbol> plain(tm_.tape_alphabet.begin(),
+                              tm_.tape_alphabet.end());
+    for (Symbol q : tm_.halting_states) plain.push_back(q);
+    for (Symbol s : plain) {
+      StepState next;
+      next.mode = StepState::Mode::kCopy;
+      next.hold = s;
+      Output out = state.hold ? Output::Emit(*state.hold)
+                              : Output::Epsilon();
+      builder_->Add(from,
+                    {SymPattern::Wildcard(), SymPattern::Wildcard(),
+                     SymPattern::Exact(s)},
+                    Visit(next),
+                    {HeadMove::kStay, HeadMove::kStay, HeadMove::kAdvance},
+                    out);
+    }
+    //    End of configuration.
+    StepState done;
+    done.mode = StepState::Mode::kDone;
+    if (state.just_moved_right) {
+      // The head moved past the rightmost cell: it now scans a fresh
+      // blank (the paper's "append a blank" trick).
+      AddFuelRows(from, SymPattern::Marker(), Output::Emit(tm_.blank),
+                  Visit(done));
+    } else if (state.hold.has_value()) {
+      AddFuelRows(from, SymPattern::Marker(), Output::Emit(*state.hold),
+                  Visit(done));
+    } else {
+      AddFuelRows(from, SymPattern::Marker(), Output::Epsilon(),
+                  Visit(done));
+    }
+  }
+
+  const TuringMachine& tm_;
+  TransducerBuilder* builder_;
+  std::map<std::string, StateId> ids_;
+  std::deque<StepState> queue_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<const transducer::Transducer>> MakeStepTransducer(
+    const TuringMachine& machine, std::string name) {
+  SEQLOG_RETURN_IF_ERROR(machine.Validate());
+  TransducerBuilder builder(std::move(name), 3);
+  Generator gen(machine, &builder);
+  SEQLOG_RETURN_IF_ERROR(gen.Run());
+  return builder.Build();
+}
+
+}  // namespace tm
+}  // namespace seqlog

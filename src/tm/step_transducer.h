@@ -1,0 +1,38 @@
+// seqlog: compiling a Turing machine step into a base transducer.
+//
+// The Theorem 5 construction needs an *ordinary* (order-1) transducer
+// that maps an encoded TM configuration to its successor configuration.
+// The machine built here has three inputs:
+//
+//     (fuel1, fuel2, config)
+//
+// matching its role as the subtransducer of the 2-input TM-driver: it
+// receives copies of the driver's two inputs (the step-counter sequence
+// and the initial configuration — consumed only as step fuel) plus the
+// driver's current output, which is the current configuration.
+//
+// Construction: the machine copies the configuration left to right with
+// a one-symbol lag (so left-moves can inject the state symbol before the
+// already-read cell), rewrites the state/scanned pair according to delta,
+// buffering at most two pending output symbols which it flushes while
+// consuming fuel, and appends a blank when the head moves right past the
+// rightmost cell. Halting configurations are copied verbatim, so extra
+// driver steps after the TM halts are harmless (the step transducer is
+// idempotent on halted configurations).
+#ifndef SEQLOG_TM_STEP_TRANSDUCER_H_
+#define SEQLOG_TM_STEP_TRANSDUCER_H_
+
+#include "tm/turing.h"
+#include "transducer/transducer.h"
+
+namespace seqlog {
+namespace tm {
+
+/// Builds the order-1 configuration-step transducer of `machine`.
+Result<std::shared_ptr<const transducer::Transducer>> MakeStepTransducer(
+    const TuringMachine& machine, std::string name);
+
+}  // namespace tm
+}  // namespace seqlog
+
+#endif  // SEQLOG_TM_STEP_TRANSDUCER_H_

@@ -1,0 +1,160 @@
+#include "tm/tm_network.h"
+
+#include <functional>
+
+#include "base/string_util.h"
+#include "tm/step_transducer.h"
+#include "transducer/builder.h"
+#include "transducer/library.h"
+
+namespace seqlog {
+namespace tm {
+
+namespace {
+
+using transducer::HeadMove;
+using transducer::InputSource;
+using transducer::Output;
+using transducer::StateId;
+using transducer::SymPattern;
+using transducer::TransducerBuilder;
+using transducer::TransducerPtr;
+
+/// 2-input machine computing s1 s2 in2: prepends two fixed symbols to
+/// input 2, paying with two symbols of input 1 (so |in1| >= 2).
+Result<TransducerPtr> MakePrependTwo(std::string name, Symbol s1,
+                                     Symbol s2) {
+  TransducerBuilder b(std::move(name), 2);
+  StateId p0 = b.State("emit1");
+  StateId p1 = b.State("emit2");
+  StateId p2 = b.State("copy");
+  b.Add(p0, {SymPattern::Any(), SymPattern::Wildcard()}, p1,
+        {HeadMove::kAdvance, HeadMove::kStay}, Output::Emit(s1));
+  b.Add(p1, {SymPattern::Any(), SymPattern::Wildcard()}, p2,
+        {HeadMove::kAdvance, HeadMove::kStay}, Output::Emit(s2));
+  b.Add(p2, {SymPattern::Wildcard(), SymPattern::Any()}, p2,
+        {HeadMove::kStay, HeadMove::kAdvance}, Output::Echo(1));
+  b.Add(p2, {SymPattern::Any(), SymPattern::Marker()}, p2,
+        {HeadMove::kAdvance, HeadMove::kStay}, Output::Epsilon());
+  return b.Build();
+}
+
+}  // namespace
+
+Result<TransducerPtr> MakeInitConfig(const TuringMachine& machine,
+                                     std::string name) {
+  // Step 1: copy x into the output; step 2: prepend "q0 |-"; then drain.
+  SEQLOG_ASSIGN_OR_RETURN(TransducerPtr copy2,
+                          transducer::MakeAppend(StrCat(name, "_copy"), 2));
+  SEQLOG_ASSIGN_OR_RETURN(
+      TransducerPtr prepend,
+      MakePrependTwo(StrCat(name, "_prepend"), machine.initial_state,
+                     machine.left_marker));
+  TransducerBuilder b(std::move(name), 1);
+  StateId i0 = b.State("copy_input");
+  StateId i1 = b.State("prepend");
+  StateId i2 = b.State("drain");
+  b.Add(i0, {SymPattern::Any()}, i1, {HeadMove::kAdvance},
+        Output::Call(copy2));
+  b.Add(i1, {SymPattern::Any()}, i2, {HeadMove::kAdvance},
+        Output::Call(prepend));
+  b.Add(i2, {SymPattern::Any()}, i2, {HeadMove::kAdvance},
+        Output::Epsilon());
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeTmDriver(const TuringMachine& machine,
+                                   std::string name) {
+  // Inputs: (counter, initial configuration). The first counter symbol
+  // loads the initial configuration into the output (a 3-input
+  // projection subtransducer); each further counter symbol applies one
+  // TM step to the output.
+  SEQLOG_ASSIGN_OR_RETURN(
+      TransducerPtr project,
+      transducer::MakeProject(StrCat(name, "_load"), 3, /*keep=*/1));
+  SEQLOG_ASSIGN_OR_RETURN(TransducerPtr step,
+                          MakeStepTransducer(machine, StrCat(name, "_step")));
+  TransducerBuilder b(std::move(name), 2);
+  StateId d0 = b.State("load");
+  StateId d1 = b.State("run");
+  b.Add(d0, {SymPattern::Any(), SymPattern::Wildcard()}, d1,
+        {HeadMove::kAdvance, HeadMove::kStay}, Output::Call(project));
+  b.Add(d1, {SymPattern::Any(), SymPattern::Wildcard()}, d1,
+        {HeadMove::kAdvance, HeadMove::kStay}, Output::Call(step));
+  b.Add(d1, {SymPattern::Marker(), SymPattern::Any()}, d1,
+        {HeadMove::kStay, HeadMove::kAdvance}, Output::Epsilon());
+  return b.Build();
+}
+
+namespace {
+
+/// Shared Theorem 5 / Theorem 6 assembly; `counter_stage` builds one
+/// counter-growing transducer (squaring for Theorem 5, double
+/// exponentiation for Theorem 6).
+Result<std::shared_ptr<const transducer::TransducerNetwork>>
+MakeTmNetworkImpl(
+    const TuringMachine& machine, std::string name, size_t stages,
+    const std::function<Result<TransducerPtr>(std::string)>& counter_stage) {
+  SEQLOG_RETURN_IF_ERROR(machine.Validate());
+  auto network = std::make_shared<transducer::TransducerNetwork>(
+      name, /*num_network_inputs=*/1);
+
+  SEQLOG_ASSIGN_OR_RETURN(TransducerPtr init,
+                          MakeInitConfig(machine, StrCat(name, "_init")));
+  SEQLOG_ASSIGN_OR_RETURN(size_t init_node,
+                          network->AddNode(init, {InputSource::FromNetwork(0)}));
+
+  // Counter chain: one stage per requested growth step.
+  InputSource counter_src = InputSource::FromNetwork(0);
+  for (size_t i = 0; i < stages; ++i) {
+    SEQLOG_ASSIGN_OR_RETURN(TransducerPtr stage,
+                            counter_stage(StrCat(name, "_counter", i + 1)));
+    SEQLOG_ASSIGN_OR_RETURN(size_t node,
+                            network->AddNode(stage, {counter_src}));
+    counter_src = InputSource::FromNode(node);
+  }
+
+  SEQLOG_ASSIGN_OR_RETURN(TransducerPtr driver,
+                          MakeTmDriver(machine, StrCat(name, "_driver")));
+  SEQLOG_ASSIGN_OR_RETURN(
+      size_t run_node,
+      network->AddNode(driver,
+                       {counter_src, InputSource::FromNode(init_node)}));
+
+  std::set<Symbol> erase(machine.states.begin(), machine.states.end());
+  erase.insert(machine.left_marker);
+  erase.insert(machine.blank);
+  SEQLOG_ASSIGN_OR_RETURN(
+      TransducerPtr decode,
+      transducer::MakeErase(StrCat(name, "_decode"), erase));
+  SEQLOG_ASSIGN_OR_RETURN(
+      size_t decode_node,
+      network->AddNode(decode, {InputSource::FromNode(run_node)}));
+  SEQLOG_RETURN_IF_ERROR(network->SetOutput(decode_node));
+  return std::shared_ptr<const transducer::TransducerNetwork>(
+      std::move(network));
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const transducer::TransducerNetwork>> MakeTmNetwork(
+    const TuringMachine& machine, std::string name, size_t squarings) {
+  return MakeTmNetworkImpl(machine, std::move(name), squarings,
+                           [](std::string stage_name) {
+                             return transducer::MakeSquare(
+                                 std::move(stage_name));
+                           });
+}
+
+Result<std::shared_ptr<const transducer::TransducerNetwork>>
+MakeElementaryTmNetwork(const TuringMachine& machine, std::string name,
+                        size_t exponentiations) {
+  return MakeTmNetworkImpl(machine, std::move(name), exponentiations,
+                           [](std::string stage_name) {
+                             return transducer::MakeDoubleExp(
+                                 std::move(stage_name));
+                           });
+}
+
+}  // namespace tm
+}  // namespace seqlog

@@ -1,0 +1,175 @@
+#include "tm/turing.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace tm {
+
+Status TuringMachine::Validate() const {
+  if (states.count(initial_state) == 0) {
+    return Status::InvalidArgument("initial state not in state set");
+  }
+  for (Symbol h : halting_states) {
+    if (states.count(h) == 0) {
+      return Status::InvalidArgument("halting state not in state set");
+    }
+  }
+  if (tape_alphabet.count(blank) == 0 ||
+      tape_alphabet.count(left_marker) == 0) {
+    return Status::InvalidArgument(
+        "blank and left marker must be in the tape alphabet");
+  }
+  for (Symbol s : states) {
+    if (tape_alphabet.count(s) > 0) {
+      return Status::InvalidArgument(
+          "states and tape symbols must be disjoint (configurations mix "
+          "them in one string)");
+    }
+  }
+  for (const auto& [key, action] : delta) {
+    const auto& [state, scanned] = key;
+    if (states.count(state) == 0 || tape_alphabet.count(scanned) == 0 ||
+        states.count(action.next_state) == 0 ||
+        tape_alphabet.count(action.write) == 0) {
+      return Status::InvalidArgument("transition over unknown symbols");
+    }
+    if (halting_states.count(state) > 0) {
+      return Status::InvalidArgument("transition out of a halting state");
+    }
+    if (scanned == left_marker &&
+        (action.write != left_marker || action.move == TmMove::kLeft)) {
+      return Status::InvalidArgument(
+          "the machine must preserve the left-end marker and never move "
+          "left of it");
+    }
+    if (scanned != left_marker && action.write == left_marker) {
+      return Status::InvalidArgument(
+          "the left-end marker may not be written elsewhere");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<TmRunResult> RunMachine(const TuringMachine& machine, SeqView input,
+                               size_t max_steps) {
+  TmRunResult r;
+  r.tape.push_back(machine.left_marker);
+  r.tape.insert(r.tape.end(), input.begin(), input.end());
+  r.head = 0;
+  r.final_state = machine.initial_state;
+  while (machine.halting_states.count(r.final_state) == 0) {
+    if (r.steps >= max_steps) {
+      return Status::ResourceExhausted(
+          StrCat("machine '", machine.name, "' did not halt within ",
+                 max_steps, " steps"));
+    }
+    Symbol scanned = r.tape[r.head];
+    auto it = machine.delta.find({r.final_state, scanned});
+    if (it == machine.delta.end()) {
+      return Status::FailedPrecondition(
+          StrCat("machine '", machine.name,
+                 "' has no transition for state+symbol at step ",
+                 r.steps));
+    }
+    const TmAction& a = it->second;
+    r.tape[r.head] = a.write;
+    r.final_state = a.next_state;
+    switch (a.move) {
+      case TmMove::kLeft:
+        SEQLOG_CHECK(r.head > 0) << "moved left of the marker";
+        --r.head;
+        break;
+      case TmMove::kRight:
+        ++r.head;
+        if (r.head == r.tape.size()) r.tape.push_back(machine.blank);
+        break;
+      case TmMove::kStay:
+        break;
+    }
+    ++r.steps;
+  }
+  return r;
+}
+
+std::vector<Symbol> ExtractOutput(const TuringMachine& machine,
+                                  const TmRunResult& result) {
+  std::vector<Symbol> out(result.tape.begin() + 1, result.tape.end());
+  while (!out.empty() && out.back() == machine.blank) out.pop_back();
+  return out;
+}
+
+std::vector<Symbol> EncodeConfig(const TuringMachine& machine,
+                                 SeqView tape, size_t head, Symbol state) {
+  (void)machine;
+  std::vector<Symbol> out(tape.begin(), tape.begin() + head);
+  out.push_back(state);
+  out.insert(out.end(), tape.begin() + head, tape.end());
+  return out;
+}
+
+std::vector<Symbol> InitialConfig(const TuringMachine& machine,
+                                  SeqView input) {
+  std::vector<Symbol> out;
+  out.push_back(machine.initial_state);
+  out.push_back(machine.left_marker);
+  out.insert(out.end(), input.begin(), input.end());
+  return out;
+}
+
+std::vector<Symbol> StepConfig(const TuringMachine& machine,
+                               std::span<const Symbol> config) {
+  // Locate the state symbol.
+  size_t qpos = config.size();
+  for (size_t i = 0; i < config.size(); ++i) {
+    if (machine.states.count(config[i]) > 0) {
+      qpos = i;
+      break;
+    }
+  }
+  std::vector<Symbol> out(config.begin(), config.end());
+  if (qpos == config.size() || qpos + 1 >= config.size()) return out;
+  Symbol q = config[qpos];
+  if (machine.halting_states.count(q) > 0) return out;
+  Symbol scanned = config[qpos + 1];
+  auto it = machine.delta.find({q, scanned});
+  if (it == machine.delta.end()) return out;
+  const TmAction& a = it->second;
+  switch (a.move) {
+    case TmMove::kStay:
+      out[qpos] = a.next_state;
+      out[qpos + 1] = a.write;
+      break;
+    case TmMove::kRight:
+      out[qpos] = a.write;
+      out[qpos + 1] = a.next_state;
+      // Swap wrote [.. b q' rest..]; if q' landed at the end, the head
+      // scans a fresh blank cell.
+      if (qpos + 2 == out.size()) out.push_back(machine.blank);
+      break;
+    case TmMove::kLeft: {
+      SEQLOG_CHECK(qpos > 0) << "left move at the left edge";
+      Symbol left_sym = out[qpos - 1];
+      out[qpos - 1] = a.next_state;
+      out[qpos] = left_sym;
+      out[qpos + 1] = a.write;
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Symbol> DecodeConfig(const TuringMachine& machine,
+                                 std::span<const Symbol> config) {
+  std::vector<Symbol> out;
+  for (Symbol s : config) {
+    if (machine.states.count(s) > 0 || s == machine.left_marker) continue;
+    out.push_back(s);
+  }
+  while (!out.empty() && out.back() == machine.blank) out.pop_back();
+  return out;
+}
+
+}  // namespace tm
+}  // namespace seqlog

@@ -1,0 +1,98 @@
+// seqlog: deterministic single-tape Turing machines.
+//
+// Used by the Theorem 1 construction (simulating an arbitrary TM in
+// Sequence Datalog) and by the Theorem 5 construction (simulating a
+// polynomial-time TM with an order-2 transducer network). Conventions
+// follow the paper's proof of Theorem 1: the tape starts with a left-end
+// marker that is never overwritten and never crossed; the head starts on
+// the marker in the initial state; moving right past the rightmost cell
+// extends the tape with a blank.
+//
+// Machine configurations are encoded as symbol strings
+//     left  state  scanned right
+// i.e. the state symbol is written immediately before the scanned cell
+// (the Theorem 5 encoding b1..b_{i-1} q b_i .. b_n).
+#ifndef SEQLOG_TM_TURING_H_
+#define SEQLOG_TM_TURING_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+
+namespace seqlog {
+namespace tm {
+
+enum class TmMove { kLeft, kRight, kStay };
+
+struct TmAction {
+  Symbol next_state;
+  Symbol write;
+  TmMove move;
+};
+
+/// A deterministic Turing machine over interned symbols. States and tape
+/// symbols share the SymbolTable (configurations mix them in one string).
+struct TuringMachine {
+  std::string name;
+  Symbol initial_state;
+  Symbol blank;
+  Symbol left_marker;
+  std::set<Symbol> states;
+  std::set<Symbol> halting_states;
+  std::set<Symbol> tape_alphabet;  ///< includes blank and left marker
+  std::map<std::pair<Symbol, Symbol>, TmAction> delta;
+
+  /// Validates internal consistency (states/symbols disjoint, transitions
+  /// well formed, marker preserved: delta never writes over the marker
+  /// with something else nor moves left from it).
+  Status Validate() const;
+};
+
+/// Result of running a machine.
+struct TmRunResult {
+  std::vector<Symbol> tape;  ///< including the left marker
+  size_t head = 0;
+  Symbol final_state = 0;
+  size_t steps = 0;
+};
+
+/// Runs `machine` on `input` (tape alphabet symbols, no marker) for at
+/// most `max_steps` steps. kResourceExhausted if it does not halt in
+/// time; kFailedPrecondition if delta is undefined at a non-halting
+/// configuration.
+Result<TmRunResult> RunMachine(const TuringMachine& machine, SeqView input,
+                               size_t max_steps);
+
+/// The machine's tape output: the tape minus the left marker and
+/// trailing blanks.
+std::vector<Symbol> ExtractOutput(const TuringMachine& machine,
+                                  const TmRunResult& result);
+
+/// Encodes a configuration as left ++ [state] ++ [scanned] ++ right.
+std::vector<Symbol> EncodeConfig(const TuringMachine& machine,
+                                 SeqView tape, size_t head, Symbol state);
+
+/// The initial configuration for `input`: state marker input.
+std::vector<Symbol> InitialConfig(const TuringMachine& machine,
+                                  SeqView input);
+
+/// Applies one TM step to an encoded configuration (reference
+/// implementation used to cross-check the step transducer). A halted or
+/// malformed configuration is returned unchanged.
+std::vector<Symbol> StepConfig(const TuringMachine& machine,
+                               std::span<const Symbol> config);
+
+/// Decodes the tape output from an encoded configuration: drops the
+/// state symbol, the marker, and trailing blanks.
+std::vector<Symbol> DecodeConfig(const TuringMachine& machine,
+                                 std::span<const Symbol> config);
+
+}  // namespace tm
+}  // namespace seqlog
+
+#endif  // SEQLOG_TM_TURING_H_

@@ -1,0 +1,128 @@
+#include "transducer/builder.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace transducer {
+
+TransducerBuilder::TransducerBuilder(std::string name, size_t num_inputs)
+    : name_(std::move(name)),
+      num_inputs_(num_inputs),
+      machine_(new Transducer()) {
+  machine_->name_ = name_;
+  machine_->num_inputs_ = num_inputs_;
+}
+
+StateId TransducerBuilder::State(const std::string& name) {
+  auto it = states_.find(name);
+  if (it != states_.end()) return it->second;
+  StateId id = static_cast<StateId>(machine_->state_names_.size());
+  machine_->state_names_.push_back(name);
+  states_.emplace(name, id);
+  if (machine_->state_names_.size() == 1 && !initial_set_) {
+    machine_->initial_ = id;
+  }
+  return id;
+}
+
+void TransducerBuilder::SetInitial(StateId state) {
+  machine_->initial_ = state;
+  initial_set_ = true;
+}
+
+TransducerBuilder& TransducerBuilder::Add(StateId from,
+                                          std::vector<SymPattern> scanned,
+                                          StateId to,
+                                          std::vector<HeadMove> moves,
+                                          Output output) {
+  Transition t;
+  t.from = from;
+  t.scanned = std::move(scanned);
+  t.to = to;
+  t.moves = std::move(moves);
+  t.output = std::move(output);
+  machine_->rows_.push_back(std::move(t));
+  return *this;
+}
+
+void TransducerBuilder::SetMaxOutputLength(size_t limit) {
+  machine_->max_output_length_ = limit;
+}
+
+Result<std::shared_ptr<const Transducer>> TransducerBuilder::Build() {
+  Transducer* m = machine_.get();
+  if (num_inputs_ == 0) {
+    return Status::InvalidArgument(
+        StrCat("transducer '", name_, "' must have at least one input"));
+  }
+  if (m->state_names_.empty()) {
+    return Status::InvalidArgument(
+        StrCat("transducer '", name_, "' has no states"));
+  }
+  int max_callee_order = 0;
+  for (size_t r = 0; r < m->rows_.size(); ++r) {
+    const Transition& t = m->rows_[r];
+    auto fail = [&](std::string_view what) {
+      return Status::InvalidArgument(
+          StrCat("transducer '", name_, "' transition ", r, ": ", what));
+    };
+    if (t.scanned.size() != num_inputs_ || t.moves.size() != num_inputs_) {
+      return fail("pattern/move arity mismatch");
+    }
+    if (t.from >= m->state_names_.size() ||
+        t.to >= m->state_names_.size()) {
+      return fail("unknown state");
+    }
+    // Restriction (i): at least one head advances.
+    if (std::none_of(t.moves.begin(), t.moves.end(), [](HeadMove hm) {
+          return hm == HeadMove::kAdvance;
+        })) {
+      return fail("no head advances (restriction (i) of Definition 7)");
+    }
+    // Restriction (ii): heads at the marker stay. A pattern that can
+    // match the marker must therefore have a kStay command.
+    for (size_t i = 0; i < num_inputs_; ++i) {
+      bool may_be_marker =
+          t.scanned[i].kind == SymPattern::Kind::kMarker ||
+          t.scanned[i].kind == SymPattern::Kind::kWildcard;
+      if (may_be_marker && t.moves[i] == HeadMove::kAdvance) {
+        return fail(StrCat("head ", i,
+                           " may scan the marker but advances "
+                           "(restriction (ii) of Definition 7)"));
+      }
+    }
+    // Restriction (iii): callees take m+1 inputs.
+    if (t.output.kind == Output::Kind::kCall) {
+      if (t.output.callee == nullptr) return fail("null callee");
+      if (t.output.callee->NumInputs() != num_inputs_ + 1) {
+        return fail(StrCat("callee '", t.output.callee->name(),
+                           "' takes ", t.output.callee->NumInputs(),
+                           " inputs; a subtransducer of an ", num_inputs_,
+                           "-input machine needs ", num_inputs_ + 1,
+                           " (restriction (iii) of Definition 7)"));
+      }
+      max_callee_order =
+          std::max(max_callee_order, t.output.callee->Order());
+    }
+    if (t.output.kind == Output::Kind::kEcho) {
+      if (t.output.echo_input >= num_inputs_) {
+        return fail("echo references a missing tape");
+      }
+      if (t.scanned[t.output.echo_input].kind == SymPattern::Kind::kMarker) {
+        return fail("echo of a tape that scans the marker");
+      }
+    }
+  }
+  m->order_ = 1 + max_callee_order;
+  // Group rows per state for lookup.
+  m->rows_by_state_.assign(m->state_names_.size(), {});
+  for (uint32_t r = 0; r < m->rows_.size(); ++r) {
+    m->rows_by_state_[m->rows_[r].from].push_back(r);
+  }
+  return std::shared_ptr<const Transducer>(machine_.release());
+}
+
+}  // namespace transducer
+}  // namespace seqlog

@@ -1,0 +1,58 @@
+// seqlog: fluent construction of generalized sequence transducers.
+#ifndef SEQLOG_TRANSDUCER_BUILDER_H_
+#define SEQLOG_TRANSDUCER_BUILDER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "base/result.h"
+#include "transducer/transducer.h"
+
+namespace seqlog {
+namespace transducer {
+
+/// Builds an immutable Transducer, validating Definition 7's restrictions
+/// at Build() time:
+///  * at least one input tape;
+///  * every transition moves at least one head;
+///  * a head scanning the marker never advances (patterns that can match
+///    the marker — kMarker, kWildcard — must have kStay at that position);
+///  * callees take exactly m+1 inputs;
+///  * echo outputs reference a tape whose pattern cannot be the marker.
+///
+/// The machine's order is computed as 1 + max over callee orders
+/// (1 when there are no calls), mirroring the T_k hierarchy.
+class TransducerBuilder {
+ public:
+  TransducerBuilder(std::string name, size_t num_inputs);
+
+  /// Declares (or finds) a state. The first state added is initial unless
+  /// SetInitial is called.
+  StateId State(const std::string& name);
+
+  void SetInitial(StateId state);
+
+  /// Appends a transition row; rows of a state match in insertion order.
+  TransducerBuilder& Add(StateId from, std::vector<SymPattern> scanned,
+                         StateId to, std::vector<HeadMove> moves,
+                         Output output);
+
+  /// Overrides the default output-length budget.
+  void SetMaxOutputLength(size_t limit);
+
+  /// Validates and freezes the machine.
+  Result<std::shared_ptr<const Transducer>> Build();
+
+ private:
+  std::string name_;
+  size_t num_inputs_;
+  std::unique_ptr<Transducer> machine_;
+  std::map<std::string, StateId> states_;
+  bool initial_set_ = false;
+};
+
+}  // namespace transducer
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSDUCER_BUILDER_H_

@@ -1,0 +1,84 @@
+#include "transducer/genome.h"
+
+#include <array>
+
+namespace seqlog {
+namespace transducer {
+
+namespace {
+
+Symbol S(SymbolTable* symbols, char c) {
+  return symbols->Intern(std::string_view(&c, 1));
+}
+
+/// The standard genetic code, indexed by codon over u,c,a,g. '*' marks
+/// stop codons.
+struct CodonRow {
+  const char* codon;
+  char amino_acid;
+};
+
+constexpr CodonRow kGeneticCode[] = {
+    {"uuu", 'F'}, {"uuc", 'F'}, {"uua", 'L'}, {"uug", 'L'},
+    {"cuu", 'L'}, {"cuc", 'L'}, {"cua", 'L'}, {"cug", 'L'},
+    {"auu", 'I'}, {"auc", 'I'}, {"aua", 'I'}, {"aug", 'M'},
+    {"guu", 'V'}, {"guc", 'V'}, {"gua", 'V'}, {"gug", 'V'},
+    {"ucu", 'S'}, {"ucc", 'S'}, {"uca", 'S'}, {"ucg", 'S'},
+    {"ccu", 'P'}, {"ccc", 'P'}, {"cca", 'P'}, {"ccg", 'P'},
+    {"acu", 'T'}, {"acc", 'T'}, {"aca", 'T'}, {"acg", 'T'},
+    {"gcu", 'A'}, {"gcc", 'A'}, {"gca", 'A'}, {"gcg", 'A'},
+    {"uau", 'Y'}, {"uac", 'Y'}, {"uaa", '*'}, {"uag", '*'},
+    {"cau", 'H'}, {"cac", 'H'}, {"caa", 'Q'}, {"cag", 'Q'},
+    {"aau", 'N'}, {"aac", 'N'}, {"aaa", 'K'}, {"aag", 'K'},
+    {"gau", 'D'}, {"gac", 'D'}, {"gaa", 'E'}, {"gag", 'E'},
+    {"ugu", 'C'}, {"ugc", 'C'}, {"uga", '*'}, {"ugg", 'W'},
+    {"cgu", 'R'}, {"cgc", 'R'}, {"cga", 'R'}, {"cgg", 'R'},
+    {"agu", 'S'}, {"agc", 'S'}, {"aga", 'R'}, {"agg", 'R'},
+    {"ggu", 'G'}, {"ggc", 'G'}, {"gga", 'G'}, {"ggg", 'G'},
+};
+
+}  // namespace
+
+Result<TransducerPtr> MakeTranscribe(std::string name,
+                                     SymbolTable* symbols) {
+  std::map<Symbol, Symbol> mapping = {
+      {S(symbols, 'a'), S(symbols, 'u')},
+      {S(symbols, 'c'), S(symbols, 'g')},
+      {S(symbols, 'g'), S(symbols, 'c')},
+      {S(symbols, 't'), S(symbols, 'a')},
+  };
+  return MakeMap(std::move(name), mapping, /*pass_unmapped=*/false);
+}
+
+Result<TransducerPtr> MakeDnaComplement(std::string name,
+                                        SymbolTable* symbols) {
+  std::map<Symbol, Symbol> mapping = {
+      {S(symbols, 'a'), S(symbols, 't')},
+      {S(symbols, 't'), S(symbols, 'a')},
+      {S(symbols, 'c'), S(symbols, 'g')},
+      {S(symbols, 'g'), S(symbols, 'c')},
+  };
+  return MakeMap(std::move(name), mapping, /*pass_unmapped=*/false);
+}
+
+Result<TransducerPtr> MakeTranslate(std::string name,
+                                    SymbolTable* symbols) {
+  std::map<std::vector<Symbol>, Symbol> codons;
+  for (const CodonRow& row : kGeneticCode) {
+    std::vector<Symbol> codon = {S(symbols, row.codon[0]),
+                                 S(symbols, row.codon[1]),
+                                 S(symbols, row.codon[2])};
+    codons[codon] = S(symbols, row.amino_acid);
+  }
+  return MakeCodonTranslate(std::move(name), codons);
+}
+
+Result<TransducerPtr> MakeDnaReverse(std::string name,
+                                     SymbolTable* symbols) {
+  std::vector<Symbol> alphabet = {S(symbols, 'a'), S(symbols, 'c'),
+                                  S(symbols, 'g'), S(symbols, 't')};
+  return MakeReverse(std::move(name), alphabet);
+}
+
+}  // namespace transducer
+}  // namespace seqlog

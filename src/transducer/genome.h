@@ -1,0 +1,38 @@
+// seqlog: molecular-biology transducers (Example 7.1).
+//
+// DNA is modelled over {a,c,g,t}, RNA over {a,c,g,u}, proteins over the
+// 20-letter amino-acid alphabet. Transcription maps each nucleotide to
+// its ribonucleotide (a->u, c->g, g->c, t->a); translation groups RNA
+// into codons and maps each through the standard genetic code. As in the
+// paper, intron splicing / reading frames / stop codons are simplified
+// away: translation maps every complete codon (stop codons map to '*')
+// and drops a trailing partial codon.
+#ifndef SEQLOG_TRANSDUCER_GENOME_H_
+#define SEQLOG_TRANSDUCER_GENOME_H_
+
+#include "sequence/symbol_table.h"
+#include "transducer/library.h"
+
+namespace seqlog {
+namespace transducer {
+
+/// DNA -> RNA transcription (order 1).
+Result<TransducerPtr> MakeTranscribe(std::string name,
+                                     SymbolTable* symbols);
+
+/// DNA -> DNA Watson-Crick complement a<->t, c<->g (order 1).
+Result<TransducerPtr> MakeDnaComplement(std::string name,
+                                        SymbolTable* symbols);
+
+/// RNA -> protein translation via the standard genetic code (order 1).
+/// Stop codons translate to '*'.
+Result<TransducerPtr> MakeTranslate(std::string name, SymbolTable* symbols);
+
+/// DNA reversal over {a,c,g,t} (order 2).
+Result<TransducerPtr> MakeDnaReverse(std::string name,
+                                     SymbolTable* symbols);
+
+}  // namespace transducer
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSDUCER_GENOME_H_

@@ -1,0 +1,228 @@
+#include "transducer/library.h"
+
+#include "base/string_util.h"
+#include "transducer/builder.h"
+
+namespace seqlog {
+namespace transducer {
+
+namespace {
+
+/// Pattern row: markers for tapes [0, upto), kAny at `upto`, wildcards
+/// after — "the first unconsumed tape is `upto`".
+std::vector<SymPattern> FirstLivePattern(size_t m, size_t upto) {
+  std::vector<SymPattern> p(m, SymPattern::Wildcard());
+  for (size_t i = 0; i < upto; ++i) p[i] = SymPattern::Marker();
+  p[upto] = SymPattern::Any();
+  return p;
+}
+
+/// Moves vector advancing only `which`.
+std::vector<HeadMove> AdvanceOnly(size_t m, size_t which) {
+  std::vector<HeadMove> moves(m, HeadMove::kStay);
+  moves[which] = HeadMove::kAdvance;
+  return moves;
+}
+
+}  // namespace
+
+Result<TransducerPtr> MakeAppend(std::string name, size_t num_inputs) {
+  TransducerBuilder b(std::move(name), num_inputs);
+  StateId q = b.State("q0");
+  // Advance (and echo) the first tape that still has symbols.
+  for (size_t i = 0; i < num_inputs; ++i) {
+    b.Add(q, FirstLivePattern(num_inputs, i), q,
+          AdvanceOnly(num_inputs, i), Output::Echo(i));
+  }
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeIdentity(std::string name) {
+  return MakeAppend(std::move(name), 1);
+}
+
+Result<TransducerPtr> MakeProject(std::string name, size_t num_inputs,
+                                  size_t keep) {
+  if (keep >= num_inputs) {
+    return Status::InvalidArgument(
+        StrCat("project: keep=", keep, " out of range"));
+  }
+  TransducerBuilder b(std::move(name), num_inputs);
+  StateId q = b.State("q0");
+  {
+    // While the kept tape is live, echo it.
+    std::vector<SymPattern> p(num_inputs, SymPattern::Wildcard());
+    p[keep] = SymPattern::Any();
+    b.Add(q, p, q, AdvanceOnly(num_inputs, keep), Output::Echo(keep));
+  }
+  for (size_t i = 0; i < num_inputs; ++i) {
+    if (i == keep) continue;
+    // Kept tape exhausted: silently drain tape i.
+    std::vector<SymPattern> p(num_inputs, SymPattern::Wildcard());
+    p[keep] = SymPattern::Marker();
+    p[i] = SymPattern::Any();
+    b.Add(q, p, q, AdvanceOnly(num_inputs, i), Output::Epsilon());
+  }
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeMap(std::string name,
+                              const std::map<Symbol, Symbol>& mapping,
+                              bool pass_unmapped) {
+  TransducerBuilder b(std::move(name), 1);
+  StateId q = b.State("q0");
+  for (const auto& [from, to] : mapping) {
+    b.Add(q, {SymPattern::Exact(from)}, q, {HeadMove::kAdvance},
+          Output::Emit(to));
+  }
+  if (pass_unmapped) {
+    b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+          Output::Echo(0));
+  }
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeErase(std::string name,
+                                const std::set<Symbol>& erase) {
+  TransducerBuilder b(std::move(name), 1);
+  StateId q = b.State("q0");
+  for (Symbol s : erase) {
+    b.Add(q, {SymPattern::Exact(s)}, q, {HeadMove::kAdvance},
+          Output::Epsilon());
+  }
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance}, Output::Echo(0));
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeCodonTranslate(
+    std::string name,
+    const std::map<std::vector<Symbol>, Symbol>& codons) {
+  TransducerBuilder b(std::move(name), 1);
+  StateId q0 = b.State("q0");
+  // Collect the ribonucleotide alphabet from the table.
+  std::set<Symbol> alphabet;
+  for (const auto& [codon, aa] : codons) {
+    (void)aa;
+    if (codon.size() != 3) {
+      return Status::InvalidArgument("codons must have length 3");
+    }
+    for (Symbol s : codon) alphabet.insert(s);
+  }
+  // One state per 1- and 2-symbol prefix.
+  for (Symbol a : alphabet) {
+    StateId qa = b.State(StrCat("q_", a));
+    b.Add(q0, {SymPattern::Exact(a)}, qa, {HeadMove::kAdvance},
+          Output::Epsilon());
+    for (Symbol c : alphabet) {
+      StateId qac = b.State(StrCat("q_", a, "_", c));
+      b.Add(qa, {SymPattern::Exact(c)}, qac, {HeadMove::kAdvance},
+            Output::Epsilon());
+    }
+  }
+  for (const auto& [codon, aa] : codons) {
+    StateId qac = b.State(StrCat("q_", codon[0], "_", codon[1]));
+    b.Add(qac, {SymPattern::Exact(codon[2])}, q0, {HeadMove::kAdvance},
+          Output::Emit(aa));
+  }
+  return b.Build();
+}
+
+Result<TransducerPtr> MakePrependSymbol(std::string name, Symbol s) {
+  TransducerBuilder b(std::move(name), 2);
+  StateId p0 = b.State("emit");
+  StateId p1 = b.State("copy");
+  // Emit the prefix symbol, paying with one symbol of input 1.
+  b.Add(p0, {SymPattern::Any(), SymPattern::Wildcard()}, p1,
+        {HeadMove::kAdvance, HeadMove::kStay}, Output::Emit(s));
+  // Copy input 2 (the caller's current output).
+  b.Add(p1, {SymPattern::Wildcard(), SymPattern::Any()}, p1,
+        {HeadMove::kStay, HeadMove::kAdvance}, Output::Echo(1));
+  // Then silently drain the rest of input 1.
+  b.Add(p1, {SymPattern::Any(), SymPattern::Marker()}, p1,
+        {HeadMove::kAdvance, HeadMove::kStay}, Output::Epsilon());
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeReverse(std::string name,
+                                  const std::vector<Symbol>& alphabet) {
+  // reverse(x): consume x left to right keeping out = reverse(consumed
+  // prefix); on symbol a call a subtransducer computing a . out.
+  std::map<Symbol, TransducerPtr> prepends;
+  for (Symbol a : alphabet) {
+    SEQLOG_ASSIGN_OR_RETURN(
+        TransducerPtr p,
+        MakePrependSymbol(StrCat(name, "_prepend_", a), a));
+    prepends[a] = std::move(p);
+  }
+  TransducerBuilder b(std::move(name), 1);
+  StateId q = b.State("q0");
+  for (Symbol a : alphabet) {
+    b.Add(q, {SymPattern::Exact(a)}, q, {HeadMove::kAdvance},
+          Output::Call(prepends[a]));
+  }
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeEcho(std::string name,
+                               const std::vector<Symbol>& alphabet) {
+  // On symbol a, call a subtransducer computing out . a . a.
+  std::map<Symbol, TransducerPtr> appenders;
+  for (Symbol a : alphabet) {
+    TransducerBuilder sub(StrCat(name, "_twice_", a), 2);
+    StateId e0 = sub.State("copy");
+    StateId e1 = sub.State("first");
+    StateId e2 = sub.State("second");
+    sub.Add(e0, {SymPattern::Wildcard(), SymPattern::Any()}, e0,
+            {HeadMove::kStay, HeadMove::kAdvance}, Output::Echo(1));
+    sub.Add(e0, {SymPattern::Any(), SymPattern::Marker()}, e1,
+            {HeadMove::kAdvance, HeadMove::kStay}, Output::Emit(a));
+    sub.Add(e1, {SymPattern::Any(), SymPattern::Marker()}, e2,
+            {HeadMove::kAdvance, HeadMove::kStay}, Output::Emit(a));
+    sub.Add(e2, {SymPattern::Any(), SymPattern::Marker()}, e2,
+            {HeadMove::kAdvance, HeadMove::kStay}, Output::Epsilon());
+    SEQLOG_ASSIGN_OR_RETURN(TransducerPtr p, sub.Build());
+    appenders[a] = std::move(p);
+  }
+  TransducerBuilder b(std::move(name), 1);
+  StateId q = b.State("q0");
+  for (Symbol a : alphabet) {
+    b.Add(q, {SymPattern::Exact(a)}, q, {HeadMove::kAdvance},
+          Output::Call(appenders[a]));
+  }
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeSquare(std::string name) {
+  SEQLOG_ASSIGN_OR_RETURN(TransducerPtr append,
+                          MakeAppend(StrCat(name, "_append"), 2));
+  TransducerBuilder b(std::move(name), 1);
+  StateId q = b.State("q0");
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+        Output::Call(append));
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeSquareTotal(std::string name) {
+  SEQLOG_ASSIGN_OR_RETURN(TransducerPtr append3,
+                          MakeAppend(StrCat(name, "_append3"), 3));
+  TransducerBuilder b(std::move(name), 2);
+  StateId q = b.State("q0");
+  b.Add(q, {SymPattern::Any(), SymPattern::Wildcard()}, q,
+        {HeadMove::kAdvance, HeadMove::kStay}, Output::Call(append3));
+  b.Add(q, {SymPattern::Marker(), SymPattern::Any()}, q,
+        {HeadMove::kStay, HeadMove::kAdvance}, Output::Call(append3));
+  return b.Build();
+}
+
+Result<TransducerPtr> MakeDoubleExp(std::string name) {
+  SEQLOG_ASSIGN_OR_RETURN(TransducerPtr square,
+                          MakeSquareTotal(StrCat(name, "_square")));
+  TransducerBuilder b(std::move(name), 1);
+  StateId q = b.State("q0");
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+        Output::Call(square));
+  return b.Build();
+}
+
+}  // namespace transducer
+}  // namespace seqlog

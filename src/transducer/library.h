@@ -1,0 +1,93 @@
+// seqlog: a library of standard generalized transducers.
+//
+// Orders follow Section 6: machines that never call a subtransducer have
+// order 1 and output no longer than their total input; order-2 machines
+// reach polynomial output length (MakeSquare attains n^2, Theorem 4);
+// order-3 machines reach hyperexponential length (MakeDoubleExp attains
+// 2^2^Theta(n)).
+//
+// Machines built from patterns/echo are alphabet-generic wherever
+// possible; the ones that must mention symbols (map, reverse, echo) take
+// the concrete alphabet.
+#ifndef SEQLOG_TRANSDUCER_LIBRARY_H_
+#define SEQLOG_TRANSDUCER_LIBRARY_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "transducer/transducer.h"
+
+namespace seqlog {
+namespace transducer {
+
+using TransducerPtr = std::shared_ptr<const Transducer>;
+
+/// m-input concatenation: outputs in1 in2 ... inm. Order 1.
+Result<TransducerPtr> MakeAppend(std::string name, size_t num_inputs);
+
+/// Identity on one input. Order 1.
+Result<TransducerPtr> MakeIdentity(std::string name);
+
+/// m-input projection: outputs input `keep`, consuming the rest. Order 1.
+Result<TransducerPtr> MakeProject(std::string name, size_t num_inputs,
+                                  size_t keep);
+
+/// Symbol-to-symbol map (e.g. complement, DNA->RNA transcription).
+/// Unmapped symbols pass through when `pass_unmapped`, otherwise the
+/// machine is partial (stuck). Order 1.
+Result<TransducerPtr> MakeMap(std::string name,
+                              const std::map<Symbol, Symbol>& mapping,
+                              bool pass_unmapped);
+
+/// Deletes the given symbols, copies the rest. Order 1.
+Result<TransducerPtr> MakeErase(std::string name,
+                                const std::set<Symbol>& erase);
+
+/// Groups the input into triples and maps each through `codons`
+/// (RNA -> protein translation, Example 7.1). Partial on unknown codons;
+/// a trailing incomplete codon is dropped. Order 1.
+Result<TransducerPtr> MakeCodonTranslate(
+    std::string name,
+    const std::map<std::vector<Symbol>, Symbol>& codons);
+
+/// 2-input machine computing s . in2 (prepends the fixed symbol `s`),
+/// consuming input 1 for step budget. Partial when input 1 is empty but
+/// input 2 is not. Order 1.
+Result<TransducerPtr> MakePrependSymbol(std::string name, Symbol s);
+
+/// Reverses its input. Needs the concrete alphabet (one prepend
+/// subtransducer per symbol). Order 2 — a one-way order-1 transducer
+/// cannot reverse.
+Result<TransducerPtr> MakeReverse(std::string name,
+                                  const std::vector<Symbol>& alphabet);
+
+/// Doubles every symbol (abc -> aabbcc, the paper's Example 1.6 "echo").
+/// Order 2; correct for inputs of length >= 2. A Definition 7 machine
+/// cannot emit 2 symbols from a length-1 input (every (sub)invocation's
+/// output is bounded by its total input length), so echo("a") halts
+/// after emitting a single "a"; the Sequence Datalog echo program
+/// (programs::kEcho) covers all lengths.
+Result<TransducerPtr> MakeEcho(std::string name,
+                               const std::vector<Symbol>& alphabet);
+
+/// Example 6.1's T_square: appends a copy of the input to the output at
+/// every step via an append subtransducer; |out| = n^2. Order 2.
+Result<TransducerPtr> MakeSquare(std::string name);
+
+/// 2-input squaring of the total input length: |out| = (n1+n2)^2, built
+/// from an append-3 subtransducer. Order 2; the building block of the
+/// order-3 tower.
+Result<TransducerPtr> MakeSquareTotal(std::string name);
+
+/// Order-3 machine attaining the Theorem 4 lower bound: each step squares
+/// (n + |out|), giving |out| = 2^2^Theta(n).
+Result<TransducerPtr> MakeDoubleExp(std::string name);
+
+}  // namespace transducer
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSDUCER_LIBRARY_H_

@@ -1,0 +1,106 @@
+#include "transducer/network.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace transducer {
+
+Result<size_t> TransducerNetwork::AddNode(
+    std::shared_ptr<const Transducer> machine,
+    std::vector<InputSource> inputs) {
+  if (machine == nullptr) {
+    return Status::InvalidArgument("null machine");
+  }
+  if (inputs.size() != machine->NumInputs()) {
+    return Status::InvalidArgument(
+        StrCat("node '", machine->name(), "' needs ",
+               machine->NumInputs(), " inputs, got ", inputs.size()));
+  }
+  for (const InputSource& src : inputs) {
+    if (src.kind == InputSource::Kind::kNetworkInput) {
+      if (src.index >= num_inputs_) {
+        return Status::InvalidArgument(
+            StrCat("network input ", src.index, " out of range"));
+      }
+    } else {
+      // Referencing only earlier nodes keeps the network acyclic.
+      if (src.index >= nodes_.size()) {
+        return Status::InvalidArgument(
+            StrCat("node source ", src.index,
+                   " must reference an earlier node"));
+      }
+    }
+  }
+  nodes_.push_back(Node{std::move(machine), std::move(inputs)});
+  return nodes_.size() - 1;
+}
+
+Status TransducerNetwork::SetOutput(size_t node) {
+  if (node >= nodes_.size()) {
+    return Status::InvalidArgument(StrCat("no node ", node));
+  }
+  output_node_ = node;
+  output_set_ = true;
+  return Status::Ok();
+}
+
+int TransducerNetwork::Order() const {
+  int order = 0;
+  for (const Node& n : nodes_) {
+    order = std::max(order, n.machine->Order());
+  }
+  return order;
+}
+
+Result<SeqId> TransducerNetwork::Apply(std::span<const SeqId> inputs,
+                                       SequencePool* pool) const {
+  RunStats stats;
+  return Run(inputs, pool, &stats);
+}
+
+Result<SeqId> TransducerNetwork::Run(std::span<const SeqId> inputs,
+                                     SequencePool* pool,
+                                     RunStats* stats) const {
+  if (!output_set_) {
+    return Status::FailedPrecondition(
+        StrCat("network '", name_, "' has no output node"));
+  }
+  if (inputs.size() != num_inputs_) {
+    return Status::InvalidArgument(
+        StrCat("network '", name_, "' takes ", num_inputs_,
+               " inputs, got ", inputs.size()));
+  }
+  std::vector<SeqId> node_outputs(nodes_.size(), kEmptySeq);
+  for (size_t ni = 0; ni < nodes_.size(); ++ni) {
+    const Node& node = nodes_[ni];
+    std::vector<SeqId> node_inputs;
+    node_inputs.reserve(node.inputs.size());
+    for (const InputSource& src : node.inputs) {
+      node_inputs.push_back(src.kind == InputSource::Kind::kNetworkInput
+                                ? inputs[src.index]
+                                : node_outputs[src.index]);
+    }
+    SEQLOG_ASSIGN_OR_RETURN(
+        node_outputs[ni],
+        node.machine->Run(node_inputs, pool, stats, nullptr));
+  }
+  return node_outputs[output_node_];
+}
+
+size_t TransducerNetwork::Diameter() const {
+  // Longest path (in nodes) ending at each node; inputs have depth 0.
+  std::vector<size_t> depth(nodes_.size(), 1);
+  for (size_t ni = 0; ni < nodes_.size(); ++ni) {
+    for (const InputSource& src : nodes_[ni].inputs) {
+      if (src.kind == InputSource::Kind::kNode) {
+        depth[ni] = std::max(depth[ni], depth[src.index] + 1);
+      }
+    }
+  }
+  return output_set_ && !nodes_.empty() ? depth[output_node_] : 0;
+}
+
+}  // namespace transducer
+}  // namespace seqlog

@@ -1,0 +1,90 @@
+// seqlog: acyclic transducer networks (Section 6.2).
+//
+// A network wires transducer outputs to transducer inputs. Acyclicity is
+// guaranteed by construction: a node's inputs may only reference network
+// inputs or earlier nodes. The network's complexity parameters are its
+// *diameter* (longest node path from an input to the output, bounding the
+// number of transformations a sequence undergoes) and its *order* (the
+// maximum machine order). Theorem 4 bounds output sizes by these two
+// parameters; Theorems 5 and 6 characterise order-2 networks as PTIME
+// and order-3 networks as elementary.
+//
+// Networks implement SequenceFunction, so a whole network can back a
+// @name(...) term in Transducer Datalog.
+#ifndef SEQLOG_TRANSDUCER_NETWORK_H_
+#define SEQLOG_TRANSDUCER_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "transducer/transducer.h"
+
+namespace seqlog {
+namespace transducer {
+
+/// Where one transducer input comes from.
+struct InputSource {
+  enum class Kind { kNetworkInput, kNode };
+  Kind kind = Kind::kNetworkInput;
+  size_t index = 0;
+
+  static InputSource FromNetwork(size_t i) {
+    return InputSource{Kind::kNetworkInput, i};
+  }
+  static InputSource FromNode(size_t node) {
+    return InputSource{Kind::kNode, node};
+  }
+};
+
+/// A single-output acyclic network of generalized transducers.
+class TransducerNetwork : public SequenceFunction {
+ public:
+  TransducerNetwork(std::string name, size_t num_network_inputs)
+      : name_(std::move(name)), num_inputs_(num_network_inputs) {}
+
+  /// Adds a node running `machine` on the given sources. Sources must
+  /// reference network inputs or already-added nodes (checked). Returns
+  /// the node id.
+  Result<size_t> AddNode(std::shared_ptr<const Transducer> machine,
+                         std::vector<InputSource> inputs);
+
+  /// Designates the node whose output is the network output.
+  Status SetOutput(size_t node);
+
+  // SequenceFunction:
+  const std::string& name() const override { return name_; }
+  size_t NumInputs() const override { return num_inputs_; }
+  /// Maximum order of any machine in the network (Section 6.2).
+  int Order() const override;
+  Result<SeqId> Apply(std::span<const SeqId> inputs,
+                      SequencePool* pool) const override;
+
+  /// Apply with step statistics accumulated over all nodes.
+  Result<SeqId> Run(std::span<const SeqId> inputs, SequencePool* pool,
+                    RunStats* stats) const;
+
+  /// Longest node path ending at the output node (1 for a single
+  /// transducer).
+  size_t Diameter() const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    std::shared_ptr<const Transducer> machine;
+    std::vector<InputSource> inputs;
+  };
+
+  std::string name_;
+  size_t num_inputs_;
+  std::vector<Node> nodes_;
+  size_t output_node_ = 0;
+  bool output_set_ = false;
+};
+
+}  // namespace transducer
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSDUCER_NETWORK_H_

@@ -1,0 +1,366 @@
+#include "transducer/nondet.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "base/hash.h"
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace transducer {
+
+namespace {
+
+/// One branch of the exploration: control state, head positions, and the
+/// output accumulated so far (interned to keep configurations small and
+/// memoizable).
+struct Config {
+  StateId state;
+  std::vector<size_t> heads;
+  SeqId output;
+
+  bool operator==(const Config& other) const {
+    return state == other.state && output == other.output &&
+           heads == other.heads;
+  }
+};
+
+struct ConfigHash {
+  size_t operator()(const Config& c) const {
+    size_t h = HashCombine(c.state, c.output);
+    for (size_t p : c.heads) h = HashCombine(h, p);
+    return h;
+  }
+};
+
+/// Depth-first exploration of all runs of one machine on fixed inputs.
+/// Runs of distinct machines (caller vs. callee) use separate Explorer
+/// instances but share the budget accounting through `steps`.
+class Explorer {
+ public:
+  Explorer(const NondetTransducer& machine, std::span<const SeqId> inputs,
+           SequencePool* pool, const NdRunLimits& limits, NdRunStats* stats,
+           size_t* steps)
+      : machine_(machine),
+        pool_(pool),
+        limits_(limits),
+        stats_(stats),
+        steps_(steps) {
+    tapes_.reserve(inputs.size());
+    for (SeqId in : inputs) tapes_.push_back(pool->View(in));
+    inputs_.assign(inputs.begin(), inputs.end());
+  }
+
+  Status Run(std::vector<SeqId>* outputs) {
+    Config start;
+    start.state = machine_.initial_state();
+    start.heads.assign(tapes_.size(), 0);
+    start.output = kEmptySeq;
+    SEQLOG_RETURN_IF_ERROR(Visit(start));
+    outputs->assign(outputs_.begin(), outputs_.end());
+    std::sort(outputs->begin(), outputs->end());
+    return Status::Ok();
+  }
+
+ private:
+  Status Visit(const Config& config) {
+    // Two branches reaching the same (state, heads, output) have
+    // identical futures; explore once.
+    if (!visited_.insert(config).second) {
+      if (stats_ != nullptr) ++stats_->dedup_hits;
+      return Status::Ok();
+    }
+
+    std::vector<Symbol> scanned(tapes_.size(), kEndMarker);
+    bool all_markers = true;
+    for (size_t i = 0; i < tapes_.size(); ++i) {
+      scanned[i] = config.heads[i] < tapes_[i].size()
+                       ? tapes_[i][config.heads[i]]
+                       : kEndMarker;
+      if (scanned[i] != kEndMarker) all_markers = false;
+    }
+    if (all_markers) {
+      // Every head reads <| : this run halts and yields its output.
+      if (outputs_.insert(config.output).second && stats_ != nullptr) {
+        ++stats_->runs;
+      }
+      if (outputs_.size() > limits_.max_outputs) {
+        return Status::ResourceExhausted(
+            StrCat("nondeterministic transducer '", machine_.name(),
+                   "' produced more than ", limits_.max_outputs,
+                   " outputs"));
+      }
+      return Status::Ok();
+    }
+
+    // Set semantics: every matching row fires.
+    bool any_match = false;
+    for (const NdTransition& t : machine_.transitions()) {
+      if (t.from != config.state) continue;
+      bool match = true;
+      for (size_t i = 0; i < scanned.size(); ++i) {
+        if (!t.scanned[i].Matches(scanned[i])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      any_match = true;
+      SEQLOG_RETURN_IF_ERROR(Fire(config, scanned, t));
+    }
+    // A stuck branch (partial delta) contributes no output; other
+    // branches may still succeed. This mirrors rejecting runs of a
+    // nondeterministic automaton.
+    (void)any_match;
+    return Status::Ok();
+  }
+
+  Status Fire(const Config& config, std::span<const Symbol> scanned,
+              const NdTransition& t) {
+    if (++*steps_ > limits_.max_steps) {
+      return Status::ResourceExhausted(
+          StrCat("nondeterministic transducer '", machine_.name(),
+                 "' exceeded ", limits_.max_steps, " steps"));
+    }
+    if (stats_ != nullptr) ++stats_->steps;
+
+    // The outputs this transition can leave on the tape: exactly one for
+    // epsilon/emit/echo, one per callee output for calls.
+    std::vector<SeqId> next_outputs;
+    switch (t.output.kind) {
+      case NdOutput::Kind::kEpsilon:
+        next_outputs.push_back(config.output);
+        break;
+      case NdOutput::Kind::kSymbol:
+        next_outputs.push_back(
+            pool_->Concat(config.output, pool_->Singleton(t.output.symbol)));
+        break;
+      case NdOutput::Kind::kEcho: {
+        Symbol s = scanned[t.output.echo_input];
+        if (s == kEndMarker) {
+          return Status::FailedPrecondition(
+              StrCat("nondeterministic transducer '", machine_.name(),
+                     "' echoes tape ", t.output.echo_input,
+                     " at its marker"));
+        }
+        next_outputs.push_back(
+            pool_->Concat(config.output, pool_->Singleton(s)));
+        break;
+      }
+      case NdOutput::Kind::kCall: {
+        if (stats_ != nullptr) ++stats_->calls;
+        std::vector<SeqId> sub_inputs = inputs_;
+        sub_inputs.push_back(config.output);
+        Explorer sub(*t.output.callee, sub_inputs, pool_, limits_, stats_,
+                     steps_);
+        SEQLOG_RETURN_IF_ERROR(sub.Run(&next_outputs));
+        break;
+      }
+    }
+
+    Config next;
+    next.state = t.to;
+    next.heads = config.heads;
+    for (size_t i = 0; i < next.heads.size(); ++i) {
+      if (t.moves[i] == HeadMove::kAdvance) ++next.heads[i];
+    }
+    for (SeqId out : next_outputs) {
+      if (pool_->Length(out) > limits_.max_output_length) {
+        return Status::ResourceExhausted(
+            StrCat("nondeterministic transducer '", machine_.name(),
+                   "' output exceeded ", limits_.max_output_length,
+                   " symbols"));
+      }
+      next.output = out;
+      SEQLOG_RETURN_IF_ERROR(Visit(next));
+    }
+    return Status::Ok();
+  }
+
+  const NondetTransducer& machine_;
+  SequencePool* pool_;
+  const NdRunLimits& limits_;
+  NdRunStats* stats_;
+  size_t* steps_;
+  std::vector<SeqView> tapes_;
+  std::vector<SeqId> inputs_;
+  std::unordered_set<Config, ConfigHash> visited_;
+  std::unordered_set<SeqId> outputs_;
+};
+
+}  // namespace
+
+Result<std::vector<SeqId>> NondetTransducer::RunAll(
+    std::span<const SeqId> inputs, SequencePool* pool,
+    const NdRunLimits& limits, NdRunStats* stats) const {
+  if (inputs.size() != num_inputs_) {
+    return Status::InvalidArgument(
+        StrCat("nondeterministic transducer '", name_, "' takes ",
+               num_inputs_, " inputs, got ", inputs.size()));
+  }
+  size_t steps = 0;
+  Explorer explorer(*this, inputs, pool, limits, stats, &steps);
+  std::vector<SeqId> outputs;
+  SEQLOG_RETURN_IF_ERROR(explorer.Run(&outputs));
+  return outputs;
+}
+
+Result<bool> NondetTransducer::Relates(std::span<const SeqId> inputs,
+                                       SeqId output, SequencePool* pool,
+                                       const NdRunLimits& limits) const {
+  SEQLOG_ASSIGN_OR_RETURN(std::vector<SeqId> outputs,
+                          RunAll(inputs, pool, limits, nullptr));
+  return std::binary_search(outputs.begin(), outputs.end(), output);
+}
+
+NondetBuilder::NondetBuilder(std::string name, size_t num_inputs)
+    : name_(std::move(name)),
+      num_inputs_(num_inputs),
+      machine_(new NondetTransducer()) {
+  machine_->name_ = name_;
+  machine_->num_inputs_ = num_inputs_;
+}
+
+StateId NondetBuilder::State(const std::string& name) {
+  auto it = states_.find(name);
+  if (it != states_.end()) return it->second;
+  StateId id = static_cast<StateId>(machine_->state_names_.size());
+  machine_->state_names_.push_back(name);
+  states_.emplace(name, id);
+  if (machine_->state_names_.size() == 1 && !initial_set_) {
+    machine_->initial_ = id;
+  }
+  return id;
+}
+
+void NondetBuilder::SetInitial(StateId state) {
+  machine_->initial_ = state;
+  initial_set_ = true;
+}
+
+NondetBuilder& NondetBuilder::Add(StateId from,
+                                  std::vector<SymPattern> scanned,
+                                  StateId to, std::vector<HeadMove> moves,
+                                  NdOutput output) {
+  NdTransition t;
+  t.from = from;
+  t.scanned = std::move(scanned);
+  t.to = to;
+  t.moves = std::move(moves);
+  t.output = std::move(output);
+  machine_->rows_.push_back(std::move(t));
+  return *this;
+}
+
+Result<std::shared_ptr<const NondetTransducer>> NondetBuilder::Build() {
+  NondetTransducer* m = machine_.get();
+  if (num_inputs_ == 0) {
+    return Status::InvalidArgument(
+        StrCat("transducer '", name_, "' must have at least one input"));
+  }
+  if (m->state_names_.empty()) {
+    return Status::InvalidArgument(
+        StrCat("transducer '", name_, "' has no states"));
+  }
+  int max_callee_order = 0;
+  for (size_t r = 0; r < m->rows_.size(); ++r) {
+    const NdTransition& t = m->rows_[r];
+    auto fail = [&](std::string_view what) {
+      return Status::InvalidArgument(
+          StrCat("transducer '", name_, "' transition ", r, ": ", what));
+    };
+    if (t.scanned.size() != num_inputs_ || t.moves.size() != num_inputs_) {
+      return fail("pattern/move arity mismatch");
+    }
+    if (t.from >= m->state_names_.size() ||
+        t.to >= m->state_names_.size()) {
+      return fail("unknown state");
+    }
+    if (std::none_of(t.moves.begin(), t.moves.end(), [](HeadMove hm) {
+          return hm == HeadMove::kAdvance;
+        })) {
+      return fail("no head advances (restriction (i) of Definition 7)");
+    }
+    for (size_t i = 0; i < num_inputs_; ++i) {
+      bool may_be_marker =
+          t.scanned[i].kind == SymPattern::Kind::kMarker ||
+          t.scanned[i].kind == SymPattern::Kind::kWildcard;
+      if (may_be_marker && t.moves[i] == HeadMove::kAdvance) {
+        return fail(StrCat("head ", i,
+                           " may scan the marker but advances "
+                           "(restriction (ii) of Definition 7)"));
+      }
+    }
+    if (t.output.kind == NdOutput::Kind::kCall) {
+      if (t.output.callee == nullptr) return fail("null callee");
+      if (t.output.callee->NumInputs() != num_inputs_ + 1) {
+        return fail(StrCat("callee '", t.output.callee->name(),
+                           "' takes ", t.output.callee->NumInputs(),
+                           " inputs; a subtransducer of an ", num_inputs_,
+                           "-input machine needs ", num_inputs_ + 1,
+                           " (restriction (iii) of Definition 7)"));
+      }
+      max_callee_order =
+          std::max(max_callee_order, t.output.callee->Order());
+    }
+    if (t.output.kind == NdOutput::Kind::kEcho) {
+      if (t.output.echo_input >= num_inputs_) {
+        return fail("echo references a missing tape");
+      }
+      if (t.scanned[t.output.echo_input].kind ==
+          SymPattern::Kind::kMarker) {
+        return fail("echo of a tape that scans the marker");
+      }
+    }
+  }
+  m->order_ = 1 + max_callee_order;
+  m->rows_by_state_.assign(m->state_names_.size(), {});
+  for (uint32_t r = 0; r < m->rows_.size(); ++r) {
+    m->rows_by_state_[m->rows_[r].from].push_back(r);
+  }
+  return std::shared_ptr<const NondetTransducer>(machine_.release());
+}
+
+Result<std::shared_ptr<const NondetTransducer>> LiftDeterministic(
+    const Transducer& machine, std::span<const Symbol> alphabet) {
+  NondetBuilder builder(StrCat(machine.name(), "_nd"),
+                        machine.NumInputs());
+  // Recreate the state set in id order so StateIds carry over.
+  for (StateId s = 0; s < machine.num_states(); ++s) {
+    builder.State(machine.StateName(s));
+  }
+  builder.SetInitial(machine.initial_state());
+  for (const Transducer::GroundTransition& g :
+       machine.EnumerateGroundTransitions(alphabet)) {
+    std::vector<SymPattern> scanned;
+    scanned.reserve(g.scanned.size());
+    for (Symbol s : g.scanned) {
+      scanned.push_back(s == kEndMarker ? SymPattern::Marker()
+                                        : SymPattern::Exact(s));
+    }
+    NdOutput out;
+    switch (g.output.kind) {
+      case Output::Kind::kEpsilon:
+        out = NdOutput::Epsilon();
+        break;
+      case Output::Kind::kSymbol:
+        out = NdOutput::Emit(g.output.symbol);
+        break;
+      case Output::Kind::kEcho:
+        // EnumerateGroundTransitions grounds echoes to kSymbol.
+        return Status::Internal("ground transition with echo output");
+      case Output::Kind::kCall: {
+        SEQLOG_ASSIGN_OR_RETURN(
+            std::shared_ptr<const NondetTransducer> callee,
+            LiftDeterministic(*g.output.callee, alphabet));
+        out = NdOutput::Call(std::move(callee));
+        break;
+      }
+    }
+    builder.Add(g.from, std::move(scanned), g.to, g.moves, std::move(out));
+  }
+  return builder.Build();
+}
+
+}  // namespace transducer
+}  // namespace seqlog

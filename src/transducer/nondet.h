@@ -1,0 +1,171 @@
+// seqlog: nondeterministic generalized sequence transducers.
+//
+// Definition 7 is stated for deterministic machines, but the paper
+// remarks that "it can easily be generalized to allow nondeterministic
+// computations" (and cites nondeterministic transducer models such as
+// the generic a-transducers of [16] and the automata of [20]). This
+// module is that generalization: the transition function becomes a
+// transition *relation* — several rows may match one (state, scanned)
+// combination — and a machine computes the finite *set* of outputs over
+// all successful runs. Every run still consumes at least one input
+// symbol per step, so every run terminates and the output set is finite
+// for finite inputs; nondeterminism buys breadth, not divergence.
+//
+// Subtransducer calls compose naturally: a callee is itself
+// nondeterministic, so a call step branches once per callee output.
+// Orders mirror the deterministic T_k hierarchy.
+#ifndef SEQLOG_TRANSDUCER_NONDET_H_
+#define SEQLOG_TRANSDUCER_NONDET_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "sequence/sequence_pool.h"
+#include "transducer/transducer.h"
+
+namespace seqlog {
+namespace transducer {
+
+class NondetTransducer;
+
+/// The output action of a nondeterministic transition: as Output, plus
+/// calls target nondeterministic callees.
+struct NdOutput {
+  enum class Kind : uint8_t { kEpsilon, kSymbol, kEcho, kCall };
+  Kind kind = Kind::kEpsilon;
+  Symbol symbol = 0;
+  size_t echo_input = 0;
+  std::shared_ptr<const NondetTransducer> callee;
+
+  static NdOutput Epsilon() { return NdOutput{}; }
+  static NdOutput Emit(Symbol s) {
+    NdOutput o;
+    o.kind = Kind::kSymbol;
+    o.symbol = s;
+    return o;
+  }
+  static NdOutput Echo(size_t input) {
+    NdOutput o;
+    o.kind = Kind::kEcho;
+    o.echo_input = input;
+    return o;
+  }
+  static NdOutput Call(std::shared_ptr<const NondetTransducer> callee) {
+    NdOutput o;
+    o.kind = Kind::kCall;
+    o.callee = std::move(callee);
+    return o;
+  }
+};
+
+/// One nondeterministic transition row. Unlike Transition, *every*
+/// matching row of a state fires (set semantics, not first-match-wins).
+struct NdTransition {
+  StateId from = 0;
+  std::vector<SymPattern> scanned;
+  StateId to = 0;
+  std::vector<HeadMove> moves;
+  NdOutput output;
+};
+
+/// Budgets for one RunAll. Exponentially many runs are possible (each
+/// step may branch), so exploration is budgeted like evaluation is.
+struct NdRunLimits {
+  size_t max_steps = 1'000'000;   ///< transitions explored, calls included
+  size_t max_outputs = 100'000;   ///< distinct outputs collected
+  size_t max_output_length = 1u << 20;
+};
+
+/// Counters for one RunAll.
+struct NdRunStats {
+  size_t steps = 0;        ///< transitions explored (all branches)
+  size_t calls = 0;        ///< subtransducer invocations
+  size_t runs = 0;         ///< completed runs (all heads on markers)
+  size_t dedup_hits = 0;   ///< configurations pruned by memoization
+};
+
+/// An immutable nondeterministic generalized sequence transducer. Build
+/// with NondetBuilder. A machine with at most one matching row per
+/// configuration behaves exactly like the deterministic Transducer.
+class NondetTransducer {
+ public:
+  const std::string& name() const { return name_; }
+  size_t NumInputs() const { return num_inputs_; }
+  /// Order in the T_k hierarchy: 1 + max callee order (1 if no calls).
+  int Order() const { return order_; }
+  size_t num_states() const { return state_names_.size(); }
+  const std::string& StateName(StateId s) const { return state_names_[s]; }
+  StateId initial_state() const { return initial_; }
+  const std::vector<NdTransition>& transitions() const { return rows_; }
+
+  /// Computes the set of outputs over all runs on `inputs`, sorted by
+  /// SeqId and duplicate-free. Exploration stops with kResourceExhausted
+  /// when a budget is hit (partial output sets are not returned: a
+  /// truncated set would silently under-approximate the machine's
+  /// semantics).
+  Result<std::vector<SeqId>> RunAll(std::span<const SeqId> inputs,
+                                    SequencePool* pool,
+                                    const NdRunLimits& limits = {},
+                                    NdRunStats* stats = nullptr) const;
+
+  /// True if RunAll(inputs) would contain `output` — i.e. the pair is in
+  /// the machine's input/output relation.
+  Result<bool> Relates(std::span<const SeqId> inputs, SeqId output,
+                       SequencePool* pool,
+                       const NdRunLimits& limits = {}) const;
+
+ private:
+  friend class NondetBuilder;
+  NondetTransducer() = default;
+
+  std::string name_;
+  size_t num_inputs_ = 1;
+  int order_ = 1;
+  StateId initial_ = 0;
+  std::vector<std::string> state_names_;
+  std::vector<NdTransition> rows_;
+  std::vector<std::vector<uint32_t>> rows_by_state_;
+};
+
+/// Builder enforcing the same Definition-7 restrictions as
+/// TransducerBuilder (>= 1 input, every row moves a head, marker heads
+/// stay, callee arity m+1, echo tapes cannot scan the marker) — without
+/// the determinism requirement.
+class NondetBuilder {
+ public:
+  NondetBuilder(std::string name, size_t num_inputs);
+
+  StateId State(const std::string& name);
+  void SetInitial(StateId state);
+
+  NondetBuilder& Add(StateId from, std::vector<SymPattern> scanned,
+                     StateId to, std::vector<HeadMove> moves,
+                     NdOutput output);
+
+  Result<std::shared_ptr<const NondetTransducer>> Build();
+
+ private:
+  std::string name_;
+  size_t num_inputs_;
+  std::unique_ptr<NondetTransducer> machine_;
+  std::map<std::string, StateId> states_;
+  bool initial_set_ = false;
+};
+
+/// Embeds a deterministic machine into the nondeterministic model. The
+/// deterministic table is first grounded over `alphabet`
+/// (EnumerateGroundTransitions), which resolves first-match-wins
+/// priority to at most one row per (state, scanned) combination, so the
+/// lifted machine has exactly the same runs. Calls are lifted
+/// recursively. Used by tests to check that determinism is the
+/// single-output special case of RunAll.
+Result<std::shared_ptr<const NondetTransducer>> LiftDeterministic(
+    const Transducer& machine, std::span<const Symbol> alphabet);
+
+}  // namespace transducer
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSDUCER_NONDET_H_

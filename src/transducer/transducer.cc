@@ -1,0 +1,224 @@
+#include "transducer/transducer.h"
+
+#include <algorithm>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace transducer {
+
+bool SymPattern::Matches(Symbol scanned) const {
+  switch (kind) {
+    case Kind::kExact:
+      return scanned == symbol;
+    case Kind::kAnySymbol:
+      return scanned != kEndMarker;
+    case Kind::kMarker:
+      return scanned == kEndMarker;
+    case Kind::kWildcard:
+      return true;
+  }
+  return false;
+}
+
+const Transition* Transducer::FindTransition(
+    StateId state, std::span<const Symbol> scanned) const {
+  for (uint32_t idx : rows_by_state_[state]) {
+    const Transition& t = rows_[idx];
+    bool match = true;
+    for (size_t i = 0; i < scanned.size(); ++i) {
+      if (!t.scanned[i].Matches(scanned[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return &t;
+  }
+  return nullptr;
+}
+
+Result<SeqId> Transducer::Apply(std::span<const SeqId> inputs,
+                                SequencePool* pool) const {
+  RunStats stats;
+  return Run(inputs, pool, &stats, nullptr);
+}
+
+Result<SeqId> Transducer::Run(std::span<const SeqId> inputs,
+                              SequencePool* pool, RunStats* stats,
+                              std::vector<TraceRow>* trace) const {
+  return RunImpl(inputs, pool, stats, trace, /*top_level=*/true);
+}
+
+Result<SeqId> Transducer::RunImpl(std::span<const SeqId> inputs,
+                                  SequencePool* pool, RunStats* stats,
+                                  std::vector<TraceRow>* trace,
+                                  bool top_level) const {
+  if (inputs.size() != num_inputs_) {
+    return Status::InvalidArgument(
+        StrCat("transducer '", name_, "' takes ", num_inputs_,
+               " inputs, got ", inputs.size()));
+  }
+  std::vector<SeqView> tapes;
+  tapes.reserve(num_inputs_);
+  for (SeqId in : inputs) tapes.push_back(pool->View(in));
+  std::vector<size_t> heads(num_inputs_, 0);
+  std::vector<Symbol> output;
+  std::vector<Symbol> scanned(num_inputs_, kEndMarker);
+  StateId state = initial_;
+  size_t steps = 0;
+
+  while (true) {
+    bool all_markers = true;
+    for (size_t i = 0; i < num_inputs_; ++i) {
+      scanned[i] = heads[i] < tapes[i].size() ? tapes[i][heads[i]]
+                                              : kEndMarker;
+      if (scanned[i] != kEndMarker) all_markers = false;
+    }
+    if (all_markers) break;  // every head reads <| : halt
+
+    const Transition* t = FindTransition(state, scanned);
+    if (t == nullptr) {
+      // delta is a partial mapping: the machine is stuck; the result is
+      // undefined (callers treat kFailedPrecondition as "no output").
+      return Status::FailedPrecondition(
+          StrCat("transducer '", name_, "' stuck in state ",
+                 state_names_[state]));
+    }
+
+    TraceRow row;
+    if (trace != nullptr) {
+      row.step = steps + 1;
+      row.head_positions = heads;
+      row.state = state_names_[state];
+      row.output_before = output;
+    }
+
+    switch (t->output.kind) {
+      case Output::Kind::kEpsilon:
+        if (trace != nullptr) row.operation = "eps";
+        break;
+      case Output::Kind::kSymbol:
+        output.push_back(t->output.symbol);
+        if (trace != nullptr) row.operation = "emit";
+        break;
+      case Output::Kind::kEcho: {
+        Symbol s = scanned[t->output.echo_input];
+        if (s == kEndMarker) {
+          return Status::FailedPrecondition(
+              StrCat("transducer '", name_, "' echoes tape ",
+                     t->output.echo_input, " at its marker"));
+        }
+        output.push_back(s);
+        if (trace != nullptr) row.operation = "emit";
+        break;
+      }
+      case Output::Kind::kCall: {
+        // The subtransducer receives copies of all m inputs plus the
+        // current output; its output overwrites ours (Section 6.1).
+        ++stats->calls;
+        std::vector<SeqId> sub_inputs(inputs.begin(), inputs.end());
+        sub_inputs.push_back(pool->Intern(output));
+        SEQLOG_ASSIGN_OR_RETURN(
+            SeqId sub_out,
+            t->output.callee->RunImpl(sub_inputs, pool, stats, nullptr,
+                                      /*top_level=*/false));
+        SeqView v = pool->View(sub_out);
+        output.assign(v.begin(), v.end());
+        if (trace != nullptr) {
+          row.operation = StrCat("call ", t->output.callee->name());
+        }
+        break;
+      }
+    }
+    if (output.size() > max_output_length_) {
+      return Status::ResourceExhausted(
+          StrCat("transducer '", name_, "' output exceeded ",
+                 max_output_length_, " symbols"));
+    }
+
+    for (size_t i = 0; i < num_inputs_; ++i) {
+      if (t->moves[i] == HeadMove::kAdvance) {
+        SEQLOG_DCHECK(scanned[i] != kEndMarker)
+            << "head advanced past marker in '" << name_ << "'";
+        ++heads[i];
+      }
+    }
+    state = t->to;
+    ++steps;
+    ++stats->total_steps;
+    if (top_level) ++stats->top_steps;
+    stats->max_output = std::max(stats->max_output, output.size());
+
+    if (trace != nullptr) {
+      row.output_after = output;
+      trace->push_back(std::move(row));
+    }
+  }
+  return pool->Intern(output);
+}
+
+std::vector<Transducer::GroundTransition>
+Transducer::EnumerateGroundTransitions(
+    std::span<const Symbol> alphabet) const {
+  // Candidate symbols per tape position: the alphabet plus the marker.
+  std::vector<Symbol> candidates(alphabet.begin(), alphabet.end());
+  candidates.push_back(kEndMarker);
+
+  std::vector<GroundTransition> out;
+  std::vector<Symbol> scanned(num_inputs_, 0);
+  for (StateId s = 0; s < state_names_.size(); ++s) {
+    // Enumerate all |candidates|^m scanned combinations.
+    std::vector<size_t> idx(num_inputs_, 0);
+    while (true) {
+      for (size_t i = 0; i < num_inputs_; ++i) {
+        scanned[i] = candidates[idx[i]];
+      }
+      bool all_markers =
+          std::all_of(scanned.begin(), scanned.end(),
+                      [](Symbol v) { return v == kEndMarker; });
+      if (!all_markers) {  // the machine halts before reading all-markers
+        const Transition* t = FindTransition(s, scanned);
+        if (t != nullptr) {
+          GroundTransition g;
+          g.from = s;
+          g.scanned = scanned;
+          g.to = t->to;
+          g.moves = t->moves;
+          g.output = t->output;
+          if (g.output.kind == Output::Kind::kEcho) {
+            // Ground echo to the concrete scanned symbol.
+            g.output = Output::Emit(scanned[t->output.echo_input]);
+          }
+          out.push_back(std::move(g));
+        }
+      }
+      // Advance the odometer.
+      size_t pos = 0;
+      while (pos < num_inputs_ && ++idx[pos] == candidates.size()) {
+        idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == num_inputs_) break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const Transducer>> Transducer::Callees() const {
+  std::vector<std::shared_ptr<const Transducer>> out;
+  for (const Transition& t : rows_) {
+    if (t.output.kind != Output::Kind::kCall) continue;
+    bool seen = false;
+    for (const auto& c : out) {
+      if (c.get() == t.output.callee.get()) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(t.output.callee);
+  }
+  return out;
+}
+
+}  // namespace transducer
+}  // namespace seqlog

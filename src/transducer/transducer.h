@@ -1,0 +1,192 @@
+// seqlog: generalized sequence transducers (Section 6, Definition 7).
+//
+// A generalized m-input transducer of order k reads m input tapes (each
+// terminated by an end-of-tape marker), consumes at least one input
+// symbol per step, and at each step either appends one symbol to its
+// output, leaves the output unchanged, or *calls a subtransducer of
+// order < k* with m+1 inputs: copies of its own m inputs plus its current
+// output; the callee's output then overwrites the caller's output. The
+// machine halts when every head scans its marker, so termination is
+// guaranteed on finite inputs.
+//
+// Transitions here are pattern-based sugar over the paper's
+// delta : K x (Sigma u {<|})^m -> K x {-,>}^m x (Sigma u {eps} u T_{k-1});
+// a pattern row matches exact symbols, "any non-marker symbol", the
+// marker, or anything, and the output may *echo* the symbol currently
+// scanned on some tape. Over a finite alphabet every pattern machine
+// expands to a plain Definition-7 machine (EnumerateGroundTransitions
+// performs the expansion; the Theorem 7 translation uses it).
+#ifndef SEQLOG_TRANSDUCER_TRANSDUCER_H_
+#define SEQLOG_TRANSDUCER_TRANSDUCER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "sequence/seq_function.h"
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+
+namespace seqlog {
+namespace transducer {
+
+using StateId = uint32_t;
+
+/// Input head command (the paper's `-` and `>`).
+enum class HeadMove : uint8_t { kStay, kAdvance };
+
+/// What one transition row requires of one scanned tape symbol.
+struct SymPattern {
+  enum class Kind : uint8_t { kExact, kAnySymbol, kMarker, kWildcard };
+  Kind kind = Kind::kWildcard;
+  Symbol symbol = 0;  // kExact payload
+
+  static SymPattern Exact(Symbol s) {
+    return SymPattern{Kind::kExact, s};
+  }
+  /// Any ordinary symbol (not the marker).
+  static SymPattern Any() { return SymPattern{Kind::kAnySymbol, 0}; }
+  /// The end-of-tape marker.
+  static SymPattern Marker() { return SymPattern{Kind::kMarker, 0}; }
+  /// Anything, marker included. The head must stay on such a position
+  /// (checked at Build time) so the marker-stay restriction holds.
+  static SymPattern Wildcard() { return SymPattern{Kind::kWildcard, 0}; }
+
+  bool Matches(Symbol scanned) const;
+};
+
+class Transducer;
+
+/// The output action of a transition.
+struct Output {
+  enum class Kind : uint8_t { kEpsilon, kSymbol, kEcho, kCall };
+  Kind kind = Kind::kEpsilon;
+  Symbol symbol = 0;      // kSymbol
+  size_t echo_input = 0;  // kEcho: append the symbol scanned on tape i
+  std::shared_ptr<const Transducer> callee;  // kCall
+
+  static Output Epsilon() { return Output{}; }
+  static Output Emit(Symbol s) {
+    Output o;
+    o.kind = Kind::kSymbol;
+    o.symbol = s;
+    return o;
+  }
+  static Output Echo(size_t input) {
+    Output o;
+    o.kind = Kind::kEcho;
+    o.echo_input = input;
+    return o;
+  }
+  static Output Call(std::shared_ptr<const Transducer> callee) {
+    Output o;
+    o.kind = Kind::kCall;
+    o.callee = std::move(callee);
+    return o;
+  }
+};
+
+/// One transition row. Rows of a state are tried in insertion order; the
+/// first whose patterns all match fires (the machine is deterministic for
+/// disjoint patterns and "prioritised deterministic" otherwise).
+struct Transition {
+  StateId from = 0;
+  std::vector<SymPattern> scanned;
+  StateId to = 0;
+  std::vector<HeadMove> moves;
+  Output output;
+};
+
+/// Counters for one (possibly nested) run.
+struct RunStats {
+  size_t top_steps = 0;    ///< transitions of the outermost machine
+  size_t total_steps = 0;  ///< transitions including all subtransducers
+  size_t calls = 0;        ///< subtransducer invocations
+  size_t max_output = 0;   ///< longest output tape ever materialised
+};
+
+/// One row of an execution trace (used to regenerate the paper's
+/// Figure 2). Only the top-level machine is traced.
+struct TraceRow {
+  size_t step = 0;
+  std::vector<size_t> head_positions;  ///< before the step
+  std::string state;                   ///< state name before the step
+  std::vector<Symbol> output_before;
+  std::vector<Symbol> output_after;
+  std::string operation;  ///< "emit a" / "eps" / "call append" ...
+};
+
+/// An immutable generalized sequence transducer. Build with
+/// TransducerBuilder (builder.h). Implements SequenceFunction so machines
+/// plug directly into Transducer Datalog rules.
+class Transducer : public SequenceFunction {
+ public:
+  // SequenceFunction:
+  const std::string& name() const override { return name_; }
+  size_t NumInputs() const override { return num_inputs_; }
+  int Order() const override { return order_; }
+  Result<SeqId> Apply(std::span<const SeqId> inputs,
+                      SequencePool* pool) const override;
+
+  /// Apply with statistics and optional top-level trace.
+  Result<SeqId> Run(std::span<const SeqId> inputs, SequencePool* pool,
+                    RunStats* stats,
+                    std::vector<TraceRow>* trace = nullptr) const;
+
+  size_t num_states() const { return state_names_.size(); }
+  const std::string& StateName(StateId s) const { return state_names_[s]; }
+  StateId initial_state() const { return initial_; }
+  const std::vector<Transition>& transitions() const { return rows_; }
+
+  /// Maximum output-tape length before Apply reports kResourceExhausted
+  /// (order-3 machines produce hyperexponential outputs; see Theorem 4).
+  size_t max_output_length() const { return max_output_length_; }
+
+  /// A ground Definition-7 transition: concrete scanned symbols (marker
+  /// encoded as kEndMarker), concrete moves, and a symbol / epsilon /
+  /// callee output. Produced by expanding patterns over `alphabet`.
+  struct GroundTransition {
+    StateId from;
+    std::vector<Symbol> scanned;  ///< kEndMarker for the marker
+    StateId to;
+    std::vector<HeadMove> moves;
+    Output output;
+  };
+
+  /// Expands the pattern table over `alphabet` (which must not contain
+  /// kEndMarker). First-match-wins priority is preserved: for every
+  /// (state, scanned) combination at most one ground transition results.
+  std::vector<GroundTransition> EnumerateGroundTransitions(
+      std::span<const Symbol> alphabet) const;
+
+  /// All distinct subtransducers called by this machine (direct callees).
+  std::vector<std::shared_ptr<const Transducer>> Callees() const;
+
+ private:
+  friend class TransducerBuilder;
+  Transducer() = default;
+
+  const Transition* FindTransition(StateId state,
+                                   std::span<const Symbol> scanned) const;
+
+  Result<SeqId> RunImpl(std::span<const SeqId> inputs, SequencePool* pool,
+                        RunStats* stats, std::vector<TraceRow>* trace,
+                        bool top_level) const;
+
+  std::string name_;
+  size_t num_inputs_ = 1;
+  int order_ = 1;
+  StateId initial_ = 0;
+  std::vector<std::string> state_names_;
+  std::vector<Transition> rows_;
+  /// rows grouped per state for lookup: state -> indices into rows_.
+  std::vector<std::vector<uint32_t>> rows_by_state_;
+  size_t max_output_length_ = 1u << 24;  // 16M symbols
+};
+
+}  // namespace transducer
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSDUCER_TRANSDUCER_H_

@@ -1,0 +1,50 @@
+#include "translate/sd_to_td.h"
+
+namespace seqlog {
+namespace translate {
+
+namespace {
+
+ast::SeqTermPtr Rewrite(const ast::SeqTermPtr& term,
+                        const std::string& append_name) {
+  switch (term->kind) {
+    case ast::SeqTerm::Kind::kConstant:
+    case ast::SeqTerm::Kind::kVariable:
+    case ast::SeqTerm::Kind::kIndexed:
+      return term;
+    case ast::SeqTerm::Kind::kConcat:
+      return ast::MakeTransducerTerm(
+          append_name, {Rewrite(term->left, append_name),
+                        Rewrite(term->right, append_name)});
+    case ast::SeqTerm::Kind::kTransducer: {
+      std::vector<ast::SeqTermPtr> args;
+      args.reserve(term->args.size());
+      for (const ast::SeqTermPtr& a : term->args) {
+        args.push_back(Rewrite(a, append_name));
+      }
+      return ast::MakeTransducerTerm(term->transducer, std::move(args));
+    }
+  }
+  return term;
+}
+
+}  // namespace
+
+Result<ast::Program> SequenceDatalogToTransducerDatalog(
+    const ast::Program& program, const std::string& append_name) {
+  ast::Program out;
+  for (const ast::Clause& clause : program.clauses) {
+    ast::Clause c;
+    c.head.kind = clause.head.kind;
+    c.head.predicate = clause.head.predicate;
+    for (const ast::SeqTermPtr& arg : clause.head.args) {
+      c.head.args.push_back(Rewrite(arg, append_name));
+    }
+    c.body = clause.body;  // bodies have no constructive terms
+    out.clauses.push_back(std::move(c));
+  }
+  return out;
+}
+
+}  // namespace translate
+}  // namespace seqlog

@@ -1,0 +1,25 @@
+// seqlog: the Corollary 1 direction — Sequence Datalog into Transducer
+// Datalog by replacing each constructive term s1 ++ s2 with the
+// transducer term @append(s1, s2).
+#ifndef SEQLOG_TRANSLATE_SD_TO_TD_H_
+#define SEQLOG_TRANSLATE_SD_TO_TD_H_
+
+#include <string>
+
+#include "ast/clause.h"
+#include "base/result.h"
+
+namespace seqlog {
+namespace translate {
+
+/// Rewrites every head-level ++ into @`append_name`(...). The caller
+/// must register a 2-input append transducer (transducer::MakeAppend)
+/// under that name before evaluating the result. The transformation
+/// preserves the least fixpoint exactly (Corollary 1).
+Result<ast::Program> SequenceDatalogToTransducerDatalog(
+    const ast::Program& program, const std::string& append_name);
+
+}  // namespace translate
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSLATE_SD_TO_TD_H_

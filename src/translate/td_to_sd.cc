@@ -1,0 +1,407 @@
+#include "translate/td_to_sd.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace translate {
+
+namespace {
+
+using ast::Atom;
+using ast::Clause;
+using ast::MakeConcat;
+using ast::MakeConstant;
+using ast::MakeIndexed;
+using ast::MakeIndexAdd;
+using ast::MakeIndexEnd;
+using ast::MakeIndexLiteral;
+using ast::MakeIndexSub;
+using ast::MakeIndexVariable;
+using ast::MakePredicateAtom;
+using ast::MakeVariable;
+using ast::SeqTermPtr;
+using transducer::Transducer;
+
+class Translator {
+ public:
+  Translator(const eval::FunctionRegistry& registry, SymbolTable* symbols,
+             SequencePool* pool, const TdToSdOptions& options)
+      : registry_(registry),
+        symbols_(symbols),
+        pool_(pool),
+        options_(options) {}
+
+  Result<ast::Program> Run(const ast::Program& program) {
+    marker_ = symbols_->Intern(options_.marker_name);
+    SEQLOG_RETURN_IF_ERROR(CollectMachines(program));
+    BuildAlphabet();
+    for (const Clause& clause : program.clauses) {
+      SEQLOG_RETURN_IF_ERROR(RewriteClause(clause));
+    }
+    for (const auto& [name, machine] : machines_) {
+      SEQLOG_RETURN_IF_ERROR(TranslateMachine(*machine));
+    }
+    return std::move(out_);
+  }
+
+ private:
+  /// Resolves every mentioned transducer and its transitive callees.
+  Status CollectMachines(const ast::Program& program) {
+    std::vector<const Transducer*> work;
+    for (const std::string& name : program.MentionedTransducers()) {
+      SEQLOG_ASSIGN_OR_RETURN(const SequenceFunction* fn,
+                              registry_.Find(name));
+      const auto* t = dynamic_cast<const Transducer*>(fn);
+      if (t == nullptr) {
+        return Status::InvalidArgument(
+            StrCat("'", name,
+                   "' is not a plain transducer; flatten networks before "
+                   "translation"));
+      }
+      work.push_back(t);
+    }
+    while (!work.empty()) {
+      const Transducer* t = work.back();
+      work.pop_back();
+      if (machines_.count(t->name()) > 0) continue;
+      machines_.emplace(t->name(), t);
+      for (const auto& callee : t->Callees()) {
+        work.push_back(callee.get());
+        callees_kept_alive_.push_back(callee);
+      }
+    }
+    return Status::Ok();
+  }
+
+  /// Database alphabet plus every symbol any machine can write.
+  void BuildAlphabet() {
+    std::set<Symbol> alphabet(options_.alphabet.begin(),
+                              options_.alphabet.end());
+    for (const auto& [name, machine] : machines_) {
+      for (const transducer::Transition& t : machine->transitions()) {
+        if (t.output.kind == transducer::Output::Kind::kSymbol) {
+          alphabet.insert(t.output.symbol);
+        }
+      }
+    }
+    alphabet.erase(marker_);
+    alphabet_.assign(alphabet.begin(), alphabet.end());
+  }
+
+  // ---- term helpers -------------------------------------------------
+
+  SeqTermPtr Sym(Symbol s) { return MakeConstant(pool_->Singleton(s)); }
+  SeqTermPtr Eps() { return MakeConstant(kEmptySeq); }
+  SeqTermPtr MarkerTerm() { return Sym(marker_); }
+  SeqTermPtr Marked(SeqTermPtr term) {
+    return MakeConcat(std::move(term), MarkerTerm());
+  }
+  SeqTermPtr StateTerm(const Transducer& t, transducer::StateId s) {
+    return Sym(symbols_->Intern(StrCat("st_", t.name(), "_", s)));
+  }
+  SeqTermPtr MoveTerm(transducer::HeadMove m) {
+    return Sym(symbols_->Intern(
+        m == transducer::HeadMove::kAdvance ? "mv__" : "stay__"));
+  }
+  SeqTermPtr TagTerm(const Transducer& callee) {
+    return Sym(symbols_->Intern(StrCat("tag_", callee.name())));
+  }
+  /// X[1:end-1]: the unmarked content of a marked input.
+  SeqTermPtr Unmarked(const std::string& var) {
+    return MakeIndexed(MakeVariable(var), MakeIndexLiteral(1),
+                       MakeIndexSub(MakeIndexEnd(), MakeIndexLiteral(1)));
+  }
+
+  static std::string PredP(const Transducer& t) {
+    return StrCat("p_", t.name());
+  }
+  static std::string PredComp(const Transducer& t) {
+    return StrCat("comp_", t.name());
+  }
+  static std::string PredInput(const Transducer& t) {
+    return StrCat("input_", t.name());
+  }
+  static std::string PredDeltaSym(const Transducer& t) {
+    return StrCat("deltas_", t.name());
+  }
+  static std::string PredDeltaCall(const Transducer& t) {
+    return StrCat("deltac_", t.name());
+  }
+
+  // ---- user rule rewriting (gamma' / gamma'') ------------------------
+
+  Status RewriteClause(const Clause& clause) {
+    Clause rewritten;
+    rewritten.body = clause.body;
+    rewritten.head.kind = clause.head.kind;
+    rewritten.head.predicate = clause.head.predicate;
+    for (const SeqTermPtr& arg : clause.head.args) {
+      SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr flat,
+                              Flatten(arg, &rewritten.body));
+      rewritten.head.args.push_back(std::move(flat));
+    }
+    out_.clauses.push_back(std::move(rewritten));
+    return Status::Ok();
+  }
+
+  /// Replaces transducer terms by fresh variables bound via p_T atoms,
+  /// innermost first, and emits the input_T feeding rule for each call.
+  Result<SeqTermPtr> Flatten(const SeqTermPtr& term,
+                             std::vector<Atom>* body) {
+    switch (term->kind) {
+      case ast::SeqTerm::Kind::kConstant:
+      case ast::SeqTerm::Kind::kVariable:
+      case ast::SeqTerm::Kind::kIndexed:
+        return term;
+      case ast::SeqTerm::Kind::kConcat: {
+        SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr l, Flatten(term->left, body));
+        SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr r, Flatten(term->right, body));
+        return MakeConcat(std::move(l), std::move(r));
+      }
+      case ast::SeqTerm::Kind::kTransducer: {
+        std::vector<SeqTermPtr> args;
+        args.reserve(term->args.size());
+        for (const SeqTermPtr& a : term->args) {
+          SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr fa, Flatten(a, body));
+          args.push_back(std::move(fa));
+        }
+        auto it = machines_.find(term->transducer);
+        if (it == machines_.end()) {
+          return Status::NotFound(
+              StrCat("unknown transducer '", term->transducer, "'"));
+        }
+        const Transducer& t = *it->second;
+        if (t.NumInputs() != args.size()) {
+          return Status::InvalidArgument(
+              StrCat("transducer '", t.name(), "' takes ", t.NumInputs(),
+                     " inputs, got ", args.size()));
+        }
+        // gamma'': input_T(s1 ++ marker, ..., sm ++ marker) :- body
+        // (the body accumulated so far binds inner fresh variables).
+        Clause feed;
+        std::vector<SeqTermPtr> marked_args;
+        marked_args.reserve(args.size());
+        for (const SeqTermPtr& a : args) marked_args.push_back(Marked(a));
+        feed.head = MakePredicateAtom(PredInput(t), std::move(marked_args));
+        feed.body = *body;
+        out_.clauses.push_back(std::move(feed));
+        // gamma': replace the term by a fresh variable bound by p_T.
+        std::string fresh = StrCat("Tdv__", ++fresh_counter_);
+        std::vector<SeqTermPtr> p_args = args;
+        p_args.push_back(MakeVariable(fresh));
+        body->push_back(MakePredicateAtom(PredP(t), std::move(p_args)));
+        return MakeVariable(fresh);
+      }
+    }
+    return Status::Internal("unknown term kind");
+  }
+
+  // ---- machine simulation rules --------------------------------------
+
+  Status TranslateMachine(const Transducer& t) {
+    size_t m = t.NumInputs();
+    auto xvar = [&](size_t i) { return StrCat("X", i + 1); };
+    auto nvar = [&](size_t i) { return StrCat("N", i + 1); };
+    /// Xi[1:Ni], optionally advanced by one.
+    auto prefix = [&](size_t i, bool advanced) {
+      ast::IndexTermPtr hi = MakeIndexVariable(nvar(i));
+      if (advanced) hi = MakeIndexAdd(hi, MakeIndexLiteral(1));
+      return MakeIndexed(MakeVariable(xvar(i)), MakeIndexLiteral(1), hi);
+    };
+    /// Xi[Ni+1]: the scanned symbol.
+    auto scanned = [&](size_t i) {
+      ast::IndexTermPtr at =
+          MakeIndexAdd(MakeIndexVariable(nvar(i)), MakeIndexLiteral(1));
+      return MakeIndexed(MakeVariable(xvar(i)), at, at);
+    };
+    auto input_atom = [&]() {
+      std::vector<SeqTermPtr> args;
+      for (size_t i = 0; i < m; ++i) args.push_back(MakeVariable(xvar(i)));
+      return MakePredicateAtom(PredInput(t), std::move(args));
+    };
+    auto comp_atom = [&]() {
+      std::vector<SeqTermPtr> args;
+      for (size_t i = 0; i < m; ++i) args.push_back(prefix(i, false));
+      args.push_back(MakeVariable("Z"));
+      args.push_back(MakeVariable("Q"));
+      return MakePredicateAtom(PredComp(t), std::move(args));
+    };
+
+    // Ground transition table as facts.
+    auto ground = t.EnumerateGroundTransitions(alphabet_);
+    for (const auto& g : ground) {
+      Clause fact;
+      std::vector<SeqTermPtr> args;
+      args.push_back(StateTerm(t, g.from));
+      for (Symbol s : g.scanned) {
+        args.push_back(s == kEndMarker ? MarkerTerm() : Sym(s));
+      }
+      args.push_back(StateTerm(t, g.to));
+      for (transducer::HeadMove mv : g.moves) {
+        args.push_back(MoveTerm(mv));
+      }
+      switch (g.output.kind) {
+        case transducer::Output::Kind::kEpsilon:
+          args.push_back(Eps());
+          fact.head = MakePredicateAtom(PredDeltaSym(t), std::move(args));
+          break;
+        case transducer::Output::Kind::kSymbol:
+          args.push_back(Sym(g.output.symbol));
+          fact.head = MakePredicateAtom(PredDeltaSym(t), std::move(args));
+          break;
+        case transducer::Output::Kind::kCall:
+          args.push_back(TagTerm(*g.output.callee));
+          fact.head = MakePredicateAtom(PredDeltaCall(t), std::move(args));
+          break;
+        case transducer::Output::Kind::kEcho:
+          return Status::Internal("echo should have been grounded");
+      }
+      out_.clauses.push_back(std::move(fact));
+    }
+
+    // gamma_2: the empty partial computation.
+    {
+      Clause c;
+      std::vector<SeqTermPtr> args;
+      for (size_t i = 0; i < m; ++i) args.push_back(Eps());
+      args.push_back(Eps());
+      args.push_back(StateTerm(t, t.initial_state()));
+      c.head = MakePredicateAtom(PredComp(t), std::move(args));
+      out_.clauses.push_back(std::move(c));
+    }
+
+    // Step rules, one per non-empty head-move combination (gamma_3..5
+    // generalised to m inputs).
+    for (size_t mask = 1; mask < (1u << m); ++mask) {
+      auto delta_args = [&](const std::string& delta_out_var) {
+        std::vector<SeqTermPtr> args;
+        args.push_back(MakeVariable("Q"));
+        for (size_t i = 0; i < m; ++i) args.push_back(scanned(i));
+        args.push_back(MakeVariable("QP"));
+        for (size_t i = 0; i < m; ++i) {
+          args.push_back(MoveTerm((mask >> i) & 1
+                                      ? transducer::HeadMove::kAdvance
+                                      : transducer::HeadMove::kStay));
+        }
+        args.push_back(MakeVariable(delta_out_var));
+        return args;
+      };
+      auto advanced_head = [&](SeqTermPtr out_term) {
+        std::vector<SeqTermPtr> args;
+        for (size_t i = 0; i < m; ++i) {
+          args.push_back(prefix(i, (mask >> i) & 1));
+        }
+        args.push_back(std::move(out_term));
+        args.push_back(MakeVariable("QP"));
+        return args;
+      };
+
+      // Symbol/epsilon output: comp(advanced, Z ++ O, QP).
+      {
+        Clause c;
+        c.head = MakePredicateAtom(
+            PredComp(t),
+            advanced_head(MakeConcat(MakeVariable("Z"), MakeVariable("O"))));
+        c.body.push_back(input_atom());
+        c.body.push_back(comp_atom());
+        c.body.push_back(
+            MakePredicateAtom(PredDeltaSym(t), delta_args("O")));
+        out_.clauses.push_back(std::move(c));
+      }
+
+      // Subtransducer calls (gamma'_4 / gamma'_5), one pair per callee.
+      for (const auto& callee : t.Callees()) {
+        // gamma'_4: the callee's result becomes the new output.
+        Clause c4;
+        c4.head =
+            MakePredicateAtom(PredComp(t), advanced_head(MakeVariable("Z2")));
+        c4.body.push_back(input_atom());
+        c4.body.push_back(comp_atom());
+        {
+          auto args = delta_args("O");
+          args.back() = TagTerm(*callee);
+          c4.body.push_back(
+              MakePredicateAtom(PredDeltaCall(t), std::move(args)));
+        }
+        {
+          // p_callee(unmarked inputs..., Z, Z2).
+          std::vector<SeqTermPtr> args;
+          for (size_t i = 0; i < m; ++i) args.push_back(Unmarked(xvar(i)));
+          args.push_back(MakeVariable("Z"));
+          args.push_back(MakeVariable("Z2"));
+          c4.body.push_back(
+              MakePredicateAtom(PredP(*callee), std::move(args)));
+        }
+        out_.clauses.push_back(std::move(c4));
+
+        // gamma'_5: feed the callee's input relation. The caller's
+        // tapes are reused marker and all; the output copy gets a fresh
+        // marker.
+        Clause c5;
+        {
+          std::vector<SeqTermPtr> args;
+          for (size_t i = 0; i < m; ++i) {
+            args.push_back(MakeVariable(xvar(i)));
+          }
+          args.push_back(Marked(MakeVariable("Z")));
+          c5.head = MakePredicateAtom(PredInput(*callee), std::move(args));
+        }
+        c5.body.push_back(input_atom());
+        c5.body.push_back(comp_atom());
+        {
+          auto args = delta_args("O");
+          args.back() = TagTerm(*callee);
+          c5.body.push_back(
+              MakePredicateAtom(PredDeltaCall(t), std::move(args)));
+        }
+        out_.clauses.push_back(std::move(c5));
+      }
+    }
+
+    // gamma_1: extraction — a computation that consumed everything up to
+    // the markers is complete.
+    {
+      Clause c;
+      std::vector<SeqTermPtr> head_args;
+      for (size_t i = 0; i < m; ++i) head_args.push_back(Unmarked(xvar(i)));
+      head_args.push_back(MakeVariable("Z"));
+      c.head = MakePredicateAtom(PredP(t), std::move(head_args));
+      c.body.push_back(input_atom());
+      std::vector<SeqTermPtr> comp_args;
+      for (size_t i = 0; i < m; ++i) comp_args.push_back(Unmarked(xvar(i)));
+      comp_args.push_back(MakeVariable("Z"));
+      comp_args.push_back(MakeVariable("Q"));
+      c.body.push_back(MakePredicateAtom(PredComp(t), std::move(comp_args)));
+      out_.clauses.push_back(std::move(c));
+    }
+    return Status::Ok();
+  }
+
+  const eval::FunctionRegistry& registry_;
+  SymbolTable* symbols_;
+  SequencePool* pool_;
+  TdToSdOptions options_;
+  Symbol marker_ = 0;
+  std::vector<Symbol> alphabet_;
+  std::map<std::string, const Transducer*> machines_;
+  std::vector<std::shared_ptr<const Transducer>> callees_kept_alive_;
+  ast::Program out_;
+  int fresh_counter_ = 0;
+};
+
+}  // namespace
+
+Result<ast::Program> TransducerDatalogToSequenceDatalog(
+    const ast::Program& program, const eval::FunctionRegistry& registry,
+    SymbolTable* symbols, SequencePool* pool,
+    const TdToSdOptions& options) {
+  Translator translator(registry, symbols, pool, options);
+  return translator.Run(program);
+}
+
+}  // namespace translate
+}  // namespace seqlog

@@ -1,0 +1,63 @@
+// seqlog: the Theorem 7 construction — compiling Transducer Datalog into
+// plain Sequence Datalog.
+//
+// For every transducer T mentioned in the program, the translation emits
+//   * delta facts encoding T's ground transition table (the pattern
+//     machine is expanded over the database alphabet plus every symbol
+//     any machine in the call tree can write);
+//   * comp_T rules simulating partial computations (one rule per
+//     non-empty head-move combination), with the consumed prefixes held
+//     as indexed terms X[1:N];
+//   * input_T rules feeding T's inputs (marker appended) from every rule
+//     body that invokes T — this is what preserves finiteness: the
+//     simulation only runs on inputs the original program actually
+//     supplies (the key point in the paper's proof);
+//   * p_T extraction rules, plus the subtransducer wiring rules
+//     (gamma'_4 / gamma'_5) for higher-order machines;
+//   * the user's rules with each @T(s...) term replaced by a fresh
+//     variable bound by a p_T body atom (nested transducer terms are
+//     flattened innermost-first).
+//
+// Deviation from the paper's (slightly sloppy) Appendix rules, documented
+// in DESIGN.md: markers are appended exactly once — a subtransducer
+// reuses the caller's already-marked input tapes and only the output copy
+// gets a fresh marker — and completion is detected by matching consumed
+// prefixes against X[1:end-1] (everything but the marker), since
+// Definition 7 machines halt *scanning* the marker, never past it.
+#ifndef SEQLOG_TRANSLATE_TD_TO_SD_H_
+#define SEQLOG_TRANSLATE_TD_TO_SD_H_
+
+#include <span>
+#include <string>
+
+#include "ast/clause.h"
+#include "base/result.h"
+#include "eval/function_registry.h"
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+#include "transducer/transducer.h"
+
+namespace seqlog {
+namespace translate {
+
+struct TdToSdOptions {
+  /// Database alphabet: symbols that may appear in input sequences.
+  /// Machine-writable symbols are added automatically.
+  std::vector<Symbol> alphabet;
+  /// Name of the end-of-tape marker symbol (interned on demand). It must
+  /// not occur in database sequences.
+  std::string marker_name = "eot__";
+};
+
+/// Translates `program` (Transducer Datalog) into an equivalent Sequence
+/// Datalog program (Theorem 7). Transducer names are resolved through
+/// `registry` and must be transducer::Transducer instances (networks
+/// would first be flattened into single machines by the caller).
+Result<ast::Program> TransducerDatalogToSequenceDatalog(
+    const ast::Program& program, const eval::FunctionRegistry& registry,
+    SymbolTable* symbols, SequencePool* pool, const TdToSdOptions& options);
+
+}  // namespace translate
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSLATE_TD_TO_SD_H_

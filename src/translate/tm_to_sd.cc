@@ -1,0 +1,137 @@
+#include "translate/tm_to_sd.h"
+
+namespace seqlog {
+namespace translate {
+
+namespace {
+
+using ast::Clause;
+using ast::MakeConcat;
+using ast::MakeConstant;
+using ast::MakeIndexed;
+using ast::MakeIndexEnd;
+using ast::MakeIndexLiteral;
+using ast::MakeIndexSub;
+using ast::MakePredicateAtom;
+using ast::MakeVariable;
+using ast::SeqTermPtr;
+
+}  // namespace
+
+Result<ast::Program> TmToSequenceDatalog(const tm::TuringMachine& machine,
+                                         SequencePool* pool,
+                                         const std::string& input_pred,
+                                         const std::string& output_pred) {
+  SEQLOG_RETURN_IF_ERROR(machine.Validate());
+  ast::Program program;
+
+  auto sym = [&](Symbol s) { return MakeConstant(pool->Singleton(s)); };
+  auto eps = [&]() { return MakeConstant(kEmptySeq); };
+
+  // gamma_1: conf(q0, eps, |-, X) :- input(X).
+  {
+    Clause c;
+    c.head = MakePredicateAtom(
+        "conf", {sym(machine.initial_state), eps(),
+                 sym(machine.left_marker), MakeVariable("X")});
+    c.body.push_back(MakePredicateAtom(input_pred, {MakeVariable("X")}));
+    program.clauses.push_back(std::move(c));
+  }
+
+  // One rule per transition.
+  for (const auto& [key, action] : machine.delta) {
+    const auto& [q, a] = key;
+    SeqTermPtr xl = MakeVariable("Xl");
+    SeqTermPtr xr = MakeVariable("Xr");
+    auto body_atom = [&]() {
+      return MakePredicateAtom("conf", {sym(q), MakeVariable("Xl"), sym(a),
+                                        MakeVariable("Xr")});
+    };
+    switch (action.move) {
+      case tm::TmMove::kStay: {
+        // conf(q', Xl, b, Xr) :- conf(q, Xl, a, Xr).
+        Clause c;
+        c.head = MakePredicateAtom(
+            "conf", {sym(action.next_state), xl, sym(action.write), xr});
+        c.body.push_back(body_atom());
+        program.clauses.push_back(std::move(c));
+        break;
+      }
+      case tm::TmMove::kLeft: {
+        // conf(q', Xl[1:end-1], Xl[end], b ++ Xr) :- conf(q, Xl, a, Xr).
+        Clause c;
+        c.head = MakePredicateAtom(
+            "conf",
+            {sym(action.next_state),
+             MakeIndexed(MakeVariable("Xl"), MakeIndexLiteral(1),
+                         MakeIndexSub(MakeIndexEnd(), MakeIndexLiteral(1))),
+             MakeIndexed(MakeVariable("Xl"), MakeIndexEnd(),
+                         MakeIndexEnd()),
+             MakeConcat(sym(action.write), xr)});
+        c.body.push_back(body_atom());
+        program.clauses.push_back(std::move(c));
+        break;
+      }
+      case tm::TmMove::kRight: {
+        // gamma_k: conf(q', Xl ++ b, Xr[1], Xr[2:end] ++ blank)
+        //            :- conf(q, Xl, a, Xr).
+        Clause c;
+        c.head = MakePredicateAtom(
+            "conf",
+            {sym(action.next_state), MakeConcat(xl, sym(action.write)),
+             MakeIndexed(MakeVariable("Xr"), MakeIndexLiteral(1),
+                         MakeIndexLiteral(1)),
+             MakeConcat(
+                 MakeIndexed(MakeVariable("Xr"), MakeIndexLiteral(2),
+                             MakeIndexEnd()),
+                 sym(machine.blank))});
+        c.body.push_back(body_atom());
+        program.clauses.push_back(std::move(c));
+
+        // Paper fix: with an empty right part Xr[1] is undefined, so the
+        // rule above cannot fire; the head then scans a fresh blank.
+        Clause c2;
+        c2.head = MakePredicateAtom(
+            "conf", {sym(action.next_state), MakeConcat(xl, sym(action.write)),
+                     sym(machine.blank), eps()});
+        c2.body.push_back(MakePredicateAtom(
+            "conf", {sym(q), MakeVariable("Xl"), sym(a), eps()}));
+        program.clauses.push_back(std::move(c2));
+        break;
+      }
+    }
+  }
+
+  // gamma_2: output(Xl[2:end] ++ S ++ Xr) :- conf(qh, Xl, S, Xr).
+  // Xl[2:end] strips the left-end marker, which is Xl's first symbol
+  // whenever the head is to its right.
+  for (Symbol qh : machine.halting_states) {
+    Clause c;
+    c.head = MakePredicateAtom(
+        output_pred,
+        {MakeConcat(
+            MakeConcat(MakeIndexed(MakeVariable("Xl"), MakeIndexLiteral(2),
+                                   MakeIndexEnd()),
+                       MakeVariable("S")),
+            MakeVariable("Xr"))});
+    c.body.push_back(MakePredicateAtom(
+        "conf",
+        {sym(qh), MakeVariable("Xl"), MakeVariable("S"),
+         MakeVariable("Xr")}));
+    program.clauses.push_back(std::move(c));
+
+    // Paper fix: halting with the head on the marker leaves Xl empty and
+    // Xl[2:end] undefined; the output is then just the right part.
+    Clause c2;
+    c2.head = MakePredicateAtom(output_pred, {MakeVariable("Xr")});
+    c2.body.push_back(MakePredicateAtom(
+        "conf",
+        {sym(qh), eps(), sym(machine.left_marker), MakeVariable("Xr")}));
+    program.clauses.push_back(std::move(c2));
+  }
+
+  return program;
+}
+
+}  // namespace translate
+}  // namespace seqlog

@@ -1,0 +1,43 @@
+// seqlog: the Theorem 1 construction — compiling a Turing machine into a
+// Sequence Datalog program that simulates it.
+//
+// Configurations are held in a 4-ary predicate conf(state, left, scanned,
+// right). One rule per machine transition advances reachable
+// configurations; an output rule extracts the tape when a halting state
+// is reached. Right-moves concatenate a blank onto the right part (the
+// paper's unbounded-tape trick), which is exactly why the generated
+// program has an infinite least fixpoint when the machine diverges
+// (exploited by Theorem 2).
+//
+// Two faithful fixes to the paper's rules, both documented in DESIGN.md:
+// the right-move rule needs an extra variant for an empty right part
+// (X_r[1] is undefined on the empty sequence), and the output rule needs
+// a variant for machines halting with the head on the left-end marker
+// (X_l[2:end] is undefined for an empty left part).
+#ifndef SEQLOG_TRANSLATE_TM_TO_SD_H_
+#define SEQLOG_TRANSLATE_TM_TO_SD_H_
+
+#include <string>
+
+#include "ast/clause.h"
+#include "base/result.h"
+#include "sequence/sequence_pool.h"
+#include "tm/turing.h"
+
+namespace seqlog {
+namespace translate {
+
+/// Generates the simulation program P_f of Theorem 1 for `machine`.
+/// The database schema is {input/1}; the result is returned in
+/// `output_pred` facts: output(y) holds iff the machine halts on x with
+/// tape output y (modulo trailing blanks; strip them with
+/// tm::ExtractOutput conventions).
+Result<ast::Program> TmToSequenceDatalog(const tm::TuringMachine& machine,
+                                         SequencePool* pool,
+                                         const std::string& input_pred,
+                                         const std::string& output_pred);
+
+}  // namespace translate
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSLATE_TM_TO_SD_H_

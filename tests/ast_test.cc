@@ -1,0 +1,140 @@
+// Unit tests for the AST: term constructors, constructive detection,
+// guardedness (Section 3.1), validation, printing.
+#include <gtest/gtest.h>
+
+#include "ast/clause.h"
+#include "ast/term.h"
+#include "ast/validate.h"
+#include "parser/parser.h"
+
+namespace seqlog {
+namespace ast {
+namespace {
+
+class AstTest : public ::testing::Test {
+ protected:
+  Clause Parse(std::string_view text) {
+    Result<Clause> c = parser::ParseClause(text, &symbols_, &pool_);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return c.value();
+  }
+  Program ParseP(std::string_view text) {
+    Result<Program> p = parser::ParseProgram(text, &symbols_, &pool_);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return p.value();
+  }
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+TEST_F(AstTest, ConstructiveDetection) {
+  EXPECT_FALSE(Parse("p(X) :- q(X).").IsConstructiveClause());
+  EXPECT_FALSE(Parse("p(X[1:N]) :- q(X).").IsConstructiveClause());
+  EXPECT_TRUE(Parse("p(X ++ Y) :- q(X), q(Y).").IsConstructiveClause());
+  EXPECT_TRUE(Parse("p(X[1] ++ Y) :- q(X), q(Y).").IsConstructiveClause());
+}
+
+TEST_F(AstTest, TransducerTermsAreConstructive) {
+  Program p = ParseP("p(@t(X)) :- q(X).");
+  EXPECT_TRUE(p.clauses[0].IsConstructiveClause());
+  EXPECT_TRUE(p.IsTransducerDatalog());
+  EXPECT_EQ(p.MentionedTransducers(), std::set<std::string>{"t"});
+}
+
+TEST_F(AstTest, PureSequenceDatalogHasNoTransducers) {
+  Program p = ParseP("p(X ++ Y) :- q(X), q(Y).");
+  EXPECT_FALSE(p.IsTransducerDatalog());
+  EXPECT_TRUE(p.MentionedTransducers().empty());
+}
+
+TEST_F(AstTest, GuardednessFollowsThePaperExamples) {
+  // Section 3.1: X is guarded in p(X[1]) :- q(X), unguarded in
+  // p(X) :- q(X[1]).
+  EXPECT_TRUE(IsGuarded(Parse("p(X[1]) :- q(X).")));
+  EXPECT_FALSE(IsGuarded(Parse("p(X) :- q(X[1]).")));
+  EXPECT_FALSE(IsGuarded(Parse("p(X) :- true.")));
+  EXPECT_TRUE(IsGuarded(Parse("p(X, Y) :- q(X), r(Y).")));
+  // Equality atoms do not guard.
+  EXPECT_FALSE(IsGuarded(Parse("p(X) :- X = abc.")));
+}
+
+TEST_F(AstTest, GuardedVarsListsBodyPredicateArguments) {
+  Clause c = Parse("p(X, Y) :- q(X), Y = X[1:2].");
+  std::set<std::string> guarded = GuardedVars(c);
+  EXPECT_TRUE(guarded.count("X"));
+  EXPECT_FALSE(guarded.count("Y"));
+}
+
+TEST_F(AstTest, CollectVarsSplitsRoles) {
+  Clause c = Parse("p(X[N:M], Y) :- q(Y).");
+  std::set<std::string> seq_vars;
+  std::set<std::string> idx_vars;
+  CollectAtomVars(c.head, &seq_vars, &idx_vars);
+  EXPECT_EQ(seq_vars, (std::set<std::string>{"X", "Y"}));
+  EXPECT_EQ(idx_vars, (std::set<std::string>{"N", "M"}));
+}
+
+TEST_F(AstTest, ValidationRejectsVariableRoleClash) {
+  // N used as both index and sequence variable.
+  Result<Program> p =
+      parser::ParseProgram("p(N, X[N:end]) :- q(X).", &symbols_, &pool_);
+  EXPECT_FALSE(p.ok());
+  EXPECT_EQ(p.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(AstTest, ValidationRejectsConstructiveBody) {
+  Result<Program> p =
+      parser::ParseProgram("p(X) :- q(X ++ X).", &symbols_, &pool_);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST_F(AstTest, ValidationRejectsArityMismatch) {
+  Result<Program> p = parser::ParseProgram("p(X) :- q(X).\np(X, Y) :- q(X), q(Y).",
+                                           &symbols_, &pool_);
+  EXPECT_FALSE(p.ok());
+}
+
+TEST_F(AstTest, ValidationRejectsTransducersInSequenceDatalog) {
+  Program p = ParseP("p(@t(X)) :- q(X).");
+  EXPECT_TRUE(Validate(p).ok());
+  EXPECT_FALSE(ValidateSequenceDatalog(p).ok());
+}
+
+TEST_F(AstTest, HeadPredicates) {
+  Program p = ParseP("p(X) :- q(X).\nr(X) :- p(X).");
+  EXPECT_EQ(p.HeadPredicates(), (std::set<std::string>{"p", "r"}));
+}
+
+TEST_F(AstTest, ToStringRoundTripsThroughParser) {
+  const char* sources[] = {
+      "p(X) :- q(X).",
+      "suffix(X[N:end]) :- r(X).",
+      "answer(X ++ Y) :- r(X), r(Y).",
+      "p(X) :- X[1] = a, q(X[2:end]).",
+      "p(X, Y) :- q(X), X != Y.",
+      "rna(D, @transcribe(D)) :- dna(D).",
+      "p(\"abc\") :- true.",
+  };
+  for (const char* src : sources) {
+    Clause c1 = Parse(src);
+    std::string printed = ToString(c1, pool_, symbols_);
+    Clause c2 = Parse(printed);
+    EXPECT_EQ(printed, ToString(c2, pool_, symbols_)) << src;
+  }
+}
+
+TEST_F(AstTest, IndexTermPrinting) {
+  Clause c = Parse("p(X[N+1:end-2]) :- q(X).");
+  std::string s = ToString(c, pool_, symbols_);
+  EXPECT_NE(s.find("X[N+1:end-2]"), std::string::npos) << s;
+}
+
+TEST_F(AstTest, MakeIndexedPointSharesIndexTerm) {
+  SeqTermPtr term = MakeIndexedPoint(MakeVariable("X"),
+                                     MakeIndexVariable("N"));
+  EXPECT_EQ(term->lo.get(), term->hi.get());
+}
+
+}  // namespace
+}  // namespace ast
+}  // namespace seqlog

@@ -1,0 +1,129 @@
+// Unit tests for the base module: Status, Result, string helpers, hash.
+#include <gtest/gtest.h>
+
+#include "base/hash.h"
+#include "base/result.h"
+#include "base/status.h"
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad arity");
+  EXPECT_EQ(s.ToString(), "invalid_argument: bad arity");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "not_found");
+  EXPECT_EQ(StatusCodeName(StatusCode::kFailedPrecondition),
+            "failed_precondition");
+  EXPECT_EQ(StatusCodeName(StatusCode::kResourceExhausted),
+            "resource_exhausted");
+  EXPECT_EQ(StatusCodeName(StatusCode::kOutOfRange), "out_of_range");
+  EXPECT_EQ(StatusCodeName(StatusCode::kUnimplemented), "unimplemented");
+  EXPECT_EQ(StatusCodeName(StatusCode::kInternal), "internal");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::Ok(), Status());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::Ok();
+}
+
+Status Propagates(int x) {
+  SEQLOG_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::Ok();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(1).ok());
+  EXPECT_EQ(Propagates(-1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("gone"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  SEQLOG_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> q = Quarter(8);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value(), 2);
+  EXPECT_FALSE(Quarter(6).ok());
+  EXPECT_FALSE(Quarter(3).ok());
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringUtilTest, Split) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, StrCat) {
+  EXPECT_EQ(StrCat("x=", 42, ", y=", 1.5), "x=42, y=1.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(HashTest, SpanHashDistinguishesContent) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {1, 2, 4};
+  std::vector<uint32_t> c = {1, 2, 3};
+  EXPECT_NE(HashSpan<uint32_t>(a), HashSpan<uint32_t>(b));
+  EXPECT_EQ(HashSpan<uint32_t>(a), HashSpan<uint32_t>(c));
+}
+
+TEST(HashTest, HashCombineOrderSensitive) {
+  EXPECT_NE(HashCombine(HashCombine(0, 1), 2),
+            HashCombine(HashCombine(0, 2), 1));
+}
+
+}  // namespace
+}  // namespace seqlog

@@ -1,0 +1,149 @@
+// Failure-injection tests: every user-facing error path of the Engine.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "transducer/builder.h"
+#include "transducer/library.h"
+
+namespace seqlog {
+namespace {
+
+TEST(EngineFailure, EvaluateWithoutProgram) {
+  Engine engine;
+  eval::EvalOutcome outcome = engine.Evaluate();
+  EXPECT_EQ(outcome.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineFailure, QueryBeforeEvaluate) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("p(X) :- r(X).").ok());
+  EXPECT_EQ(engine.Query("p").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(EngineFailure, QueryUnknownPredicate) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("p(X) :- r(X).").ok());
+  ASSERT_TRUE(engine.AddFact("r", {"a"}).ok());
+  ASSERT_TRUE(engine.Evaluate().status.ok());
+  EXPECT_EQ(engine.Query("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineFailure, ParseErrorsSurfaceWithPositions) {
+  Engine engine;
+  Status s = engine.LoadProgram("p(X :- r(X).");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("1:"), std::string::npos) << s.ToString();
+}
+
+TEST(EngineFailure, LoadFailureKeepsPreviousProgram) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("p(X) :- r(X).").ok());
+  ASSERT_FALSE(engine.LoadProgram("p(X) :- ").ok());
+  ASSERT_TRUE(engine.AddFact("r", {"a"}).ok());
+  EXPECT_TRUE(engine.Evaluate().status.ok());  // old program still there
+}
+
+TEST(EngineFailure, FactArityConflict) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("p(X) :- r(X).").ok());
+  ASSERT_TRUE(engine.AddFact("r", {"a"}).ok());
+  Status s = engine.AddFact("r", {"a", "b"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineFailure, ProgramFactArityConflict) {
+  Engine engine;
+  ASSERT_TRUE(engine.AddFact("r", {"a", "b"}).ok());
+  Status s = engine.LoadProgram("p(X) :- r(X).");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineFailure, NullTransducerRejected) {
+  Engine engine;
+  EXPECT_FALSE(engine.RegisterTransducer(nullptr).ok());
+}
+
+TEST(EngineFailure, StuckMachineDerivesNothing) {
+  // A partial machine makes theta undefined at the term: no fact, no
+  // error (Section 7.1 semantics).
+  Engine engine;
+  SymbolTable* symbols = engine.symbols();
+  transducer::TransducerBuilder b("picky", 1);
+  transducer::StateId q = b.State("q0");
+  b.Add(q, {transducer::SymPattern::Exact(symbols->Intern("a"))}, q,
+        {transducer::HeadMove::kAdvance}, transducer::Output::Echo(0));
+  auto t = b.Build();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(t.value()).ok());
+  ASSERT_TRUE(engine.LoadProgram("p(@picky(X)) :- r(X).").ok());
+  ASSERT_TRUE(engine.AddFact("r", {"aaa"}).ok());
+  ASSERT_TRUE(engine.AddFact("r", {"ab"}).ok());  // sticks the machine
+  eval::EvalOutcome outcome = engine.Evaluate();
+  ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  auto rows = engine.Query("p");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (std::vector<RenderedRow>{{"aaa"}}));
+}
+
+TEST(EngineFailure, MachineOutputBudgetAbortsEvaluation) {
+  // Unlike a stuck machine, an exhausted machine budget is a real error
+  // and aborts evaluation.
+  Engine engine;
+  transducer::TransducerBuilder b("hungry", 1);
+  transducer::StateId q = b.State("q0");
+  auto append = transducer::MakeAppend("app2", 2);
+  ASSERT_TRUE(append.ok());
+  b.Add(q, {transducer::SymPattern::Any()}, q,
+        {transducer::HeadMove::kAdvance},
+        transducer::Output::Call(append.value()));
+  b.SetMaxOutputLength(8);
+  auto t = b.Build();
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(t.value()).ok());
+  ASSERT_TRUE(engine.LoadProgram("p(@hungry(X)) :- r(X).").ok());
+  ASSERT_TRUE(engine.AddFact("r", {"aaaaaa"}).ok());  // 36 > 8
+  eval::EvalOutcome outcome = engine.Evaluate();
+  EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineFailure, TimeBudget) {
+  Engine engine;
+  // A program that keeps concatenating: without other budgets the time
+  // limit must fire.
+  ASSERT_TRUE(engine.LoadProgram("p(X ++ a) :- p(X).\np(X) :- r(X).").ok());
+  ASSERT_TRUE(engine.AddFact("r", {"a"}).ok());
+  eval::EvalOptions options;
+  options.limits.max_millis = 50;
+  options.limits.max_iterations = 100000000;
+  eval::EvalOutcome outcome = engine.Evaluate(options);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EngineFailure, ClearFactsResets) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("p(X) :- r(X).").ok());
+  ASSERT_TRUE(engine.AddFact("r", {"a"}).ok());
+  ASSERT_TRUE(engine.Evaluate().status.ok());
+  engine.ClearFacts();
+  EXPECT_EQ(engine.edb().TotalFacts(), 0u);
+  ASSERT_TRUE(engine.Evaluate().status.ok());
+  auto rows = engine.Query("p");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(EngineFailure, DomainBudgetOnHugeEdbSequence) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("p(X) :- r(X).").ok());
+  std::string big;
+  for (int i = 0; i < 400; ++i) big += static_cast<char>('a' + (i % 26));
+  ASSERT_TRUE(engine.AddFact("r", {big}).ok());
+  eval::EvalOptions options;
+  options.limits.max_domain_sequences = 1000;  // 400*401/2 >> 1000
+  eval::EvalOutcome outcome = engine.Evaluate(options);
+  EXPECT_EQ(outcome.status.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace seqlog

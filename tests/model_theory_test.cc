@@ -1,0 +1,238 @@
+// Tests for the model-theoretic semantics (Appendix A): Definition 12
+// models, Lemma 4 (model iff T(I) subset of I), Corollary 5 (lfp is the
+// unique minimal model) and Corollary 6 (entailment = fixpoint
+// membership). These cross-check the fixpoint engine against the
+// declarative semantics on the paper's example programs.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "model/model_theory.h"
+#include "parser/parser.h"
+
+namespace seqlog {
+namespace {
+
+/// Test harness: one engine (symbols/pool/catalog) plus a checker bound
+/// to it. Programs are parsed through the engine so predicate ids align.
+class ModelTheoryTest : public ::testing::Test {
+ protected:
+  void Load(std::string_view program_text) {
+    ASSERT_TRUE(engine_.LoadProgram(program_text).ok());
+    checker_ = std::make_unique<model::ModelChecker>(
+        engine_.catalog(), engine_.pool(), engine_.registry());
+    ASSERT_TRUE(checker_->SetProgram(engine_.program()).ok());
+  }
+
+  void AddFact(std::string_view pred, const std::vector<std::string>& args) {
+    ASSERT_TRUE(engine_.AddFact(pred, args).ok());
+  }
+
+  /// Evaluates the loaded program over the engine's facts and returns the
+  /// computed least fixpoint as a fresh database.
+  std::unique_ptr<Database> Lfp() {
+    eval::EvalOutcome outcome = engine_.Evaluate();
+    EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    auto copy = std::make_unique<Database>(engine_.catalog());
+    copy->UnionWith(*engine_.model());
+    return copy;
+  }
+
+  bool IsModel(const Database& interp) {
+    auto result = checker_->IsModel(engine_.edb(), interp);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() && result->is_model;
+  }
+
+  Engine engine_;
+  std::unique_ptr<model::ModelChecker> checker_;
+};
+
+TEST_F(ModelTheoryTest, LfpIsAModel) {
+  Load("suffix(X[N:end]) :- r(X).");
+  AddFact("r", {"abc"});
+  std::unique_ptr<Database> lfp = Lfp();
+  EXPECT_TRUE(IsModel(*lfp));
+}
+
+TEST_F(ModelTheoryTest, EmptyInterpretationIsNotAModelOfFacts) {
+  Load("p(X) :- r(X).");
+  AddFact("r", {"ab"});
+  Database empty(engine_.catalog());
+  // db atoms are clauses with empty bodies; the empty interpretation
+  // violates them.
+  EXPECT_FALSE(IsModel(empty));
+}
+
+TEST_F(ModelTheoryTest, ViolationWitnessIsReported) {
+  Load("p(X) :- r(X).");
+  AddFact("r", {"ab"});
+  Database empty(engine_.catalog());
+  auto result = checker_->IsModel(engine_.edb(), empty);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->violation.has_value());
+  EXPECT_EQ(result->violation->tuple.size(), 1u);
+}
+
+TEST_F(ModelTheoryTest, LfpMinusAnyDerivedAtomIsNotAModel) {
+  // Corollary 5: lfp is the *minimal* model, so removing any single
+  // derived atom must break the model property.
+  Load("suffix(X[N:end]) :- r(X).\n"
+       "short(X) :- suffix(X), Y = X[1:1].");
+  AddFact("r", {"abc"});
+  std::unique_ptr<Database> lfp = Lfp();
+  ASSERT_TRUE(IsModel(*lfp));
+
+  // Rebuild lfp without one atom at a time (skipping the database atom).
+  PredId r_pred = engine_.catalog()->Find("r").value();
+  std::vector<std::pair<PredId, std::vector<SeqId>>> atoms;
+  for (PredId pred : lfp->PredicatesWithRelations()) {
+    const Relation* rel = lfp->Get(pred);
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      TupleView row = rel->Row(i);
+      atoms.emplace_back(pred, std::vector<SeqId>(row.begin(), row.end()));
+    }
+  }
+  ASSERT_GT(atoms.size(), 1u);
+  for (size_t skip = 0; skip < atoms.size(); ++skip) {
+    if (atoms[skip].first == r_pred) continue;
+    Database smaller(engine_.catalog());
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (i == skip) continue;
+      smaller.Insert(atoms[i].first,
+                     TupleView(atoms[i].second.data(),
+                               atoms[i].second.size()));
+    }
+    EXPECT_FALSE(IsModel(smaller))
+        << "dropping atom " << skip << " should break the model property";
+  }
+}
+
+TEST_F(ModelTheoryTest, SupersetsClosedUnderTAreModels) {
+  // Any fixpoint-closed superset of lfp is a model (Lemma 4); here we add
+  // an unrelated fact for a head predicate and re-close.
+  Load("p(X[1:1]) :- r(X).");
+  AddFact("r", {"ab"});
+  std::unique_ptr<Database> lfp = Lfp();
+  ASSERT_TRUE(IsModel(*lfp));
+
+  // Add p("zz"): p has no body occurrence, so the superset is still
+  // closed under T... but only if the *domain growth* from "zz" does not
+  // enable new r-derivations. r is extensional, so it cannot.
+  Database larger(engine_.catalog());
+  larger.UnionWith(*lfp);
+  PredId p_pred = engine_.catalog()->Find("p").value();
+  SeqId zz = engine_.pool()->FromChars("zz", engine_.symbols());
+  std::vector<SeqId> tuple = {zz};
+  larger.Insert(p_pred, TupleView(tuple.data(), tuple.size()));
+  EXPECT_TRUE(IsModel(larger));
+}
+
+TEST_F(ModelTheoryTest, SupersetEnablingNewDerivationsIsNotAModel) {
+  // Enlarging an interpretation can *break* the model property when the
+  // new atom feeds a rule body: p(ab) requires q(ab) via the second rule.
+  Load("q(X) :- p(X).");
+  AddFact("r", {"ab"});
+  std::unique_ptr<Database> lfp = Lfp();
+  ASSERT_TRUE(IsModel(*lfp));
+
+  Database larger(engine_.catalog());
+  larger.UnionWith(*lfp);
+  PredId p_pred = engine_.catalog()->Find("p").value();
+  SeqId ab = engine_.pool()->FromChars("ab", engine_.symbols());
+  std::vector<SeqId> tuple = {ab};
+  larger.Insert(p_pred, TupleView(tuple.data(), tuple.size()));
+  EXPECT_FALSE(IsModel(larger));  // q(ab) is missing
+}
+
+TEST_F(ModelTheoryTest, ApplyTOnceMatchesDefinition4) {
+  Load("p(X[1:1]) :- r(X).");
+  AddFact("r", {"ab"});
+  // T(empty) = db atoms only: rule bodies are unsatisfied.
+  Database empty(engine_.catalog());
+  auto t0 = checker_->ApplyTOnce(engine_.edb(), empty);
+  ASSERT_TRUE(t0.ok());
+  EXPECT_EQ((*t0)->TotalFacts(), 1u);
+  // T(T(empty)) adds p(a).
+  auto t1 = checker_->ApplyTOnce(engine_.edb(), **t0);
+  ASSERT_TRUE(t1.ok());
+  EXPECT_EQ((*t1)->TotalFacts(), 2u);
+}
+
+TEST_F(ModelTheoryTest, TOperatorIsMonotonic) {
+  // Lemma 2 on concrete interpretations: I1 subset I2 implies
+  // T(I1) subset T(I2).
+  Load("p(X[1:N]) :- r(X).\nq(X ++ X) :- p(X).");
+  AddFact("r", {"abc"});
+  Database i1(engine_.catalog());
+  auto t_i1 = checker_->ApplyTOnce(engine_.edb(), i1);
+  ASSERT_TRUE(t_i1.ok());
+  auto t_i2 = checker_->ApplyTOnce(engine_.edb(), **t_i1);
+  ASSERT_TRUE(t_i2.ok());
+  // Every atom of T(I1) is in T(I2) (I1 = empty subset T(I1)).
+  for (PredId pred : (*t_i1)->PredicatesWithRelations()) {
+    const Relation* rel = (*t_i1)->Get(pred);
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      EXPECT_TRUE((*t_i2)->Contains(pred, rel->Row(i)));
+    }
+  }
+}
+
+TEST_F(ModelTheoryTest, IteratingTReachesTheLfp) {
+  // T ^ omega: iterate T from the empty interpretation until a fixpoint
+  // and compare against the engine's answer (Corollary 5).
+  Load("suffix(X[N:end]) :- r(X).\nkeep(X) :- suffix(X), X != b.");
+  AddFact("r", {"ab"});
+  std::unique_ptr<Database> lfp = Lfp();
+
+  auto current = std::make_unique<Database>(engine_.catalog());
+  for (int round = 0; round < 64; ++round) {
+    auto next = checker_->ApplyTOnce(engine_.edb(), *current);
+    ASSERT_TRUE(next.ok());
+    // Definition 4's T is not inflationary; accumulate T(I) union I to
+    // build the chain T ^ i (the chain is increasing by monotonicity).
+    (*next)->UnionWith(*current);
+    if ((*next)->TotalFacts() == current->TotalFacts()) break;
+    current = std::move(next.value());
+  }
+  EXPECT_EQ(current->TotalFacts(), lfp->TotalFacts());
+  for (PredId pred : lfp->PredicatesWithRelations()) {
+    const Relation* rel = lfp->Get(pred);
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      EXPECT_TRUE(current->Contains(pred, rel->Row(i)));
+    }
+  }
+}
+
+TEST_F(ModelTheoryTest, EntailsMatchesFixpointMembership) {
+  Load("suffix(X[N:end]) :- r(X).");
+  AddFact("r", {"abc"});
+  PredId suffix_pred = engine_.catalog()->Find("suffix").value();
+  SeqId bc = engine_.pool()->FromChars("bc", engine_.symbols());
+  SeqId zz = engine_.pool()->FromChars("zz", engine_.symbols());
+  auto yes = checker_->Entails(engine_.edb(), suffix_pred, {bc});
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes.value());
+  auto no = checker_->Entails(engine_.edb(), suffix_pred, {zz});
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no.value());
+}
+
+TEST_F(ModelTheoryTest, EntailsPropagatesBudgetExhaustion) {
+  // Entailment over a divergent program (Example 1.5's rep2) cannot
+  // terminate; the budget turns that into kResourceExhausted.
+  Load("rep2(X, X) :- r(X).\nrep2(X ++ Y, Y) :- rep2(X, Y).");
+  AddFact("r", {"ab"});
+  PredId rep2 = engine_.catalog()->Find("rep2").value();
+  SeqId ab = engine_.pool()->FromChars("ab", engine_.symbols());
+  eval::EvalLimits limits;
+  limits.max_iterations = 50;
+  auto result = checker_->Entails(engine_.edb(), rep2, {ab, ab}, limits);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace seqlog

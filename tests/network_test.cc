@@ -1,0 +1,145 @@
+// Unit tests for acyclic transducer networks (Section 6.2): wiring,
+// diameter, order, execution, and the Theorem 4 growth bound for chained
+// order-2 machines (|out| = n^(2^d)).
+#include <gtest/gtest.h>
+
+#include "sequence/sequence_pool.h"
+#include "transducer/library.h"
+#include "transducer/network.h"
+
+namespace seqlog {
+namespace transducer {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  SeqId Seq(std::string_view text) {
+    return pool_.FromChars(text, &symbols_);
+  }
+  std::string Render(SeqId id) { return pool_.Render(id, symbols_); }
+
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+TEST_F(NetworkTest, SerialPipeline) {
+  // Example 7.1's shape: two machines in series.
+  std::map<Symbol, Symbol> up;
+  for (char c = 'a'; c <= 'z'; ++c) {
+    up[symbols_.Intern(std::string_view(&c, 1))] =
+        symbols_.Intern(std::string(1, static_cast<char>(c - 32)));
+  }
+  auto to_upper = MakeMap("upper", up, false);
+  ASSERT_TRUE(to_upper.ok());
+  auto copy = MakeIdentity("copy");
+  ASSERT_TRUE(copy.ok());
+
+  TransducerNetwork net("pipeline", 1);
+  auto n0 = net.AddNode(copy.value(), {InputSource::FromNetwork(0)});
+  ASSERT_TRUE(n0.ok());
+  auto n1 = net.AddNode(to_upper.value(), {InputSource::FromNode(*n0)});
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(net.SetOutput(*n1).ok());
+
+  EXPECT_EQ(net.Diameter(), 2u);
+  EXPECT_EQ(net.Order(), 1);
+  auto out = net.Apply(std::vector<SeqId>{Seq("abc")}, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Render(out.value()), "ABC");
+}
+
+TEST_F(NetworkTest, FanInNetwork) {
+  auto append = MakeAppend("app", 2);
+  ASSERT_TRUE(append.ok());
+  TransducerNetwork net("fanin", 2);
+  auto n0 = net.AddNode(append.value(), {InputSource::FromNetwork(0),
+                                         InputSource::FromNetwork(1)});
+  ASSERT_TRUE(n0.ok());
+  ASSERT_TRUE(net.SetOutput(*n0).ok());
+  auto out = net.Apply(std::vector<SeqId>{Seq("ab"), Seq("cd")}, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Render(out.value()), "abcd");
+}
+
+TEST_F(NetworkTest, Theorem4SquareChainGrowth) {
+  // d chained square machines give |out| = n^(2^d) — the order-2
+  // polynomial bound of Theorem 4, attained.
+  for (size_t d : {1u, 2u, 3u}) {
+    TransducerNetwork net("chain", 1);
+    InputSource src = InputSource::FromNetwork(0);
+    for (size_t i = 0; i < d; ++i) {
+      auto sq = MakeSquare("sq" + std::to_string(i));
+      ASSERT_TRUE(sq.ok());
+      auto node = net.AddNode(sq.value(), {src});
+      ASSERT_TRUE(node.ok());
+      src = InputSource::FromNode(*node);
+    }
+    ASSERT_TRUE(net.SetOutput(src.index).ok());
+    EXPECT_EQ(net.Diameter(), d);
+    EXPECT_EQ(net.Order(), 2);
+
+    size_t n = 2;
+    auto out = net.Apply(std::vector<SeqId>{Seq(std::string(n, 'a'))},
+                         &pool_);
+    ASSERT_TRUE(out.ok());
+    size_t expected = n;
+    for (size_t i = 0; i < d; ++i) expected *= expected;
+    EXPECT_EQ(pool_.Length(out.value()), expected) << "d=" << d;
+  }
+}
+
+TEST_F(NetworkTest, NetworkImplementsSequenceFunction) {
+  auto copy = MakeIdentity("copy");
+  ASSERT_TRUE(copy.ok());
+  TransducerNetwork net("fn", 1);
+  auto n0 = net.AddNode(copy.value(), {InputSource::FromNetwork(0)});
+  ASSERT_TRUE(net.SetOutput(*n0).ok());
+  const SequenceFunction& fn = net;
+  EXPECT_EQ(fn.name(), "fn");
+  EXPECT_EQ(fn.NumInputs(), 1u);
+  EXPECT_EQ(fn.Order(), 1);
+}
+
+TEST_F(NetworkTest, WiringErrors) {
+  auto append = MakeAppend("app", 2);
+  ASSERT_TRUE(append.ok());
+  TransducerNetwork net("bad", 1);
+  // Wrong input count.
+  EXPECT_FALSE(net.AddNode(append.value(), {InputSource::FromNetwork(0)})
+                   .ok());
+  // Network input out of range.
+  EXPECT_FALSE(net.AddNode(append.value(), {InputSource::FromNetwork(0),
+                                            InputSource::FromNetwork(7)})
+                   .ok());
+  // Forward (would-be-cyclic) node reference.
+  EXPECT_FALSE(net.AddNode(append.value(), {InputSource::FromNetwork(0),
+                                            InputSource::FromNode(3)})
+                   .ok());
+  // Running without an output node.
+  auto copy = MakeIdentity("c");
+  ASSERT_TRUE(copy.ok());
+  auto n0 = net.AddNode(copy.value(), {InputSource::FromNetwork(0)});
+  ASSERT_TRUE(n0.ok());
+  auto out = net.Apply(std::vector<SeqId>{Seq("x")}, &pool_);
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(net.SetOutput(42).ok());
+}
+
+TEST_F(NetworkTest, StatsAccumulateAcrossNodes) {
+  auto c1 = MakeIdentity("c1");
+  auto c2 = MakeIdentity("c2");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  TransducerNetwork net("stats", 1);
+  auto n0 = net.AddNode(c1.value(), {InputSource::FromNetwork(0)});
+  auto n1 = net.AddNode(c2.value(), {InputSource::FromNode(*n0)});
+  ASSERT_TRUE(net.SetOutput(*n1).ok());
+  RunStats stats;
+  auto out = net.Run(std::vector<SeqId>{Seq("abcd")}, &pool_, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.total_steps, 8u);  // 4 per copy node
+}
+
+}  // namespace
+}  // namespace transducer
+}  // namespace seqlog

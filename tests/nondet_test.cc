@@ -1,0 +1,280 @@
+// Tests for nondeterministic generalized sequence transducers (the
+// generalization noted after Definition 7). Covers: set-of-outputs
+// semantics, termination/finiteness, subtransducer branching, budgets,
+// builder restrictions, and the embedding of deterministic machines
+// (LiftDeterministic) as the single-output special case.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+#include "transducer/library.h"
+#include "transducer/nondet.h"
+
+namespace seqlog {
+namespace transducer {
+namespace {
+
+class NondetTest : public ::testing::Test {
+ protected:
+  SeqId Seq(std::string_view text) {
+    return pool_.FromChars(text, &symbols_);
+  }
+  std::string Render(SeqId id) { return pool_.Render(id, symbols_); }
+
+  std::vector<std::string> RenderAll(const std::vector<SeqId>& ids) {
+    std::vector<std::string> out;
+    out.reserve(ids.size());
+    for (SeqId id : ids) out.push_back(Render(id));
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  Symbol Sym(std::string_view name) { return symbols_.Intern(name); }
+
+  /// A machine that rewrites every input symbol to '0' or '1',
+  /// nondeterministically: outputs = all binary strings of the input's
+  /// length.
+  std::shared_ptr<const NondetTransducer> MakeBinaryGuess() {
+    NondetBuilder b("guess", 1);
+    StateId q = b.State("q");
+    b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+          NdOutput::Emit(Sym("0")));
+    b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+          NdOutput::Emit(Sym("1")));
+    auto m = b.Build();
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.value();
+  }
+
+  /// Copy-or-skip per symbol: outputs = all scattered subsequences.
+  std::shared_ptr<const NondetTransducer> MakeScatter() {
+    NondetBuilder b("scatter", 1);
+    StateId q = b.State("q");
+    b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+          NdOutput::Echo(0));
+    b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+          NdOutput::Epsilon());
+    auto m = b.Build();
+    EXPECT_TRUE(m.ok()) << m.status().ToString();
+    return m.value();
+  }
+
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+TEST_F(NondetTest, BinaryGuessEnumeratesAllStrings) {
+  auto m = MakeBinaryGuess();
+  auto out = m->RunAll(std::vector<SeqId>{Seq("abc")}, &pool_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(out->size(), 8u);  // 2^3 binary strings
+  EXPECT_EQ(RenderAll(*out),
+            (std::vector<std::string>{"000", "001", "010", "011", "100",
+                                      "101", "110", "111"}));
+}
+
+TEST_F(NondetTest, ScatterEnumeratesSubsequences) {
+  auto m = MakeScatter();
+  auto out = m->RunAll(std::vector<SeqId>{Seq("abc")}, &pool_);
+  ASSERT_TRUE(out.ok());
+  // All 8 copy/skip choices; distinct symbols make all outputs distinct.
+  EXPECT_EQ(RenderAll(*out),
+            (std::vector<std::string>{"", "a", "ab", "abc", "ac", "b",
+                                      "bc", "c"}));
+}
+
+TEST_F(NondetTest, DuplicateRunsCollapseToOneOutput) {
+  auto m = MakeScatter();
+  // "aa": the runs skip/copy choices collide; only 3 distinct outputs.
+  auto out = m->RunAll(std::vector<SeqId>{Seq("aa")}, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(RenderAll(*out), (std::vector<std::string>{"", "a", "aa"}));
+}
+
+TEST_F(NondetTest, EmptyInputYieldsOnlyTheEmptyRun) {
+  auto m = MakeBinaryGuess();
+  auto out = m->RunAll(std::vector<SeqId>{kEmptySeq}, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(RenderAll(*out), (std::vector<std::string>{""}));
+}
+
+TEST_F(NondetTest, StuckBranchesContributeNothing) {
+  // Partial delta: 'a' can advance, 'b' has no rule — inputs containing
+  // 'b' abort that branch; a machine stuck on all branches yields the
+  // empty set (not an error), like a rejecting nondeterministic
+  // automaton.
+  NondetBuilder b("picky", 1);
+  StateId q = b.State("q");
+  b.Add(q, {SymPattern::Exact(Sym("a"))}, q, {HeadMove::kAdvance},
+        NdOutput::Echo(0));
+  auto m = b.Build();
+  ASSERT_TRUE(m.ok());
+  auto ok_run = (*m)->RunAll(std::vector<SeqId>{Seq("aa")}, &pool_);
+  ASSERT_TRUE(ok_run.ok());
+  EXPECT_EQ(RenderAll(*ok_run), (std::vector<std::string>{"aa"}));
+  auto stuck = (*m)->RunAll(std::vector<SeqId>{Seq("ab")}, &pool_);
+  ASSERT_TRUE(stuck.ok());
+  EXPECT_TRUE(stuck->empty());
+}
+
+TEST_F(NondetTest, SubtransducerCallBranchesPerCalleeOutput) {
+  // Caller: on its single symbol, either keeps its output or calls a
+  // nondeterministic callee that rewrites the current output (tape 2)
+  // symbolwise to 0/1. Outputs for input "x": from the epsilon branch
+  // "" and from the call branch all binary strings of length 0 = "".
+  // Use two symbols to see the branching: first step emits 'a', second
+  // step calls the guess-rewriter on output "a" -> {"0","1"}.
+  NondetBuilder sub("rewrite", 2);
+  StateId s = sub.State("s");
+  // Consume tape 1 (original input) first, then rewrite tape 2.
+  sub.Add(s, {SymPattern::Any(), SymPattern::Wildcard()}, s,
+          {HeadMove::kAdvance, HeadMove::kStay}, NdOutput::Epsilon());
+  sub.Add(s, {SymPattern::Marker(), SymPattern::Any()}, s,
+          {HeadMove::kStay, HeadMove::kAdvance}, NdOutput::Emit(Sym("0")));
+  sub.Add(s, {SymPattern::Marker(), SymPattern::Any()}, s,
+          {HeadMove::kStay, HeadMove::kAdvance}, NdOutput::Emit(Sym("1")));
+  auto callee = sub.Build();
+  ASSERT_TRUE(callee.ok()) << callee.status().ToString();
+  ASSERT_EQ((*callee)->NumInputs(), 2u);
+
+  NondetBuilder top("caller", 1);
+  StateId q = top.State("q");
+  top.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+          NdOutput::Echo(0));
+  top.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+          NdOutput::Call(*callee));
+  auto m = top.Build();
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ((*m)->Order(), 2);
+
+  auto out = (*m)->RunAll(std::vector<SeqId>{Seq("ab")}, &pool_);
+  ASSERT_TRUE(out.ok());
+  // Step 1 on 'a': echo -> "a", or call on "" -> "".
+  // Step 2 on 'b': echo appends 'b', or call rewrites each symbol.
+  // Reachable outputs: "ab", {0,1} from "a", "b", "" rewritten = "",
+  // i.e. {"ab","0","1","b",""}.
+  EXPECT_EQ(RenderAll(*out),
+            (std::vector<std::string>{"", "0", "1", "ab", "b"}));
+}
+
+TEST_F(NondetTest, RelatesChecksMembership) {
+  auto m = MakeScatter();
+  auto yes =
+      m->Relates(std::vector<SeqId>{Seq("abc")}, Seq("ac"), &pool_);
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(yes.value());
+  auto no = m->Relates(std::vector<SeqId>{Seq("abc")}, Seq("ca"), &pool_);
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(no.value());
+}
+
+TEST_F(NondetTest, OutputBudgetIsEnforced) {
+  auto m = MakeBinaryGuess();
+  NdRunLimits limits;
+  limits.max_outputs = 100;  // 2^10 outputs > 100
+  auto out = m->RunAll(std::vector<SeqId>{Seq("aaaaaaaaaa")}, &pool_,
+                       limits);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NondetTest, StepBudgetIsEnforced) {
+  auto m = MakeBinaryGuess();
+  NdRunLimits limits;
+  limits.max_steps = 50;
+  auto out = m->RunAll(std::vector<SeqId>{Seq("aaaaaaaaaa")}, &pool_,
+                       limits);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(NondetTest, MemoizationCollapsesConvergingBranches) {
+  // On input a^n the scatter machine has 2^n runs but only O(n^2)
+  // distinct (position, output) configurations; the dedup counter shows
+  // exploration is polynomial, which is what makes RunAll usable.
+  auto m = MakeScatter();
+  NdRunStats stats;
+  auto out = m->RunAll(std::vector<SeqId>{Seq(std::string(12, 'a'))},
+                       &pool_, NdRunLimits{}, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 13u);  // eps, a, ..., a^12
+  EXPECT_GT(stats.dedup_hits, 0u);
+  EXPECT_LT(stats.steps, 500u);  // far below 2^12 = 4096 runs
+}
+
+TEST_F(NondetTest, BuilderRejectsNoMoveRows) {
+  NondetBuilder b("bad", 1);
+  StateId q = b.State("q");
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kStay},
+        NdOutput::Epsilon());
+  auto m = b.Build();
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NondetTest, BuilderRejectsMarkerAdvance) {
+  NondetBuilder b("bad", 2);
+  StateId q = b.State("q");
+  b.Add(q, {SymPattern::Marker(), SymPattern::Any()}, q,
+        {HeadMove::kAdvance, HeadMove::kAdvance}, NdOutput::Epsilon());
+  auto m = b.Build();
+  EXPECT_FALSE(m.ok());
+}
+
+TEST_F(NondetTest, BuilderRejectsArityMismatchedCallee) {
+  NondetBuilder sub("sub", 1);  // should be 2 for a 1-input caller
+  StateId s = sub.State("s");
+  sub.Add(s, {SymPattern::Any()}, s, {HeadMove::kAdvance},
+          NdOutput::Epsilon());
+  auto callee = sub.Build();
+  ASSERT_TRUE(callee.ok());
+
+  NondetBuilder top("top", 1);
+  StateId q = top.State("q");
+  top.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+          NdOutput::Call(*callee));
+  auto m = top.Build();
+  EXPECT_FALSE(m.ok());
+  EXPECT_EQ(m.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(NondetTest, WrongInputArityIsRejectedAtRun) {
+  auto m = MakeScatter();
+  auto out = m->RunAll(std::vector<SeqId>{Seq("a"), Seq("b")}, &pool_);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Parameterized check: lifting a deterministic library machine gives a
+/// single-output nondeterministic machine that agrees with Apply.
+class LiftTest : public NondetTest,
+                 public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(LiftTest, LiftedMachineAgreesWithDeterministicRun) {
+  std::vector<Symbol> alphabet = {Sym("a"), Sym("b"), Sym("c")};
+  auto reverse = MakeReverse("rev", alphabet);
+  ASSERT_TRUE(reverse.ok());
+  auto lifted = LiftDeterministic(**reverse, alphabet);
+  ASSERT_TRUE(lifted.ok()) << lifted.status().ToString();
+  EXPECT_EQ((*lifted)->Order(), (*reverse)->Order());
+
+  SeqId input = Seq(GetParam());
+  auto det = (*reverse)->Apply(std::vector<SeqId>{input}, &pool_);
+  ASSERT_TRUE(det.ok());
+  auto nd = (*lifted)->RunAll(std::vector<SeqId>{input}, &pool_);
+  ASSERT_TRUE(nd.ok()) << nd.status().ToString();
+  ASSERT_EQ(nd->size(), 1u);
+  EXPECT_EQ((*nd)[0], det.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(ReverseInputs, LiftTest,
+                         ::testing::Values("", "a", "ab", "abc", "acbca",
+                                           "bbbbbb", "cabcabca"));
+
+}  // namespace
+}  // namespace transducer
+}  // namespace seqlog

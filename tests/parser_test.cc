@@ -1,0 +1,217 @@
+// Unit tests for the lexer and parser.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace seqlog {
+namespace parser {
+namespace {
+
+class ParserTest : public ::testing::Test {
+ protected:
+  Result<ast::Program> Parse(std::string_view text) {
+    return ParseProgram(text, &symbols_, &pool_);
+  }
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+TEST_F(ParserTest, LexerTokenises) {
+  auto tokens = Tokenize("p(X[1:N]) :- q(X), X != eps. % comment");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> kinds;
+  for (const Token& t : tokens.value()) kinds.push_back(t.type);
+  EXPECT_EQ(kinds.front(), TokenType::kIdent);
+  EXPECT_EQ(kinds.back(), TokenType::kEof);
+  // The comment is skipped entirely.
+  EXPECT_EQ(std::count(kinds.begin(), kinds.end(), TokenType::kNeq), 1);
+  EXPECT_EQ(std::count(kinds.begin(), kinds.end(), TokenType::kEpsKw), 1);
+}
+
+TEST_F(ParserTest, LexerTracksPositions) {
+  auto tokens = Tokenize("p.\n  q.");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(tokens.value()[0].line, 1);
+  EXPECT_EQ(tokens.value()[2].line, 2);
+  EXPECT_EQ(tokens.value()[2].column, 3);
+}
+
+TEST_F(ParserTest, LexerRejectsUnterminatedString) {
+  EXPECT_FALSE(Tokenize("p(\"abc).").ok());
+  EXPECT_FALSE(Tokenize("p('q0).").ok());
+}
+
+TEST_F(ParserTest, LexerRejectsStrayCharacters) {
+  Result<std::vector<Token>> r = Tokenize("p(X) ;");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("1:6"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(ParserTest, FactsAndRules) {
+  auto p = Parse("r(abc) :- true.\np(X) :- r(X).");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->clauses.size(), 2u);
+  EXPECT_TRUE(p->clauses[0].body.empty());
+  EXPECT_EQ(p->clauses[1].body.size(), 1u);
+}
+
+TEST_F(ParserTest, ConstantFormsAllIntern) {
+  // Bare identifier, quoted string and digits all make char sequences.
+  auto p = Parse("p(abc, \"abc\", 101) :- true.");
+  ASSERT_TRUE(p.ok());
+  const auto& args = p->clauses[0].head.args;
+  EXPECT_EQ(args[0]->constant, args[1]->constant);
+  EXPECT_EQ(pool_.Length(args[2]->constant), 3u);
+}
+
+TEST_F(ParserTest, QuotedSymbolIsOneSymbol) {
+  auto p = Parse("p('q0') :- true.");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(pool_.Length(p->clauses[0].head.args[0]->constant), 1u);
+}
+
+TEST_F(ParserTest, EpsIsTheEmptySequence) {
+  auto p = Parse("p(eps) :- true.");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->clauses[0].head.args[0]->constant, kEmptySeq);
+}
+
+TEST_F(ParserTest, IndexedTermForms) {
+  auto p = Parse("p(X[1], X[N], X[N+1:end], X[end-1:end]) :- q(X).");
+  ASSERT_TRUE(p.ok());
+  const auto& args = p->clauses[0].head.args;
+  for (const auto& a : args) {
+    EXPECT_EQ(a->kind, ast::SeqTerm::Kind::kIndexed);
+  }
+  // X[1] is shorthand for X[1:1].
+  EXPECT_EQ(args[0]->lo.get(), args[0]->hi.get());
+}
+
+TEST_F(ParserTest, IndexArithmeticNesting) {
+  auto p = Parse("p(X[N+1-2:end-5+M]) :- q(X).");
+  ASSERT_TRUE(p.ok());
+}
+
+TEST_F(ParserTest, ConcatIsLeftAssociative) {
+  auto p = Parse("p(X ++ Y ++ Z) :- q(X), q(Y), q(Z).");
+  ASSERT_TRUE(p.ok());
+  const auto& head = p->clauses[0].head.args[0];
+  EXPECT_EQ(head->kind, ast::SeqTerm::Kind::kConcat);
+  EXPECT_EQ(head->left->kind, ast::SeqTerm::Kind::kConcat);
+  EXPECT_EQ(head->right->kind, ast::SeqTerm::Kind::kVariable);
+}
+
+TEST_F(ParserTest, TransducerTerms) {
+  auto p = Parse("p(@t(X, Y ++ Z)) :- q(X), q(Y), q(Z).");
+  ASSERT_TRUE(p.ok());
+  const auto& head = p->clauses[0].head.args[0];
+  EXPECT_EQ(head->kind, ast::SeqTerm::Kind::kTransducer);
+  EXPECT_EQ(head->transducer, "t");
+  EXPECT_EQ(head->args.size(), 2u);
+}
+
+TEST_F(ParserTest, EqualityLiterals) {
+  auto p = Parse("p(X) :- q(X), X[1] = a, X != eps.");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->clauses[0].body[1].kind, ast::Atom::Kind::kEq);
+  EXPECT_EQ(p->clauses[0].body[2].kind, ast::Atom::Kind::kNeq);
+}
+
+TEST_F(ParserTest, ZeroArityPredicates) {
+  auto p = Parse("flag :- r(X).\nq(a) :- flag.");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->clauses[0].head.args.empty());
+}
+
+TEST_F(ParserTest, MissingPeriodIsAnError) {
+  Result<ast::Program> r = Parse("p(X) :- q(X)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("expected"), std::string::npos);
+}
+
+TEST_F(ParserTest, EqualityInHeadIsRejected) {
+  EXPECT_FALSE(Parse("X = Y :- q(X), q(Y).").ok());
+}
+
+TEST_F(ParserTest, NestedIndexingIsRejected) {
+  // S[1:N][M:end] is not a term (Section 3.1).
+  EXPECT_FALSE(Parse("p(X[1:N][2:end]) :- q(X).").ok());
+}
+
+TEST_F(ParserTest, HugeIntegerLiteralRejected) {
+  EXPECT_FALSE(Parse("p(X[12345678901234567890]) :- q(X).").ok());
+}
+
+TEST_F(ParserTest, ParseClauseRequiresExactlyOne) {
+  EXPECT_FALSE(ParseClause("p(a). q(b).", &symbols_, &pool_).ok());
+  EXPECT_TRUE(ParseClause("p(a).", &symbols_, &pool_).ok());
+}
+
+TEST_F(ParserTest, ErrorsCarryPositions) {
+  Result<ast::Program> r = Parse("p(X) :-\n  q(X,).");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("2:"), std::string::npos)
+      << r.status().ToString();
+}
+
+/// Fuzz smoke test: random byte soup over the token alphabet must never
+/// crash or hang the lexer/parser — every input returns ok or a Status.
+class ParserFuzz : public ParserTest,
+                   public ::testing::WithParamInterface<unsigned> {};
+
+TEST_P(ParserFuzz, RandomInputNeverCrashes) {
+  constexpr char kChars[] =
+      "abcXYZN019 \t\n()[]:,.+-=!<@#%$u_eps:-++end";
+  std::mt19937 rng(GetParam());
+  for (int round = 0; round < 300; ++round) {
+    size_t len = rng() % 60;
+    std::string text;
+    text.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      text += kChars[rng() % (sizeof(kChars) - 1)];
+    }
+    Result<ast::Program> r = Parse(text);
+    if (r.ok()) continue;  // some soup is a valid program, fine
+    EXPECT_FALSE(r.status().message().empty());
+  }
+}
+
+/// Mutation fuzz: start from valid programs and flip characters; the
+/// parser must reject or accept without crashing, and accepted mutants
+/// must round-trip through the pretty printer.
+TEST_P(ParserFuzz, MutatedProgramsParseOrFailCleanly) {
+  constexpr const char* kSeeds[] = {
+      "suffix(X[N:end]) :- r(X).",
+      "answer(X ++ Y) :- r(X), r(Y).",
+      "rep1(X, X[1:N]) :- rep1(X[N+1:end], X[1:N]).",
+      "p(@square(X)) <= r(X).",
+  };
+  std::mt19937 rng(GetParam() + 7);
+  for (const char* seed : kSeeds) {
+    std::string base = seed;
+    for (int round = 0; round < 100; ++round) {
+      std::string text = base;
+      size_t flips = 1 + rng() % 3;
+      for (size_t f = 0; f < flips; ++f) {
+        text[rng() % text.size()] =
+            static_cast<char>(32 + rng() % 95);
+      }
+      Result<ast::Program> r = Parse(text);
+      if (!r.ok()) continue;
+      std::string printed = ast::ToString(r.value(), pool_, symbols_);
+      EXPECT_TRUE(ParseProgram(printed, &symbols_, &pool_).ok())
+          << "accepted mutant failed to round-trip: " << printed;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1u, 2u, 3u));
+
+}  // namespace
+}  // namespace parser
+}  // namespace seqlog

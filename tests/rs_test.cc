@@ -1,0 +1,323 @@
+// Tests for the rs-operation baseline (Section 1.1, after Ginsburg and
+// Wang): pattern parsing/matching/instantiation, the s-algebra
+// operators, and cross-checks against Sequence Datalog on queries both
+// formalisms express (suffix extraction, pattern selection, bounded
+// merges).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "rs/algebra.h"
+#include "rs/pattern.h"
+
+namespace seqlog {
+namespace rs {
+namespace {
+
+class RsTest : public ::testing::Test {
+ protected:
+  SeqId Seq(std::string_view text) {
+    return pool_.FromChars(text, &symbols_);
+  }
+  std::string Render(SeqId id) { return pool_.Render(id, symbols_); }
+
+  Pattern Parse(std::string_view text) {
+    auto p = Pattern::Parse(text, &pool_, &symbols_);
+    EXPECT_TRUE(p.ok()) << text << ": " << p.status().ToString();
+    return p.value();
+  }
+
+  /// Rendered, sorted rows of a table.
+  std::vector<std::vector<std::string>> Rows(const Table& table) {
+    std::vector<std::vector<std::string>> out;
+    for (const auto& row : table.rows) {
+      std::vector<std::string> rendered;
+      rendered.reserve(row.size());
+      for (SeqId id : row) rendered.push_back(Render(id));
+      out.push_back(std::move(rendered));
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+TEST_F(RsTest, ParseRoundTrip) {
+  for (const char* text : {"X1", "X1X2", "abX1", "X1abX2X1", "abc"}) {
+    Pattern p = Parse(text);
+    EXPECT_EQ(p.ToString(pool_, symbols_), text);
+  }
+}
+
+TEST_F(RsTest, ParseRejectsBadInput) {
+  EXPECT_FALSE(Pattern::Parse("X0", &pool_, &symbols_).ok());
+  EXPECT_FALSE(Pattern::Parse("a b", &pool_, &symbols_).ok());
+  // X2 without X1: variable 1 never occurs.
+  EXPECT_FALSE(Pattern::Parse("X2", &pool_, &symbols_).ok());
+}
+
+TEST_F(RsTest, InstantiateConcatenatesPerPattern) {
+  Pattern p = Parse("X1abX2X1");
+  std::vector<SeqId> values = {Seq("x"), Seq("yy")};
+  auto out = p.Instantiate(values, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Render(out.value()), "xabyyx");
+}
+
+TEST_F(RsTest, InstantiateChecksArity) {
+  Pattern p = Parse("X1X2");
+  std::vector<SeqId> one = {Seq("x")};
+  EXPECT_FALSE(p.Instantiate(one, &pool_).ok());
+}
+
+TEST_F(RsTest, MatchEnumeratesSplits) {
+  // X1X2 against "abc": 4 split points.
+  Pattern p = Parse("X1X2");
+  size_t count = p.Match(pool_.View(Seq("abc")), &pool_,
+                         [](std::span<const SeqId>) {});
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(RsTest, MatchBindsLiterals) {
+  // X1bX2 against "abcb": b at positions 2 and 4.
+  Pattern p = Parse("X1bX2");
+  std::set<std::pair<std::string, std::string>> bindings;
+  p.Match(pool_.View(Seq("abcb")), &pool_,
+          [&](std::span<const SeqId> binding) {
+            bindings.insert({Render(binding[0]), Render(binding[1])});
+          });
+  EXPECT_EQ(bindings,
+            (std::set<std::pair<std::string, std::string>>{{"a", "cb"},
+                                                           {"abc", ""}}));
+}
+
+TEST_F(RsTest, RepeatedVariableMatchesSquares) {
+  // X1X1 matches exactly the squares ww (compare rep1, Example 1.5 with
+  // n = 2).
+  Pattern p = Parse("X1X1");
+  EXPECT_TRUE(p.Matches(pool_.View(Seq("abab")), &pool_));
+  EXPECT_TRUE(p.Matches(pool_.View(Seq("")), &pool_));
+  EXPECT_FALSE(p.Matches(pool_.View(Seq("aba")), &pool_));
+  EXPECT_FALSE(p.Matches(pool_.View(Seq("abba")), &pool_));
+}
+
+TEST_F(RsTest, MatchCountOnUniformInput) {
+  // X1X2 on a^n has n+1 splits; all bindings are distinct because the
+  // split *is* the binding.
+  Pattern p = Parse("X1X2");
+  for (size_t n : {0u, 1u, 5u, 9u}) {
+    size_t count = p.Match(pool_.View(Seq(std::string(n, 'a'))), &pool_,
+                           [](std::span<const SeqId>) {});
+    EXPECT_EQ(count, n + 1) << "n=" << n;
+  }
+}
+
+TEST_F(RsTest, ExtractSuffixes) {
+  Table r;
+  r.arity = 1;
+  r.rows = {{Seq("abc")}};
+  TableEnv env = {{"r", r}};
+  // Suffixes: match X1X2 and extract X2 (Example 1.1's query in the
+  // baseline formalism).
+  auto expr = Extract(Base("r"), 0, Parse("X1X2"), 1);
+  auto out = expr->Eval(env, &pool_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(Rows(*out),
+            (std::vector<std::vector<std::string>>{{"abc", ""},
+                                                   {"abc", "abc"},
+                                                   {"abc", "bc"},
+                                                   {"abc", "c"}}));
+}
+
+TEST_F(RsTest, SelectByPattern) {
+  Table r;
+  r.arity = 1;
+  r.rows = {{Seq("ab")}, {Seq("ba")}, {Seq("aab")}, {Seq("b")}};
+  TableEnv env = {{"r", r}};
+  // Sequences starting with 'a': pattern aX1.
+  auto expr = Select(Base("r"), 0, Parse("aX1"));
+  auto out = expr->Eval(env, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Rows(*out),
+            (std::vector<std::vector<std::string>>{{"aab"}, {"ab"}}));
+}
+
+TEST_F(RsTest, MergeAppendsColumns) {
+  Table r;
+  r.arity = 2;
+  r.rows = {{Seq("ab"), Seq("cd")}};
+  TableEnv env = {{"r", r}};
+  auto expr = Merge(Base("r"), Parse("X1X2"), {0, 1});
+  auto out = expr->Eval(env, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Rows(*out),
+            (std::vector<std::vector<std::string>>{{"ab", "cd", "abcd"}}));
+  EXPECT_EQ(expr->MergeCount(), 1u);
+}
+
+TEST_F(RsTest, UnionProductProject) {
+  Table r, s;
+  r.arity = 1;
+  r.rows = {{Seq("a")}, {Seq("b")}};
+  s.arity = 1;
+  s.rows = {{Seq("b")}, {Seq("c")}};
+  TableEnv env = {{"r", r}, {"s", s}};
+
+  auto u = Union(Base("r"), Base("s"))->Eval(env, &pool_);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->rows.size(), 3u);  // set semantics
+
+  auto p = Product(Base("r"), Base("s"))->Eval(env, &pool_);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->arity, 2u);
+  EXPECT_EQ(p->rows.size(), 4u);
+
+  auto proj = Project(Product(Base("r"), Base("s")), {1})->Eval(env,
+                                                                &pool_);
+  ASSERT_TRUE(proj.ok());
+  EXPECT_EQ(Rows(*proj),
+            (std::vector<std::vector<std::string>>{{"b"}, {"c"}}));
+}
+
+TEST_F(RsTest, SelectEqFiltersPairs) {
+  Table r;
+  r.arity = 2;
+  r.rows = {{Seq("a"), Seq("a")}, {Seq("a"), Seq("b")}};
+  TableEnv env = {{"r", r}};
+  auto out = SelectEq(Base("r"), 0, 1)->Eval(env, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Rows(*out),
+            (std::vector<std::vector<std::string>>{{"a", "a"}}));
+}
+
+TEST_F(RsTest, ErrorsPropagate) {
+  TableEnv env;
+  auto missing = Base("nope")->Eval(env, &pool_);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+
+  Table r;
+  r.arity = 1;
+  r.rows = {{Seq("a")}};
+  env["r"] = r;
+  EXPECT_FALSE(Project(Base("r"), {3})->Eval(env, &pool_).ok());
+  EXPECT_FALSE(Select(Base("r"), 2, Parse("X1"))->Eval(env, &pool_).ok());
+  EXPECT_FALSE(
+      Merge(Base("r"), Parse("X1X2"), {0})->Eval(env, &pool_).ok());
+  EXPECT_FALSE(Union(Base("r"), Product(Base("r"), Base("r")))
+                   ->Eval(env, &pool_)
+                   .ok());
+}
+
+/// Cross-check: on suffix extraction the baseline and Sequence Datalog
+/// compute the same answers (the paper's point is that SD strictly
+/// extends what the safe baseline can do, not that they disagree where
+/// both apply).
+class RsVsDatalog : public RsTest,
+                    public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(RsVsDatalog, SuffixQueryAgrees) {
+  const char* input = GetParam();
+
+  // Baseline answer.
+  Table r;
+  r.arity = 1;
+  r.rows = {{Seq(input)}};
+  TableEnv env = {{"r", r}};
+  auto baseline =
+      Project(Extract(Base("r"), 0, Parse("X1X2"), 1), {1})->Eval(env,
+                                                                  &pool_);
+  ASSERT_TRUE(baseline.ok());
+  std::set<std::string> rs_answers;
+  for (const auto& row : baseline->rows) {
+    rs_answers.insert(Render(row[0]));
+  }
+
+  // Sequence Datalog answer (Example 1.1).
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("suffix(X[N:end]) :- r(X).").ok());
+  ASSERT_TRUE(engine.AddFact("r", {input}).ok());
+  ASSERT_TRUE(engine.Evaluate().status.ok());
+  auto rows = engine.Query("suffix");
+  ASSERT_TRUE(rows.ok());
+  std::set<std::string> sd_answers;
+  for (const RenderedRow& row : rows.value()) sd_answers.insert(row[0]);
+
+  EXPECT_EQ(rs_answers, sd_answers) << input;
+}
+
+INSTANTIATE_TEST_SUITE_P(Inputs, RsVsDatalog,
+                         ::testing::Values("", "a", "ab", "abc", "aaaa",
+                                           "abcabc"));
+
+/// Cross-system property: the pattern X1X1 (squares ww) agrees with the
+/// Sequence Datalog characterisation via index terms, on every sequence
+/// of a random corpus. Exercises repeated-variable matching against the
+/// engine's equality-of-indexed-terms path.
+class SquaresAgree : public RsTest,
+                     public ::testing::WithParamInterface<unsigned> {};
+
+TEST_P(SquaresAgree, PatternAndDatalogClassifyIdentically) {
+  std::mt19937 rng(GetParam());
+  Engine engine;
+  ASSERT_TRUE(
+      engine.LoadProgram("sq(X) :- r(X), X[1:N] = X[N+1:end].").ok());
+  std::set<std::string> corpus;
+  for (int i = 0; i < 12; ++i) {
+    size_t len = rng() % 7;
+    std::string s;
+    for (size_t j = 0; j < len; ++j) s += (rng() % 2) ? 'a' : 'b';
+    corpus.insert(s);
+  }
+  corpus.insert("abab");  // guarantee at least one square
+  for (const std::string& s : corpus) {
+    ASSERT_TRUE(engine.AddFact("r", {s}).ok());
+  }
+  ASSERT_TRUE(engine.Evaluate().status.ok());
+  auto rows = engine.Query("sq");
+  ASSERT_TRUE(rows.ok());
+  std::set<std::string> sd_squares;
+  for (const RenderedRow& row : rows.value()) sd_squares.insert(row[0]);
+
+  Pattern ww = Parse("X1X1");
+  for (const std::string& s : corpus) {
+    bool rs_square = ww.Matches(pool_.View(Seq(s)), &pool_);
+    EXPECT_EQ(rs_square, sd_squares.count(s) > 0) << "'" << s << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SquaresAgree,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+/// The structural limitation the paper ascribes to the baseline: an
+/// expression performs MergeCount() concatenations per row regardless of
+/// the data, so the longest output sequence is bounded by (sum of input
+/// lengths consumed) plus pattern literals — per merge. Quadratic
+/// growth like square(x) = x^{|x|} needs data-dependent merge counts.
+TEST_F(RsTest, MergeCountIsDataIndependent) {
+  auto expr = Merge(Merge(Base("r"), Parse("X1X1"), {0}),
+                    Parse("X1X2"), {0, 1});
+  EXPECT_EQ(expr->MergeCount(), 2u);
+
+  // Output length after k merges of a length-n input is at most
+  // (k+1) * n + literals; with n = 4: double = 8, then +4 = 12.
+  Table r;
+  r.arity = 1;
+  r.rows = {{Seq("abcd")}};
+  TableEnv env = {{"r", r}};
+  auto out = expr->Eval(env, &pool_);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->rows.size(), 1u);
+  EXPECT_EQ(pool_.Length(out->rows[0].back()), 12u);
+}
+
+}  // namespace
+}  // namespace rs
+}  // namespace seqlog

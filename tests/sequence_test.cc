@@ -1,0 +1,222 @@
+// Unit and property tests for the sequence layer: symbol table, pool and
+// extended active domain (Definitions 2-3, Lemma 1, the subsequence-count
+// bound of Section 2.1).
+#include <gtest/gtest.h>
+
+#include "sequence/domain.h"
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+
+namespace seqlog {
+namespace {
+
+TEST(SymbolTableTest, InternIsIdempotent) {
+  SymbolTable t;
+  Symbol a = t.Intern("a");
+  EXPECT_EQ(t.Intern("a"), a);
+  EXPECT_EQ(t.Name(a), "a");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(SymbolTableTest, MultiCharacterNames) {
+  SymbolTable t;
+  Symbol q0 = t.Intern("q0");
+  Symbol q1 = t.Intern("q1");
+  EXPECT_NE(q0, q1);
+  EXPECT_EQ(t.Name(q0), "q0");
+}
+
+TEST(SymbolTableTest, FindMissingReturnsMarkerSentinel) {
+  SymbolTable t;
+  EXPECT_EQ(t.Find("nope"), kEndMarker);
+  t.Intern("yes");
+  EXPECT_NE(t.Find("yes"), kEndMarker);
+}
+
+TEST(SequencePoolTest, EmptySequenceIsIdZero) {
+  SequencePool pool;
+  EXPECT_EQ(pool.Intern({}), kEmptySeq);
+  EXPECT_EQ(pool.Length(kEmptySeq), 0u);
+}
+
+TEST(SequencePoolTest, InternDeduplicates) {
+  SymbolTable t;
+  SequencePool pool;
+  SeqId a = pool.FromChars("acgt", &t);
+  SeqId b = pool.FromChars("acgt", &t);
+  SeqId c = pool.FromChars("acga", &t);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.Length(a), 4u);
+}
+
+TEST(SequencePoolTest, ConcatMatchesContent) {
+  SymbolTable t;
+  SequencePool pool;
+  SeqId ab = pool.FromChars("ab", &t);
+  SeqId cd = pool.FromChars("cd", &t);
+  SeqId abcd = pool.Concat(ab, cd);
+  EXPECT_EQ(abcd, pool.FromChars("abcd", &t));
+  EXPECT_EQ(pool.Concat(kEmptySeq, ab), ab);
+  EXPECT_EQ(pool.Concat(ab, kEmptySeq), ab);
+}
+
+TEST(SequencePoolTest, SubsequenceSemantics) {
+  // The Section 3.2 table: uvwxy[3:5]=wxy, [3:3]=w, [3:2]=eps.
+  SymbolTable t;
+  SequencePool pool;
+  SeqId s = pool.FromChars("uvwxy", &t);
+  EXPECT_EQ(pool.Subsequence(s, 3, 5), pool.FromChars("wxy", &t));
+  EXPECT_EQ(pool.Subsequence(s, 3, 4), pool.FromChars("wx", &t));
+  EXPECT_EQ(pool.Subsequence(s, 3, 3), pool.FromChars("w", &t));
+  EXPECT_EQ(pool.Subsequence(s, 3, 2), kEmptySeq);
+  EXPECT_EQ(pool.Subsequence(s, 1, 5), s);
+}
+
+TEST(SequencePoolTest, RenderMixedSymbolWidths) {
+  SymbolTable t;
+  SequencePool pool;
+  std::vector<Symbol> syms = {t.Intern("q0"), t.Intern("a"), t.Intern("b")};
+  SeqId s = pool.Intern(syms);
+  EXPECT_EQ(pool.Render(s, t), "<q0>ab");
+  EXPECT_EQ(pool.Render(kEmptySeq, t), "");
+}
+
+TEST(ExtendedDomainTest, StartsWithEpsilonOnly) {
+  SequencePool pool;
+  ExtendedDomain d(&pool);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_TRUE(d.Contains(kEmptySeq));
+  EXPECT_EQ(d.MaxInt(), 1);  // lmax = 0
+}
+
+TEST(ExtendedDomainTest, AddRootInsertsAllSubsequences) {
+  SymbolTable t;
+  SequencePool pool;
+  ExtendedDomain d(&pool);
+  SeqId abc = pool.FromChars("abc", &t);
+  ASSERT_TRUE(d.AddRoot(abc).ok());
+  // Section 2.1: eps, a, b, c, ab, bc, abc.
+  EXPECT_EQ(d.size(), 7u);
+  for (const char* sub : {"a", "b", "c", "ab", "bc", "abc"}) {
+    EXPECT_TRUE(d.Contains(pool.FromChars(sub, &t))) << sub;
+  }
+  EXPECT_FALSE(d.Contains(pool.FromChars("ac", &t)));
+  EXPECT_EQ(d.MaxInt(), 4);
+}
+
+TEST(ExtendedDomainTest, SubsequenceCountBound) {
+  // At most k(k+1)/2 + 1 distinct contiguous subsequences (attained by
+  // sequences with all-distinct symbols).
+  SymbolTable t;
+  SequencePool pool;
+  for (size_t k = 1; k <= 12; ++k) {
+    ExtendedDomain d(&pool);
+    std::vector<Symbol> syms;
+    for (size_t i = 0; i < k; ++i) {
+      syms.push_back(t.Intern(std::string("s") + std::to_string(i)));
+    }
+    ASSERT_TRUE(d.AddRoot(pool.Intern(syms)).ok());
+    EXPECT_EQ(d.size(), k * (k + 1) / 2 + 1) << "k=" << k;
+  }
+}
+
+TEST(ExtendedDomainTest, RepeatedSymbolsGiveFewerSubsequences) {
+  SymbolTable t;
+  SequencePool pool;
+  ExtendedDomain d(&pool);
+  ASSERT_TRUE(d.AddRoot(pool.FromChars("aaaa", &t)).ok());
+  // eps, a, aa, aaa, aaaa.
+  EXPECT_EQ(d.size(), 5u);
+}
+
+TEST(ExtendedDomainTest, UniformFastPathMatchesGenericClosure) {
+  // a^n takes the uniform fast path; its closure must be identical to
+  // what the generic loop computes for an equivalent mixed sequence
+  // restricted to the uniform members: exactly {eps, a, ..., a^n}, all
+  // length buckets singleton.
+  SymbolTable t;
+  SequencePool pool;
+  ExtendedDomain d(&pool);
+  ASSERT_TRUE(d.AddRoot(pool.FromChars("aaaaaa", &t)).ok());
+  EXPECT_EQ(d.size(), 7u);
+  for (size_t len = 0; len <= 6; ++len) {
+    EXPECT_EQ(d.WithLength(len).size(), 1u) << len;
+    EXPECT_TRUE(d.Contains(pool.FromChars(std::string(len, 'a'), &t)));
+  }
+  EXPECT_EQ(d.MaxInt(), 7);
+  // The fast path must still honour the budget.
+  ExtendedDomain capped(&pool);
+  Status s =
+      capped.AddRoot(pool.FromChars(std::string(100, 'a'), &t), 10);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExtendedDomainTest, LengthBucketsPartitionTheDomain) {
+  SymbolTable t;
+  SequencePool pool;
+  ExtendedDomain d(&pool);
+  ASSERT_TRUE(d.AddRoot(pool.FromChars("abcab", &t)).ok());
+  size_t total = 0;
+  for (size_t len = 0; len <= d.lmax(); ++len) {
+    for (SeqId id : d.WithLength(len)) {
+      EXPECT_EQ(pool.Length(id), len);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, d.size());
+  EXPECT_TRUE(d.WithLength(d.lmax() + 5).empty());
+}
+
+TEST(ExtendedDomainTest, ReAddingContainedSequenceIsNoop) {
+  SymbolTable t;
+  SequencePool pool;
+  ExtendedDomain d(&pool);
+  SeqId abc = pool.FromChars("abc", &t);
+  ASSERT_TRUE(d.AddRoot(abc).ok());
+  size_t before = d.size();
+  ASSERT_TRUE(d.AddRoot(pool.FromChars("ab", &t)).ok());  // a subsequence
+  ASSERT_TRUE(d.AddRoot(abc).ok());
+  EXPECT_EQ(d.size(), before);
+}
+
+TEST(ExtendedDomainTest, MonotoneGrowth) {
+  // Lemma 1 flavour: adding roots never removes elements and the
+  // insertion order view is stable.
+  SymbolTable t;
+  SequencePool pool;
+  ExtendedDomain d(&pool);
+  ASSERT_TRUE(d.AddRoot(pool.FromChars("ab", &t)).ok());
+  std::vector<SeqId> snapshot = d.sequences();
+  ASSERT_TRUE(d.AddRoot(pool.FromChars("xyz", &t)).ok());
+  ASSERT_GE(d.sequences().size(), snapshot.size());
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    EXPECT_EQ(d.sequences()[i], snapshot[i]);
+  }
+}
+
+TEST(ExtendedDomainTest, BudgetExceededReportsResourceExhausted) {
+  SymbolTable t;
+  SequencePool pool;
+  ExtendedDomain d(&pool);
+  std::string long_seq(64, 'a');
+  for (size_t i = 0; i < long_seq.size(); ++i) {
+    long_seq[i] = static_cast<char>('a' + (i % 26));
+  }
+  Status s = d.AddRoot(pool.FromChars(long_seq, &t), /*max_sequences=*/10);
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ExtendedDomainTest, IntegerRangeTracksLongestSequence) {
+  SymbolTable t;
+  SequencePool pool;
+  ExtendedDomain d(&pool);
+  ASSERT_TRUE(d.AddRoot(pool.FromChars("ab", &t)).ok());
+  EXPECT_EQ(d.MaxInt(), 3);
+  ASSERT_TRUE(d.AddRoot(pool.FromChars("abcde", &t)).ok());
+  EXPECT_EQ(d.MaxInt(), 6);
+  EXPECT_EQ(d.lmax(), 5u);
+}
+
+}  // namespace
+}  // namespace seqlog

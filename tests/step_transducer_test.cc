@@ -1,0 +1,102 @@
+// Property tests for the TM-step transducer (the order-1 machine at the
+// heart of the Theorem 5 network): its output on (fuel, fuel, config)
+// must equal tm::StepConfig for every reachable configuration.
+#include <gtest/gtest.h>
+
+#include "tm/machines.h"
+#include "tm/step_transducer.h"
+#include "tm/turing.h"
+
+namespace seqlog {
+namespace tm {
+namespace {
+
+class StepTransducerTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  TuringMachine Machine() {
+    std::string name = GetParam();
+    if (name == "bit_flip") return MakeBitFlip(&symbols_);
+    if (name == "binary_increment") return MakeBinaryIncrement(&symbols_);
+    return MakeUnaryDouble(&symbols_);
+  }
+  std::vector<Symbol> Chars(std::string_view text) {
+    std::vector<Symbol> out;
+    for (char c : text) {
+      out.push_back(symbols_.Intern(std::string_view(&c, 1)));
+    }
+    return out;
+  }
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+TEST_P(StepTransducerTest, AgreesWithStepConfigAlongFullRuns) {
+  TuringMachine m = Machine();
+  auto step = MakeStepTransducer(m, "step");
+  ASSERT_TRUE(step.ok()) << step.status().ToString();
+  EXPECT_EQ((*step)->Order(), 1);
+  EXPECT_EQ((*step)->NumInputs(), 3u);
+
+  std::vector<std::string> inputs;
+  if (std::string(GetParam()) == "unary_double") {
+    inputs = {"1", "11", "111", "1111"};
+  } else {
+    inputs = {"0", "01", "010", "0110", "0101"};
+  }
+
+  for (const std::string& in : inputs) {
+    // Fuel tapes sized like the driver would: a long counter and the
+    // initial configuration.
+    SeqId fuel1 = pool_.Intern(Chars(std::string(256, '1')));
+    std::vector<Symbol> config = InitialConfig(m, Chars(in));
+    SeqId fuel2 = pool_.Intern(config);
+
+    for (int step_no = 0; step_no < 200; ++step_no) {
+      std::vector<Symbol> expected = StepConfig(m, config);
+      SeqId config_id = pool_.Intern(config);
+      auto out = (*step)->Apply(
+          std::vector<SeqId>{fuel1, fuel2, config_id}, &pool_);
+      ASSERT_TRUE(out.ok())
+          << GetParam() << " input=" << in << " step=" << step_no << ": "
+          << out.status().ToString();
+      SeqView got = pool_.View(out.value());
+      ASSERT_EQ(std::vector<Symbol>(got.begin(), got.end()), expected)
+          << GetParam() << " input=" << in << " step=" << step_no;
+      if (expected == config) break;  // halted: fixed point reached
+      config = expected;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, StepTransducerTest,
+                         ::testing::Values("bit_flip", "binary_increment",
+                                           "unary_double"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(StepTransducerBasics, HaltedConfigIsFixedPoint) {
+  SymbolTable symbols;
+  SequencePool pool;
+  TuringMachine m = MakeBitFlip(&symbols);
+  auto step = MakeStepTransducer(m, "step");
+  ASSERT_TRUE(step.ok());
+  // Run to completion, then apply the step transducer thrice more.
+  std::vector<Symbol> in = {symbols.Intern("0"), symbols.Intern("1")};
+  auto direct = RunMachine(m, in, 100);
+  ASSERT_TRUE(direct.ok());
+  std::vector<Symbol> halted =
+      EncodeConfig(m, direct->tape, direct->head, direct->final_state);
+  SeqId fuel = pool.FromChars("11111111", &symbols);
+  SeqId config = pool.Intern(halted);
+  for (int i = 0; i < 3; ++i) {
+    auto out = (*step)->Apply(std::vector<SeqId>{fuel, fuel, config},
+                              &pool);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.value(), config);
+  }
+}
+
+}  // namespace
+}  // namespace tm
+}  // namespace seqlog

@@ -1,0 +1,131 @@
+// Unit tests for catalog, relations and databases.
+#include <gtest/gtest.h>
+
+#include "storage/catalog.h"
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace seqlog {
+namespace {
+
+TEST(CatalogTest, GetOrCreateAssignsDenseIds) {
+  Catalog c;
+  auto p = c.GetOrCreate("p", 2);
+  auto q = c.GetOrCreate("q", 1);
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(q.ok());
+  EXPECT_NE(p.value(), q.value());
+  EXPECT_EQ(c.Name(p.value()), "p");
+  EXPECT_EQ(c.Arity(p.value()), 2u);
+  EXPECT_EQ(c.GetOrCreate("p", 2).value(), p.value());
+}
+
+TEST(CatalogTest, ArityConflictIsAnError) {
+  Catalog c;
+  ASSERT_TRUE(c.GetOrCreate("p", 2).ok());
+  EXPECT_FALSE(c.GetOrCreate("p", 3).ok());
+}
+
+TEST(CatalogTest, FindMissing) {
+  Catalog c;
+  EXPECT_EQ(c.Find("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert(std::vector<SeqId>{1, 2}));
+  EXPECT_FALSE(r.Insert(std::vector<SeqId>{1, 2}));
+  EXPECT_TRUE(r.Insert(std::vector<SeqId>{2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(std::vector<SeqId>{1, 2}));
+  EXPECT_FALSE(r.Contains(std::vector<SeqId>{1, 3}));
+}
+
+TEST(RelationTest, ColumnIndexFindsRows) {
+  Relation r(2);
+  r.Insert(std::vector<SeqId>{1, 10});
+  r.Insert(std::vector<SeqId>{1, 20});
+  r.Insert(std::vector<SeqId>{2, 10});
+  const std::vector<uint32_t>* rows = r.RowsWithValue(0, 1);
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+  rows = r.RowsWithValue(1, 10);
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 2u);
+  EXPECT_EQ(r.RowsWithValue(0, 99), nullptr);
+}
+
+TEST(RelationTest, RowAccess) {
+  Relation r(3);
+  r.Insert(std::vector<SeqId>{7, 8, 9});
+  TupleView row = r.Row(0);
+  EXPECT_EQ(row[0], 7u);
+  EXPECT_EQ(row[2], 9u);
+}
+
+TEST(RelationTest, ClearKeepsArity) {
+  Relation r(2);
+  r.Insert(std::vector<SeqId>{1, 2});
+  r.Clear();
+  EXPECT_EQ(r.size(), 0u);
+  EXPECT_EQ(r.arity(), 2u);
+  EXPECT_TRUE(r.Insert(std::vector<SeqId>{1, 2}));
+}
+
+TEST(RelationTest, ZeroArityRelationHoldsOneTuple) {
+  Relation r(0);
+  EXPECT_TRUE(r.Insert({}));
+  EXPECT_FALSE(r.Insert({}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, ManyInsertsStaysConsistent) {
+  Relation r(2);
+  for (SeqId i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(r.Insert(std::vector<SeqId>{i, i * 2}));
+  }
+  EXPECT_EQ(r.size(), 1000u);
+  for (SeqId i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(r.Contains(std::vector<SeqId>{i, i * 2}));
+    const auto* rows = r.RowsWithValue(0, i);
+    ASSERT_NE(rows, nullptr);
+    ASSERT_EQ(rows->size(), 1u);
+  }
+}
+
+TEST(DatabaseTest, InsertAndLookup) {
+  Catalog c;
+  PredId p = c.GetOrCreate("p", 1).value();
+  PredId q = c.GetOrCreate("q", 2).value();
+  Database db(&c);
+  EXPECT_TRUE(db.Insert(p, std::vector<SeqId>{5}));
+  EXPECT_FALSE(db.Insert(p, std::vector<SeqId>{5}));
+  EXPECT_TRUE(db.Insert(q, std::vector<SeqId>{5, 6}));
+  EXPECT_EQ(db.TotalFacts(), 2u);
+  EXPECT_TRUE(db.Contains(p, std::vector<SeqId>{5}));
+  EXPECT_FALSE(db.Contains(q, std::vector<SeqId>{6, 5}));
+}
+
+TEST(DatabaseTest, GetMissingPredicateIsNull) {
+  Catalog c;
+  PredId p = c.GetOrCreate("p", 1).value();
+  Database db(&c);
+  EXPECT_EQ(db.Get(p), nullptr);
+  db.GetOrCreate(p);
+  EXPECT_NE(db.Get(p), nullptr);
+}
+
+TEST(DatabaseTest, UnionWith) {
+  Catalog c;
+  PredId p = c.GetOrCreate("p", 1).value();
+  Database a(&c);
+  Database b(&c);
+  a.Insert(p, std::vector<SeqId>{1});
+  b.Insert(p, std::vector<SeqId>{1});
+  b.Insert(p, std::vector<SeqId>{2});
+  a.UnionWith(b);
+  EXPECT_EQ(a.TotalFacts(), 2u);
+}
+
+}  // namespace
+}  // namespace seqlog

@@ -1,0 +1,189 @@
+// End-to-end tests of the Theorem 5 construction (an order-2 acyclic
+// transducer network simulating a polynomial-time Turing machine) and
+// its Theorem 6 variant (order-3 network, hyperexponential counter,
+// elementary-time machines).
+#include <gtest/gtest.h>
+
+#include "tm/machines.h"
+#include "tm/tm_network.h"
+#include "tm/turing.h"
+#include "transducer/library.h"
+
+namespace seqlog {
+namespace tm {
+namespace {
+
+class TmNetworkTest : public ::testing::Test {
+ protected:
+  SeqId Seq(std::string_view text) {
+    return pool_.FromChars(text, &symbols_);
+  }
+  std::string Render(SeqId id) { return pool_.Render(id, symbols_); }
+  std::string RenderSyms(std::span<const Symbol> syms) {
+    return pool_.Render(pool_.Intern(syms), symbols_);
+  }
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+TEST_F(TmNetworkTest, InitConfigBuildsInitialConfiguration) {
+  TuringMachine m = MakeBitFlip(&symbols_);
+  auto init = MakeInitConfig(m, "init");
+  ASSERT_TRUE(init.ok()) << init.status().ToString();
+  EXPECT_EQ((*init)->Order(), 2);
+  auto out = (*init)->Apply(std::vector<SeqId>{Seq("0110")}, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Render(out.value()), "<q0><|->0110");
+}
+
+TEST_F(TmNetworkTest, NetworkHasTheorem5Shape) {
+  TuringMachine m = MakeBitFlip(&symbols_);
+  auto net = MakeTmNetwork(m, "net", /*squarings=*/1);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  // Order 2 everywhere (Theorem 5's claim); diameter: squarings + driver
+  // + decode.
+  EXPECT_EQ((*net)->Order(), 2);
+  EXPECT_EQ((*net)->Diameter(), 3u);
+}
+
+TEST_F(TmNetworkTest, SimulatesBitFlip) {
+  TuringMachine m = MakeBitFlip(&symbols_);
+  // Linear machine: one squaring (counter n^2 >= n + 2 for n >= 2).
+  auto net = MakeTmNetwork(m, "net", /*squarings=*/1);
+  ASSERT_TRUE(net.ok());
+  for (const char* in : {"01", "111", "0110", "10101", "00000000"}) {
+    auto out = (*net)->Apply(std::vector<SeqId>{Seq(in)}, &pool_);
+    ASSERT_TRUE(out.ok()) << in << ": " << out.status().ToString();
+    std::string expected;
+    for (const char* p = in; *p != '\0'; ++p) {
+      expected += (*p == '0') ? '1' : '0';
+    }
+    EXPECT_EQ(Render(out.value()), expected) << in;
+  }
+}
+
+TEST_F(TmNetworkTest, SimulatesBinaryIncrement) {
+  TuringMachine m = MakeBinaryIncrement(&symbols_);
+  // The increment machine walks to the right end and back: ~2n+4 steps,
+  // which exceeds the n^2 counter of one squaring at n=2 (4 < 8). Two
+  // squarings give n^4 >= 2n+4 for all n >= 2, matching how Theorem 5
+  // sizes the counter to dominate the machine's running time.
+  auto net = MakeTmNetwork(m, "net", /*squarings=*/2);
+  ASSERT_TRUE(net.ok());
+  struct Case {
+    const char* in;
+    const char* out;
+  } cases[] = {{"01", "10"}, {"0111", "1000"}, {"0000", "0001"},
+               {"0101", "0110"}};
+  for (const Case& c : cases) {
+    auto out = (*net)->Apply(std::vector<SeqId>{Seq(c.in)}, &pool_);
+    ASSERT_TRUE(out.ok()) << c.in << ": " << out.status().ToString();
+    EXPECT_EQ(Render(out.value()), c.out) << c.in;
+  }
+}
+
+TEST_F(TmNetworkTest, SimulatesQuadraticUnaryDouble) {
+  TuringMachine m = MakeUnaryDouble(&symbols_);
+  // Quadratic machine: two squarings (counter n^4 >= c n^2, n >= 3).
+  auto net = MakeTmNetwork(m, "net", /*squarings=*/2);
+  ASSERT_TRUE(net.ok());
+  for (size_t n : {3u, 4u, 5u}) {
+    std::string in(n, '1');
+    auto direct = RunMachine(m, pool_.View(Seq(in)), 100000);
+    ASSERT_TRUE(direct.ok());
+    auto out = (*net)->Apply(std::vector<SeqId>{Seq(in)}, &pool_);
+    ASSERT_TRUE(out.ok()) << "n=" << n << ": " << out.status().ToString();
+    EXPECT_EQ(Render(out.value()), RenderSyms(ExtractOutput(m, *direct)))
+        << "n=" << n;
+    EXPECT_EQ(Render(out.value()), std::string(2 * n, '1'));
+  }
+}
+
+TEST_F(TmNetworkTest, BinaryCountUpIsExponentialTime) {
+  // Sanity for the Theorem 6 workload: direct steps grow ~ n 2^n.
+  TuringMachine m = MakeBinaryCountUp(&symbols_);
+  size_t prev_steps = 0;
+  for (size_t n : {2u, 3u, 4u, 5u}) {
+    auto run = RunMachine(m, pool_.View(Seq(std::string(n, '0'))), 100000);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(RenderSyms(ExtractOutput(m, *run)), std::string(n, '1'));
+    EXPECT_GT(run->steps, 2 * prev_steps) << "n=" << n;  // super-2^n-ish
+    prev_steps = run->steps;
+  }
+}
+
+TEST_F(TmNetworkTest, ElementaryNetworkHasTheorem6Shape) {
+  TuringMachine m = MakeBinaryCountUp(&symbols_);
+  auto net = MakeElementaryTmNetwork(m, "net", /*exponentiations=*/1);
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  // The double-exponentiation counter stage is order 3 (Theorem 6);
+  // diameter: counter + driver + decode.
+  EXPECT_EQ((*net)->Order(), 3);
+  EXPECT_EQ((*net)->Diameter(), 3u);
+}
+
+TEST_F(TmNetworkTest, ElementaryNetworkSimulatesExponentialMachine) {
+  // Theorem 6's construction: the hyperexponential counter lets the
+  // order-3 network drive an exponential-time machine to completion —
+  // the polynomial counters of Theorem 5 cannot (checked below).
+  //
+  // n = 2 keeps the run cheap: the driver's step subtransducer must
+  // consume the whole counter on every call (Definition 7), so total
+  // work is Theta(|counter|^2) — 36^2 here, but ~21609^2 at n = 3.
+  TuringMachine m = MakeBinaryCountUp(&symbols_);
+  auto net = MakeElementaryTmNetwork(m, "net", /*exponentiations=*/1);
+  ASSERT_TRUE(net.ok());
+  std::string in(2, '0');
+  auto out = (*net)->Apply(std::vector<SeqId>{Seq(in)}, &pool_);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_EQ(Render(out.value()), "11");
+}
+
+TEST_F(TmNetworkTest, ElementaryCounterIsHyperexponential) {
+  // The counter stage alone: |out| = (n + |prev|)^2 iterated n times,
+  // i.e. 2^2^Theta(n) (the Theorem 4 order-3 lower bound) — already
+  // >= 2^2^n at n = 3 where the count-up machine needs ~n 2^n steps.
+  auto stage = transducer::MakeDoubleExp("counter");
+  ASSERT_TRUE(stage.ok());
+  auto len = [&](size_t n) {
+    auto out =
+        (*stage)->Apply(std::vector<SeqId>{Seq(std::string(n, 'c'))},
+                        &pool_);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? pool_.Length(out.value()) : 0;
+  };
+  EXPECT_EQ(len(1), 1u);
+  EXPECT_EQ(len(2), 36u);
+  EXPECT_EQ(len(3), 21609u);  // >= 2^2^3 = 256
+}
+
+TEST_F(TmNetworkTest, PolynomialCounterCannotDriveExponentialMachine) {
+  // The flip side of Theorem 5 vs 6: with a squared (polynomial)
+  // counter the count-up machine runs out of fuel; with n = 4 it needs
+  // ~15 increments * ~12 steps >> 4^2 = 16.
+  TuringMachine m = MakeBinaryCountUp(&symbols_);
+  auto net = MakeTmNetwork(m, "net", /*squarings=*/1);
+  ASSERT_TRUE(net.ok());
+  std::string in(4, '0');
+  auto out = (*net)->Apply(std::vector<SeqId>{Seq(in)}, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(Render(out.value()), std::string(4, '1'));
+}
+
+TEST_F(TmNetworkTest, UndersizedCounterTruncatesComputation) {
+  // With no squarings the counter is just n; the quadratic machine
+  // cannot finish and the decoded tape is not the doubled string. This
+  // demonstrates why Theorem 5 sizes the counter by the polynomial
+  // degree.
+  TuringMachine m = MakeUnaryDouble(&symbols_);
+  auto net = MakeTmNetwork(m, "net", /*squarings=*/0);
+  ASSERT_TRUE(net.ok());
+  std::string in(6, '1');
+  auto out = (*net)->Apply(std::vector<SeqId>{Seq(in)}, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(Render(out.value()), std::string(12, '1'));
+}
+
+}  // namespace
+}  // namespace tm
+}  // namespace seqlog

@@ -1,0 +1,156 @@
+// Unit tests for the Turing machine substrate: runner, sample machines,
+// configuration encode/step/decode.
+#include <gtest/gtest.h>
+
+#include "tm/machines.h"
+#include "tm/turing.h"
+
+namespace seqlog {
+namespace tm {
+namespace {
+
+class TmTest : public ::testing::Test {
+ protected:
+  std::vector<Symbol> Chars(std::string_view text) {
+    std::vector<Symbol> out;
+    for (char c : text) {
+      out.push_back(symbols_.Intern(std::string_view(&c, 1)));
+    }
+    return out;
+  }
+  std::string Render(std::span<const Symbol> syms) {
+    std::string out;
+    for (Symbol s : syms) {
+      std::string_view name = symbols_.Name(s);
+      if (name.size() == 1) {
+        out += name;
+      } else {
+        out += '<';
+        out += name;
+        out += '>';
+      }
+    }
+    return out;
+  }
+  SymbolTable symbols_;
+};
+
+TEST_F(TmTest, MachinesValidate) {
+  EXPECT_TRUE(MakeUnaryDouble(&symbols_).Validate().ok());
+  EXPECT_TRUE(MakeBinaryIncrement(&symbols_).Validate().ok());
+  EXPECT_TRUE(MakeBitFlip(&symbols_).Validate().ok());
+}
+
+TEST_F(TmTest, BitFlipFlips) {
+  TuringMachine m = MakeBitFlip(&symbols_);
+  auto r = RunMachine(m, Chars("0110"), 1000);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(Render(ExtractOutput(m, r.value())), "1001");
+  EXPECT_EQ(r->steps, 6u);  // marker + 4 bits + halt-on-blank
+}
+
+TEST_F(TmTest, UnaryDoubleDoubles) {
+  TuringMachine m = MakeUnaryDouble(&symbols_);
+  for (size_t n : {0u, 1u, 2u, 3u, 5u, 8u}) {
+    auto r = RunMachine(m, Chars(std::string(n, '1')), 100000);
+    ASSERT_TRUE(r.ok()) << "n=" << n << ": " << r.status().ToString();
+    EXPECT_EQ(Render(ExtractOutput(m, r.value())), std::string(2 * n, '1'))
+        << "n=" << n;
+  }
+}
+
+TEST_F(TmTest, UnaryDoubleIsSuperlinear) {
+  TuringMachine m = MakeUnaryDouble(&symbols_);
+  auto r4 = RunMachine(m, Chars("1111"), 100000);
+  auto r8 = RunMachine(m, Chars("11111111"), 100000);
+  ASSERT_TRUE(r4.ok());
+  ASSERT_TRUE(r8.ok());
+  // Quadratic: doubling n should far more than double the steps.
+  EXPECT_GT(r8->steps, 3 * r4->steps);
+}
+
+TEST_F(TmTest, BinaryIncrement) {
+  TuringMachine m = MakeBinaryIncrement(&symbols_);
+  struct Case {
+    const char* in;
+    const char* out;
+  } cases[] = {{"0", "1"},       {"01", "10"},   {"0111", "1000"},
+               {"0000", "0001"}, {"010", "011"}, {"0101", "0110"}};
+  for (const Case& c : cases) {
+    auto r = RunMachine(m, Chars(c.in), 1000);
+    ASSERT_TRUE(r.ok()) << c.in;
+    EXPECT_EQ(Render(ExtractOutput(m, r.value())), c.out) << c.in;
+  }
+}
+
+TEST_F(TmTest, StepBudgetIsEnforced) {
+  TuringMachine m = MakeUnaryDouble(&symbols_);
+  auto r = RunMachine(m, Chars("11111111"), 10);
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(TmTest, InitialConfigEncoding) {
+  TuringMachine m = MakeBitFlip(&symbols_);
+  auto config = InitialConfig(m, Chars("01"));
+  EXPECT_EQ(Render(config), "<q0><|->01");
+}
+
+TEST_F(TmTest, StepConfigMatchesRunner) {
+  // Follow the runner step by step via StepConfig and compare final
+  // configurations.
+  TuringMachine m = MakeUnaryDouble(&symbols_);
+  std::vector<Symbol> input = Chars("111");
+  auto direct = RunMachine(m, input, 100000);
+  ASSERT_TRUE(direct.ok());
+
+  std::vector<Symbol> config = InitialConfig(m, input);
+  for (size_t i = 0; i < direct->steps; ++i) {
+    config = StepConfig(m, config);
+  }
+  // One more step: halted configurations are fixed points.
+  std::vector<Symbol> again = StepConfig(m, config);
+  EXPECT_EQ(config, again);
+
+  std::vector<Symbol> expected =
+      EncodeConfig(m, direct->tape, direct->head, direct->final_state);
+  EXPECT_EQ(Render(config), Render(expected));
+}
+
+TEST_F(TmTest, DecodeConfigStripsMachinery) {
+  TuringMachine m = MakeBitFlip(&symbols_);
+  auto direct = RunMachine(m, Chars("10"), 1000);
+  ASSERT_TRUE(direct.ok());
+  auto config =
+      EncodeConfig(m, direct->tape, direct->head, direct->final_state);
+  EXPECT_EQ(Render(DecodeConfig(m, config)), "01");
+}
+
+TEST_F(TmTest, ValidationCatchesBadMachines) {
+  TuringMachine m = MakeBitFlip(&symbols_);
+  // Overwriting the marker is illegal.
+  m.delta[{m.initial_state, m.left_marker}] = {
+      m.initial_state, symbols_.Intern("0"), TmMove::kRight};
+  EXPECT_FALSE(m.Validate().ok());
+
+  TuringMachine m2 = MakeBitFlip(&symbols_);
+  // Transitions out of halting states are illegal.
+  m2.delta[{*m2.halting_states.begin(), m2.blank}] = {
+      m2.initial_state, m2.blank, TmMove::kStay};
+  EXPECT_FALSE(m2.Validate().ok());
+
+  TuringMachine m3 = MakeBitFlip(&symbols_);
+  // States and tape symbols must be disjoint.
+  m3.tape_alphabet.insert(m3.initial_state);
+  EXPECT_FALSE(m3.Validate().ok());
+}
+
+TEST_F(TmTest, MissingTransitionIsFailedPrecondition) {
+  TuringMachine m = MakeBitFlip(&symbols_);
+  m.delta.erase({symbols_.Intern("qrun"), symbols_.Intern("1")});
+  auto r = RunMachine(m, Chars("01"), 1000);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace tm
+}  // namespace seqlog

@@ -1,0 +1,210 @@
+// Unit and property tests for the standard machine library, including
+// the growth rates claimed in Section 6 / Theorem 4 (square attains n^2,
+// the order-3 machine attains doubly-exponential output).
+#include <gtest/gtest.h>
+
+#include "sequence/sequence_pool.h"
+#include "transducer/library.h"
+
+namespace seqlog {
+namespace transducer {
+namespace {
+
+class LibraryTest : public ::testing::Test {
+ protected:
+  SeqId Seq(std::string_view text) {
+    return pool_.FromChars(text, &symbols_);
+  }
+  std::string Render(SeqId id) { return pool_.Render(id, symbols_); }
+  Symbol Sym(std::string_view name) { return symbols_.Intern(name); }
+  std::vector<Symbol> Alphabet(std::string_view chars) {
+    std::vector<Symbol> out;
+    for (char c : chars) out.push_back(Sym(std::string_view(&c, 1)));
+    return out;
+  }
+  std::string Apply(const TransducerPtr& t,
+                    std::vector<std::string_view> inputs) {
+    std::vector<SeqId> ids;
+    for (std::string_view in : inputs) ids.push_back(Seq(in));
+    Result<SeqId> out = t->Apply(ids, &pool_);
+    EXPECT_TRUE(out.ok()) << out.status().ToString();
+    return out.ok() ? Render(out.value()) : "<error>";
+  }
+
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+TEST_F(LibraryTest, AppendTwoInputs) {
+  auto t = MakeAppend("app", 2);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Apply(*t, {"abc", "de"}), "abcde");
+  EXPECT_EQ(Apply(*t, {"", "de"}), "de");
+  EXPECT_EQ(Apply(*t, {"abc", ""}), "abc");
+  EXPECT_EQ(Apply(*t, {"", ""}), "");
+}
+
+TEST_F(LibraryTest, AppendThreeInputs) {
+  auto t = MakeAppend("app3", 3);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Apply(*t, {"a", "bb", "ccc"}), "abbccc");
+  EXPECT_EQ(Apply(*t, {"", "bb", ""}), "bb");
+}
+
+TEST_F(LibraryTest, OrderOneOutputIsBoundedByInput) {
+  // Section 6.2: a base transducer's output is at most its total input
+  // length.
+  auto t = MakeAppend("app", 2);
+  ASSERT_TRUE(t.ok());
+  for (const char* a : {"", "x", "xy", "xyz"}) {
+    for (const char* b : {"", "u", "uv"}) {
+      std::string out = Apply(*t, {a, b});
+      EXPECT_LE(out.size(), strlen(a) + strlen(b));
+    }
+  }
+}
+
+TEST_F(LibraryTest, ProjectSelectsOneTape) {
+  auto t = MakeProject("proj", 3, 1);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Apply(*t, {"aaa", "bbb", "cc"}), "bbb");
+  EXPECT_EQ(Apply(*t, {"", "bbb", ""}), "bbb");
+  EXPECT_EQ(Apply(*t, {"aaa", "", "cc"}), "");
+  EXPECT_FALSE(MakeProject("bad", 2, 5).ok());
+}
+
+TEST_F(LibraryTest, MapAppliesSymbolFunction) {
+  std::map<Symbol, Symbol> flip = {{Sym("0"), Sym("1")},
+                                   {Sym("1"), Sym("0")}};
+  auto t = MakeMap("flip", flip, /*pass_unmapped=*/false);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Apply(*t, {"0110"}), "1001");
+  // Partial: unmapped symbol makes the machine stuck.
+  auto out = (*t)->Apply(std::vector<SeqId>{Seq("01x")}, &pool_);
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(LibraryTest, MapPassUnmappedCopies) {
+  std::map<Symbol, Symbol> m = {{Sym("a"), Sym("b")}};
+  auto t = MakeMap("m", m, /*pass_unmapped=*/true);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Apply(*t, {"axay"}), "bxby");
+}
+
+TEST_F(LibraryTest, EraseDeletesSymbols) {
+  auto t = MakeErase("erase", {Sym("_"), Sym("#")});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Apply(*t, {"a_b#c__"}), "abc");
+  EXPECT_EQ(Apply(*t, {"___"}), "");
+  EXPECT_EQ(Apply(*t, {"abc"}), "abc");
+}
+
+TEST_F(LibraryTest, PrependSymbol) {
+  auto t = MakePrependSymbol("pre", Sym("q"));
+  ASSERT_TRUE(t.ok());
+  // Inputs: (fuel, content) -> q content.
+  EXPECT_EQ(Apply(*t, {"xyz", "abc"}), "qabc");
+  EXPECT_EQ(Apply(*t, {"x", ""}), "q");
+}
+
+TEST_F(LibraryTest, ReverseReversesAllLengths) {
+  auto t = MakeReverse("rev", Alphabet("ab"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->Order(), 2);
+  EXPECT_EQ(Apply(*t, {""}), "");
+  EXPECT_EQ(Apply(*t, {"a"}), "a");
+  EXPECT_EQ(Apply(*t, {"ab"}), "ba");
+  EXPECT_EQ(Apply(*t, {"aabbb"}), "bbbaa");
+  EXPECT_EQ(Apply(*t, {"abab"}), "baba");
+}
+
+TEST_F(LibraryTest, ReversePropertyDoubleReverseIsIdentity) {
+  auto t = MakeReverse("rev", Alphabet("abc"));
+  ASSERT_TRUE(t.ok());
+  for (const char* s : {"a", "abc", "cab", "aacbc", "ccc"}) {
+    SeqId once = (*t)->Apply(std::vector<SeqId>{Seq(s)}, &pool_).value();
+    SeqId twice = (*t)->Apply(std::vector<SeqId>{once}, &pool_).value();
+    EXPECT_EQ(Render(twice), s);
+  }
+}
+
+TEST_F(LibraryTest, EchoDoublesSymbols) {
+  auto t = MakeEcho("echo", Alphabet("abcd"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->Order(), 2);
+  EXPECT_EQ(Apply(*t, {"abcd"}), "aabbccdd");  // the paper's Example 1.6
+  EXPECT_EQ(Apply(*t, {"ab"}), "aabb");
+  EXPECT_EQ(Apply(*t, {""}), "");
+}
+
+TEST_F(LibraryTest, EchoLengthOneTruncates) {
+  // Documented Definition 7 limitation: every invocation's output is
+  // bounded by its total input length, so echo("a") = "aa" is not
+  // computable by any generalized transducer; the machine halts with the
+  // single copy it managed to emit.
+  auto t = MakeEcho("echo", Alphabet("ab"));
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Apply(*t, {"a"}), "a");
+}
+
+TEST_F(LibraryTest, SquareAttainsQuadraticOutput) {
+  // Example 6.1 / Theorem 4: |out| = n^2 for the square machine.
+  auto t = MakeSquare("sq");
+  ASSERT_TRUE(t.ok());
+  for (size_t n : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    std::string in(n, 'a');
+    EXPECT_EQ(Apply(*t, {in}).size(), n * n) << "n=" << n;
+  }
+  EXPECT_EQ(Apply(*t, {"ab"}), "abab");
+}
+
+TEST_F(LibraryTest, SquareTotalSquaresTheSum) {
+  auto t = MakeSquareTotal("sqt");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->Order(), 2);
+  for (auto [n1, n2] : std::vector<std::pair<size_t, size_t>>{
+           {1, 1}, {2, 3}, {0, 4}, {3, 0}}) {
+    std::string a(n1, 'x');
+    std::string b(n2, 'y');
+    EXPECT_EQ(Apply(*t, {a, b}).size(), (n1 + n2) * (n1 + n2))
+        << n1 << "+" << n2;
+  }
+}
+
+TEST_F(LibraryTest, DoubleExpGrowth) {
+  // Theorem 4 order-3 lower bound: |out_i| = (n + |out_{i-1}|)^2.
+  auto t = MakeDoubleExp("dx");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->Order(), 3);
+  auto expected = [](size_t n) {
+    size_t out = 0;
+    for (size_t i = 0; i < n; ++i) out = (n + out) * (n + out);
+    return out;
+  };
+  for (size_t n : {1u, 2u, 3u}) {
+    std::string in(n, 'a');
+    EXPECT_EQ(Apply(*t, {in}).size(), expected(n)) << "n=" << n;
+  }
+  // n=3 already yields 21609 symbols; n=4 exceeds the default output
+  // budget eventually (2.6M is fine, n=5 is ~10^9: budget stops it).
+  std::string big(5, 'a');
+  auto out = (*t)->Apply(std::vector<SeqId>{Seq(big)}, &pool_);
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(LibraryTest, CodonTranslateGroupsTriples) {
+  std::map<std::vector<Symbol>, Symbol> codons;
+  codons[{Sym("a"), Sym("b"), Sym("c")}] = Sym("X");
+  codons[{Sym("c"), Sym("b"), Sym("a")}] = Sym("Y");
+  auto t = MakeCodonTranslate("codon", codons);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(Apply(*t, {"abccba"}), "XY");
+  EXPECT_EQ(Apply(*t, {"abcab"}), "X");  // trailing partial codon dropped
+  EXPECT_EQ(Apply(*t, {""}), "");
+  EXPECT_FALSE(
+      MakeCodonTranslate("bad", {{{Sym("a"), Sym("b")}, Sym("X")}}).ok());
+}
+
+}  // namespace
+}  // namespace transducer
+}  // namespace seqlog

@@ -1,0 +1,216 @@
+// Unit tests for the generalized transducer machine model (Definition 7):
+// execution semantics, the subtransducer call protocol (Figure 1),
+// Definition 7's restrictions, tracing, and ground-transition expansion.
+#include <gtest/gtest.h>
+
+#include "sequence/sequence_pool.h"
+#include "transducer/builder.h"
+#include "transducer/library.h"
+#include "transducer/transducer.h"
+
+namespace seqlog {
+namespace transducer {
+namespace {
+
+class TransducerTest : public ::testing::Test {
+ protected:
+  SeqId Seq(std::string_view text) {
+    return pool_.FromChars(text, &symbols_);
+  }
+  std::string Render(SeqId id) { return pool_.Render(id, symbols_); }
+  Symbol Sym(std::string_view name) { return symbols_.Intern(name); }
+
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+TEST_F(TransducerTest, IdentityCopiesInput) {
+  auto t = MakeIdentity("copy");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)->Order(), 1);
+  EXPECT_EQ((*t)->NumInputs(), 1u);
+  auto out = (*t)->Apply(std::vector<SeqId>{Seq("hello")}, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Render(out.value()), "hello");
+}
+
+TEST_F(TransducerTest, EmptyInputHaltsImmediately) {
+  auto t = MakeIdentity("copy");
+  ASSERT_TRUE(t.ok());
+  auto out = (*t)->Apply(std::vector<SeqId>{kEmptySeq}, &pool_);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value(), kEmptySeq);
+}
+
+TEST_F(TransducerTest, WrongInputCountRejected) {
+  auto t = MakeIdentity("copy");
+  ASSERT_TRUE(t.ok());
+  auto out = (*t)->Apply(std::vector<SeqId>{Seq("a"), Seq("b")}, &pool_);
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TransducerTest, StuckMachineIsFailedPrecondition) {
+  // A machine accepting only 'a's, run on "ab".
+  TransducerBuilder b("only_a", 1);
+  StateId q = b.State("q0");
+  b.Add(q, {SymPattern::Exact(Sym("a"))}, q, {HeadMove::kAdvance},
+        Output::Echo(0));
+  auto t = b.Build();
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->Apply(std::vector<SeqId>{Seq("aaa")}, &pool_).ok());
+  auto out = (*t)->Apply(std::vector<SeqId>{Seq("ab")}, &pool_);
+  EXPECT_EQ(out.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TransducerTest, Definition7RequiresAHeadMove) {
+  TransducerBuilder b("bad", 1);
+  StateId q = b.State("q0");
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kStay}, Output::Epsilon());
+  auto t = b.Build();
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("restriction (i)"),
+            std::string::npos);
+}
+
+TEST_F(TransducerTest, Definition7MarkerHeadsStay) {
+  TransducerBuilder b("bad", 1);
+  StateId q = b.State("q0");
+  b.Add(q, {SymPattern::Marker()}, q, {HeadMove::kAdvance},
+        Output::Epsilon());
+  auto t = b.Build();
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("restriction (ii)"),
+            std::string::npos);
+}
+
+TEST_F(TransducerTest, Definition7CalleeArity) {
+  auto callee = MakeIdentity("copy1");  // 1 input; caller needs m+1 = 2
+  ASSERT_TRUE(callee.ok());
+  TransducerBuilder b("bad", 1);
+  StateId q = b.State("q0");
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+        Output::Call(callee.value()));
+  auto t = b.Build();
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(t.status().message().find("restriction (iii)"),
+            std::string::npos);
+}
+
+TEST_F(TransducerTest, OrderComputedFromCallNesting) {
+  auto square = MakeSquare("sq");
+  ASSERT_TRUE(square.ok());
+  EXPECT_EQ((*square)->Order(), 2);
+  auto dexp = MakeDoubleExp("dx");
+  ASSERT_TRUE(dexp.ok());
+  EXPECT_EQ((*dexp)->Order(), 3);
+}
+
+TEST_F(TransducerTest, SubtransducerCallProtocol) {
+  // Figure 1 / Section 6.1: the callee reads copies of the caller's
+  // inputs plus the current output; its output overwrites the caller's.
+  RunStats stats;
+  auto square = MakeSquare("sq");
+  ASSERT_TRUE(square.ok());
+  auto out = (*square)->Run(std::vector<SeqId>{Seq("abc")}, &pool_, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Render(out.value()), "abcabcabc");
+  EXPECT_EQ(stats.calls, 3u);           // one call per input symbol
+  EXPECT_EQ(stats.top_steps, 3u);       // driver transitions
+  EXPECT_GT(stats.total_steps, stats.top_steps);
+  EXPECT_EQ(stats.max_output, 9u);
+}
+
+TEST_F(TransducerTest, Figure2TraceShape) {
+  // Figure 2: the step-by-step computation of T_square on abc. Each row
+  // calls the append subtransducer; outputs grow by one copy of abc.
+  auto square = MakeSquare("sq");
+  ASSERT_TRUE(square.ok());
+  RunStats stats;
+  std::vector<TraceRow> trace;
+  auto out = (*square)->Run(std::vector<SeqId>{Seq("abc")}, &pool_, &stats,
+                            &trace);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(trace.size(), 3u);
+  const char* expected_before[] = {"", "abc", "abcabc"};
+  const char* expected_after[] = {"abc", "abcabc", "abcabcabc"};
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(trace[i].step, i + 1);
+    EXPECT_EQ(trace[i].head_positions[0], i);
+    EXPECT_EQ(pool_.Render(pool_.Intern(trace[i].output_before), symbols_),
+              expected_before[i]);
+    EXPECT_EQ(pool_.Render(pool_.Intern(trace[i].output_after), symbols_),
+              expected_after[i]);
+    EXPECT_NE(trace[i].operation.find("call"), std::string::npos);
+  }
+}
+
+TEST_F(TransducerTest, OutputBudgetStopsRunaway) {
+  TransducerBuilder b("sq", 1);
+  StateId q = b.State("q0");
+  auto append = MakeAppend("app", 2);
+  ASSERT_TRUE(append.ok());
+  b.Add(q, {SymPattern::Any()}, q, {HeadMove::kAdvance},
+        Output::Call(append.value()));
+  b.SetMaxOutputLength(16);
+  auto t = b.Build();
+  ASSERT_TRUE(t.ok());
+  std::string input(10, 'x');
+  auto out = (*t)->Apply(std::vector<SeqId>{Seq(input)}, &pool_);
+  EXPECT_EQ(out.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(TransducerTest, GroundEnumerationExpandsPatterns) {
+  auto append = MakeAppend("app", 2);
+  ASSERT_TRUE(append.ok());
+  std::vector<Symbol> alphabet = {Sym("a"), Sym("b")};
+  auto ground = (*append)->EnumerateGroundTransitions(alphabet);
+  // 3^2 combinations minus the all-marker one = 8, each matched by one
+  // of the two priority rows.
+  EXPECT_EQ(ground.size(), 8u);
+  for (const auto& g : ground) {
+    // Echo outputs must be grounded to concrete symbols.
+    EXPECT_NE(g.output.kind, Output::Kind::kEcho);
+    if (g.output.kind == Output::Kind::kSymbol) {
+      EXPECT_NE(g.output.symbol, kEndMarker);
+    }
+  }
+}
+
+TEST_F(TransducerTest, GroundEnumerationIsDeterministic) {
+  auto append = MakeAppend("app", 2);
+  ASSERT_TRUE(append.ok());
+  std::vector<Symbol> alphabet = {Sym("a"), Sym("b"), Sym("c")};
+  auto g1 = (*append)->EnumerateGroundTransitions(alphabet);
+  auto g2 = (*append)->EnumerateGroundTransitions(alphabet);
+  ASSERT_EQ(g1.size(), g2.size());
+  // At most one ground transition per (state, scanned) pair.
+  std::set<std::vector<Symbol>> seen;
+  for (const auto& g : g1) {
+    std::vector<Symbol> key = g.scanned;
+    key.push_back(g.from);
+    EXPECT_TRUE(seen.insert(key).second);
+  }
+}
+
+TEST_F(TransducerTest, CalleesListsDirectSubtransducers) {
+  auto square = MakeSquare("sq");
+  ASSERT_TRUE(square.ok());
+  auto callees = (*square)->Callees();
+  ASSERT_EQ(callees.size(), 1u);
+  EXPECT_EQ(callees[0]->name(), "sq_append");
+  auto copy = MakeIdentity("c");
+  ASSERT_TRUE(copy.ok());
+  EXPECT_TRUE((*copy)->Callees().empty());
+}
+
+TEST_F(TransducerTest, EchoAtMarkerIsRejectedAtBuild) {
+  TransducerBuilder b("bad", 1);
+  StateId q = b.State("q0");
+  b.Add(q, {SymPattern::Marker()}, q, {HeadMove::kStay}, Output::Echo(0));
+  auto t = b.Build();
+  EXPECT_EQ(t.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace transducer
+}  // namespace seqlog

@@ -1,0 +1,200 @@
+// Tests for the Theorem 7 translation (Transducer Datalog -> Sequence
+// Datalog) and the Corollary 1 reverse direction.
+#include <gtest/gtest.h>
+
+#include "ast/validate.h"
+#include "core/engine.h"
+#include "core/programs.h"
+#include "translate/sd_to_td.h"
+#include "translate/td_to_sd.h"
+#include "transducer/genome.h"
+#include "transducer/library.h"
+
+namespace seqlog {
+namespace {
+
+using RowList = std::vector<RenderedRow>;
+
+std::vector<Symbol> CharAlphabet(SymbolTable* symbols,
+                                 std::string_view chars) {
+  std::vector<Symbol> out;
+  for (char c : chars) out.push_back(symbols->Intern(std::string_view(&c, 1)));
+  return out;
+}
+
+/// Evaluates `td_program` directly (machines interpreted) and through the
+/// Theorem 7 translation, comparing the query results.
+void ExpectTranslationAgrees(
+    Engine* engine, const std::string& td_program,
+    const std::vector<std::pair<std::string, std::vector<std::string>>>&
+        facts,
+    const std::vector<std::string>& queries, std::string_view alphabet) {
+  ASSERT_TRUE(engine->LoadProgram(td_program).ok());
+  for (const auto& [pred, args] : facts) {
+    ASSERT_TRUE(engine->AddFact(pred, args).ok());
+  }
+  eval::EvalOutcome direct = engine->Evaluate();
+  ASSERT_TRUE(direct.status.ok()) << direct.status.ToString();
+  std::map<std::string, RowList> direct_rows;
+  for (const std::string& q : queries) {
+    auto rows = engine->Query(q);
+    ASSERT_TRUE(rows.ok());
+    direct_rows[q] = rows.value();
+  }
+
+  translate::TdToSdOptions options;
+  options.alphabet = CharAlphabet(engine->symbols(), alphabet);
+  auto sd = translate::TransducerDatalogToSequenceDatalog(
+      engine->program(), *engine->registry(), engine->symbols(),
+      engine->pool(), options);
+  ASSERT_TRUE(sd.ok()) << sd.status().ToString();
+
+  ASSERT_TRUE(engine->LoadProgramAst(sd.value()).ok());
+  eval::EvalOptions eval_options;
+  eval_options.limits.max_iterations = 100000;
+  eval::EvalOutcome translated = engine->Evaluate(eval_options);
+  ASSERT_TRUE(translated.status.ok()) << translated.status.ToString();
+  for (const std::string& q : queries) {
+    auto rows = engine->Query(q);
+    ASSERT_TRUE(rows.ok());
+    EXPECT_EQ(rows.value(), direct_rows[q]) << q;
+  }
+  // Theorem 7's finiteness argument: the simulation creates intermediate
+  // sequences, so the translated model is larger but still finite.
+  EXPECT_GE(translated.stats.facts, direct.stats.facts);
+}
+
+TEST(TdToSd, AppendProgram) {
+  Engine engine;
+  auto append = transducer::MakeAppend("append", 2);
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(append.value()).ok());
+  ExpectTranslationAgrees(&engine,
+                          "cat(X, Y, @append(X, Y)) :- r(X), s(Y).\n",
+                          {{"r", {"ab"}}, {"r", {"c"}}, {"s", {"d"}}},
+                          {"cat"}, "abcd");
+}
+
+TEST(TdToSd, MapProgramTranscription) {
+  Engine engine;
+  auto transcribe =
+      transducer::MakeTranscribe("transcribe", engine.symbols());
+  ASSERT_TRUE(transcribe.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(transcribe.value()).ok());
+  ExpectTranslationAgrees(&engine,
+                          "rna(D, @transcribe(D)) :- dna(D).\n",
+                          {{"dna", {"acgt"}}, {"dna", {"ttag"}}},
+                          {"rna"}, "acgtu");
+}
+
+TEST(TdToSd, HigherOrderSquare) {
+  // Order-2 machine: the translation must emit the gamma'_4 / gamma'_5
+  // subtransducer wiring rules.
+  Engine engine;
+  auto square = transducer::MakeSquare("square");
+  ASSERT_TRUE(square.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(square.value()).ok());
+  ExpectTranslationAgrees(&engine, "sq(@square(X)) :- r(X).\n",
+                          {{"r", {"ab"}}, {"r", {"c"}}}, {"sq"}, "abc");
+}
+
+TEST(TdToSd, NestedTransducerTermsFlatten) {
+  Engine engine;
+  auto append = transducer::MakeAppend("append", 2);
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(append.value()).ok());
+  ExpectTranslationAgrees(&engine,
+                          "p(@append(X, @append(X, X))) :- r(X).\n",
+                          {{"r", {"ab"}}}, {"p"}, "ab");
+}
+
+TEST(TdToSd, ReverseMachine) {
+  Engine engine;
+  auto reverse = transducer::MakeReverse(
+      "rev", CharAlphabet(engine.symbols(), "ab"));
+  ASSERT_TRUE(reverse.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(reverse.value()).ok());
+  ExpectTranslationAgrees(&engine, "backwards(@rev(X)) :- r(X).\n",
+                          {{"r", {"aab"}}, {"r", {"ba"}}}, {"backwards"},
+                          "ab");
+}
+
+TEST(TdToSd, TranslationIsPureSequenceDatalog) {
+  Engine engine;
+  auto append = transducer::MakeAppend("append", 2);
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(append.value()).ok());
+  ASSERT_TRUE(engine.LoadProgram("cat(@append(X, X)) :- r(X).").ok());
+  translate::TdToSdOptions options;
+  options.alphabet = CharAlphabet(engine.symbols(), "ab");
+  auto sd = translate::TransducerDatalogToSequenceDatalog(
+      engine.program(), *engine.registry(), engine.symbols(),
+      engine.pool(), options);
+  ASSERT_TRUE(sd.ok());
+  EXPECT_FALSE(sd->IsTransducerDatalog());
+  EXPECT_TRUE(ast::ValidateSequenceDatalog(sd.value()).ok());
+}
+
+TEST(TdToSd, UnknownMachineFails) {
+  Engine engine;
+  SymbolTable symbols;
+  ast::Program program;
+  {
+    SequencePool pool;
+    auto parsed = parser::ParseProgram("p(@ghost(X)) :- r(X).", &symbols,
+                                       engine.pool());
+    ASSERT_TRUE(parsed.ok());
+    program = parsed.value();
+  }
+  translate::TdToSdOptions options;
+  auto sd = translate::TransducerDatalogToSequenceDatalog(
+      program, *engine.registry(), engine.symbols(), engine.pool(),
+      options);
+  EXPECT_FALSE(sd.ok());
+}
+
+// ----------------------------------------------------------- Corollary 1
+TEST(SdToTd, ConcatBecomesAppend) {
+  Engine engine;
+  auto append = transducer::MakeAppend("append", 2);
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(append.value()).ok());
+
+  // Evaluate the Sequence Datalog original.
+  ASSERT_TRUE(engine.LoadProgram(programs::kStratifiedDouble).ok());
+  ASSERT_TRUE(engine.AddFact("r", {"xy"}).ok());
+  ASSERT_TRUE(engine.Evaluate().status.ok());
+  auto direct = engine.Query("quadruple");
+  ASSERT_TRUE(direct.ok());
+
+  // Rewrite ++ into @append and re-evaluate: identical fixpoint.
+  auto td = translate::SequenceDatalogToTransducerDatalog(
+      engine.program(), "append");
+  ASSERT_TRUE(td.ok());
+  EXPECT_TRUE(td->IsTransducerDatalog());
+  ASSERT_TRUE(engine.LoadProgramAst(td.value()).ok());
+  ASSERT_TRUE(engine.Evaluate().status.ok());
+  auto rewritten = engine.Query("quadruple");
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(direct.value(), rewritten.value());
+}
+
+TEST(SdToTd, ReverseProgramRoundTrip) {
+  Engine engine;
+  auto append = transducer::MakeAppend("append", 2);
+  ASSERT_TRUE(append.ok());
+  ASSERT_TRUE(engine.RegisterTransducer(append.value()).ok());
+  ASSERT_TRUE(engine.LoadProgram(programs::kReverse).ok());
+  auto td = translate::SequenceDatalogToTransducerDatalog(
+      engine.program(), "append");
+  ASSERT_TRUE(td.ok());
+  ASSERT_TRUE(engine.LoadProgramAst(td.value()).ok());
+  ASSERT_TRUE(engine.AddFact("r", {"abc"}).ok());
+  ASSERT_TRUE(engine.Evaluate().status.ok());
+  auto rows = engine.Query("answer");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value(), (RowList{{"cba"}}));
+}
+
+}  // namespace
+}  // namespace seqlog
