@@ -45,11 +45,18 @@ void PrintFigure3() {
 /// constructive rule per predicate (acyclic: always strongly safe).
 std::string ChainProgram(size_t n) {
   std::string out;
+  // Appends instead of operator+ chains: GCC 12's -Wrestrict false-positive
+  // (PR 105329) fires on `const char* + std::string&&` under -O2 -Werror.
   for (size_t i = 0; i < n; ++i) {
-    out += "p" + std::to_string(i) + "(X ++ X) :- p" +
-           std::to_string(i + 1) + "(X).\n";
+    out += "p";
+    out += std::to_string(i);
+    out += "(X ++ X) :- p";
+    out += std::to_string(i + 1);
+    out += "(X).\n";
   }
-  out += "p" + std::to_string(n) + "(X) :- base(X).\n";
+  out += "p";
+  out += std::to_string(n);
+  out += "(X) :- base(X).\n";
   return out;
 }
 

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+#
+# Runs every seqlog bench binary and aggregates their google-benchmark JSON
+# reports into one trajectory file (default: BENCH_seed.json at the repo
+# root). Each binary first prints its paper-reproduction table; those tables
+# are kept out of the JSON by sending the report through --benchmark_out.
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON]
+#   BUILD_DIR  cmake build directory containing bench/ (default: build)
+#   OUT_JSON   aggregate output path (default: BENCH_seed.json)
+#
+# Environment:
+#   SEQLOG_BENCH_MIN_TIME  --benchmark_min_time per benchmark (default 0.05)
+#   SEQLOG_BENCH_FILTER    optional --benchmark_filter regex
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_seed.json}"
+MIN_TIME="${SEQLOG_BENCH_MIN_TIME:-0.05}"
+
+BENCH_DIR="$BUILD_DIR/bench"
+if ! ls "$BENCH_DIR"/bench_* >/dev/null 2>&1; then
+  echo "error: no bench binaries under $BENCH_DIR" >&2
+  echo "build them first: cmake --build \"$BUILD_DIR\" --target bench_all" >&2
+  exit 1
+fi
+
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+for bin in "$BENCH_DIR"/bench_*; do
+  [ -x "$bin" ] || continue
+  name="$(basename "$bin")"
+  echo "== ${name}"
+  args=("--benchmark_out=${TMP_DIR}/${name}.json"
+        "--benchmark_out_format=json"
+        "--benchmark_min_time=${MIN_TIME}")
+  if [ -n "${SEQLOG_BENCH_FILTER:-}" ]; then
+    args+=("--benchmark_filter=${SEQLOG_BENCH_FILTER}")
+  fi
+  if ! "$bin" "${args[@]}" > "${TMP_DIR}/${name}.stdout" 2>&1; then
+    echo "error: ${name} failed; tail of its output:" >&2
+    tail -20 "${TMP_DIR}/${name}.stdout" >&2
+    exit 1
+  fi
+done
+
+python3 - "$TMP_DIR" "$OUT_JSON" <<'PY'
+import json
+import pathlib
+import sys
+
+tmp, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+agg = {"suite": "seqlog", "context": {}, "benchmarks": {}}
+for path in sorted(tmp.glob("bench_*.json")):
+    text = path.read_text()
+    if not text.strip():
+        # A --benchmark_filter that excludes every benchmark in a binary
+        # leaves an empty report file behind; record it as zero timings.
+        agg["benchmarks"][path.stem] = []
+        continue
+    report = json.loads(text)
+    if not agg["context"]:
+        agg["context"] = report.get("context", {})
+    agg["benchmarks"][path.stem] = report.get("benchmarks", [])
+out.write_text(json.dumps(agg, indent=2) + "\n")
+timings = sum(len(v) for v in agg["benchmarks"].values())
+print(f"wrote {out} ({len(agg['benchmarks'])} bench binaries, {timings} timings)")
+PY

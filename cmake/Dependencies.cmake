@@ -1,0 +1,43 @@
+# Third-party test/bench dependencies: prefer the system packages (the CI
+# image ships gtest and google-benchmark), fall back to FetchContent so a
+# clean machine can still configure without any preinstalled libraries.
+include(FetchContent)
+
+function(seqlog_require_gtest)
+  if(TARGET GTest::gtest_main)
+    return()
+  endif()
+  find_package(GTest QUIET)
+  # FindGTest can report found from libgtest alone; require the gtest_main
+  # target too, otherwise fall back to FetchContent.
+  if(GTest_FOUND AND TARGET GTest::gtest_main)
+    message(STATUS "seqlog: using system GoogleTest")
+    return()
+  endif()
+  message(STATUS "seqlog: system GoogleTest not found, fetching v1.14.0")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+    URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+  FetchContent_MakeAvailable(googletest)
+endfunction()
+
+function(seqlog_require_benchmark)
+  if(TARGET benchmark::benchmark)
+    return()
+  endif()
+  find_package(benchmark QUIET)
+  if(benchmark_FOUND)
+    message(STATUS "seqlog: using system google-benchmark")
+    return()
+  endif()
+  message(STATUS "seqlog: system google-benchmark not found, fetching v1.8.3")
+  set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+  set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+  FetchContent_Declare(googlebenchmark
+    URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz
+    URL_HASH SHA256=6bc180a57d23d4d9515519f92b0c83d61b05b5bab188961f36ac7b06b0d9e9ce)
+  FetchContent_MakeAvailable(googlebenchmark)
+endfunction()

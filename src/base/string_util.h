@@ -19,7 +19,7 @@ std::vector<std::string> Split(std::string_view text, char sep);
 template <typename... Args>
 std::string StrCat(const Args&... args) {
   std::ostringstream out;
-  (out << ... << args);
+  ((out << args), ...);  // comma fold: empty packs expand to void(), not (out)
   return out.str();
 }
 
