@@ -63,5 +63,21 @@ int main() {
     }
     std::cout << "\n";
   }
+
+  // Goal-directed querying: Solve derives only the facts demanded by the
+  // goal (magic sets), instead of the whole model.
+  seqlog::SolveOutcome solved = engine.Solve("?- suffix(cgt).");
+  if (!solved.status.ok()) {
+    std::cerr << "solve failed: " << solved.status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "?- suffix(cgt). => " << solved.answers.size()
+            << " answer(s), " << solved.stats.derived_facts
+            << " facts derived on demand (vs " << outcome.stats.facts
+            << " in the full model)\n";
+  if (solved.answers.empty()) {
+    std::cerr << "expected suffix(cgt) to hold\n";
+    return 1;
+  }
   return 0;
 }

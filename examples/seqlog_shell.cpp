@@ -37,8 +37,10 @@ using seqlog::Status;
 constexpr char kHelp[] = R"(seqlog shell commands
   <rule>.                 add a rule (any line containing ":-")
   +<pred> <arg> ...       add a database fact, e.g.  +r acgt
+  ?- <pred>(<args>).      solve one goal by demand (magic sets)
   :run [naive|semi|strat] evaluate (default: semi-naive)
   :query <pred>           print the predicate's tuples in the model
+  :solve <goal>           same as ?- <goal>, e.g.  :solve suffix(acgt)
   :program                show the accumulated program
   :safety                 safety report (Definitions 8-10)
   :dot                    dependency graph in Graphviz format (Figure 3)
@@ -105,6 +107,10 @@ class Shell {
     if (trimmed.empty()) return true;
     if (trimmed[0] == '+') return AddFact(trimmed.substr(1));
     if (trimmed[0] == ':') return Command(trimmed);
+    if (trimmed.rfind("?-", 0) == 0) {
+      Solve(trimmed);
+      return true;
+    }
     if (trimmed.find(":-") != std::string::npos ||
         trimmed.find("<=") != std::string::npos) {
       program_ += trimmed;
@@ -164,6 +170,10 @@ class Shell {
       std::string pred;
       in >> pred;
       Query(pred);
+    } else if (cmd == ":solve") {
+      std::string goal;
+      std::getline(in, goal);
+      Solve(goal);
     } else if (cmd == ":safety") {
       Safety(/*dot=*/false);
     } else if (cmd == ":dot") {
@@ -239,17 +249,54 @@ class Shell {
     }
     auto rows = engine_->Query(pred);
     if (!rows.ok()) {
-      std::cout << "! " << rows.status().ToString() << "\n";
+      if (rows.status().code() == seqlog::StatusCode::kNotFound) {
+        std::cout << "? unknown predicate '" << pred << "'\n";
+      } else {
+        std::cout << "! " << rows.status().ToString() << "\n";
+      }
       return;
     }
-    for (const seqlog::RenderedRow& row : rows.value()) {
+    PrintRows(rows.value());
+  }
+
+  /// Answers one goal by demand evaluation; no :run needed.
+  void Solve(const std::string& goal) {
+    if (!Reload()) return;
+    seqlog::query::SolveOptions options;
+    options.eval.limits = limits_;
+    seqlog::SolveOutcome outcome = engine_->Solve(goal, options);
+    if (!outcome.status.ok()) {
+      if (outcome.status.code() == seqlog::StatusCode::kNotFound) {
+        std::cout << "? " << outcome.status.message() << "\n";
+        return;
+      }
+      std::cout << "! " << outcome.status.ToString() << "\n";
+      if (outcome.status.code() !=
+          seqlog::StatusCode::kResourceExhausted) {
+        return;
+      }
+      std::cout << "  (partial answers kept)\n";
+    }
+    PrintRows(outcome.answers);
+    std::cout << "  [adornment " << (outcome.stats.goal_adornment.empty()
+                                         ? "-"
+                                         : outcome.stats.goal_adornment)
+              << ", " << outcome.stats.adorned_predicates
+              << " adorned predicate(s), " << outcome.stats.derived_facts
+              << " facts derived (" << outcome.stats.magic_facts
+              << " magic), " << outcome.stats.eval.iterations
+              << " iterations]\n";
+  }
+
+  void PrintRows(const std::vector<seqlog::RenderedRow>& rows) {
+    for (const seqlog::RenderedRow& row : rows) {
       std::cout << "  (";
       for (size_t i = 0; i < row.size(); ++i) {
         std::cout << (i > 0 ? ", " : "") << '"' << row[i] << '"';
       }
       std::cout << ")\n";
     }
-    std::cout << rows->size() << " tuple(s)\n";
+    std::cout << rows.size() << " tuple(s)\n";
   }
 
   void Safety(bool dot) {

@@ -69,6 +69,30 @@ eval::EvalOutcome Engine::Evaluate(const eval::EvalOptions& options) {
   return evaluator_->Evaluate(*edb_, options, model_.get());
 }
 
+SolveOutcome Engine::Solve(std::string_view goal,
+                           const query::SolveOptions& options) {
+  SolveOutcome outcome;
+  Result<ast::Atom> parsed = parser::ParseGoal(goal, &symbols_, &pool_);
+  if (!parsed.ok()) {
+    outcome.status = parsed.status();
+    return outcome;
+  }
+  query::Solver solver(&catalog_, &pool_, &registry_);
+  query::SolveResult result =
+      solver.Solve(program_, parsed.value(), *edb_, options);
+  outcome.status = std::move(result.status);
+  outcome.stats = std::move(result.stats);
+  outcome.answers.reserve(result.answers.size());
+  for (const std::vector<SeqId>& row : result.answers) {
+    RenderedRow rendered;
+    rendered.reserve(row.size());
+    for (SeqId id : row) rendered.push_back(pool_.Render(id, symbols_));
+    outcome.answers.push_back(std::move(rendered));
+  }
+  std::sort(outcome.answers.begin(), outcome.answers.end());
+  return outcome;
+}
+
 Result<std::vector<std::vector<SeqId>>> Engine::QueryIds(
     std::string_view predicate) const {
   if (model_ == nullptr) {

@@ -27,6 +27,7 @@
 #include "eval/engine.h"
 #include "eval/function_registry.h"
 #include "parser/parser.h"
+#include "query/solver.h"
 #include "sequence/domain.h"
 #include "sequence/sequence_pool.h"
 #include "sequence/symbol_table.h"
@@ -37,6 +38,14 @@ namespace seqlog {
 /// One query result row: rendered sequences (Render semantics: single
 /// character symbols concatenated, longer names in <...>).
 using RenderedRow = std::vector<std::string>;
+
+/// Result of a goal-directed Solve: status, rendered answer tuples
+/// (sorted), and the demand-evaluation counters.
+struct SolveOutcome {
+  Status status;
+  std::vector<RenderedRow> answers;
+  query::SolveStats stats;
+};
 
 class Engine {
  public:
@@ -76,6 +85,14 @@ class Engine {
   /// Computes the least fixpoint over the current database. The model is
   /// kept for Query until the next Evaluate/LoadProgram.
   eval::EvalOutcome Evaluate(const eval::EvalOptions& options = {});
+
+  /// Answers one goal, e.g. `?- suffix(acgt).` or `?- rnaseq(X, Y).`,
+  /// by demand (magic-set) evaluation: only goal-relevant facts are
+  /// derived, never the full model. Each goal argument is a ground term
+  /// or a plain variable; repeated variables join. Does not touch the
+  /// model computed by Evaluate; no prior Evaluate is needed.
+  SolveOutcome Solve(std::string_view goal,
+                     const query::SolveOptions& options = {});
 
   /// The computed interpretation (null before Evaluate).
   const Database* model() const { return model_.get(); }

@@ -68,6 +68,9 @@ Status Evaluator::InitState(const Database& edb, const EvalOptions& options,
   // interpretation and seed the extended active domain (Definition 3).
   for (PredId pred : edb.PredicatesWithRelations()) {
     const Relation* rel = edb.Get(pred);
+    if (rel->empty()) continue;
+    model->GetOrCreate(pred)->Reserve(rel->size());
+    state->delta->GetOrCreate(pred)->Reserve(rel->size());
     for (uint32_t i = 0; i < rel->size(); ++i) {
       TupleView row = rel->Row(i);
       model->Insert(pred, row);

@@ -35,6 +35,8 @@ std::string_view TokenTypeName(TokenType type) {
       return "'.'";
     case TokenType::kImplies:
       return "':-'";
+    case TokenType::kQuery:
+      return "'?-'";
     case TokenType::kEq:
       return "'='";
     case TokenType::kNeq:
@@ -153,6 +155,11 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
     auto two = source.substr(i, 2);
     if (two == ":-") {
       push(TokenType::kImplies, ":-");
+      advance(2);
+      continue;
+    }
+    if (two == "?-") {
+      push(TokenType::kQuery, "?-");
       advance(2);
       continue;
     }

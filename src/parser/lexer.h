@@ -36,6 +36,7 @@ enum class TokenType {
   kComma,
   kPeriod,
   kImplies,  // :-
+  kQuery,    // ?- (goal prefix, see parser::ParseGoal)
   kEq,       // =
   kNeq,      // !=
   kPlus,

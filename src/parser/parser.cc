@@ -93,6 +93,21 @@ class Parser {
     return clause;
   }
 
+  /// Parses `?- atom.` — the `?-` prefix and the trailing period are both
+  /// optional, so `p(X, acgt)` alone is accepted too.
+  Result<Atom> ParseGoal() {
+    cur_.Accept(TokenType::kQuery);
+    SEQLOG_ASSIGN_OR_RETURN(Atom goal, ParseAtom());
+    if (goal.kind != Atom::Kind::kPredicate) {
+      return cur_.Error("goal must be a predicate atom");
+    }
+    cur_.Accept(TokenType::kPeriod);
+    if (!cur_.AtEof()) {
+      return cur_.Error("expected end of goal");
+    }
+    return goal;
+  }
+
  private:
   /// Parses a predicate atom or an (in)equality literal.
   Result<Atom> ParseAtom() {
@@ -101,7 +116,8 @@ class Parser {
         (cur_.Peek2().type == TokenType::kLParen ||
          cur_.Peek2().type == TokenType::kImplies ||
          cur_.Peek2().type == TokenType::kPeriod ||
-         cur_.Peek2().type == TokenType::kComma)) {
+         cur_.Peek2().type == TokenType::kComma ||
+         cur_.Peek2().type == TokenType::kEof)) {
       Token name = cur_.Next();
       std::vector<SeqTermPtr> args;
       if (cur_.Accept(TokenType::kLParen)) {
@@ -242,6 +258,13 @@ Result<Program> ParseProgram(std::string_view source, SymbolTable* symbols,
   SEQLOG_ASSIGN_OR_RETURN(Program program, parser.ParseProgram());
   SEQLOG_RETURN_IF_ERROR(ast::Validate(program));
   return program;
+}
+
+Result<ast::Atom> ParseGoal(std::string_view source, SymbolTable* symbols,
+                            SequencePool* pool) {
+  SEQLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens), symbols, pool);
+  return parser.ParseGoal();
 }
 
 Result<ast::Clause> ParseClause(std::string_view source,

@@ -3,6 +3,7 @@
 // Grammar (EBNF):
 //   program    := clause*
 //   clause     := atom [ ":-" body ] "."
+//   goal       := [ "?-" ] atom [ "." ]          (ParseGoal only)
 //   body       := "true" | literal { "," literal }
 //   literal    := atom | seqterm ("=" | "!=") seqterm
 //   atom       := IDENT [ "(" seqterm { "," seqterm } ")" ]
@@ -35,6 +36,13 @@ namespace parser {
 /// Errors carry line:column positions.
 Result<ast::Program> ParseProgram(std::string_view source,
                                   SymbolTable* symbols, SequencePool* pool);
+
+/// Parses a goal `?- p(t1,...,tk).` into its predicate atom (the `?-`
+/// prefix and the trailing period are both optional). Goals drive the
+/// demand-driven solver (query/solver.h); which argument shapes are
+/// demand-evaluable is decided there, not here.
+Result<ast::Atom> ParseGoal(std::string_view source, SymbolTable* symbols,
+                            SequencePool* pool);
 
 /// Parses a single clause (convenience for tests and the REPL-style
 /// examples). `source` must contain exactly one clause.

@@ -1,0 +1,166 @@
+#include "query/adornment.h"
+
+#include <deque>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace query {
+
+namespace {
+
+/// All variable names (sequence and index) occurring in `term`.
+void CollectTermVars(const ast::SeqTermPtr& term, std::set<std::string>* out) {
+  ast::CollectSeqVars(term, out);
+  ast::CollectIndexVars(term, out);
+}
+
+/// True if every variable of `term` is in `bound`.
+bool TermIsBound(const ast::SeqTermPtr& term,
+                 const std::set<std::string>& bound) {
+  std::set<std::string> vars;
+  CollectTermVars(term, &vars);
+  for (const std::string& v : vars) {
+    if (bound.find(v) == bound.end()) return false;
+  }
+  return true;
+}
+
+/// Adds every variable of `atom` to `bound` (the SIP effect of having
+/// processed the literal: collectors, eq-bindings and domain enumeration
+/// all leave the literal's variables bound).
+void BindAtomVars(const ast::Atom& atom, std::set<std::string>* bound) {
+  std::set<std::string> seq_vars;
+  std::set<std::string> idx_vars;
+  ast::CollectAtomVars(atom, &seq_vars, &idx_vars);
+  bound->insert(seq_vars.begin(), seq_vars.end());
+  bound->insert(idx_vars.begin(), idx_vars.end());
+}
+
+}  // namespace
+
+Adornment MakeAdornment(const std::vector<bool>& bound) {
+  Adornment a(bound.size(), 'f');
+  for (size_t i = 0; i < bound.size(); ++i) {
+    if (bound[i]) a[i] = 'b';
+  }
+  return a;
+}
+
+Result<AdornmentResult> AdornProgram(const ast::Program& program,
+                                     const std::string& goal_predicate,
+                                     const std::vector<bool>& goal_ground) {
+  AdornmentResult result;
+  result.idb = program.HeadPredicates();
+  if (result.idb.find(goal_predicate) == result.idb.end()) {
+    return Status::InvalidArgument(
+        StrCat("goal predicate '", goal_predicate,
+               "' is not defined by any clause"));
+  }
+
+  // Clauses per head predicate, and the bindable mask of every IDB
+  // predicate (see the header for the two conditions).
+  std::map<std::string, std::vector<size_t>> clauses_of;
+  for (size_t ci = 0; ci < program.clauses.size(); ++ci) {
+    const ast::Clause& clause = program.clauses[ci];
+    if (clause.head.kind != ast::Atom::Kind::kPredicate) continue;
+    clauses_of[clause.head.predicate].push_back(ci);
+  }
+  for (const auto& [pred, indices] : clauses_of) {
+    const size_t arity = program.clauses[indices[0]].head.args.size();
+    std::vector<bool> bindable(arity, true);
+    for (size_t ci : indices) {
+      const ast::Clause& clause = program.clauses[ci];
+      std::set<std::string> guarded = ast::GuardedVars(clause);
+      for (size_t j = 0; j < arity; ++j) {
+        if (!bindable[j]) continue;
+        const ast::SeqTermPtr& arg = clause.head.args[j];
+        if (ast::IsConstructive(arg)) {
+          bindable[j] = false;
+          continue;
+        }
+        std::set<std::string> seq_vars;
+        ast::CollectSeqVars(arg, &seq_vars);
+        for (const std::string& v : seq_vars) {
+          if (guarded.find(v) == guarded.end()) {
+            bindable[j] = false;
+            break;
+          }
+        }
+      }
+    }
+    result.bindable[pred] = std::move(bindable);
+  }
+
+  const std::vector<bool>& goal_bindable = result.bindable[goal_predicate];
+  if (goal_ground.size() != goal_bindable.size()) {
+    return Status::InvalidArgument(
+        StrCat("goal arity ", goal_ground.size(), " != predicate arity ",
+               goal_bindable.size()));
+  }
+  std::vector<bool> effective(goal_ground.size());
+  for (size_t j = 0; j < goal_ground.size(); ++j) {
+    effective[j] = goal_ground[j] && goal_bindable[j];
+  }
+  result.goal_adornment = MakeAdornment(effective);
+
+  // Worklist over adorned predicates; each reachable (pred, adornment)
+  // pair adorns every defining clause once.
+  std::set<std::pair<std::string, Adornment>> seen;
+  std::deque<std::pair<std::string, Adornment>> work;
+  auto discover = [&](const std::string& pred, const Adornment& adornment) {
+    if (seen.insert({pred, adornment}).second) {
+      result.reachable.emplace_back(pred, adornment);
+      work.emplace_back(pred, adornment);
+    }
+  };
+  discover(goal_predicate, result.goal_adornment);
+
+  while (!work.empty()) {
+    auto [pred, adornment] = work.front();
+    work.pop_front();
+    for (size_t ci : clauses_of[pred]) {
+      const ast::Clause& clause = program.clauses[ci];
+      AdornedClause adorned;
+      adorned.predicate = pred;
+      adorned.adornment = adornment;
+      adorned.clause_index = ci;
+
+      // Bound head positions seed the SIP only through plain variables;
+      // a bound constant or indexed head term restricts firing via the
+      // magic guard but decomposes into no variable bindings.
+      std::set<std::string> bound;
+      for (size_t j = 0; j < adornment.size(); ++j) {
+        const ast::SeqTermPtr& arg = clause.head.args[j];
+        if (adornment[j] == 'b' && arg->kind == ast::SeqTerm::Kind::kVariable) {
+          bound.insert(arg->var);
+        }
+      }
+
+      for (const ast::Atom& literal : clause.body) {
+        Adornment body_adornment;
+        bool is_idb = literal.kind == ast::Atom::Kind::kPredicate &&
+                      result.idb.count(literal.predicate) > 0;
+        if (is_idb) {
+          const std::vector<bool>& bindable =
+              result.bindable[literal.predicate];
+          std::vector<bool> arg_bound(literal.args.size());
+          for (size_t j = 0; j < literal.args.size(); ++j) {
+            arg_bound[j] = j < bindable.size() && bindable[j] &&
+                           TermIsBound(literal.args[j], bound);
+          }
+          body_adornment = MakeAdornment(arg_bound);
+          discover(literal.predicate, body_adornment);
+        }
+        adorned.body_adornments.push_back(std::move(body_adornment));
+        adorned.body_is_idb.push_back(is_idb);
+        BindAtomVars(literal, &bound);
+      }
+      result.clauses.push_back(std::move(adorned));
+    }
+  }
+  return result;
+}
+
+}  // namespace query
+}  // namespace seqlog

@@ -1,0 +1,88 @@
+// seqlog: bound/free adornments for goal-directed evaluation.
+//
+// Given a goal p(t1,...,tk) with some argument positions bound (ground),
+// AdornProgram computes the set of adorned predicates p^a reachable when
+// the program is evaluated on demand, together with a per-clause record of
+// the adornment of every body literal. Bindings propagate through each
+// clause body left-to-right — the sideways-information-passing (SIP)
+// order matching the operational semantics of eval/clause_plan.h: once a
+// literal has been processed, all of its variables are bound (matched,
+// eq-bound, or enumerated over the extended active domain).
+//
+// Sequence Datalog refinement — which positions may carry bindings at
+// all. An argument position j of an IDB predicate p is *bindable* only
+// when, in every clause defining p, the head term at position j
+//  (a) contains no constructive subterm (++ or @T): a constructed output
+//      cannot be inverted to bind its inputs, so such terms are binding
+//      sinks — they are only "bound" when all their inputs already are;
+//  (b) has every sequence variable guarded in that clause (Section 3.1:
+//      occurring as a direct argument of a body predicate atom).
+// Condition (b) keeps the magic rewrite exact under the paper's
+// extended-active-domain semantics: a goal constant seeded into a magic
+// relation is then only ever *compared* against values produced by real
+// body facts, never substituted for a variable the original program would
+// have enumerated over the domain (which would let goal constants outside
+// the active domain manufacture facts the full fixpoint cannot derive).
+// Non-bindable positions are demoted to free; their ground goal values
+// are still applied as a final answer filter by the solver.
+#ifndef SEQLOG_QUERY_ADORNMENT_H_
+#define SEQLOG_QUERY_ADORNMENT_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ast/clause.h"
+#include "base/result.h"
+
+namespace seqlog {
+namespace query {
+
+/// One character per argument position: 'b' (bound) or 'f' (free).
+using Adornment = std::string;
+
+/// Builds the adornment string for `bound` flags.
+Adornment MakeAdornment(const std::vector<bool>& bound);
+
+/// One clause of the program, specialised to one head adornment.
+struct AdornedClause {
+  std::string predicate;   ///< head predicate (original name)
+  Adornment adornment;     ///< head adornment
+  size_t clause_index = 0; ///< into program.clauses
+  /// Aligned with clause.body: the adornment of each IDB predicate
+  /// literal at its position in the SIP order; empty for EDB atoms and
+  /// (in)equality literals.
+  std::vector<Adornment> body_adornments;
+  /// Aligned with clause.body: literal is a predicate atom on an IDB
+  /// (head-defined) predicate.
+  std::vector<bool> body_is_idb;
+};
+
+/// The adorned, goal-reachable slice of a program.
+struct AdornmentResult {
+  /// Predicates defined by at least one clause.
+  std::set<std::string> idb;
+  /// Per IDB predicate: which argument positions may carry bindings.
+  std::map<std::string, std::vector<bool>> bindable;
+  /// Effective goal adornment (ground positions after bindable demotion).
+  Adornment goal_adornment;
+  /// Reachable adorned IDB predicates in discovery order (goal first).
+  std::vector<std::pair<std::string, Adornment>> reachable;
+  /// Adorned clause copies, one per (reachable adorned predicate, clause).
+  std::vector<AdornedClause> clauses;
+};
+
+/// Adorns `program` for a goal on `goal_predicate` whose i-th argument is
+/// ground iff `goal_ground[i]`. The goal predicate must be IDB (defined
+/// by at least one clause); EDB goals need no adornment and are answered
+/// directly from the database by the solver.
+Result<AdornmentResult> AdornProgram(const ast::Program& program,
+                                     const std::string& goal_predicate,
+                                     const std::vector<bool>& goal_ground);
+
+}  // namespace query
+}  // namespace seqlog
+
+#endif  // SEQLOG_QUERY_ADORNMENT_H_

@@ -1,0 +1,78 @@
+// seqlog: the magic-set rewrite (demand transformation).
+//
+// MagicRewrite turns an adorned, goal-reachable program slice into a new
+// program whose bottom-up fixpoint derives only goal-relevant facts:
+//
+//  * a seed fact  magic__p__a(c1,...,cm) :- true.  carries the goal's
+//    ground arguments at the bound positions of the goal adornment;
+//  * every adorned clause p^a gets a *guard*: its head is renamed to
+//    p__a and  magic__p__a(<head terms at bound positions>)  is prepended
+//    to the body, so the clause only fires for demanded bindings;
+//  * for every IDB body literal q^b a *magic propagation clause*
+//      magic__q__b(<q's bound args>) :- guard, <literals before q>.
+//    pushes demand sideways through the clause;
+//  * predicates holding extensional facts keep their original names; an
+//    adorned predicate that also has extensional facts gets an *import*
+//    clause  p__a(V1,...,Vk) :- magic__p__a(...), p(V1,...,Vk).
+//
+// The rewritten program is ordinary Sequence/Transducer Datalog: it is
+// validated by ast::Validate and evaluated by the unmodified semi-naive
+// engine. Magic heads only ever copy non-constructive terms (bindable
+// positions exclude ++/@T), so the rewrite never adds constructive
+// clauses — but the new guard edges can still close a constructive cycle
+// that the original program did not have; the solver re-runs the
+// Definition 10 check on the result and refuses such goals.
+#ifndef SEQLOG_QUERY_MAGIC_H_
+#define SEQLOG_QUERY_MAGIC_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/clause.h"
+#include "base/result.h"
+#include "query/adornment.h"
+#include "sequence/sequence_pool.h"
+
+namespace seqlog {
+namespace query {
+
+/// Name of the adorned copy of `predicate` ("p__bf"). Nullary predicates
+/// have an empty adornment ("p__").
+std::string AdornedName(const std::string& predicate,
+                        const Adornment& adornment);
+
+/// Name of the magic (demand) predicate for an adorned predicate
+/// ("magic__p__bf"). Its arity is the number of bound positions.
+std::string MagicName(const std::string& predicate,
+                      const Adornment& adornment);
+
+/// The rewritten program plus bookkeeping for the solver.
+struct MagicProgram {
+  ast::Program program;
+  /// Adorned name of the goal predicate; the goal's answers are exactly
+  /// this predicate's tuples (after the solver's ground-argument filter).
+  std::string answer_predicate;
+  /// Names of all magic predicates (for demand-size statistics).
+  std::set<std::string> magic_predicates;
+  size_t seed_clauses = 0;
+  size_t guarded_clauses = 0;
+  size_t propagation_clauses = 0;
+  size_t import_clauses = 0;
+};
+
+/// Rewrites the adorned slice of `program`. `goal_values[j]` holds the
+/// interned ground value of goal argument j (nullopt when free); values
+/// at adornment-bound positions become the magic seed. `edb_predicates`
+/// lists predicates that carry extensional facts, so adorned copies of
+/// predicates that are both derived and extensional import their facts.
+Result<MagicProgram> MagicRewrite(
+    const ast::Program& program, const AdornmentResult& adornment,
+    const std::vector<std::optional<SeqId>>& goal_values,
+    const std::set<std::string>& edb_predicates);
+
+}  // namespace query
+}  // namespace seqlog
+
+#endif  // SEQLOG_QUERY_MAGIC_H_

@@ -1,0 +1,252 @@
+#include "query/solver.h"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "analysis/safety.h"
+#include "base/string_util.h"
+#include "query/magic.h"
+
+namespace seqlog {
+namespace query {
+
+namespace {
+
+/// Evaluates a ground index term; `end_value` is len(base) of the
+/// enclosing indexed term (Section 3.2).
+Result<int64_t> EvalGroundIndex(const ast::IndexTermPtr& term,
+                                int64_t end_value) {
+  switch (term->kind) {
+    case ast::IndexTerm::Kind::kLiteral:
+      return term->literal;
+    case ast::IndexTerm::Kind::kEnd:
+      return end_value;
+    case ast::IndexTerm::Kind::kAdd: {
+      SEQLOG_ASSIGN_OR_RETURN(int64_t l,
+                              EvalGroundIndex(term->lhs, end_value));
+      SEQLOG_ASSIGN_OR_RETURN(int64_t r,
+                              EvalGroundIndex(term->rhs, end_value));
+      return l + r;
+    }
+    case ast::IndexTerm::Kind::kSub: {
+      SEQLOG_ASSIGN_OR_RETURN(int64_t l,
+                              EvalGroundIndex(term->lhs, end_value));
+      SEQLOG_ASSIGN_OR_RETURN(int64_t r,
+                              EvalGroundIndex(term->rhs, end_value));
+      return l - r;
+    }
+    case ast::IndexTerm::Kind::kVariable:
+      return Status::InvalidArgument(
+          StrCat("goal index term contains variable '", term->var, "'"));
+  }
+  return Status::Internal("unknown index term kind");
+}
+
+/// Evaluates a variable-free sequence term to its interned value.
+Result<SeqId> EvalGroundTerm(const ast::SeqTermPtr& term,
+                             SequencePool* pool) {
+  switch (term->kind) {
+    case ast::SeqTerm::Kind::kConstant:
+      return term->constant;
+    case ast::SeqTerm::Kind::kConcat: {
+      SEQLOG_ASSIGN_OR_RETURN(SeqId l, EvalGroundTerm(term->left, pool));
+      SEQLOG_ASSIGN_OR_RETURN(SeqId r, EvalGroundTerm(term->right, pool));
+      return pool->Concat(l, r);
+    }
+    case ast::SeqTerm::Kind::kIndexed: {
+      SEQLOG_ASSIGN_OR_RETURN(SeqId base, EvalGroundTerm(term->base, pool));
+      const int64_t len = static_cast<int64_t>(pool->Length(base));
+      SEQLOG_ASSIGN_OR_RETURN(int64_t lo, EvalGroundIndex(term->lo, len));
+      SEQLOG_ASSIGN_OR_RETURN(int64_t hi, EvalGroundIndex(term->hi, len));
+      if (lo < 1 || hi > len || lo > hi + 1) {
+        return Status::OutOfRange(
+            StrCat("goal indexed term [", lo, ":", hi,
+                   "] is undefined on a sequence of length ", len));
+      }
+      return pool->Subsequence(base, lo, hi);
+    }
+    case ast::SeqTerm::Kind::kTransducer:
+      return Status::Unimplemented(
+          StrCat("transducer term @", term->transducer,
+                 "(...) is not supported in goals"));
+    case ast::SeqTerm::Kind::kVariable:
+      return Status::InvalidArgument(
+          StrCat("goal term contains variable '", term->var, "'"));
+  }
+  return Status::Internal("unknown sequence term kind");
+}
+
+/// True if `row` matches the goal pattern: ground positions equal their
+/// value and positions sharing a variable hold equal values.
+bool RowMatchesGoal(TupleView row,
+                    const std::vector<std::optional<SeqId>>& values,
+                    const std::vector<std::vector<size_t>>& var_groups) {
+  for (size_t j = 0; j < values.size(); ++j) {
+    if (values[j].has_value() && row[j] != *values[j]) return false;
+  }
+  for (const std::vector<size_t>& group : var_groups) {
+    for (size_t k = 1; k < group.size(); ++k) {
+      if (row[group[k]] != row[group[0]]) return false;
+    }
+  }
+  return true;
+}
+
+/// Collects the matching rows of `rel` (which may be null), sorted.
+std::vector<std::vector<SeqId>> FilterRelation(
+    const Relation* rel, const std::vector<std::optional<SeqId>>& values,
+    const std::vector<std::vector<size_t>>& var_groups) {
+  std::vector<std::vector<SeqId>> rows;
+  if (rel == nullptr) return rows;
+  for (uint32_t i = 0; i < rel->size(); ++i) {
+    TupleView row = rel->Row(i);
+    if (RowMatchesGoal(row, values, var_groups)) {
+      rows.emplace_back(row.begin(), row.end());
+    }
+  }
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace
+
+Solver::Solver(Catalog* catalog, SequencePool* pool,
+               const eval::FunctionRegistry* registry)
+    : catalog_(catalog), pool_(pool), registry_(registry) {}
+
+SolveResult Solver::Solve(const ast::Program& program, const ast::Atom& goal,
+                          const Database& edb, const SolveOptions& options) {
+  SolveResult result;
+  result.status = SolveImpl(program, goal, edb, options, &result);
+  result.stats.answers = result.answers.size();
+  return result;
+}
+
+Status Solver::SolveImpl(const ast::Program& program, const ast::Atom& goal,
+                         const Database& edb, const SolveOptions& options,
+                         SolveResult* result) {
+  if (goal.kind != ast::Atom::Kind::kPredicate) {
+    return Status::InvalidArgument("goal must be a predicate atom");
+  }
+
+  // Classify every goal argument: ground (evaluated now) or a plain
+  // variable; repeated variables become join constraints on the answers.
+  std::vector<std::optional<SeqId>> values(goal.args.size());
+  std::vector<bool> ground(goal.args.size(), false);
+  std::map<std::string, std::vector<size_t>> positions_of_var;
+  for (size_t j = 0; j < goal.args.size(); ++j) {
+    const ast::SeqTermPtr& arg = goal.args[j];
+    if (arg->kind == ast::SeqTerm::Kind::kVariable) {
+      positions_of_var[arg->var].push_back(j);
+      continue;
+    }
+    std::set<std::string> vars;
+    ast::CollectSeqVars(arg, &vars);
+    ast::CollectIndexVars(arg, &vars);
+    if (!vars.empty()) {
+      return Status::InvalidArgument(
+          StrCat("goal argument ", j + 1, " of '", goal.predicate,
+                 "' must be ground or a plain variable"));
+    }
+    SEQLOG_ASSIGN_OR_RETURN(SeqId value, EvalGroundTerm(arg, pool_));
+    values[j] = value;
+    ground[j] = true;
+  }
+  std::vector<std::vector<size_t>> var_groups;
+  for (auto& [var, positions] : positions_of_var) {
+    if (positions.size() > 1) var_groups.push_back(positions);
+  }
+
+  // Goals on extensional predicates need no rewrite: scan the database.
+  const std::set<std::string> idb = program.HeadPredicates();
+  if (idb.find(goal.predicate) == idb.end()) {
+    Result<PredId> pred = catalog_->Find(goal.predicate);
+    if (!pred.ok()) {
+      return Status::NotFound(
+          StrCat("unknown predicate '", goal.predicate, "'"));
+    }
+    if (catalog_->Arity(pred.value()) != goal.args.size()) {
+      return Status::InvalidArgument(
+          StrCat("goal arity ", goal.args.size(), " != arity ",
+                 catalog_->Arity(pred.value()), " of '", goal.predicate,
+                 "'"));
+    }
+    result->answers = FilterRelation(edb.Get(pred.value()), values,
+                                     var_groups);
+    result->stats.goal_adornment = MakeAdornment(ground);
+    return Status::Ok();
+  }
+
+  // Adorn and rewrite.
+  SEQLOG_ASSIGN_OR_RETURN(AdornmentResult adornment,
+                          AdornProgram(program, goal.predicate, ground));
+  std::set<std::string> edb_predicates;
+  for (PredId pred : edb.PredicatesWithRelations()) {
+    const Relation* rel = edb.Get(pred);
+    if (rel != nullptr && !rel->empty()) {
+      edb_predicates.insert(catalog_->Name(pred));
+    }
+  }
+  SEQLOG_ASSIGN_OR_RETURN(
+      MagicProgram magic,
+      MagicRewrite(program, adornment, values, edb_predicates));
+  result->stats.goal_adornment = adornment.goal_adornment;
+  result->stats.adorned_predicates = adornment.reachable.size();
+  result->stats.rewritten_clauses = magic.program.clauses.size();
+
+  // The rewrite must not cost us the Theorem 8 guarantee: if the original
+  // program is strongly safe but the guard edges closed a constructive
+  // cycle, demand evaluation could diverge where Evaluate would not.
+  analysis::SafetyReport original_report = analysis::AnalyzeSafety(program);
+  if (original_report.strongly_safe) {
+    analysis::SafetyReport rewritten_report =
+        analysis::AnalyzeSafety(magic.program);
+    if (!rewritten_report.strongly_safe) {
+      std::string detail;
+      if (rewritten_report.offending_edge.has_value()) {
+        detail = StrCat(" (constructive cycle through ",
+                        rewritten_report.offending_edge->first, " -> ",
+                        rewritten_report.offending_edge->second, ")");
+      }
+      return Status::FailedPrecondition(
+          StrCat("goal on '", goal.predicate,
+                 "' is not demand-evaluable: the magic rewrite is not "
+                 "strongly safe although the program is",
+                 detail, "; use Evaluate + Query instead"));
+    }
+  }
+
+  // Evaluate the rewritten program into a scratch database with the
+  // shared catalog/pool, so extensional PredIds and SeqIds line up.
+  eval::Evaluator evaluator(catalog_, pool_, registry_);
+  SEQLOG_RETURN_IF_ERROR(evaluator.SetProgram(magic.program));
+  Database scratch(catalog_);
+  eval::EvalOutcome outcome = evaluator.Evaluate(edb, options.eval,
+                                                 &scratch);
+  result->stats.eval = std::move(outcome.stats);
+  const size_t edb_facts = edb.TotalFacts();
+  const size_t total_facts = scratch.TotalFacts();
+  result->stats.derived_facts =
+      total_facts > edb_facts ? total_facts - edb_facts : 0;
+  for (const std::string& name : magic.magic_predicates) {
+    Result<PredId> pred = catalog_->Find(name);
+    if (!pred.ok()) continue;
+    const Relation* rel = scratch.Get(pred.value());
+    if (rel != nullptr) result->stats.magic_facts += rel->size();
+  }
+
+  // Extract the goal's answers (also on budget exhaustion: like
+  // Evaluate, Solve keeps the partial result it has).
+  Result<PredId> answer_pred = catalog_->Find(magic.answer_predicate);
+  if (answer_pred.ok()) {
+    result->answers = FilterRelation(scratch.Get(answer_pred.value()),
+                                     values, var_groups);
+  }
+  return outcome.status;
+}
+
+}  // namespace query
+}  // namespace seqlog

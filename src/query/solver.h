@@ -1,0 +1,90 @@
+// seqlog: goal-directed query answering (demand / magic-set evaluation).
+//
+// Solver::Solve answers a single goal  ?- p(t1,...,tk).  without running
+// the full bottom-up fixpoint of Engine::Evaluate: the program is adorned
+// for the goal's bound arguments (adornment.h), rewritten with magic sets
+// (magic.h), and the rewritten program is evaluated with the existing
+// semi-naive machinery into a scratch database. Only facts demanded by
+// the goal are derived; SolveStats reports how many, so callers can
+// compare against the full fixpoint.
+//
+// Goal argument shapes: each argument must be either a plain variable
+// (free) or a ground term (constants, possibly indexed or concatenated —
+// evaluated at solve time). Repeated variables express join constraints:
+// ?- p(X, X). returns only the diagonal.
+//
+// A goal is refused with kFailedPrecondition when the magic rewrite of a
+// strongly safe program is no longer strongly safe (the guard edges
+// closed a constructive cycle, Definition 10): evaluating such a rewrite
+// could diverge where Evaluate would not, so the goal is not
+// demand-evaluable — fall back to Evaluate + Query.
+#ifndef SEQLOG_QUERY_SOLVER_H_
+#define SEQLOG_QUERY_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "ast/clause.h"
+#include "eval/engine.h"
+#include "eval/function_registry.h"
+#include "query/adornment.h"
+#include "sequence/sequence_pool.h"
+#include "storage/database.h"
+
+namespace seqlog {
+namespace query {
+
+struct SolveOptions {
+  /// Strategy and budgets for evaluating the rewritten program.
+  eval::EvalOptions eval;
+};
+
+/// Counters for one Solve call. The speedup-relevant comparison against a
+/// full fixpoint is derived_facts (and eval.iterations) versus the same
+/// counters of Engine::Evaluate on the original program.
+struct SolveStats {
+  Adornment goal_adornment;       ///< effective (after bindable demotion)
+  size_t adorned_predicates = 0;  ///< reachable adorned IDB predicates
+  size_t rewritten_clauses = 0;   ///< clauses in the magic program
+  size_t magic_facts = 0;         ///< demand atoms derived
+  size_t derived_facts = 0;       ///< atoms derived beyond the database
+  size_t answers = 0;
+  eval::EvalStats eval;           ///< the rewritten program's evaluation
+};
+
+struct SolveResult {
+  Status status;
+  /// Answer tuples of the goal predicate (full arity), deduplicated and
+  /// sorted; on budget exhaustion the answers derived so far are kept.
+  std::vector<std::vector<SeqId>> answers;
+  SolveStats stats;
+};
+
+/// Stateless facade over adornment + magic rewrite + evaluation. Shares
+/// the engine's catalog/pool/registry so SeqIds and PredIds line up with
+/// the extensional database.
+class Solver {
+ public:
+  /// `registry` may be null for pure Sequence Datalog programs.
+  Solver(Catalog* catalog, SequencePool* pool,
+         const eval::FunctionRegistry* registry);
+
+  /// Answers `goal` over `program` and `edb`. Goals on extensional
+  /// predicates (no defining clause) are answered directly from `edb`.
+  SolveResult Solve(const ast::Program& program, const ast::Atom& goal,
+                    const Database& edb, const SolveOptions& options = {});
+
+ private:
+  Status SolveImpl(const ast::Program& program, const ast::Atom& goal,
+                   const Database& edb, const SolveOptions& options,
+                   SolveResult* result);
+
+  Catalog* catalog_;
+  SequencePool* pool_;
+  const eval::FunctionRegistry* registry_;
+};
+
+}  // namespace query
+}  // namespace seqlog
+
+#endif  // SEQLOG_QUERY_SOLVER_H_

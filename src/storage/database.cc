@@ -43,8 +43,11 @@ void Database::Clear() {
 void Database::UnionWith(const Database& other) {
   for (PredId pred : other.PredicatesWithRelations()) {
     const Relation* rel = other.Get(pred);
+    if (rel->empty()) continue;
+    Relation* target = GetOrCreate(pred);
+    target->Reserve(rel->size());
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      Insert(pred, rel->Row(i));
+      target->Insert(rel->Row(i));
     }
   }
 }

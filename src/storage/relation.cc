@@ -6,6 +6,13 @@ namespace seqlog {
 
 Relation::Relation(size_t arity) : arity_(arity), col_index_(arity) {}
 
+void Relation::Reserve(size_t rows) {
+  const size_t total = count_ + rows;
+  rows_.reserve(total * arity_);
+  dedup_.reserve(total);
+  for (auto& index : col_index_) index.reserve(total);
+}
+
 bool Relation::Insert(TupleView tuple) {
   SEQLOG_CHECK(tuple.size() == arity_)
       << "tuple arity " << tuple.size() << " != relation arity " << arity_;

@@ -32,6 +32,11 @@ class Relation {
   size_t size() const { return count_; }
   bool empty() const { return count_ == 0; }
 
+  /// Pre-sizes row storage and the hash indexes for about `rows` more
+  /// tuples, cutting rehash churn on bulk loads (database copies, EDB
+  /// loading at fixpoint start). Never shrinks; contents are unchanged.
+  void Reserve(size_t rows);
+
   /// Inserts `tuple`; returns true if it was not already present.
   bool Insert(TupleView tuple);
 

@@ -41,6 +41,21 @@ TEST(RelationTest, InsertDeduplicates) {
   EXPECT_FALSE(r.Contains(std::vector<SeqId>{1, 3}));
 }
 
+TEST(RelationTest, ReserveKeepsContentsAndIndexes) {
+  Relation r(2);
+  r.Insert(std::vector<SeqId>{1, 2});
+  r.Reserve(1000);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(std::vector<SeqId>{1, 2}));
+  for (SeqId v = 0; v < 500; ++v) {
+    r.Insert(std::vector<SeqId>{v, v + 1});
+  }
+  EXPECT_EQ(r.size(), 500u);  // {1, 2} was re-inserted, deduplicated
+  const std::vector<uint32_t>* rows = r.RowsWithValue(1, 2);
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(rows->size(), 1u);
+}
+
 TEST(RelationTest, ColumnIndexFindsRows) {
   Relation r(2);
   r.Insert(std::vector<SeqId>{1, 10});
