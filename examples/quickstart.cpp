@@ -79,5 +79,36 @@ int main() {
     std::cerr << "expected suffix(cgt) to hold\n";
     return 1;
   }
+
+  // Prepared queries: parse + adorn + rewrite + compile ONCE, execute
+  // many times with different constants — the right shape for point
+  // lookups served over and over. Snapshots freeze the facts so readers
+  // are isolated from (and can run concurrently with) later AddFacts.
+  seqlog::Result<seqlog::PreparedQuery> prepared =
+      engine.Prepare("?- suffix($1).");
+  if (!prepared.ok()) {
+    std::cerr << "prepare failed: " << prepared.status().ToString() << "\n";
+    return 1;
+  }
+  seqlog::Snapshot snapshot = engine.PublishSnapshot();
+  for (const char* probe : {"cgt", "gg", "tgg", "acgt"}) {
+    if (!prepared->Bind(1, probe).ok()) return 1;
+    seqlog::ResultSet rs = prepared->Execute(snapshot);
+    if (!rs.ok()) {
+      std::cerr << "execute failed: " << rs.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "prepared suffix(\"" << probe << "\") => "
+              << (rs.empty() ? "no" : "yes") << " ("
+              << rs.stats().derived_facts << " facts derived)\n";
+  }
+  seqlog::PreparedQueryStats pq_stats = prepared->stats();
+  std::cout << "prepared once, executed " << pq_stats.executions
+            << "x: " << pq_stats.goal_parses << " parse, "
+            << pq_stats.magic_rewrites << " rewrite\n";
+  if (pq_stats.goal_parses != 1 || pq_stats.magic_rewrites != 1) {
+    std::cerr << "prepared path re-parsed or re-rewrote!\n";
+    return 1;
+  }
   return 0;
 }

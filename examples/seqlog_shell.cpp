@@ -20,8 +20,10 @@
 // budget configuration.
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/safety.h"
@@ -41,6 +43,10 @@ constexpr char kHelp[] = R"(seqlog shell commands
   :run [naive|semi|strat] evaluate (default: semi-naive)
   :query <pred>           print the predicate's tuples in the model
   :solve <goal>           same as ?- <goal>, e.g.  :solve suffix(acgt)
+  :prepare <name> <goal>  compile a goal once, e.g. :prepare s suffix($1)
+  :bind <name> <i> <val>  bind parameter $i of a prepared goal
+  :exec <name> [v1 ...]   execute (optionally binding $1..$k first)
+                          against a fresh snapshot of the facts
   :program                show the accumulated program
   :safety                 safety report (Definitions 8-10)
   :dot                    dependency graph in Graphviz format (Figure 3)
@@ -99,7 +105,9 @@ class Shell {
     if (!s.ok()) std::cout << "! " << s.ToString() << "\n";
     program_.clear();
     facts_.clear();
+    prepared_.clear();
     evaluated_ = false;
+    engine_stale_ = false;
   }
 
   bool Dispatch(const std::string& line) {
@@ -116,6 +124,7 @@ class Shell {
       program_ += trimmed;
       program_ += '\n';
       evaluated_ = false;
+      engine_stale_ = true;
       return true;
     }
     std::cout << "? not a rule, fact or command (:help)\n";
@@ -135,6 +144,15 @@ class Shell {
     }
     facts_.emplace_back(pred, args);
     evaluated_ = false;
+    // Facts can be appended to the live engine without a rebuild;
+    // prepared goals keep working and :exec snapshots pick them up.
+    if (!engine_stale_) {
+      Status s = engine_->AddFact(facts_.back().first, facts_.back().second);
+      if (!s.ok()) {
+        std::cout << "! " << s.ToString() << "\n";
+        facts_.pop_back();
+      }
+    }
     return true;
   }
 
@@ -174,6 +192,22 @@ class Shell {
       std::string goal;
       std::getline(in, goal);
       Solve(goal);
+    } else if (cmd == ":prepare") {
+      std::string name, goal;
+      in >> name;
+      std::getline(in, goal);
+      PrepareGoal(name, goal);
+    } else if (cmd == ":bind") {
+      std::string name, value;
+      size_t index = 0;
+      in >> name >> index >> value;
+      BindParam(name, index, value);
+    } else if (cmd == ":exec") {
+      std::string name, value;
+      in >> name;
+      std::vector<std::string> values;
+      while (in >> value) values.push_back(value == "eps" ? "" : value);
+      Exec(name, values);
     } else if (cmd == ":safety") {
       Safety(/*dot=*/false);
     } else if (cmd == ":dot") {
@@ -194,11 +228,15 @@ class Shell {
     buffer << file.rdbuf();
     program_ += buffer.str();
     evaluated_ = false;
+    engine_stale_ = true;
     std::cout << "loaded " << path << "\n";
   }
 
-  /// (Re)loads program and facts into a fresh engine; reports errors.
+  /// (Re)loads program and facts into a fresh engine when rules changed
+  /// since the last build; otherwise keeps the live engine (so prepared
+  /// goals stay valid). Reports errors.
   bool Reload() {
+    if (!engine_stale_) return true;
     std::unique_ptr<Engine> fresh = std::make_unique<Engine>();
     Status s = RegisterStandardMachines(fresh.get());
     if (s.ok()) s = fresh->LoadProgram(program_);
@@ -213,7 +251,13 @@ class Shell {
         return false;
       }
     }
+    if (!prepared_.empty()) {
+      std::cout << "(program changed: " << prepared_.size()
+                << " prepared goal(s) dropped; re-:prepare)\n";
+      prepared_.clear();
+    }
     engine_ = std::move(fresh);
+    engine_stale_ = false;
     return true;
   }
 
@@ -288,6 +332,84 @@ class Shell {
               << " iterations]\n";
   }
 
+  /// Compiles a goal once under `name`; later :exec calls reuse the
+  /// cached rewrite (zero parsing / rewriting per call).
+  void PrepareGoal(const std::string& name, const std::string& goal) {
+    if (name.empty() || goal.empty()) {
+      std::cout << "? usage: :prepare <name> <goal>, e.g. "
+                   ":prepare s suffix($1)\n";
+      return;
+    }
+    if (!Reload()) return;
+    auto pq = engine_->Prepare(goal);
+    if (!pq.ok()) {
+      std::cout << "! " << pq.status().ToString() << "\n";
+      return;
+    }
+    std::cout << "prepared '" << name << "': " << pq->param_count()
+              << " parameter(s), adornment "
+              << (pq->goal_adornment().empty() ? "-" : pq->goal_adornment())
+              << "\n";
+    prepared_.insert_or_assign(name, std::move(pq).value());
+  }
+
+  void BindParam(const std::string& name, size_t index,
+                 const std::string& value) {
+    // Reload first: a rule change invalidates prepared goals (Reload
+    // drops them with a message) — never bind into a stale engine.
+    if (!Reload()) return;
+    auto it = prepared_.find(name);
+    if (it == prepared_.end()) {
+      std::cout << "? no prepared goal '" << name << "' (:prepare first)\n";
+      return;
+    }
+    Status s = it->second.Bind(index, value == "eps" ? "" : value);
+    if (!s.ok()) {
+      std::cout << "! " << s.ToString() << "\n";
+      return;
+    }
+    std::cout << "bound $" << index << "\n";
+  }
+
+  /// Executes a prepared goal against a fresh snapshot of the facts,
+  /// binding $1..$k positionally when values are given.
+  void Exec(const std::string& name, const std::vector<std::string>& values) {
+    // Reload first: rule changes drop prepared goals (with a message)
+    // and buffered facts reach the fresh engine before the snapshot.
+    if (!Reload()) return;
+    auto it = prepared_.find(name);
+    if (it == prepared_.end()) {
+      std::cout << "? no prepared goal '" << name << "' (:prepare first)\n";
+      return;
+    }
+    seqlog::PreparedQuery& pq = it->second;
+    for (size_t i = 0; i < values.size(); ++i) {
+      Status s = pq.Bind(i + 1, values[i]);
+      if (!s.ok()) {
+        std::cout << "! " << s.ToString() << "\n";
+        return;
+      }
+    }
+    seqlog::query::SolveOptions options;
+    options.eval.limits = limits_;
+    seqlog::Snapshot snap = engine_->PublishSnapshot();
+    seqlog::ResultSet rs = pq.Execute(snap, options);
+    if (!rs.ok()) {
+      std::cout << "! " << rs.status().ToString() << "\n";
+      if (rs.status().code() != seqlog::StatusCode::kResourceExhausted) {
+        return;
+      }
+      std::cout << "  (partial answers kept)\n";
+    }
+    PrintRows(rs.Materialize());
+    seqlog::PreparedQueryStats stats = pq.stats();
+    std::cout << "  [snapshot v" << snap.version() << ", "
+              << rs.stats().derived_facts << " facts derived ("
+              << rs.stats().magic_facts << " magic); prepared once: "
+              << stats.goal_parses << " parse / " << stats.magic_rewrites
+              << " rewrite, " << stats.executions << " execution(s)]\n";
+  }
+
   void PrintRows(const std::vector<seqlog::RenderedRow>& rows) {
     for (const seqlog::RenderedRow& row : rows) {
       std::cout << "  (";
@@ -340,8 +462,10 @@ class Shell {
   std::unique_ptr<Engine> engine_;
   std::string program_;
   std::vector<std::pair<std::string, std::vector<std::string>>> facts_;
+  std::map<std::string, seqlog::PreparedQuery> prepared_;
   seqlog::eval::EvalLimits limits_;
   bool evaluated_ = false;
+  bool engine_stale_ = false;
 };
 
 }  // namespace

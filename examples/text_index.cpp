@@ -50,5 +50,35 @@ int main() {
     if (row[0].size() + 2 < longest) continue;
     std::cout << "  \"" << row[0] << "\"\n";
   }
+
+  // Point lookups, prepared once: which documents contain a given shared
+  // string? The goal is parameterized ($1) — rebinding swaps only the
+  // magic seed fact, and each Execute runs against a frozen snapshot
+  // using the cursor API (rows rendered on demand, not eagerly).
+  auto hits = engine.Prepare("?- hit($1, D).");
+  if (!hits.ok()) {
+    std::cerr << hits.status().ToString() << "\n";
+    return 1;
+  }
+  seqlog::Snapshot snapshot = engine.PublishSnapshot();
+  std::cout << "\npoint lookups (prepared goal hit($1, D)):\n";
+  for (const char* probe : {"quickbrown", "brown", "ownfox"}) {
+    if (!hits->Bind(1, probe).ok()) return 1;
+    seqlog::ResultSet rs = hits->Execute(snapshot);
+    if (!rs.ok()) {
+      std::cerr << rs.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "  \"" << probe << "\" in " << rs.size()
+              << " document(s):";
+    for (seqlog::Row row : rs) {
+      std::cout << " \"" << row.value(1).Render() << "\"";
+    }
+    std::cout << "\n";
+  }
+  auto stats = hits->stats();
+  std::cout << "(prepared once: " << stats.goal_parses << " parse / "
+            << stats.magic_rewrites << " rewrite, " << stats.executions
+            << " executions)\n";
   return 0;
 }

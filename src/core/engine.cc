@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "base/string_util.h"
 
@@ -46,13 +47,67 @@ Status Engine::AddFactIds(std::string_view predicate,
                           std::vector<SeqId> args) {
   SEQLOG_ASSIGN_OR_RETURN(PredId pred,
                           catalog_.GetOrCreate(predicate, args.size()));
-  edb_->Insert(pred, args);
+  SEQLOG_ASSIGN_OR_RETURN(bool inserted, edb_->TryInsert(pred, args));
+  if (inserted) ++edb_version_;
   return Status::Ok();
 }
 
 void Engine::ClearFacts() {
   edb_ = std::make_unique<Database>(&catalog_);
   model_.reset();
+  ++edb_version_;
+  // The publish cache is built incrementally and assumes facts are only
+  // ever added; dropping facts invalidates it. Snapshots already handed
+  // out keep their own copies.
+  published_.reset();
+  published_domain_.reset();
+  published_row_watermark_.clear();
+}
+
+Result<PreparedQuery> Engine::Prepare(std::string_view goal) {
+  SEQLOG_ASSIGN_OR_RETURN(ast::Atom parsed,
+                          parser::ParseGoal(goal, &symbols_, &pool_));
+  query::Solver solver(&catalog_, &pool_, &registry_);
+  SEQLOG_ASSIGN_OR_RETURN(query::PreparedGoal prepared,
+                          solver.Prepare(program_, parsed));
+  return PreparedQuery::Create(this, std::string(goal),
+                               std::move(prepared));
+}
+
+Snapshot Engine::PublishSnapshot() {
+  if (published_ == nullptr || published_version_ != edb_version_) {
+    // Close the snapshot's sequences into a frozen domain once, here on
+    // the write path, so every Execute against it skips the closure (the
+    // dominant per-query cost on large databases). Incremental across
+    // publishes: facts are append-only (ClearFacts drops the cache), so
+    // the previous closure is cloned flat — cheap integer copies — and
+    // AddRoot below is O(1) for every already-closed root.
+    published_ = std::shared_ptr<const Database>(edb_->Clone());
+    std::shared_ptr<ExtendedDomain> domain =
+        published_domain_ != nullptr
+            ? std::shared_ptr<ExtendedDomain>(published_domain_->CloneFlat())
+            : std::make_shared<ExtendedDomain>(&pool_);
+    // Facts are append-only (ClearFacts resets the cache), so only rows
+    // past the previous publish's per-relation watermark need closing.
+    for (PredId pred : published_->PredicatesWithRelations()) {
+      const Relation* rel = published_->Get(pred);
+      if (pred >= published_row_watermark_.size()) {
+        published_row_watermark_.resize(pred + 1, 0);
+      }
+      for (uint32_t i = published_row_watermark_[pred]; i < rel->size();
+           ++i) {
+        for (SeqId arg : rel->Row(i)) {
+          // Unbudgeted: the EDB was already admitted by AddFact.
+          Status s = domain->AddRoot(arg);
+          SEQLOG_CHECK(s.ok()) << s.ToString();
+        }
+      }
+      published_row_watermark_[pred] = static_cast<uint32_t>(rel->size());
+    }
+    published_domain_ = std::move(domain);
+    published_version_ = edb_version_;
+  }
+  return Snapshot(published_, published_domain_, published_version_);
 }
 
 analysis::SafetyReport Engine::AnalyzeSafety() const {
@@ -71,6 +126,7 @@ eval::EvalOutcome Engine::Evaluate(const eval::EvalOptions& options) {
 
 SolveOutcome Engine::Solve(std::string_view goal,
                            const query::SolveOptions& options) {
+  // Compatibility wrapper: one-shot Prepare + Execute + eager rendering.
   SolveOutcome outcome;
   Result<ast::Atom> parsed = parser::ParseGoal(goal, &symbols_, &pool_);
   if (!parsed.ok()) {
@@ -78,25 +134,20 @@ SolveOutcome Engine::Solve(std::string_view goal,
     return outcome;
   }
   query::Solver solver(&catalog_, &pool_, &registry_);
-  query::SolveResult result =
-      solver.Solve(program_, parsed.value(), *edb_, options);
-  outcome.status = std::move(result.status);
-  outcome.stats = std::move(result.stats);
-  outcome.answers.reserve(result.answers.size());
-  for (const std::vector<SeqId>& row : result.answers) {
-    RenderedRow rendered;
-    rendered.reserve(row.size());
-    for (SeqId id : row) rendered.push_back(pool_.Render(id, symbols_));
-    outcome.answers.push_back(std::move(rendered));
-  }
-  std::sort(outcome.answers.begin(), outcome.answers.end());
+  const size_t arity = parsed.value().args.size();
+  ResultSet rs(solver.Solve(program_, parsed.value(), *edb_, options),
+               arity, &pool_, &symbols_, /*keepalive=*/nullptr);
+  outcome.status = rs.status();
+  outcome.stats = rs.stats();
+  outcome.answers = rs.Materialize();
   return outcome;
 }
 
 Result<std::vector<std::vector<SeqId>>> Engine::QueryIds(
     std::string_view predicate) const {
   if (model_ == nullptr) {
-    return Status::FailedPrecondition("call Evaluate before Query");
+    return Status::FailedPrecondition(
+        "no model computed; call Evaluate or use Solve");
   }
   SEQLOG_ASSIGN_OR_RETURN(PredId pred, catalog_.Find(predicate));
   std::vector<std::vector<SeqId>> rows;

@@ -9,6 +9,14 @@
 //   auto outcome = engine.Evaluate();
 //   auto rows = engine.Query("suffix");
 //
+// Repeated goal-directed queries use the prepared/snapshot API
+// (core/prepared_query.h, core/snapshot.h, core/result_set.h):
+//
+//   auto pq = engine.Prepare("?- suffix($1).");
+//   Snapshot snap = engine.PublishSnapshot();
+//   pq->Bind(1, "acgt");
+//   ResultSet rs = pq->Execute(snap);   // thread-safe, cursor results
+//
 // Transducer Datalog programs additionally register machines:
 //
 //   engine.RegisterTransducer(transducer::MakeSquare("square").value());
@@ -16,6 +24,7 @@
 #ifndef SEQLOG_CORE_ENGINE_H_
 #define SEQLOG_CORE_ENGINE_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -24,6 +33,9 @@
 #include "analysis/safety.h"
 #include "ast/clause.h"
 #include "base/result.h"
+#include "core/prepared_query.h"
+#include "core/result_set.h"
+#include "core/snapshot.h"
 #include "eval/engine.h"
 #include "eval/function_registry.h"
 #include "parser/parser.h"
@@ -41,6 +53,8 @@ using RenderedRow = std::vector<std::string>;
 
 /// Result of a goal-directed Solve: status, rendered answer tuples
 /// (sorted), and the demand-evaluation counters.
+/// [[deprecated]] — compatibility shape; prefer the ResultSet cursor
+/// returned by PreparedQuery::Execute.
 struct SolveOutcome {
   Status status;
   std::vector<RenderedRow> answers;
@@ -63,7 +77,8 @@ class Engine {
   Status RegisterTransducer(std::shared_ptr<const SequenceFunction> fn);
 
   /// Parses, validates and compiles a program (replacing any previous
-  /// one).
+  /// one). Prepared queries created against the previous program keep
+  /// answering over it; re-Prepare them.
   Status LoadProgram(std::string_view text);
   /// Same from an already-built AST.
   Status LoadProgramAst(const ast::Program& program);
@@ -75,9 +90,32 @@ class Engine {
   Status AddFact(std::string_view predicate,
                  const std::vector<std::string>& args);
   Status AddFactIds(std::string_view predicate, std::vector<SeqId> args);
-  /// Drops all database facts (the program stays loaded).
+  /// Drops all database facts (the program stays loaded). Published
+  /// snapshots are unaffected (they own their copy).
   void ClearFacts();
   const Database& edb() const { return *edb_; }
+
+  // ------------------------------------------------------------------
+  // Prepared queries & snapshots — the execute-many query surface.
+  // Object lifetimes: Engine ⊃ PreparedQuery, Engine ⊃ Snapshot ⊃
+  // ResultSet (see src/core/README.md).
+  // ------------------------------------------------------------------
+
+  /// Parses `goal` (which may contain `$N` parameters, e.g.
+  /// "?- suffix($1).") once, runs adornment + magic rewrite once, and
+  /// compiles the rewrite once. The returned query's Execute answers the
+  /// goal over the live EDB or any snapshot with zero parsing and zero
+  /// rewriting per call; Bind swaps parameter values (= the magic seed
+  /// fact) between calls. Errors: kInvalidArgument (syntax, arity,
+  /// parameter misuse), kNotFound (unknown extensional predicate),
+  /// kFailedPrecondition (goal not demand-evaluable, see query/solver.h).
+  Result<PreparedQuery> Prepare(std::string_view goal);
+
+  /// Publishes an immutable snapshot of the current EDB
+  /// (copy-on-publish: deep copy now; republishing an unchanged EDB
+  /// reuses the previous copy). Concurrent readers Execute against the
+  /// snapshot while this engine keeps accepting AddFact.
+  Snapshot PublishSnapshot();
 
   /// Static analysis of the loaded program (Definitions 8-10).
   analysis::SafetyReport AnalyzeSafety() const;
@@ -91,6 +129,9 @@ class Engine {
   /// derived, never the full model. Each goal argument is a ground term
   /// or a plain variable; repeated variables join. Does not touch the
   /// model computed by Evaluate; no prior Evaluate is needed.
+  /// [[deprecated]] — compatibility wrapper that re-prepares on every
+  /// call and eagerly renders+sorts all answers; for repeated goals use
+  /// Prepare + Execute.
   SolveOutcome Solve(std::string_view goal,
                      const query::SolveOptions& options = {});
 
@@ -98,7 +139,10 @@ class Engine {
   const Database* model() const { return model_.get(); }
 
   /// All tuples of `predicate` in the computed model, rendered; rows are
-  /// sorted for deterministic comparison.
+  /// sorted for deterministic comparison. kFailedPrecondition before the
+  /// first Evaluate.
+  /// [[deprecated]] — eager materialization; prefer Prepare + Execute
+  /// (cursor results) for point queries.
   Result<std::vector<RenderedRow>> Query(std::string_view predicate) const;
   /// Raw SeqId rows.
   Result<std::vector<std::vector<SeqId>>> QueryIds(
@@ -117,6 +161,16 @@ class Engine {
   ast::Program program_;
   std::unique_ptr<eval::Evaluator> evaluator_;
   bool program_loaded_ = false;
+  /// Bumped on every EDB mutation; drives snapshot copy-on-publish.
+  uint64_t edb_version_ = 0;
+  /// Cache of the most recent publication (reused while unchanged). The
+  /// domain closure is incremental: per-relation row watermarks mark the
+  /// rows already closed at the previous publish (facts are append-only;
+  /// ClearFacts resets all three).
+  std::shared_ptr<const Database> published_;
+  std::shared_ptr<const ExtendedDomain> published_domain_;
+  std::vector<uint32_t> published_row_watermark_;
+  uint64_t published_version_ = 0;
 };
 
 }  // namespace seqlog

@@ -1,0 +1,114 @@
+#include "core/prepared_query.h"
+
+#include <atomic>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "base/string_util.h"
+#include "core/engine.h"
+
+namespace seqlog {
+
+struct PreparedQuery::Impl {
+  Impl(Engine* engine_in, std::string goal_text_in,
+       query::PreparedGoal prepared_in)
+      : engine(engine_in),
+        solver(engine_in->catalog(), engine_in->pool(),
+               engine_in->registry()),
+        goal_text(std::move(goal_text_in)),
+        prepared(std::move(prepared_in)),
+        bound(prepared.param_count) {
+    goal_parses = 1;
+    magic_rewrites = prepared.edb ? 0 : 1;
+    plan_compilations = prepared.edb ? 0 : 1;
+  }
+
+  Engine* engine;
+  query::Solver solver;
+  std::string goal_text;
+  query::PreparedGoal prepared;
+  std::vector<std::optional<SeqId>> bound;
+  size_t goal_parses = 0;
+  size_t magic_rewrites = 0;
+  size_t plan_compilations = 0;
+  mutable std::atomic<uint64_t> executions{0};
+};
+
+PreparedQuery::PreparedQuery(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+PreparedQuery PreparedQuery::Create(Engine* engine, std::string goal_text,
+                                    query::PreparedGoal prepared) {
+  return PreparedQuery(std::make_unique<Impl>(engine, std::move(goal_text),
+                                              std::move(prepared)));
+}
+PreparedQuery::PreparedQuery(PreparedQuery&&) noexcept = default;
+PreparedQuery& PreparedQuery::operator=(PreparedQuery&&) noexcept = default;
+PreparedQuery::~PreparedQuery() = default;
+
+const std::string& PreparedQuery::goal() const { return impl_->goal_text; }
+
+size_t PreparedQuery::param_count() const {
+  return impl_->prepared.param_count;
+}
+
+const query::Adornment& PreparedQuery::goal_adornment() const {
+  return impl_->prepared.goal_adornment;
+}
+
+Status PreparedQuery::Bind(size_t param, std::string_view value) {
+  if (param == 0 || param > impl_->prepared.param_count) {
+    return Status::OutOfRange(
+        StrCat("no parameter $", param, " in goal '", impl_->goal_text,
+               "' (", impl_->prepared.param_count, " parameter(s))"));
+  }
+  impl_->bound[param - 1] =
+      impl_->engine->pool()->FromChars(value, impl_->engine->symbols());
+  return Status::Ok();
+}
+
+Status PreparedQuery::BindId(size_t param, SeqId value) {
+  if (param == 0 || param > impl_->prepared.param_count) {
+    return Status::OutOfRange(
+        StrCat("no parameter $", param, " in goal '", impl_->goal_text,
+               "' (", impl_->prepared.param_count, " parameter(s))"));
+  }
+  impl_->bound[param - 1] = value;
+  return Status::Ok();
+}
+
+ResultSet PreparedQuery::Execute(const query::SolveOptions& options) const {
+  query::SolveResult result = impl_->solver.Execute(
+      impl_->prepared, impl_->engine->edb(), impl_->bound, options);
+  impl_->executions.fetch_add(1, std::memory_order_relaxed);
+  return ResultSet(std::move(result), impl_->prepared.goal.args.size(),
+                   impl_->engine->pool(), impl_->engine->symbols(),
+                   /*keepalive=*/nullptr);
+}
+
+ResultSet PreparedQuery::Execute(const Snapshot& snapshot,
+                                 const query::SolveOptions& options) const {
+  if (!snapshot.valid()) {
+    return ResultSet(
+        Status::InvalidArgument("invalid snapshot (default-constructed?)"));
+  }
+  query::SolveResult result =
+      impl_->solver.Execute(impl_->prepared, snapshot.db(), impl_->bound,
+                            options, snapshot.domain_base());
+  impl_->executions.fetch_add(1, std::memory_order_relaxed);
+  return ResultSet(std::move(result), impl_->prepared.goal.args.size(),
+                   impl_->engine->pool(), impl_->engine->symbols(),
+                   snapshot.shared());
+}
+
+PreparedQueryStats PreparedQuery::stats() const {
+  PreparedQueryStats stats;
+  stats.goal_parses = impl_->goal_parses;
+  stats.magic_rewrites = impl_->magic_rewrites;
+  stats.plan_compilations = impl_->plan_compilations;
+  stats.executions = impl_->executions.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace seqlog

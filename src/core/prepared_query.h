@@ -1,0 +1,109 @@
+// seqlog: prepared (parameterized) goals.
+//
+// A PreparedQuery is the compile-once/execute-many form of Engine::Solve
+// for the paper's point-query workloads (suffix membership, genome
+// lookups — programs interrogated millions of times with varying
+// constants):
+//
+//   auto pq = engine.Prepare("?- suffix($1).");
+//   pq->Bind(1, "acgt");
+//   ResultSet rs = pq->Execute();          // against the live EDB
+//   pq->Bind(1, "tacg");
+//   rs = pq->Execute(engine.PublishSnapshot());   // against a snapshot
+//
+// Prepare parses the goal ONCE, adorns and magic-rewrites the program
+// ONCE (query/solver.h), and compiles the rewritten program ONCE into a
+// cached evaluator. Execute only swaps the magic *seed fact* — rebinding
+// a parameter never re-parses, never re-rewrites, never recompiles; the
+// stats() counters prove it (goal_parses and magic_rewrites stay at
+// their prepare-time values while executions grows).
+//
+// Threading: Bind mutates shared state — bind before handing the query
+// to worker threads. Execute(snapshot) is const and thread-safe: many
+// threads may execute one PreparedQuery against one (or several)
+// snapshots concurrently while the engine keeps accepting facts.
+// Execute() against the live EDB is NOT safe against concurrent AddFact.
+//
+// Lifetime: a PreparedQuery borrows the Engine's catalog/pool/registry
+// and must not outlive it. Loading a different program into the engine
+// does not retarget existing prepared queries — they keep answering over
+// the program they were prepared against; re-Prepare after LoadProgram.
+#ifndef SEQLOG_CORE_PREPARED_QUERY_H_
+#define SEQLOG_CORE_PREPARED_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+#include "core/result_set.h"
+#include "core/snapshot.h"
+#include "query/solver.h"
+
+namespace seqlog {
+
+class Engine;
+
+/// Counters proving what the prepared path does (and does not) do.
+struct PreparedQueryStats {
+  size_t goal_parses = 0;     ///< 1 after Prepare, never grows
+  size_t magic_rewrites = 0;  ///< 1 after Prepare (0 for EDB goals)
+  size_t plan_compilations = 0;  ///< 1 after Prepare (0 for EDB goals)
+  uint64_t executions = 0;    ///< grows with every Execute
+};
+
+/// One goal shape, parsed/adorned/rewritten/compiled once by
+/// Engine::Prepare. Movable, not copyable.
+class PreparedQuery {
+ public:
+  PreparedQuery(PreparedQuery&&) noexcept;
+  PreparedQuery& operator=(PreparedQuery&&) noexcept;
+  PreparedQuery(const PreparedQuery&) = delete;
+  PreparedQuery& operator=(const PreparedQuery&) = delete;
+  ~PreparedQuery();
+
+  /// The goal text this query was prepared from.
+  const std::string& goal() const;
+  /// Number of `$N` parameters in the goal.
+  size_t param_count() const;
+  /// Effective goal adornment (after bindable demotion, query/adornment.h).
+  const query::Adornment& goal_adornment() const;
+
+  /// Binds parameter `$param` (1-based) to the sequence of `value`'s
+  /// characters (interned like Engine::AddFact arguments). Rebinding
+  /// overwrites. kOutOfRange for an unknown parameter index. Not
+  /// thread-safe against concurrent Execute.
+  Status Bind(size_t param, std::string_view value);
+  /// Same with an already-interned sequence.
+  Status BindId(size_t param, SeqId value);
+
+  /// Executes against the engine's *live* EDB. Zero parsing, zero
+  /// rewriting, zero compilation — seed injection + cached-program
+  /// fixpoint only. kFailedPrecondition if a parameter is unbound. Not
+  /// safe against concurrent AddFact; use the snapshot overload for
+  /// concurrent readers.
+  ResultSet Execute(const query::SolveOptions& options = {}) const;
+
+  /// Executes against a published snapshot. Const and thread-safe: many
+  /// threads may share one PreparedQuery and one Snapshot.
+  ResultSet Execute(const Snapshot& snapshot,
+                    const query::SolveOptions& options = {}) const;
+
+  /// Prepare/execution counters (see struct comment).
+  PreparedQueryStats stats() const;
+
+ private:
+  friend class Engine;
+  struct Impl;
+  explicit PreparedQuery(std::unique_ptr<Impl> impl);
+  /// Factory for Engine::Prepare (Impl is defined in the .cc).
+  static PreparedQuery Create(Engine* engine, std::string goal_text,
+                              query::PreparedGoal prepared);
+
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_CORE_PREPARED_QUERY_H_

@@ -1,0 +1,52 @@
+#include "core/result_set.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace seqlog {
+
+size_t Value::Length() const { return pool_->Length(id_); }
+
+std::string Value::Render() const { return pool_->Render(id_, *symbols_); }
+
+size_t Row::size() const { return set_->arity(); }
+
+Value Row::value(size_t j) const {
+  SEQLOG_DCHECK(j < set_->arity());
+  return Value(set_->ids(index_)[j], set_->pool_, set_->symbols_);
+}
+
+TupleView Row::ids() const { return set_->ids(index_); }
+
+std::vector<std::string> Row::Render() const {
+  std::vector<std::string> out;
+  out.reserve(size());
+  for (size_t j = 0; j < size(); ++j) out.push_back(value(j).Render());
+  return out;
+}
+
+ResultSet::ResultSet(query::SolveResult result, size_t arity,
+                     const SequencePool* pool, const SymbolTable* symbols,
+                     std::shared_ptr<const Database> keepalive)
+    : status_(std::move(result.status)),
+      stats_(std::move(result.stats)),
+      arity_(arity),
+      rows_(result.answers.size()),
+      pool_(pool),
+      symbols_(symbols),
+      snapshot_(std::move(keepalive)) {
+  flat_.reserve(result.answers.size() * arity_);
+  for (const std::vector<SeqId>& row : result.answers) {
+    flat_.insert(flat_.end(), row.begin(), row.end());
+  }
+}
+
+std::vector<std::vector<std::string>> ResultSet::Materialize() const {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(size());
+  for (Row row : *this) rows.push_back(row.Render());
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+}  // namespace seqlog

@@ -47,14 +47,38 @@ Status Evaluator::SetProgram(const ast::Program& program) {
   return Status::Ok();
 }
 
-Status Evaluator::InitState(const Database& edb, const EvalOptions& options,
-                            Database* model, RunState* state) const {
+Status Evaluator::LoadFacts(const Database& db, RunState* state) const {
+  for (PredId pred : db.PredicatesWithRelations()) {
+    const Relation* rel = db.Get(pred);
+    if (rel->empty()) continue;
+    state->model->GetOrCreate(pred)->Reserve(rel->size());
+    state->delta->GetOrCreate(pred)->Reserve(rel->size());
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      TupleView row = rel->Row(i);
+      state->model->Insert(pred, row);
+      state->delta->Insert(pred, row);
+      for (SeqId arg : row) {
+        SEQLOG_RETURN_IF_ERROR(state->domain->AddRoot(
+            arg, state->options.limits.max_domain_sequences));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status Evaluator::InitState(const Database& edb, const Database* extra_facts,
+                            std::shared_ptr<const ExtendedDomain> base_domain,
+                            const EvalOptions& options, Database* model,
+                            RunState* state) const {
   if (model->TotalFacts() != 0) {
     return Status::InvalidArgument("model database must start empty");
   }
   state->model = model;
   state->options = options;
-  state->domain = std::make_unique<ExtendedDomain>(pool_);
+  state->domain =
+      base_domain != nullptr
+          ? std::make_unique<ExtendedDomain>(pool_, std::move(base_domain))
+          : std::make_unique<ExtendedDomain>(pool_);
   state->delta = std::make_unique<Database>(catalog_);
   state->scratch = std::make_unique<Database>(catalog_);
   state->start = std::chrono::steady_clock::now();
@@ -66,20 +90,18 @@ Status Evaluator::InitState(const Database& edb, const EvalOptions& options,
   // The database is a set of ground clauses with empty bodies
   // (Definition 4 treats db atoms as clauses): load it as the starting
   // interpretation and seed the extended active domain (Definition 3).
-  for (PredId pred : edb.PredicatesWithRelations()) {
-    const Relation* rel = edb.Get(pred);
-    if (rel->empty()) continue;
-    model->GetOrCreate(pred)->Reserve(rel->size());
-    state->delta->GetOrCreate(pred)->Reserve(rel->size());
-    for (uint32_t i = 0; i < rel->size(); ++i) {
-      TupleView row = rel->Row(i);
-      model->Insert(pred, row);
-      state->delta->Insert(pred, row);
-      for (SeqId arg : row) {
-        SEQLOG_RETURN_IF_ERROR(state->domain->AddRoot(
-            arg, options.limits.max_domain_sequences));
-      }
-    }
+  SEQLOG_RETURN_IF_ERROR(LoadFacts(edb, state));
+  if (extra_facts != nullptr) {
+    SEQLOG_RETURN_IF_ERROR(LoadFacts(*extra_facts, state));
+  }
+  // With a prebuilt base domain the AddRoots above short-circuit without
+  // counting, so enforce the budget on the total explicitly — a snapshot
+  // execution must fail the same way a live one does.
+  const size_t max_domain = options.limits.max_domain_sequences;
+  if (max_domain != 0 && state->domain->size() > max_domain) {
+    return Status::ResourceExhausted(
+        StrCat("extended active domain exceeded ", max_domain,
+               " sequences"));
   }
   state->domain_grew = true;
   return Status::Ok();
@@ -236,10 +258,18 @@ Status Evaluator::EvaluateStratified(const EvalOptions& options,
 
 EvalOutcome Evaluator::Evaluate(const Database& edb,
                                 const EvalOptions& options,
-                                Database* model) {
+                                Database* model) const {
+  return Evaluate(edb, nullptr, nullptr, options, model);
+}
+
+EvalOutcome Evaluator::Evaluate(
+    const Database& edb, const Database* extra_facts,
+    std::shared_ptr<const ExtendedDomain> base_domain,
+    const EvalOptions& options, Database* model) const {
   EvalOutcome outcome;
   RunState state;
-  outcome.status = InitState(edb, options, model, &state);
+  outcome.status = InitState(edb, extra_facts, std::move(base_domain),
+                             options, model, &state);
   if (outcome.status.ok()) {
     switch (options.strategy) {
       case Strategy::kNaive:

@@ -21,6 +21,7 @@
 #ifndef SEQLOG_EVAL_ENGINE_H_
 #define SEQLOG_EVAL_ENGINE_H_
 
+#include <memory>
 #include <vector>
 
 #include "ast/clause.h"
@@ -50,13 +51,19 @@ struct EvalOutcome {
 };
 
 /// Compiles a program once and evaluates it over databases.
+///
+/// Evaluation is const: once SetProgram has compiled the plans, one
+/// Evaluator may serve many concurrent Evaluate calls (each with its own
+/// model database), which is how prepared queries execute the cached
+/// magic rewrite from many threads (core/prepared_query.h).
 class Evaluator {
  public:
   /// `registry` may be null for pure Sequence Datalog programs.
   Evaluator(Catalog* catalog, SequencePool* pool,
             const FunctionRegistry* registry);
 
-  /// Compiles `program`; replaces any previous program.
+  /// Compiles `program`; replaces any previous program. Not safe to call
+  /// concurrently with Evaluate.
   Status SetProgram(const ast::Program& program);
 
   const ast::Program& program() const { return program_; }
@@ -66,13 +73,30 @@ class Evaluator {
   /// (which must be empty and share the evaluator's catalog). On return
   /// `model` holds T^omega (or a budget-truncated prefix of it).
   EvalOutcome Evaluate(const Database& edb, const EvalOptions& options,
-                       Database* model);
+                       Database* model) const;
+
+  /// Same, additionally loading the atoms of `extra_facts` (may be null)
+  /// into the starting interpretation alongside `edb` — how goal seeds
+  /// reach a prepared magic program without rewriting it: the seed is
+  /// data, not a clause (query/solver.h) — and layering the run's
+  /// extended active domain on a frozen `base_domain` (may be null).
+  /// The base MUST be the closure of exactly `edb`'s sequences
+  /// (core/snapshot.h publishes such a pair): the run then skips
+  /// re-closing the database — the dominant per-query cost — and only
+  /// pays for sequences it derives itself.
+  EvalOutcome Evaluate(const Database& edb, const Database* extra_facts,
+                       std::shared_ptr<const ExtendedDomain> base_domain,
+                       const EvalOptions& options, Database* model) const;
 
  private:
   struct RunState;
 
-  Status InitState(const Database& edb, const EvalOptions& options,
-                   Database* model, RunState* state) const;
+  Status InitState(const Database& edb, const Database* extra_facts,
+                   std::shared_ptr<const ExtendedDomain> base_domain,
+                   const EvalOptions& options, Database* model,
+                   RunState* state) const;
+  /// Loads every atom of `db` into the model, delta and domain.
+  Status LoadFacts(const Database& db, RunState* state) const;
   /// One least-fixpoint loop over the given clause subset; shared by all
   /// strategies. `first_full` forces a full firing pass first.
   Status Saturate(const std::vector<size_t>& subset, bool naive,

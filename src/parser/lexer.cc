@@ -37,6 +37,8 @@ std::string_view TokenTypeName(TokenType type) {
       return "':-'";
     case TokenType::kQuery:
       return "'?-'";
+    case TokenType::kParam:
+      return "parameter";
     case TokenType::kEq:
       return "'='";
     case TokenType::kNeq:
@@ -150,6 +152,28 @@ Result<std::vector<Token>> Tokenize(std::string_view source) {
       push(quote == '"' ? TokenType::kString : TokenType::kQuotedSymbol,
            std::move(text));
       advance(j + 1 - i);
+      continue;
+    }
+    if (c == '$') {  // $N query parameter
+      size_t start = i + 1;
+      size_t j = start;
+      while (j < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[j]))) {
+        ++j;
+      }
+      if (j == start) {
+        return error("expected digits after '$' (query parameter, "
+                     "e.g. $1)");
+      }
+      if (j - start > 2) {
+        return error("query parameter index too large (max $99)");
+      }
+      std::string text(source.substr(start, j - start));
+      if (text[0] == '0') {
+        return error("query parameters are numbered from $1");
+      }
+      push(TokenType::kParam, std::move(text));
+      advance(j - i);
       continue;
     }
     auto two = source.substr(i, 2);

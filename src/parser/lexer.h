@@ -37,6 +37,7 @@ enum class TokenType {
   kPeriod,
   kImplies,  // :-
   kQuery,    // ?- (goal prefix, see parser::ParseGoal)
+  kParam,    // $N query parameter (goals only; text holds the digits)
   kEq,       // =
   kNeq,      // !=
   kPlus,

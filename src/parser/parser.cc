@@ -94,8 +94,10 @@ class Parser {
   }
 
   /// Parses `?- atom.` — the `?-` prefix and the trailing period are both
-  /// optional, so `p(X, acgt)` alone is accepted too.
+  /// optional, so `p(X, acgt)` alone is accepted too. `$N` parameters are
+  /// accepted here (and only here).
   Result<Atom> ParseGoal() {
+    allow_params_ = true;
     cur_.Accept(TokenType::kQuery);
     SEQLOG_ASSIGN_OR_RETURN(Atom goal, ParseAtom());
     if (goal.kind != Atom::Kind::kPredicate) {
@@ -176,6 +178,16 @@ class Parser {
         Token var = cur_.Next();
         return MaybeIndexed(ast::MakeVariable(var.text));
       }
+      case TokenType::kParam: {
+        if (!allow_params_) {
+          return cur_.Error(
+              "query parameter $N is only allowed in goals");
+        }
+        Token param = cur_.Next();
+        // Parameters become variables in the reserved "$N" namespace
+        // (the lexer never produces '$' in user identifiers).
+        return ast::MakeVariable(StrCat("$", param.text));
+      }
       case TokenType::kString:
       case TokenType::kIdent:
       case TokenType::kInt: {
@@ -247,6 +259,7 @@ class Parser {
   TokenCursor cur_;
   SymbolTable* symbols_;
   SequencePool* pool_;
+  bool allow_params_ = false;
 };
 
 }  // namespace
@@ -265,6 +278,21 @@ Result<ast::Atom> ParseGoal(std::string_view source, SymbolTable* symbols,
   SEQLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
   Parser parser(std::move(tokens), symbols, pool);
   return parser.ParseGoal();
+}
+
+bool IsParamVariable(std::string_view var) {
+  if (var.size() < 2 || var[0] != '$') return false;
+  for (char c : var.substr(1)) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+size_t ParamIndex(std::string_view var) {
+  SEQLOG_CHECK(IsParamVariable(var)) << "not a parameter: " << var;
+  size_t n = 0;
+  for (char c : var.substr(1)) n = n * 10 + static_cast<size_t>(c - '0');
+  return n;
 }
 
 Result<ast::Clause> ParseClause(std::string_view source,

@@ -11,6 +11,7 @@
 //   primary    := "eps"
 //              | STRING | INT | IDENT               (constant sequences)
 //              | QUOTED_SYMBOL                      (one symbol)
+//              | PARAM                              ($N, goals only)
 //              | "@" IDENT "(" seqterm { "," seqterm } ")"
 //              | (VARIABLE | constant) [ "[" index [ ":" index ] "]" ]
 //   index      := iatom { ("+"|"-") iatom }
@@ -41,8 +42,21 @@ Result<ast::Program> ParseProgram(std::string_view source,
 /// prefix and the trailing period are both optional). Goals drive the
 /// demand-driven solver (query/solver.h); which argument shapes are
 /// demand-evaluable is decided there, not here.
+///
+/// Goals (and only goals) may use `$N` parameter placeholders, e.g.
+/// `?- suffix($1).` — the basis of prepared queries
+/// (core/prepared_query.h). A parameter parses as a variable with the
+/// reserved name "$N" (user variables can never start with '$'); use
+/// IsParamVariable/ParamIndex to recognise them downstream.
 Result<ast::Atom> ParseGoal(std::string_view source, SymbolTable* symbols,
                             SequencePool* pool);
+
+/// True if `var` is a goal parameter placeholder ("$1", "$2", ...).
+bool IsParamVariable(std::string_view var);
+
+/// 1-based index of a parameter variable ("$3" -> 3). `var` must satisfy
+/// IsParamVariable.
+size_t ParamIndex(std::string_view var);
 
 /// Parses a single clause (convenience for tests and the REPL-style
 /// examples). `source` must contain exactly one clause.

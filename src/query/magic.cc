@@ -47,7 +47,8 @@ std::string MagicName(const std::string& predicate,
 Result<MagicProgram> MagicRewrite(
     const ast::Program& program, const AdornmentResult& adornment,
     const std::vector<std::optional<SeqId>>& goal_values,
-    const std::set<std::string>& edb_predicates) {
+    const std::set<std::string>& edb_predicates,
+    const MagicOptions& options) {
   MagicProgram out;
   if (adornment.reachable.empty()) {
     return Status::InvalidArgument("no reachable adorned predicates");
@@ -55,11 +56,18 @@ Result<MagicProgram> MagicRewrite(
   const std::string& goal_predicate = adornment.reachable.front().first;
   out.answer_predicate =
       AdornedName(goal_predicate, adornment.goal_adornment);
+  out.seed_predicate =
+      MagicName(goal_predicate, adornment.goal_adornment);
+  for (size_t j = 0; j < adornment.goal_adornment.size(); ++j) {
+    if (adornment.goal_adornment[j] == 'b') out.seed_positions.push_back(j);
+  }
 
   // Seed: the goal's ground values at the bound positions of the goal
   // adornment (an all-free goal seeds a nullary magic fact, which simply
   // switches on every reachable clause — the degenerate full evaluation).
-  {
+  // In seed_as_facts mode the caller supplies the seed as data instead,
+  // so the rewritten program is independent of the goal's values.
+  if (!options.seed_as_facts) {
     if (goal_values.size() != adornment.goal_adornment.size()) {
       return Status::InvalidArgument("goal value count != goal arity");
     }
@@ -72,9 +80,8 @@ Result<MagicProgram> MagicRewrite(
       seed_args.push_back(ast::MakeConstant(*goal_values[j]));
     }
     ast::Clause seed;
-    seed.head = ast::MakePredicateAtom(
-        MagicName(goal_predicate, adornment.goal_adornment),
-        std::move(seed_args));
+    seed.head = ast::MakePredicateAtom(out.seed_predicate,
+                                       std::move(seed_args));
     out.program.clauses.push_back(std::move(seed));
     ++out.seed_clauses;
   }
@@ -85,9 +92,13 @@ Result<MagicProgram> MagicRewrite(
 
   // Import clauses for predicates that are both derived and extensional:
   // the adorned copy must also see the extensional facts, which stay
-  // under the original name.
+  // under the original name. import_all_reachable covers predicates that
+  // may only *later* receive facts (prepared queries outlive the rewrite).
   for (const auto& [pred, adorn] : adornment.reachable) {
-    if (edb_predicates.find(pred) == edb_predicates.end()) continue;
+    if (!options.import_all_reachable &&
+        edb_predicates.find(pred) == edb_predicates.end()) {
+      continue;
+    }
     std::vector<ast::SeqTermPtr> vars = FreshVariables(adorn.size());
     ast::Clause import;
     import.head = ast::MakePredicateAtom(AdornedName(pred, adorn), vars);

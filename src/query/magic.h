@@ -48,12 +48,37 @@ std::string AdornedName(const std::string& predicate,
 std::string MagicName(const std::string& predicate,
                       const Adornment& adornment);
 
+/// How the rewrite handles the goal seed and extensional imports.
+struct MagicOptions {
+  /// When false (classic mode), the goal's ground values are baked into a
+  /// seed *clause* — the rewrite is specific to one goal instance. When
+  /// true, no seed clause is generated: the caller injects the seed as a
+  /// plain fact of `MagicProgram::seed_predicate` at evaluation time, so
+  /// one rewrite serves every binding of the same goal shape. This is the
+  /// prepared-query mode (core/prepared_query.h): rebinding swaps one
+  /// fact, never the program.
+  bool seed_as_facts = false;
+  /// When false, import clauses are generated only for `edb_predicates`
+  /// (the predicates carrying facts *now*). When true, every reachable
+  /// adorned predicate gets one, so the rewrite stays correct for facts
+  /// added after the rewrite — required for prepared queries executed
+  /// against later snapshots.
+  bool import_all_reachable = false;
+};
+
 /// The rewritten program plus bookkeeping for the solver.
 struct MagicProgram {
   ast::Program program;
   /// Adorned name of the goal predicate; the goal's answers are exactly
   /// this predicate's tuples (after the solver's ground-argument filter).
   std::string answer_predicate;
+  /// Name of the goal's magic predicate. With seed_as_facts the caller
+  /// must insert one fact for it — the goal values at `seed_positions` —
+  /// before evaluating; otherwise it is informational.
+  std::string seed_predicate;
+  /// Goal argument positions (ascending) forming the seed tuple: the
+  /// bound positions of the goal adornment.
+  std::vector<size_t> seed_positions;
   /// Names of all magic predicates (for demand-size statistics).
   std::set<std::string> magic_predicates;
   size_t seed_clauses = 0;
@@ -64,13 +89,17 @@ struct MagicProgram {
 
 /// Rewrites the adorned slice of `program`. `goal_values[j]` holds the
 /// interned ground value of goal argument j (nullopt when free); values
-/// at adornment-bound positions become the magic seed. `edb_predicates`
-/// lists predicates that carry extensional facts, so adorned copies of
-/// predicates that are both derived and extensional import their facts.
+/// at adornment-bound positions become the magic seed clause (classic
+/// mode; with options.seed_as_facts the values are unused and may be
+/// empty). `edb_predicates` lists predicates that carry extensional
+/// facts, so adorned copies of predicates that are both derived and
+/// extensional import their facts (superseded by
+/// options.import_all_reachable).
 Result<MagicProgram> MagicRewrite(
     const ast::Program& program, const AdornmentResult& adornment,
     const std::vector<std::optional<SeqId>>& goal_values,
-    const std::set<std::string>& edb_predicates);
+    const std::set<std::string>& edb_predicates,
+    const MagicOptions& options = {});
 
 }  // namespace query
 }  // namespace seqlog

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <map>
-#include <optional>
 #include <set>
 #include <utility>
 
 #include "analysis/safety.h"
 #include "base/string_util.h"
-#include "query/magic.h"
+#include "parser/parser.h"
 
 namespace seqlog {
 namespace query {
@@ -111,35 +110,59 @@ std::vector<std::vector<SeqId>> FilterRelation(
   return rows;
 }
 
+/// Merges fixed goal values with the per-call parameter bindings;
+/// kFailedPrecondition on an unbound parameter.
+Result<std::vector<std::optional<SeqId>>> ResolveValues(
+    const PreparedGoal& prepared,
+    const std::vector<std::optional<SeqId>>& params) {
+  std::vector<std::optional<SeqId>> values = prepared.fixed_values;
+  for (size_t j = 0; j < prepared.param_at.size(); ++j) {
+    const size_t idx = prepared.param_at[j];
+    if (idx == 0) continue;
+    if (idx > params.size() || !params[idx - 1].has_value()) {
+      return Status::FailedPrecondition(
+          StrCat("parameter $", idx, " of goal '", prepared.predicate,
+                 "' is not bound; call Bind first"));
+    }
+    values[j] = *params[idx - 1];
+  }
+  return values;
+}
+
 }  // namespace
 
 Solver::Solver(Catalog* catalog, SequencePool* pool,
                const eval::FunctionRegistry* registry)
     : catalog_(catalog), pool_(pool), registry_(registry) {}
 
-SolveResult Solver::Solve(const ast::Program& program, const ast::Atom& goal,
-                          const Database& edb, const SolveOptions& options) {
-  SolveResult result;
-  result.status = SolveImpl(program, goal, edb, options, &result);
-  result.stats.answers = result.answers.size();
-  return result;
-}
-
-Status Solver::SolveImpl(const ast::Program& program, const ast::Atom& goal,
-                         const Database& edb, const SolveOptions& options,
-                         SolveResult* result) {
+Result<PreparedGoal> Solver::Prepare(const ast::Program& program,
+                                     const ast::Atom& goal) const {
   if (goal.kind != ast::Atom::Kind::kPredicate) {
     return Status::InvalidArgument("goal must be a predicate atom");
   }
+  PreparedGoal out;
+  out.goal = goal;
+  out.predicate = goal.predicate;
+  out.fixed_values.resize(goal.args.size());
+  out.param_at.assign(goal.args.size(), 0);
 
-  // Classify every goal argument: ground (evaluated now) or a plain
-  // variable; repeated variables become join constraints on the answers.
-  std::vector<std::optional<SeqId>> values(goal.args.size());
+  // Classify every goal argument: a $N parameter (bound per Execute), a
+  // plain variable (free; repeated occurrences join), or a ground term
+  // (evaluated now).
   std::vector<bool> ground(goal.args.size(), false);
   std::map<std::string, std::vector<size_t>> positions_of_var;
+  std::set<size_t> param_indices;
   for (size_t j = 0; j < goal.args.size(); ++j) {
     const ast::SeqTermPtr& arg = goal.args[j];
     if (arg->kind == ast::SeqTerm::Kind::kVariable) {
+      if (parser::IsParamVariable(arg->var)) {
+        const size_t idx = parser::ParamIndex(arg->var);
+        out.param_at[j] = idx;
+        param_indices.insert(idx);
+        out.param_count = std::max(out.param_count, idx);
+        ground[j] = true;
+        continue;
+      }
       positions_of_var[arg->var].push_back(j);
       continue;
     }
@@ -149,18 +172,25 @@ Status Solver::SolveImpl(const ast::Program& program, const ast::Atom& goal,
     if (!vars.empty()) {
       return Status::InvalidArgument(
           StrCat("goal argument ", j + 1, " of '", goal.predicate,
-                 "' must be ground or a plain variable"));
+                 "' must be ground, a plain variable, or a $N parameter"));
     }
     SEQLOG_ASSIGN_OR_RETURN(SeqId value, EvalGroundTerm(arg, pool_));
-    values[j] = value;
+    out.fixed_values[j] = value;
     ground[j] = true;
   }
-  std::vector<std::vector<size_t>> var_groups;
+  for (size_t i = 1; i <= out.param_count; ++i) {
+    if (param_indices.find(i) == param_indices.end()) {
+      return Status::InvalidArgument(
+          StrCat("goal uses $", out.param_count, " but not $", i,
+                 "; parameters must be numbered consecutively from $1"));
+    }
+  }
   for (auto& [var, positions] : positions_of_var) {
-    if (positions.size() > 1) var_groups.push_back(positions);
+    if (positions.size() > 1) out.var_groups.push_back(positions);
   }
 
-  // Goals on extensional predicates need no rewrite: scan the database.
+  // Goals on extensional predicates need no rewrite: Execute scans the
+  // database directly.
   const std::set<std::string> idb = program.HeadPredicates();
   if (idb.find(goal.predicate) == idb.end()) {
     Result<PredId> pred = catalog_->Find(goal.predicate);
@@ -174,28 +204,25 @@ Status Solver::SolveImpl(const ast::Program& program, const ast::Atom& goal,
                  catalog_->Arity(pred.value()), " of '", goal.predicate,
                  "'"));
     }
-    result->answers = FilterRelation(edb.Get(pred.value()), values,
-                                     var_groups);
-    result->stats.goal_adornment = MakeAdornment(ground);
-    return Status::Ok();
+    out.edb = true;
+    out.edb_pred = pred.value();
+    out.goal_adornment = MakeAdornment(ground);
+    return out;
   }
 
-  // Adorn and rewrite.
+  // Adorn and rewrite — once. Parameters adorn exactly like ground
+  // constants; their values arrive per Execute as the magic seed fact,
+  // so the rewrite (and its compiled plans) is shared by all bindings.
   SEQLOG_ASSIGN_OR_RETURN(AdornmentResult adornment,
                           AdornProgram(program, goal.predicate, ground));
-  std::set<std::string> edb_predicates;
-  for (PredId pred : edb.PredicatesWithRelations()) {
-    const Relation* rel = edb.Get(pred);
-    if (rel != nullptr && !rel->empty()) {
-      edb_predicates.insert(catalog_->Name(pred));
-    }
-  }
+  MagicOptions magic_options;
+  magic_options.seed_as_facts = true;
+  magic_options.import_all_reachable = true;
   SEQLOG_ASSIGN_OR_RETURN(
       MagicProgram magic,
-      MagicRewrite(program, adornment, values, edb_predicates));
-  result->stats.goal_adornment = adornment.goal_adornment;
-  result->stats.adorned_predicates = adornment.reachable.size();
-  result->stats.rewritten_clauses = magic.program.clauses.size();
+      MagicRewrite(program, adornment, {}, {}, magic_options));
+  out.goal_adornment = adornment.goal_adornment;
+  out.adorned_predicates = adornment.reachable.size();
 
   // The rewrite must not cost us the Theorem 8 guarantee: if the original
   // program is strongly safe but the guard edges closed a constructive
@@ -219,33 +246,95 @@ Status Solver::SolveImpl(const ast::Program& program, const ast::Atom& goal,
     }
   }
 
-  // Evaluate the rewritten program into a scratch database with the
-  // shared catalog/pool, so extensional PredIds and SeqIds line up.
-  eval::Evaluator evaluator(catalog_, pool_, registry_);
-  SEQLOG_RETURN_IF_ERROR(evaluator.SetProgram(magic.program));
+  // Compile the rewritten program once; Execute reuses the plans.
+  auto evaluator =
+      std::make_shared<eval::Evaluator>(catalog_, pool_, registry_);
+  SEQLOG_RETURN_IF_ERROR(evaluator->SetProgram(magic.program));
+  out.evaluator = std::move(evaluator);
+  // SetProgram registered every predicate of the rewrite in the catalog.
+  SEQLOG_ASSIGN_OR_RETURN(out.seed_pred,
+                          catalog_->Find(magic.seed_predicate));
+  SEQLOG_ASSIGN_OR_RETURN(out.answer_pred,
+                          catalog_->Find(magic.answer_predicate));
+  out.magic = std::move(magic);
+  return out;
+}
+
+SolveResult Solver::Execute(
+    const PreparedGoal& prepared, const Database& edb,
+    const std::vector<std::optional<SeqId>>& params,
+    const SolveOptions& options,
+    std::shared_ptr<const ExtendedDomain> base_domain) const {
+  SolveResult result;
+  result.stats.goal_adornment = prepared.goal_adornment;
+  result.stats.adorned_predicates = prepared.adorned_predicates;
+  result.stats.rewritten_clauses = prepared.magic.program.clauses.size();
+
+  Result<std::vector<std::optional<SeqId>>> values =
+      ResolveValues(prepared, params);
+  if (!values.ok()) {
+    result.status = values.status();
+    return result;
+  }
+
+  if (prepared.edb) {
+    result.answers = FilterRelation(edb.Get(prepared.edb_pred),
+                                    values.value(), prepared.var_groups);
+    result.stats.answers = result.answers.size();
+    result.status = Status::Ok();
+    return result;
+  }
+
+  // Inject the goal's bound values as the magic seed fact and evaluate
+  // the cached rewrite into a scratch database with the shared
+  // catalog/pool, so extensional PredIds and SeqIds line up.
+  Database seeds(catalog_);
+  std::vector<SeqId> seed_tuple;
+  seed_tuple.reserve(prepared.magic.seed_positions.size());
+  for (size_t j : prepared.magic.seed_positions) {
+    const std::optional<SeqId>& v = values.value()[j];
+    if (!v.has_value()) {
+      result.status =
+          Status::Internal("bound goal position without a value");
+      return result;
+    }
+    seed_tuple.push_back(*v);
+  }
+  seeds.Insert(prepared.seed_pred, seed_tuple);
+
   Database scratch(catalog_);
-  eval::EvalOutcome outcome = evaluator.Evaluate(edb, options.eval,
-                                                 &scratch);
-  result->stats.eval = std::move(outcome.stats);
+  eval::EvalOutcome outcome = prepared.evaluator->Evaluate(
+      edb, &seeds, std::move(base_domain), options.eval, &scratch);
+  result.stats.eval = std::move(outcome.stats);
   const size_t edb_facts = edb.TotalFacts();
   const size_t total_facts = scratch.TotalFacts();
-  result->stats.derived_facts =
+  result.stats.derived_facts =
       total_facts > edb_facts ? total_facts - edb_facts : 0;
-  for (const std::string& name : magic.magic_predicates) {
+  for (const std::string& name : prepared.magic.magic_predicates) {
     Result<PredId> pred = catalog_->Find(name);
     if (!pred.ok()) continue;
     const Relation* rel = scratch.Get(pred.value());
-    if (rel != nullptr) result->stats.magic_facts += rel->size();
+    if (rel != nullptr) result.stats.magic_facts += rel->size();
   }
 
   // Extract the goal's answers (also on budget exhaustion: like
-  // Evaluate, Solve keeps the partial result it has).
-  Result<PredId> answer_pred = catalog_->Find(magic.answer_predicate);
-  if (answer_pred.ok()) {
-    result->answers = FilterRelation(scratch.Get(answer_pred.value()),
-                                     values, var_groups);
+  // Evaluate, Execute keeps the partial result it has).
+  result.answers = FilterRelation(scratch.Get(prepared.answer_pred),
+                                  values.value(), prepared.var_groups);
+  result.stats.answers = result.answers.size();
+  result.status = std::move(outcome.status);
+  return result;
+}
+
+SolveResult Solver::Solve(const ast::Program& program, const ast::Atom& goal,
+                          const Database& edb, const SolveOptions& options) {
+  Result<PreparedGoal> prepared = Prepare(program, goal);
+  if (!prepared.ok()) {
+    SolveResult result;
+    result.status = prepared.status();
+    return result;
   }
-  return outcome.status;
+  return Execute(prepared.value(), edb, {}, options);
 }
 
 }  // namespace query

@@ -1,17 +1,29 @@
 // seqlog: goal-directed query answering (demand / magic-set evaluation).
 //
-// Solver::Solve answers a single goal  ?- p(t1,...,tk).  without running
-// the full bottom-up fixpoint of Engine::Evaluate: the program is adorned
-// for the goal's bound arguments (adornment.h), rewritten with magic sets
-// (magic.h), and the rewritten program is evaluated with the existing
-// semi-naive machinery into a scratch database. Only facts demanded by
-// the goal are derived; SolveStats reports how many, so callers can
-// compare against the full fixpoint.
+// Two entry points:
 //
-// Goal argument shapes: each argument must be either a plain variable
-// (free) or a ground term (constants, possibly indexed or concatenated —
-// evaluated at solve time). Repeated variables express join constraints:
-// ?- p(X, X). returns only the diagonal.
+//  * Solver::Solve answers a single goal  ?- p(t1,...,tk).  one-shot: the
+//    program is adorned for the goal's bound arguments (adornment.h),
+//    rewritten with magic sets (magic.h), compiled, and evaluated with
+//    the existing semi-naive machinery into a scratch database. Only
+//    facts demanded by the goal are derived; SolveStats reports how many.
+//
+//  * Solver::Prepare / Solver::Execute split that pipeline for goals that
+//    run many times (the paper's point-query workloads): Prepare performs
+//    the goal analysis, adornment, magic rewrite and clause compilation
+//    ONCE into an immutable PreparedGoal; Execute injects the goal's
+//    (possibly re-bound) constants as a magic *seed fact* — data, not a
+//    clause — and evaluates the cached program. Execute never parses,
+//    never rewrites and never recompiles; it is const and safe to call
+//    from many threads against immutable databases (storage/database.h).
+//
+// Goals may contain `$N` parameter placeholders (parser::ParseGoal);
+// their positions adorn as bound and receive values per Execute call.
+//
+// Goal argument shapes: each argument must be a `$N` parameter, a plain
+// variable (free) or a ground term (constants, possibly indexed or
+// concatenated — evaluated at prepare time). Repeated variables express
+// join constraints: ?- p(X, X). returns only the diagonal.
 //
 // A goal is refused with kFailedPrecondition when the magic rewrite of a
 // strongly safe program is no longer strongly safe (the guard edges
@@ -21,6 +33,8 @@
 #ifndef SEQLOG_QUERY_SOLVER_H_
 #define SEQLOG_QUERY_SOLVER_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,6 +42,7 @@
 #include "eval/engine.h"
 #include "eval/function_registry.h"
 #include "query/adornment.h"
+#include "query/magic.h"
 #include "sequence/sequence_pool.h"
 #include "storage/database.h"
 
@@ -46,7 +61,7 @@ struct SolveStats {
   Adornment goal_adornment;       ///< effective (after bindable demotion)
   size_t adorned_predicates = 0;  ///< reachable adorned IDB predicates
   size_t rewritten_clauses = 0;   ///< clauses in the magic program
-  size_t magic_facts = 0;         ///< demand atoms derived
+  size_t magic_facts = 0;         ///< demand atoms derived (incl. seed)
   size_t derived_facts = 0;       ///< atoms derived beyond the database
   size_t answers = 0;
   eval::EvalStats eval;           ///< the rewritten program's evaluation
@@ -60,6 +75,35 @@ struct SolveResult {
   SolveStats stats;
 };
 
+/// The reusable product of Solver::Prepare: one goal shape, analysed,
+/// rewritten and compiled. Immutable after Prepare — every field is
+/// read-only to Execute, which makes concurrent Execute calls safe.
+/// Owned by core::PreparedQuery on the public API surface.
+struct PreparedGoal {
+  ast::Atom goal;
+  std::string predicate;
+  /// Interned values of the ground (non-parameter) goal arguments.
+  std::vector<std::optional<SeqId>> fixed_values;
+  /// Per goal position: 0 = not a parameter, else the 1-based `$N` index.
+  std::vector<size_t> param_at;
+  size_t param_count = 0;
+  /// Positions sharing a repeated plain variable (join constraints).
+  std::vector<std::vector<size_t>> var_groups;
+
+  /// True when the goal predicate is extensional (no defining clause):
+  /// Execute scans the database directly, no rewrite involved.
+  bool edb = false;
+  PredId edb_pred = 0;
+
+  /// IDB goals: the cached rewrite and its compiled evaluator.
+  Adornment goal_adornment;
+  MagicProgram magic;
+  std::shared_ptr<const eval::Evaluator> evaluator;
+  PredId seed_pred = 0;
+  PredId answer_pred = 0;
+  size_t adorned_predicates = 0;
+};
+
 /// Stateless facade over adornment + magic rewrite + evaluation. Shares
 /// the engine's catalog/pool/registry so SeqIds and PredIds line up with
 /// the extensional database.
@@ -69,16 +113,37 @@ class Solver {
   Solver(Catalog* catalog, SequencePool* pool,
          const eval::FunctionRegistry* registry);
 
-  /// Answers `goal` over `program` and `edb`. Goals on extensional
-  /// predicates (no defining clause) are answered directly from `edb`.
+  /// Analyses `goal` over `program` and compiles its demand rewrite.
+  /// Errors: kInvalidArgument (malformed goal, arity/parameter misuse),
+  /// kNotFound (unknown extensional predicate), kFailedPrecondition (the
+  /// rewrite is not demand-evaluable, see file comment).
+  Result<PreparedGoal> Prepare(const ast::Program& program,
+                               const ast::Atom& goal) const;
+
+  /// Answers `prepared` over `edb` with `params[i]` bound to `$i+1`.
+  /// Performs zero parsing, zero rewriting, zero compilation — only seed
+  /// injection, fixpoint evaluation of the cached program, and answer
+  /// filtering. kFailedPrecondition if a parameter is unbound. Const and
+  /// thread-safe: concurrent Execute calls may share one PreparedGoal as
+  /// long as `edb` is not concurrently mutated (use a published
+  /// snapshot, core/snapshot.h).
+  ///
+  /// `base_domain` (optional) is a frozen closure of exactly `edb`'s
+  /// sequences — Snapshot publishes the pair — letting the run skip the
+  /// per-query database closure (eval/engine.h).
+  SolveResult Execute(
+      const PreparedGoal& prepared, const Database& edb,
+      const std::vector<std::optional<SeqId>>& params,
+      const SolveOptions& options = {},
+      std::shared_ptr<const ExtendedDomain> base_domain = nullptr) const;
+
+  /// One-shot convenience: Prepare + Execute without parameters. Goals
+  /// on extensional predicates (no defining clause) are answered
+  /// directly from `edb`.
   SolveResult Solve(const ast::Program& program, const ast::Atom& goal,
                     const Database& edb, const SolveOptions& options = {});
 
  private:
-  Status SolveImpl(const ast::Program& program, const ast::Atom& goal,
-                   const Database& edb, const SolveOptions& options,
-                   SolveResult* result);
-
   Catalog* catalog_;
   SequencePool* pool_;
   const eval::FunctionRegistry* registry_;

@@ -1,8 +1,12 @@
 #include "sequence/domain.h"
 
+#include <utility>
+
 #include "base/string_util.h"
 
 namespace seqlog {
+
+const std::vector<SeqId> ExtendedDomain::kNoSeqs;
 
 ExtendedDomain::ExtendedDomain(SequencePool* pool) : pool_(pool) {
   // The empty sequence is a contiguous subsequence of every sequence; it
@@ -14,6 +18,23 @@ ExtendedDomain::ExtendedDomain(SequencePool* pool) : pool_(pool) {
   by_length_[0].push_back(kEmptySeq);
 }
 
+ExtendedDomain::ExtendedDomain(SequencePool* pool,
+                               std::shared_ptr<const ExtendedDomain> base)
+    : pool_(pool), base_(std::move(base)) {
+  // The base already contains epsilon (every domain does); the overlay
+  // starts empty so enumeration does not repeat base members.
+}
+
+std::unique_ptr<ExtendedDomain> ExtendedDomain::CloneFlat() const {
+  SEQLOG_CHECK(base_ == nullptr) << "CloneFlat requires a flat domain";
+  auto copy = std::make_unique<ExtendedDomain>(pool_);
+  copy->seqs_ = seqs_;
+  copy->members_ = members_;
+  copy->by_length_ = by_length_;
+  copy->lmax_ = lmax_;
+  return copy;
+}
+
 Status ExtendedDomain::AddRoot(SeqId id, size_t max_sequences) {
   if (Contains(id)) return Status::Ok();
   SeqView v = pool_->View(id);
@@ -23,6 +44,7 @@ Status ExtendedDomain::AddRoot(SeqId id, size_t max_sequences) {
   // sequence is inserted first (Contains(root) then short-circuits future
   // re-adds even if we bail out mid-way on budget).
   auto insert = [&](SeqId s) {
+    if (base_ != nullptr && base_->Contains(s)) return;
     if (members_.insert(s).second) {
       seqs_.push_back(s);
       size_t len = pool_->Length(s);
@@ -42,7 +64,7 @@ Status ExtendedDomain::AddRoot(SeqId id, size_t max_sequences) {
   if (uniform) {
     for (size_t len = 1; len < n; ++len) {
       insert(pool_->Intern(v.subspan(0, len)));
-      if (max_sequences != 0 && seqs_.size() > max_sequences) {
+      if (max_sequences != 0 && size() > max_sequences) {
         return Status::ResourceExhausted(
             StrCat("extended active domain exceeded ", max_sequences,
                    " sequences"));
@@ -53,14 +75,14 @@ Status ExtendedDomain::AddRoot(SeqId id, size_t max_sequences) {
   for (size_t len = 1; len < n; ++len) {
     for (size_t from = 0; from + len <= n; ++from) {
       insert(pool_->Intern(v.subspan(from, len)));
-      if (max_sequences != 0 && seqs_.size() > max_sequences) {
+      if (max_sequences != 0 && size() > max_sequences) {
         return Status::ResourceExhausted(
             StrCat("extended active domain exceeded ", max_sequences,
                    " sequences"));
       }
     }
   }
-  if (max_sequences != 0 && seqs_.size() > max_sequences) {
+  if (max_sequences != 0 && size() > max_sequences) {
     return Status::ResourceExhausted(StrCat(
         "extended active domain exceeded ", max_sequences, " sequences"));
   }

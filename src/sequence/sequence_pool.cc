@@ -1,6 +1,7 @@
 #include "sequence/sequence_pool.h"
 
 #include <algorithm>
+#include <mutex>
 
 namespace seqlog {
 
@@ -10,7 +11,7 @@ SequencePool::SequencePool() {
   SEQLOG_CHECK(empty == kEmptySeq);
 }
 
-SeqId SequencePool::Intern(SeqView symbols) {
+SeqId SequencePool::InternLocked(SeqView symbols) {
   auto it = ids_.find(symbols);
   if (it != ids_.end()) return it->second;
   SeqId id = static_cast<SeqId>(seqs_.size());
@@ -20,9 +21,28 @@ SeqId SequencePool::Intern(SeqView symbols) {
   return id;
 }
 
+SeqId SequencePool::Intern(SeqView symbols) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(symbols);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  return InternLocked(symbols);
+}
+
 SeqId SequencePool::Find(SeqView symbols) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(symbols);
   return it == ids_.end() ? kInvalidSeq : it->second;
+}
+
+SeqView SequencePool::View(SeqId id) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  SEQLOG_CHECK(id < seqs_.size()) << "bad sequence id " << id;
+  // The returned span points into the inner vector's heap buffer, which
+  // never moves; releasing the lock here is safe.
+  return seqs_[id];
 }
 
 SeqId SequencePool::Concat(SeqId a, SeqId b) {

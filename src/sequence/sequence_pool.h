@@ -9,6 +9,7 @@
 #define SEQLOG_SEQUENCE_SEQUENCE_POOL_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -32,9 +33,19 @@ using SeqView = std::span<const Symbol>;
 
 /// Interning pool for symbol strings.
 ///
-/// Storage uses a deque-like vector-of-vectors; the inner vectors never
-/// move once inserted, so views handed out stay valid for the pool's
-/// lifetime. Not thread-safe; one pool per Engine.
+/// Storage uses a vector of vectors; the inner heap buffers never move
+/// once inserted, so views handed out stay valid for the pool's lifetime.
+///
+/// Thread-safe: lookups and interning may run concurrently (readers share
+/// the lock; interning a *new* sequence takes it exclusively), so many
+/// threads can evaluate prepared queries against snapshots while the
+/// engine keeps adding facts. One pool per Engine.
+///
+/// Cost note: View/Length/Render take the shared lock per call, which
+/// the evaluator's inner loops feel even single-threaded. A lock-free
+/// read path needs stable element addresses plus an atomic size gate
+/// (chunked storage instead of the outer vector) — a contained follow-up
+/// if profiles show reader contention on mu_.
 class SequencePool {
  public:
   SequencePool();
@@ -48,11 +59,9 @@ class SequencePool {
   static constexpr SeqId kInvalidSeq = 0xFFFFFFFFu;
   SeqId Find(SeqView symbols) const;
 
-  /// Returns the symbols of sequence `id`.
-  SeqView View(SeqId id) const {
-    SEQLOG_CHECK(id < seqs_.size()) << "bad sequence id " << id;
-    return seqs_[id];
-  }
+  /// Returns the symbols of sequence `id`. The view stays valid for the
+  /// pool's lifetime.
+  SeqView View(SeqId id) const;
 
   /// len(sigma): the number of symbols in sequence `id`.
   size_t Length(SeqId id) const { return View(id).size(); }
@@ -79,7 +88,10 @@ class SequencePool {
   std::string Render(SeqId id, const SymbolTable& symbols) const;
 
   /// Number of interned sequences.
-  size_t size() const { return seqs_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return seqs_.size();
+  }
 
  private:
   struct ViewHash {
@@ -92,6 +104,12 @@ class SequencePool {
     }
   };
 
+  /// Lock-free internals; callers hold mu_ as documented per method.
+  SeqId InternLocked(SeqView symbols);  ///< requires unique lock
+
+  mutable std::shared_mutex mu_;
+  // Outer vector may reallocate (guarded by mu_), but the inner vectors'
+  // heap buffers never move, so SeqViews handed out survive growth.
   std::vector<std::vector<Symbol>> seqs_;
   std::unordered_map<SeqView, SeqId, ViewHash, ViewEq> ids_;
 };

@@ -1,18 +1,28 @@
 #include "sequence/symbol_table.h"
 
+#include <mutex>
+
 namespace seqlog {
 
 Symbol SymbolTable::Intern(std::string_view name) {
-  auto it = ids_.find(std::string(name));
+  std::string key(name);
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);  // re-check: another writer may have won
   if (it != ids_.end()) return it->second;
   Symbol id = static_cast<Symbol>(names_.size());
   SEQLOG_CHECK(id != kEndMarker) << "symbol table overflow";
-  names_.emplace_back(name);
+  names_.emplace_back(std::move(key));
   ids_.emplace(names_.back(), id);
   return id;
 }
 
 Symbol SymbolTable::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(std::string(name));
   return it == ids_.end() ? kEndMarker : it->second;
 }

@@ -9,10 +9,11 @@
 #define SEQLOG_SEQUENCE_SYMBOL_TABLE_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 #include "base/logging.h"
 
@@ -27,7 +28,10 @@ inline constexpr Symbol kEndMarker = 0xFFFFFFFFu;
 
 /// Bidirectional map between symbol names and dense Symbol ids.
 ///
-/// Not thread-safe; one table per Engine.
+/// Thread-safe: interning and lookups may run concurrently (readers share
+/// the lock, interning a *new* symbol takes it exclusively). Names live in
+/// a deque so the string_views returned by Name() stay valid for the
+/// table's lifetime regardless of later interning. One table per Engine.
 class SymbolTable {
  public:
   SymbolTable() = default;
@@ -40,17 +44,23 @@ class SymbolTable {
   /// Returns the id for `name` or kEndMarker if it was never interned.
   Symbol Find(std::string_view name) const;
 
-  /// Returns the name of an interned symbol. `sym` must be valid.
+  /// Returns the name of an interned symbol. `sym` must be valid. The
+  /// view stays valid for the table's lifetime.
   std::string_view Name(Symbol sym) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     SEQLOG_CHECK(sym < names_.size()) << "bad symbol id " << sym;
     return names_[sym];
   }
 
   /// Number of interned symbols.
-  size_t size() const { return names_.size(); }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return names_.size();
+  }
 
  private:
-  std::vector<std::string> names_;
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> names_;  ///< deque: element addresses are stable
   std::unordered_map<std::string, Symbol> ids_;
 };
 

@@ -1,26 +1,37 @@
 #include "storage/catalog.h"
 
+#include <mutex>
+
 #include "base/string_util.h"
 
 namespace seqlog {
 
 Result<PredId> Catalog::GetOrCreate(std::string_view name, size_t arity) {
-  auto it = ids_.find(std::string(name));
-  if (it != ids_.end()) {
-    if (infos_[it->second].arity != arity) {
+  std::string key(name);
+  auto check = [&](PredId id) -> Result<PredId> {
+    if (infos_[id].arity != arity) {
       return Status::InvalidArgument(
           StrCat("predicate '", name, "' used with arity ", arity,
-                 " but registered with arity ", infos_[it->second].arity));
+                 " but registered with arity ", infos_[id].arity));
     }
-    return it->second;
+    return id;
+  };
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = ids_.find(key);
+    if (it != ids_.end()) return check(it->second);
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = ids_.find(key);  // re-check: another writer may have won
+  if (it != ids_.end()) return check(it->second);
   PredId id = static_cast<PredId>(infos_.size());
-  infos_.push_back(Info{std::string(name), arity});
-  ids_.emplace(std::string(name), id);
+  infos_.push_back(Info{std::move(key), arity});
+  ids_.emplace(infos_.back().name, id);
   return id;
 }
 
 Result<PredId> Catalog::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(std::string(name));
   if (it == ids_.end()) {
     return Status::NotFound(StrCat("unknown predicate '", name, "'"));

@@ -8,11 +8,13 @@
 #define SEQLOG_STORAGE_CATALOG_H_
 
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
+#include "base/logging.h"
 #include "base/result.h"
 #include "base/status.h"
 
@@ -21,6 +23,11 @@ namespace seqlog {
 using PredId = uint32_t;
 
 /// Name/arity registry for predicate symbols.
+///
+/// Thread-safe: lookups and registration may run concurrently (readers
+/// share the lock; registering a *new* predicate takes it exclusively).
+/// Infos live in a deque so the references returned by Name() stay valid
+/// for the catalog's lifetime. One catalog per Engine.
 class Catalog {
  public:
   Catalog() = default;
@@ -35,16 +42,28 @@ class Catalog {
   /// Returns the id for `name` or kNotFound.
   Result<PredId> Find(std::string_view name) const;
 
-  const std::string& Name(PredId id) const { return infos_[id].name; }
-  size_t Arity(PredId id) const { return infos_[id].arity; }
-  size_t size() const { return infos_.size(); }
+  const std::string& Name(PredId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    SEQLOG_CHECK(id < infos_.size()) << "bad predicate id " << id;
+    return infos_[id].name;  // deque: stable address after unlock
+  }
+  size_t Arity(PredId id) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    SEQLOG_CHECK(id < infos_.size()) << "bad predicate id " << id;
+    return infos_[id].arity;
+  }
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return infos_.size();
+  }
 
  private:
   struct Info {
     std::string name;
     size_t arity;
   };
-  std::vector<Info> infos_;
+  mutable std::shared_mutex mu_;
+  std::deque<Info> infos_;  ///< deque: element addresses are stable
   std::unordered_map<std::string, PredId> ids_;
 };
 

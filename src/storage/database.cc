@@ -1,8 +1,12 @@
 #include "storage/database.h"
 
+#include "base/string_util.h"
+
 namespace seqlog {
 
 Relation* Database::GetOrCreate(PredId pred) {
+  SEQLOG_CHECK(pred < catalog_->size())
+      << "predicate id " << pred << " is not in the catalog";
   if (pred >= relations_.size()) {
     relations_.resize(pred + 1);
   }
@@ -18,6 +22,25 @@ const Relation* Database::Get(PredId pred) const {
 }
 
 bool Database::Insert(PredId pred, TupleView tuple) {
+  Relation* rel = GetOrCreate(pred);
+  SEQLOG_CHECK(tuple.size() == rel->arity())
+      << "tuple arity " << tuple.size() << " != arity " << rel->arity()
+      << " of predicate '" << catalog_->Name(pred) << "'";
+  return rel->Insert(tuple);
+}
+
+Result<bool> Database::TryInsert(PredId pred, TupleView tuple) {
+  if (pred >= catalog_->size()) {
+    return Status::InvalidArgument(
+        StrCat("predicate id ", pred, " is not in the catalog (",
+               catalog_->size(), " predicates registered)"));
+  }
+  const size_t arity = catalog_->Arity(pred);
+  if (tuple.size() != arity) {
+    return Status::InvalidArgument(
+        StrCat("tuple arity ", tuple.size(), " != arity ", arity,
+               " of predicate '", catalog_->Name(pred), "'"));
+  }
   return GetOrCreate(pred)->Insert(tuple);
 }
 
@@ -40,16 +63,38 @@ void Database::Clear() {
   }
 }
 
-void Database::UnionWith(const Database& other) {
+Status Database::UnionWith(const Database& other) {
   for (PredId pred : other.PredicatesWithRelations()) {
     const Relation* rel = other.Get(pred);
     if (rel->empty()) continue;
+    if (pred >= catalog_->size()) {
+      return Status::InvalidArgument(
+          StrCat("UnionWith: predicate id ", pred,
+                 " is not in this catalog (databases from different "
+                 "catalogs cannot be merged)"));
+    }
+    if (rel->arity() != catalog_->Arity(pred)) {
+      return Status::InvalidArgument(
+          StrCat("UnionWith: relation arity ", rel->arity(), " != arity ",
+                 catalog_->Arity(pred), " of predicate '",
+                 catalog_->Name(pred),
+                 "' (databases from different catalogs cannot be merged)"));
+    }
     Relation* target = GetOrCreate(pred);
     target->Reserve(rel->size());
     for (uint32_t i = 0; i < rel->size(); ++i) {
       target->Insert(rel->Row(i));
     }
   }
+  return Status::Ok();
+}
+
+std::unique_ptr<Database> Database::Clone() const {
+  auto copy = std::make_unique<Database>(catalog_);
+  // Same catalog: UnionWith cannot fail.
+  Status s = copy->UnionWith(*this);
+  SEQLOG_CHECK(s.ok()) << s.ToString();
+  return copy;
 }
 
 std::vector<PredId> Database::PredicatesWithRelations() const {

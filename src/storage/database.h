@@ -4,6 +4,12 @@
 // both the extensional database and intermediate interpretations during
 // fixpoint computation (an interpretation is any subset of the Herbrand
 // base; ours are always finite sets of ground atoms).
+//
+// Concurrency: a Database is single-writer. Const access (Get, Contains,
+// TotalFacts, row scans) is safe from many threads as long as no thread
+// mutates the database — which is exactly how published snapshots are
+// used (core/snapshot.h): Engine::PublishSnapshot clones the EDB into an
+// immutable, shared_ptr-owned copy that readers share.
 #ifndef SEQLOG_STORAGE_DATABASE_H_
 #define SEQLOG_STORAGE_DATABASE_H_
 
@@ -31,8 +37,15 @@ class Database {
   /// Relation for `pred` or nullptr if no fact with that predicate exists.
   const Relation* Get(PredId pred) const;
 
-  /// Inserts the atom pred(tuple...); returns true if new.
+  /// Inserts the atom pred(tuple...); returns true if new. `pred` must be
+  /// registered in the catalog and `tuple` must match its arity (both
+  /// CHECKed — use TryInsert for a recoverable Status instead).
   bool Insert(PredId pred, TupleView tuple);
+
+  /// Checked insert: kInvalidArgument when `pred` is not registered in
+  /// the catalog or `tuple` does not match its arity; otherwise whether
+  /// the atom was new.
+  Result<bool> TryInsert(PredId pred, TupleView tuple);
 
   /// True if the atom is present.
   bool Contains(PredId pred, TupleView tuple) const;
@@ -43,8 +56,16 @@ class Database {
   /// Removes every atom (keeps the catalog).
   void Clear();
 
-  /// Copies all atoms of `other` into this database (same catalog).
-  void UnionWith(const Database& other);
+  /// Copies all atoms of `other` into this database. Fails with
+  /// kInvalidArgument (leaving this database partially extended) when a
+  /// relation of `other` does not match this catalog's arity for the same
+  /// PredId — the tell-tale of mixing databases from different catalogs,
+  /// which previously corrupted relations silently.
+  Status UnionWith(const Database& other);
+
+  /// Deep copy (same catalog). Used for snapshot publication
+  /// (copy-on-publish): the clone is immutable-by-convention afterwards.
+  std::unique_ptr<Database> Clone() const;
 
   /// Ids of predicates that have a (possibly empty) relation.
   std::vector<PredId> PredicatesWithRelations() const;

@@ -17,6 +17,29 @@ TEST(EngineFailure, EvaluateWithoutProgram) {
 TEST(EngineFailure, QueryBeforeEvaluate) {
   Engine engine;
   ASSERT_TRUE(engine.LoadProgram("p(X) :- r(X).").ok());
+  Status s = engine.Query("p").status();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  // The one-line hint must name both recovery paths.
+  EXPECT_EQ(s.message(), "no model computed; call Evaluate or use Solve");
+}
+
+TEST(EngineFailure, QueryIdsBeforeEvaluate) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("p(X) :- r(X).").ok());
+  ASSERT_TRUE(engine.AddFact("r", {"a"}).ok());  // facts alone: no model
+  Status s = engine.QueryIds("p").status();
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(s.message(), "no model computed; call Evaluate or use Solve");
+}
+
+TEST(EngineFailure, QueryAfterLoadProgramInvalidatesModel) {
+  // LoadProgram resets the model: querying again needs a new Evaluate.
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("p(X) :- r(X).").ok());
+  ASSERT_TRUE(engine.AddFact("r", {"a"}).ok());
+  ASSERT_TRUE(engine.Evaluate().status.ok());
+  ASSERT_TRUE(engine.Query("p").ok());
+  ASSERT_TRUE(engine.LoadProgram("q(X) :- r(X).").ok());
   EXPECT_EQ(engine.Query("p").status().code(),
             StatusCode::kFailedPrecondition);
 }

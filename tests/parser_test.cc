@@ -51,6 +51,43 @@ TEST_F(ParserTest, LexerRejectsStrayCharacters) {
       << r.status().ToString();
 }
 
+TEST_F(ParserTest, LexerTokenisesParams) {
+  auto tokens = Tokenize("?- p($1, $12).");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<std::string> params;
+  for (const Token& t : tokens.value()) {
+    if (t.type == TokenType::kParam) params.push_back(t.text);
+  }
+  EXPECT_EQ(params, (std::vector<std::string>{"1", "12"}));
+}
+
+TEST_F(ParserTest, LexerRejectsMalformedParams) {
+  EXPECT_FALSE(Tokenize("?- p($).").ok());    // no digits
+  EXPECT_FALSE(Tokenize("?- p($0).").ok());   // numbered from 1
+  EXPECT_FALSE(Tokenize("?- p($01).").ok());  // leading zero
+  EXPECT_FALSE(Tokenize("?- p($100).").ok()); // too large
+}
+
+TEST_F(ParserTest, GoalAcceptsParams) {
+  auto goal = ParseGoal("?- p($1, X, $2).", &symbols_, &pool_);
+  ASSERT_TRUE(goal.ok()) << goal.status().ToString();
+  ASSERT_EQ(goal->args.size(), 3u);
+  ASSERT_EQ(goal->args[0]->kind, ast::SeqTerm::Kind::kVariable);
+  EXPECT_EQ(goal->args[0]->var, "$1");
+  EXPECT_TRUE(IsParamVariable(goal->args[0]->var));
+  EXPECT_EQ(ParamIndex(goal->args[0]->var), 1u);
+  EXPECT_FALSE(IsParamVariable(goal->args[1]->var));
+  EXPECT_EQ(ParamIndex(goal->args[2]->var), 2u);
+}
+
+TEST_F(ParserTest, ProgramRejectsParams) {
+  auto p = Parse("p($1) :- r($1).");
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("only allowed in goals"),
+            std::string::npos)
+      << p.status().ToString();
+}
+
 TEST_F(ParserTest, FactsAndRules) {
   auto p = Parse("r(abc) :- true.\np(X) :- r(X).");
   ASSERT_TRUE(p.ok());

@@ -3,6 +3,9 @@
 // bound of Section 2.1).
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+
 #include "sequence/domain.h"
 #include "sequence/sequence_pool.h"
 #include "sequence/symbol_table.h"
@@ -187,12 +190,47 @@ TEST(ExtendedDomainTest, MonotoneGrowth) {
   SequencePool pool;
   ExtendedDomain d(&pool);
   ASSERT_TRUE(d.AddRoot(pool.FromChars("ab", &t)).ok());
-  std::vector<SeqId> snapshot = d.sequences();
+  std::vector<SeqId> snapshot(d.sequences().begin(), d.sequences().end());
   ASSERT_TRUE(d.AddRoot(pool.FromChars("xyz", &t)).ok());
   ASSERT_GE(d.sequences().size(), snapshot.size());
   for (size_t i = 0; i < snapshot.size(); ++i) {
     EXPECT_EQ(d.sequences()[i], snapshot[i]);
   }
+}
+
+TEST(ExtendedDomainTest, LayeredOverlayReusesFrozenBase) {
+  SymbolTable t;
+  SequencePool pool;
+  auto base = std::make_shared<ExtendedDomain>(&pool);
+  ASSERT_TRUE(base->AddRoot(pool.FromChars("abc", &t)).ok());
+  const size_t base_size = base->size();
+
+  ExtendedDomain overlay(&pool, base);
+  EXPECT_EQ(overlay.size(), base_size);  // starts as a view of the base
+  EXPECT_TRUE(overlay.Contains(pool.FromChars("ab", &t)));
+  // Re-adding a base root must not duplicate anything.
+  ASSERT_TRUE(overlay.AddRoot(pool.FromChars("abc", &t)).ok());
+  EXPECT_EQ(overlay.size(), base_size);
+
+  // New roots extend only the overlay; the base is untouched.
+  ASSERT_TRUE(overlay.AddRoot(pool.FromChars("xy", &t)).ok());
+  EXPECT_GT(overlay.size(), base_size);
+  EXPECT_EQ(base->size(), base_size);
+  EXPECT_TRUE(overlay.Contains(pool.FromChars("x", &t)));
+  EXPECT_FALSE(base->Contains(pool.FromChars("x", &t)));
+
+  // Enumeration covers base + overlay exactly once, buckets included.
+  std::vector<SeqId> all(overlay.sequences().begin(),
+                         overlay.sequences().end());
+  std::set<SeqId> unique(all.begin(), all.end());
+  EXPECT_EQ(unique.size(), all.size());
+  EXPECT_EQ(all.size(), overlay.size());
+  size_t bucketed = 0;
+  for (size_t len = 0; len <= overlay.lmax(); ++len) {
+    bucketed += overlay.WithLength(len).size();
+  }
+  EXPECT_EQ(bucketed, overlay.size());
+  EXPECT_EQ(overlay.MaxInt(), 4);  // lmax still from the base ("abc")
 }
 
 TEST(ExtendedDomainTest, BudgetExceededReportsResourceExhausted) {

@@ -138,8 +138,92 @@ TEST(DatabaseTest, UnionWith) {
   a.Insert(p, std::vector<SeqId>{1});
   b.Insert(p, std::vector<SeqId>{1});
   b.Insert(p, std::vector<SeqId>{2});
-  a.UnionWith(b);
+  EXPECT_TRUE(a.UnionWith(b).ok());
   EXPECT_EQ(a.TotalFacts(), 2u);
+}
+
+TEST(DatabaseTest, TryInsertChecksArity) {
+  Catalog c;
+  PredId p = c.GetOrCreate("p", 2).value();
+  Database db(&c);
+  Result<bool> ok = db.TryInsert(p, std::vector<SeqId>{1, 2});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.value());
+  Result<bool> dup = db.TryInsert(p, std::vector<SeqId>{1, 2});
+  ASSERT_TRUE(dup.ok());
+  EXPECT_FALSE(dup.value());
+
+  Result<bool> bad = db.TryInsert(p, std::vector<SeqId>{1});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("arity"), std::string::npos);
+  EXPECT_EQ(db.TotalFacts(), 1u);  // malformed tuple was not stored
+}
+
+TEST(DatabaseTest, TryInsertChecksPredicateId) {
+  Catalog c;
+  (void)c.GetOrCreate("p", 1).value();
+  Database db(&c);
+  Result<bool> bad = db.TryInsert(/*pred=*/7, std::vector<SeqId>{1});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, UnionWithRejectsCrossCatalogArityMismatch) {
+  // The same PredId means different predicates in different catalogs;
+  // merging used to corrupt relations silently, now it is refused.
+  Catalog c1;
+  Catalog c2;
+  PredId p1 = c1.GetOrCreate("p", 1).value();
+  PredId p2 = c2.GetOrCreate("q", 2).value();
+  ASSERT_EQ(p1, p2);  // same id, different arity
+  Database a(&c1);
+  Database b(&c2);
+  b.Insert(p2, std::vector<SeqId>{1, 2});
+  Status s = a.UnionWith(b);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("arity"), std::string::npos);
+}
+
+TEST(DatabaseTest, UnionWithRejectsUnknownPredicateId) {
+  Catalog c1;
+  Catalog c2;
+  PredId q = c2.GetOrCreate("q", 1).value();
+  Database a(&c1);  // c1 is empty: q's id does not exist there
+  Database b(&c2);
+  b.Insert(q, std::vector<SeqId>{1});
+  Status s = a.UnionWith(b);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, CloneIsDeepAndIndependent) {
+  Catalog c;
+  PredId p = c.GetOrCreate("p", 1).value();
+  Database db(&c);
+  db.Insert(p, std::vector<SeqId>{1});
+  std::unique_ptr<Database> copy = db.Clone();
+  EXPECT_EQ(copy->TotalFacts(), 1u);
+  db.Insert(p, std::vector<SeqId>{2});
+  EXPECT_EQ(db.TotalFacts(), 2u);
+  EXPECT_EQ(copy->TotalFacts(), 1u);  // snapshot semantics
+  EXPECT_TRUE(copy->Contains(p, std::vector<SeqId>{1}));
+  EXPECT_FALSE(copy->Contains(p, std::vector<SeqId>{2}));
+}
+
+TEST(DatabaseDeathTest, InsertWrongArityDies) {
+  Catalog c;
+  PredId p = c.GetOrCreate("p", 2).value();
+  Database db(&c);
+  EXPECT_DEATH(db.Insert(p, std::vector<SeqId>{1}), "arity");
+}
+
+TEST(DatabaseDeathTest, InsertUnknownPredicateDies) {
+  Catalog c;
+  Database db(&c);
+  EXPECT_DEATH(db.Insert(/*pred=*/3, std::vector<SeqId>{1}),
+               "not in the catalog");
 }
 
 }  // namespace
