@@ -1,0 +1,163 @@
+// PAR: thread scaling of the parallel semi-naive evaluator
+// (EvalOptions::num_threads, eval/engine.cc). Three fixpoint workloads
+// with very different parallel fractions:
+//
+//  * rep1    — Example 1.5's structural repeats (the bench_ex15 family):
+//              rounds are inverse-suffix scans over domain length
+//              buckets, ~95% of wall-clock is clause firing.
+//  * abcn    — Example 1.3's a^n b^n c^n pattern (the bench_ex13
+//              family): three-way structural recursion, ~90% firing.
+//  * genome  — Example 7.1's DNA -> RNA -> protein pipeline (the
+//              bench_ex71 family): the transducer runs are cheap; almost
+//              all time is the single-writer domain closure of the
+//              derived sequences, so this row honestly reports ~1x and
+//              documents the Amdahl bound (ROADMAP lists the follow-up).
+//
+// The reproduction table prints, per workload: the parallel fraction f
+// (stats.fire_millis / stats.millis at one thread), the Amdahl ceiling
+// 1/((1-f)+f/8) for eight threads, and the measured speedup per thread
+// count. Measured speedup is additionally capped by the cores actually
+// present — on a single-core host every row reports ~1x regardless of f.
+#include <benchmark/benchmark.h>
+
+#include "base/thread_pool.h"
+#include "bench_util.h"
+#include "core/engine.h"
+#include "core/programs.h"
+#include "transducer/genome.h"
+
+namespace {
+
+using namespace seqlog;
+
+std::unique_ptr<Engine> MakeRep1Engine() {
+  auto engine = std::make_unique<Engine>();
+  if (!engine->LoadProgram(programs::kRep1).ok()) std::abort();
+  for (const auto& s : bench::RandomSequences(5, 28, 20, "ab")) {
+    if (!engine->AddFact("rep1", {s, s}).ok()) std::abort();
+  }
+  return engine;
+}
+
+std::unique_ptr<Engine> MakeAbcnEngine() {
+  auto engine = std::make_unique<Engine>();
+  if (!engine->LoadProgram(programs::kAbcN).ok()) std::abort();
+  for (const auto& s : bench::RandomSequences(9, 30, 18, "abc")) {
+    if (!engine->AddFact("r", {s}).ok()) std::abort();
+  }
+  // Guarantee some full a^n b^n c^n matches among the noise.
+  if (!engine->AddFact("r", {"aaaaaabbbbbbcccccc"}).ok()) std::abort();
+  if (!engine->AddFact("r", {"aaabbbccc"}).ok()) std::abort();
+  return engine;
+}
+
+std::unique_ptr<Engine> MakeGenomeEngine() {
+  auto engine = std::make_unique<Engine>();
+  auto transcribe =
+      transducer::MakeTranscribe("transcribe", engine->symbols());
+  auto translate =
+      transducer::MakeTranslate("translate", engine->symbols());
+  if (!transcribe.ok() || !translate.ok()) std::abort();
+  if (!engine->RegisterTransducer(transcribe.value()).ok()) std::abort();
+  if (!engine->RegisterTransducer(translate.value()).ok()) std::abort();
+  if (!engine->LoadProgram(programs::kGenomePipeline).ok()) std::abort();
+  for (const auto& d : bench::RandomDna(17, 32, 64)) {
+    if (!engine->AddFact("dnaseq", {d}).ok()) std::abort();
+  }
+  return engine;
+}
+
+std::unique_ptr<Engine> MakeEngine(std::string_view workload) {
+  if (workload == "rep1") return MakeRep1Engine();
+  if (workload == "abcn") return MakeAbcnEngine();
+  return MakeGenomeEngine();
+}
+
+eval::EvalOutcome Run(Engine* engine, size_t threads) {
+  eval::EvalOptions options;
+  options.num_threads = threads;
+  return engine->Evaluate(options);
+}
+
+void PrintTable() {
+  bench::Banner("PAR", "parallel semi-naive thread scaling (Section 3.3)");
+  std::printf("host hardware threads: %zu (measured speedup is capped by"
+              " this)\n",
+              ThreadPool::HardwareThreads());
+  std::printf("%-9s %-9s %-10s %-10s %-7s %-11s %-9s\n", "workload",
+              "threads", "millis", "facts", "par f", "ceiling@8", "speedup");
+  for (const char* workload : {"rep1", "abcn", "genome"}) {
+    double serial_millis = 0;
+    double fraction = 0;
+    size_t serial_facts = 0;
+    for (size_t threads : {1u, 2u, 8u}) {
+      auto engine = MakeEngine(workload);
+      eval::EvalOutcome outcome = Run(engine.get(), threads);
+      if (!outcome.status.ok()) std::abort();
+      if (threads == 1) {
+        serial_millis = outcome.stats.millis;
+        serial_facts = outcome.stats.facts;
+        fraction = outcome.stats.millis > 0
+                       ? outcome.stats.fire_millis / outcome.stats.millis
+                       : 0;
+      }
+      if (outcome.stats.facts != serial_facts) {
+        std::printf("MODEL MISMATCH at %zu threads!\n", threads);
+        std::abort();
+      }
+      std::printf("%-9s %-9zu %-10.2f %-10zu %-7.2f %-11.2f %-9.2f\n",
+                  workload, threads, outcome.stats.millis,
+                  outcome.stats.facts, fraction,
+                  1.0 / ((1.0 - fraction) + fraction / 8.0),
+                  serial_millis / outcome.stats.millis);
+    }
+  }
+  std::printf("(models are identical at every width; rep1/abcn rounds are"
+              " matching-bound and scale, genome is closure-bound and"
+              " does not — see ROADMAP open items)\n");
+}
+
+void BM_Rep1Fixpoint(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  auto engine = MakeRep1Engine();
+  for (auto _ : state) {
+    eval::EvalOutcome outcome = Run(engine.get(), threads);
+    if (!outcome.status.ok()) std::abort();
+    benchmark::DoNotOptimize(outcome.stats.facts);
+  }
+}
+BENCHMARK(BM_Rep1Fixpoint)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AbcnFixpoint(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  auto engine = MakeAbcnEngine();
+  for (auto _ : state) {
+    eval::EvalOutcome outcome = Run(engine.get(), threads);
+    if (!outcome.status.ok()) std::abort();
+    benchmark::DoNotOptimize(outcome.stats.facts);
+  }
+}
+BENCHMARK(BM_AbcnFixpoint)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GenomeFixpoint(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  auto engine = MakeGenomeEngine();
+  for (auto _ : state) {
+    eval::EvalOutcome outcome = Run(engine.get(), threads);
+    if (!outcome.status.ok()) std::abort();
+    benchmark::DoNotOptimize(outcome.stats.facts);
+  }
+}
+BENCHMARK(BM_GenomeFixpoint)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -51,6 +51,7 @@ constexpr char kHelp[] = R"(seqlog shell commands
   :safety                 safety report (Definitions 8-10)
   :dot                    dependency graph in Graphviz format (Figure 3)
   :limits <iters> <facts> set evaluation budgets
+  :threads <n>            evaluation threads (0 = one per core, 1 = serial)
   :load <file>            append rules from a file
   :clear                  drop program and facts
   :machines               list registered transducers
@@ -176,6 +177,19 @@ class Shell {
       in >> limits_.max_iterations >> limits_.max_facts;
       std::cout << "budgets: " << limits_.max_iterations << " iterations, "
                 << limits_.max_facts << " facts\n";
+    } else if (cmd == ":threads") {
+      size_t n = 0;
+      if (!(in >> n)) {
+        std::cout << "? usage: :threads <n>  (0 = one per core)\n";
+        return true;
+      }
+      num_threads_ = n;
+      if (num_threads_ == 0) {
+        std::cout << "threads: one per core\n";
+      } else {
+        std::cout << "threads: " << num_threads_
+                  << (num_threads_ == 1 ? " (serial)" : "") << "\n";
+      }
     } else if (cmd == ":load") {
       std::string path;
       in >> path;
@@ -265,6 +279,7 @@ class Shell {
     if (!Reload()) return;
     seqlog::eval::EvalOptions options;
     options.limits = limits_;
+    options.num_threads = num_threads_;
     if (mode == "naive") {
       options.strategy = seqlog::eval::Strategy::kNaive;
     } else if (mode == "strat") {
@@ -308,6 +323,7 @@ class Shell {
     if (!Reload()) return;
     seqlog::query::SolveOptions options;
     options.eval.limits = limits_;
+    options.eval.num_threads = num_threads_;
     seqlog::SolveOutcome outcome = engine_->Solve(goal, options);
     if (!outcome.status.ok()) {
       if (outcome.status.code() == seqlog::StatusCode::kNotFound) {
@@ -392,6 +408,7 @@ class Shell {
     }
     seqlog::query::SolveOptions options;
     options.eval.limits = limits_;
+    options.eval.num_threads = num_threads_;
     seqlog::Snapshot snap = engine_->PublishSnapshot();
     seqlog::ResultSet rs = pq.Execute(snap, options);
     if (!rs.ok()) {
@@ -464,6 +481,7 @@ class Shell {
   std::vector<std::pair<std::string, std::vector<std::string>>> facts_;
   std::map<std::string, seqlog::PreparedQuery> prepared_;
   seqlog::eval::EvalLimits limits_;
+  size_t num_threads_ = 0;  ///< 0 = one per hardware core
   bool evaluated_ = false;
   bool engine_stale_ = false;
 };

@@ -1,0 +1,91 @@
+#include "base/thread_pool.h"
+
+namespace seqlog {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  size_t extra = num_threads > 1 ? num_threads - 1 : 0;
+  workers_.reserve(extra);
+  for (size_t i = 0; i < extra; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<size_t>(n);
+}
+
+void ThreadPool::DrainJob(Job* job) {
+  const size_t n = job->n;
+  while (true) {
+    size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n) break;
+    (*job->fn)(i);
+    if (job->completed.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
+      // Last index done: wake the submitting thread if it is waiting.
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  while (true) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;  // may already be exhausted; DrainJob then no-ops
+    }
+    if (job != nullptr) DrainJob(job.get());
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  // Wake only as many workers as there are indices left after the
+  // caller takes its share — a 3-task round on an 8-wide pool should
+  // not pay five context switches for workers with nothing to claim.
+  size_t wake = n - 1;
+  if (wake >= workers_.size()) {
+    work_cv_.notify_all();
+  } else {
+    for (size_t i = 0; i < wake; ++i) work_cv_.notify_one();
+  }
+  // The caller is one of the execution threads: claim indices alongside
+  // the workers instead of blocking for the whole job.
+  DrainJob(job.get());
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job->completed.load(std::memory_order_acquire) == n;
+  });
+  job_.reset();
+}
+
+}  // namespace seqlog

@@ -1,0 +1,86 @@
+// seqlog: a small fixed-size worker pool for data-parallel loops.
+//
+// Built for the parallel semi-naive evaluator (eval/engine.cc): each
+// fixpoint round fans its clause firings out to workers, so the pool is
+// optimised for many short ParallelFor calls on long-lived workers —
+// submission is one lock + notify, work is claimed with an atomic index,
+// and the calling thread participates instead of blocking idle.
+//
+// The pool runs plain `void(size_t)` callables and is completely
+// decoupled from evaluation: errors travel out-of-band (the evaluator
+// collects one Status per task and picks the first failure in task
+// order, keeping results deterministic).
+#ifndef SEQLOG_BASE_THREAD_POOL_H_
+#define SEQLOG_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace seqlog {
+
+/// A fixed set of worker threads executing indexed parallel loops.
+///
+/// Threading contract: construction and every ParallelFor call must come
+/// from one owning thread (the evaluator run that created the pool).
+/// ParallelFor itself is a barrier — it returns only after fn(0..n-1)
+/// have all completed — so the owner never observes a torn loop.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads - 1` workers; the caller of ParallelFor acts as
+  /// the remaining thread. `num_threads == 1` spawns nothing and makes
+  /// ParallelFor a plain sequential loop.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution width (workers + the calling thread).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributing indices over the
+  /// workers and the calling thread; blocks until all n calls returned.
+  /// `fn` must not throw and must not re-enter ParallelFor.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits 0 for "unknown").
+  static size_t HardwareThreads();
+
+ private:
+  /// One ParallelFor invocation. Heap-allocated and shared_ptr-owned so
+  /// that a worker which wakes up late — after the submitting thread
+  /// already finished the loop and moved on — holds job state that is
+  /// still alive and already exhausted (next >= n), and therefore can
+  /// never claim an index against a newer job's counters or touch the
+  /// (by then destroyed) callable. ParallelFor only returns once
+  /// `completed == n`, so `fn` outlives every invocation of it.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};       ///< next unclaimed index
+    std::atomic<size_t> completed{0};  ///< finished indices
+  };
+
+  void WorkerLoop();
+  /// Claims and runs indices of `job` until exhausted.
+  void DrainJob(Job* job);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< signalled on new job / shutdown
+  std::condition_variable done_cv_;  ///< signalled when a job completes
+  std::shared_ptr<Job> job_;         ///< current job; null when idle
+  uint64_t generation_ = 0;  ///< bumped per job so workers never rerun one
+  bool stop_ = false;
+};
+
+}  // namespace seqlog
+
+#endif  // SEQLOG_BASE_THREAD_POOL_H_

@@ -1,5 +1,7 @@
 #include "eval/engine.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
 #include <numeric>
@@ -7,13 +9,35 @@
 #include "analysis/safety.h"
 #include "ast/validate.h"
 #include "base/string_util.h"
+#include "base/thread_pool.h"
 
 namespace seqlog {
 namespace eval {
 
 namespace {
 constexpr size_t kNoDelta = static_cast<size_t>(-1);
+/// A round whose estimated source rows (constructive firings weighted
+/// up — their per-row term evaluation runs whole machines) fall below
+/// this runs serially: the pool round-trip would cost more than the
+/// work. Keeps magic point queries, whose deltas are a handful of seed
+/// and guard facts, on the zero-overhead path.
+constexpr size_t kMinParallelWork = 128;
+/// Per-row weight of a constructive clause in the estimate above.
+constexpr size_t kConstructiveWeight = 64;
+/// A round slower than this (measured on the previous round) goes
+/// parallel even when the row estimate is small — rows are a poor proxy
+/// for enumeration-heavy clauses.
+constexpr double kSlowRoundMillis = 0.3;
+/// Minimum delta rows per shard when splitting one firing.
+constexpr uint32_t kMinShardRows = 256;
 }  // namespace
+
+struct Evaluator::FireTask {
+  size_t plan_idx = 0;
+  size_t delta_step = kNoDelta;
+  uint32_t begin = 0;            ///< delta row shard (delta firings only)
+  uint32_t end = UINT32_MAX;
+};
 
 struct Evaluator::RunState {
   Database* model = nullptr;
@@ -27,6 +51,12 @@ struct Evaluator::RunState {
   bool has_deadline = false;
   bool domain_grew = false;  ///< during the most recently merged round
   size_t last_merged_new = 0;  ///< facts added by the last merge
+  size_t threads = 1;          ///< resolved EvalOptions::num_threads
+  /// Workers for parallel rounds, created on the first round that is
+  /// worth fanning out (serial runs and small queries never pay for
+  /// thread spawns).
+  std::unique_ptr<ThreadPool> pool;
+  double last_round_millis = 0;  ///< firing time of the previous round
 };
 
 Evaluator::Evaluator(Catalog* catalog, SequencePool* pool,
@@ -75,6 +105,8 @@ Status Evaluator::InitState(const Database& edb, const Database* extra_facts,
   }
   state->model = model;
   state->options = options;
+  state->threads = options.num_threads != 0 ? options.num_threads
+                                            : ThreadPool::HardwareThreads();
   state->domain =
       base_domain != nullptr
           ? std::make_unique<ExtendedDomain>(pool_, std::move(base_domain))
@@ -127,40 +159,56 @@ Status Evaluator::CheckIterationBudget(RunState* state) const {
 Status Evaluator::FireSubsetOnce(const std::vector<size_t>& subset,
                                  RunState* state) const {
   SEQLOG_RETURN_IF_ERROR(CheckIterationBudget(state));
-  state->scratch->Clear();
-  FireContext ctx;
-  ctx.pool = pool_;
-  ctx.domain = state->domain.get();
-  ctx.full = state->model;
-  ctx.delta = nullptr;
-  ctx.out = state->scratch.get();
-  ctx.limits = &state->options.limits;
-  ctx.stats = &state->stats;
-  ctx.deadline = state->deadline;
-  ctx.has_deadline = state->has_deadline;
-  ctx.existing_facts = state->model->TotalFacts();
+  std::vector<FireTask> tasks;
+  tasks.reserve(subset.size());
   for (size_t idx : subset) {
-    SEQLOG_RETURN_IF_ERROR(FireClause(plans_[idx], kNoDelta, &ctx));
+    tasks.push_back(FireTask{idx, kNoDelta, 0, UINT32_MAX});
   }
-  return MergeScratch(state);
+  return FireRound(tasks, state);
 }
 
-Status Evaluator::MergeScratch(RunState* state) const {
+void Evaluator::AppendDeltaTasks(size_t idx, size_t si,
+                                 const RunState& state,
+                                 std::vector<FireTask>* tasks) const {
+  const LiteralStep& step = plans_[idx].steps[si];
+  const Relation* rel = state.delta->Get(step.pred);
+  const uint32_t rows = rel != nullptr ? rel->size() : 0;
+  if (state.threads > 1 && rows >= 2 * kMinShardRows) {
+    // Contiguous, disjointly covering row ranges; the last shard takes
+    // the remainder. Every delta row is still matched exactly once.
+    uint32_t shards = static_cast<uint32_t>(
+        std::min<size_t>(state.threads, rows / kMinShardRows));
+    uint32_t per = rows / shards;
+    for (uint32_t s = 0; s < shards; ++s) {
+      uint32_t begin = s * per;
+      uint32_t end = s + 1 == shards ? rows : begin + per;
+      tasks->push_back(FireTask{idx, si, begin, end});
+    }
+    return;
+  }
+  tasks->push_back(FireTask{idx, si, 0, UINT32_MAX});
+}
+
+// Round barrier: merges the scratch databases in deterministic task
+// order. Database::MergeFrom invokes the callback once per atom that is
+// genuinely new to the model, which keeps multi-scratch merges (a fact
+// derived by several tasks appears in several scratches) equivalent to
+// the serial shared-scratch merge.
+Status Evaluator::MergeRound(const std::vector<const Database*>& sources,
+                             RunState* state) const {
   auto delta_new = std::make_unique<Database>(catalog_);
   size_t domain_before = state->domain->size();
   state->last_merged_new = 0;
-  for (PredId pred : state->scratch->PredicatesWithRelations()) {
-    const Relation* rel = state->scratch->Get(pred);
-    for (uint32_t i = 0; i < rel->size(); ++i) {
-      TupleView row = rel->Row(i);
-      if (!state->model->Insert(pred, row)) continue;
-      ++state->last_merged_new;
-      delta_new->Insert(pred, row);
-      for (SeqId arg : row) {
-        SEQLOG_RETURN_IF_ERROR(state->domain->AddRoot(
-            arg, state->options.limits.max_domain_sequences));
-      }
-    }
+  for (const Database* src : sources) {
+    SEQLOG_RETURN_IF_ERROR(state->model->MergeFrom(
+        *src, [&](PredId pred, TupleView row) -> Status {
+          ++state->last_merged_new;
+          delta_new->Insert(pred, row);
+          // Single-writer domain growth, batched at the barrier: firing
+          // threads never touch the closure structures.
+          return state->domain->ExtendWith(
+              row, state->options.limits.max_domain_sequences);
+        }));
   }
   state->domain_grew = state->domain->size() != domain_before;
   state->delta = std::move(delta_new);
@@ -171,12 +219,36 @@ Status Evaluator::MergeScratch(RunState* state) const {
   return Status::Ok();
 }
 
-Status Evaluator::Saturate(const std::vector<size_t>& subset, bool naive,
-                           RunState* state) const {
-  if (subset.empty()) return Status::Ok();
-  bool first = true;
-  while (true) {
-    SEQLOG_RETURN_IF_ERROR(CheckIterationBudget(state));
+Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
+                            RunState* state) const {
+  const size_t model_facts = state->model->TotalFacts();
+  bool parallel = state->threads > 1 && tasks.size() > 1;
+  if (parallel && state->last_round_millis < kSlowRoundMillis) {
+    // Row estimate: full firings scan the model, delta firings their
+    // shard; constructive clauses run machines per derived row and
+    // domain-sensitive clauses enumerate the domain, so both weigh in.
+    size_t work = 0;
+    for (const FireTask& t : tasks) {
+      const ClausePlan& plan = plans_[t.plan_idx];
+      size_t rows = model_facts;
+      if (t.delta_step != kNoDelta) {
+        const Relation* rel =
+            state->delta->Get(plan.steps[t.delta_step].pred);
+        uint32_t all = rel != nullptr ? rel->size() : 0;
+        uint32_t end = t.end < all ? t.end : all;
+        rows = t.begin < end ? end - t.begin : 0;
+      }
+      work += plan.constructive ? rows * kConstructiveWeight : rows;
+      if (plan.domain_sensitive) work += state->domain->size();
+      if (work >= kMinParallelWork) break;
+    }
+    parallel = work >= kMinParallelWork;
+  }
+
+  auto fire_start = std::chrono::steady_clock::now();
+  if (!parallel) {
+    // Exact legacy path: all firings share one scratch database and one
+    // context, in task order.
     state->scratch->Clear();
     FireContext ctx;
     ctx.pool = pool_;
@@ -188,26 +260,92 @@ Status Evaluator::Saturate(const std::vector<size_t>& subset, bool naive,
     ctx.stats = &state->stats;
     ctx.deadline = state->deadline;
     ctx.has_deadline = state->has_deadline;
-    ctx.existing_facts = state->model->TotalFacts();
+    ctx.existing_facts = model_facts;
+    for (const FireTask& t : tasks) {
+      SEQLOG_RETURN_IF_ERROR(
+          FireClause(plans_[t.plan_idx], t.delta_step, &ctx, t.begin,
+                     t.end));
+    }
+    state->last_round_millis =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - fire_start)
+            .count();
+    state->stats.fire_millis += state->last_round_millis;
+    return MergeRound({state->scratch.get()}, state);
+  }
 
+  if (state->pool == nullptr) {
+    state->pool = std::make_unique<ThreadPool>(state->threads);
+  }
+  const size_t n = tasks.size();
+  std::vector<std::unique_ptr<Database>> scratches(n);
+  std::vector<EvalStats> task_stats(n);
+  std::vector<Status> task_status(n, Status::Ok());
+  std::atomic<size_t> round_new{0};
+  state->pool->ParallelFor(n, [&](size_t i) {
+    // Thread-local scratch: firing takes no locks except SequencePool
+    // interning for sequences the task itself creates. Model, delta and
+    // domain are read-only until the merge barrier below.
+    scratches[i] = std::make_unique<Database>(catalog_);
+    FireContext ctx;
+    ctx.pool = pool_;
+    ctx.domain = state->domain.get();
+    ctx.full = state->model;
+    ctx.delta = state->delta.get();
+    ctx.out = scratches[i].get();
+    ctx.limits = &state->options.limits;
+    ctx.stats = &task_stats[i];
+    ctx.deadline = state->deadline;
+    ctx.has_deadline = state->has_deadline;
+    ctx.existing_facts = model_facts;
+    ctx.round_new = &round_new;
+    const FireTask& t = tasks[i];
+    task_status[i] = FireClause(plans_[t.plan_idx], t.delta_step, &ctx,
+                                t.begin, t.end);
+  });
+  state->last_round_millis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - fire_start)
+          .count();
+  state->stats.fire_millis += state->last_round_millis;
+  // Aggregate the order-insensitive counters, then report the first
+  // failure in task order (deterministic across schedules); the round's
+  // scratches are discarded on error, like the serial path's.
+  for (const EvalStats& ts : task_stats) {
+    state->stats.derivations += ts.derivations;
+  }
+  for (const Status& ts : task_status) {
+    SEQLOG_RETURN_IF_ERROR(ts);
+  }
+  std::vector<const Database*> sources;
+  sources.reserve(n);
+  for (const auto& scratch : scratches) sources.push_back(scratch.get());
+  return MergeRound(sources, state);
+}
+
+Status Evaluator::Saturate(const std::vector<size_t>& subset, bool naive,
+                           RunState* state) const {
+  if (subset.empty()) return Status::Ok();
+  bool first = true;
+  while (true) {
+    SEQLOG_RETURN_IF_ERROR(CheckIterationBudget(state));
     bool domain_grew_last_round = state->domain_grew;
+    std::vector<FireTask> tasks;
+    tasks.reserve(subset.size());
     for (size_t idx : subset) {
       const ClausePlan& plan = plans_[idx];
-      if (naive || first) {
-        SEQLOG_RETURN_IF_ERROR(FireClause(plan, kNoDelta, &ctx));
-        continue;
-      }
-      if (plan.domain_sensitive && domain_grew_last_round) {
+      if (naive || first ||
+          (plan.domain_sensitive && domain_grew_last_round)) {
         // New domain elements can satisfy enumerated variables with old
         // facts; a full re-fire is the only sound option.
-        SEQLOG_RETURN_IF_ERROR(FireClause(plan, kNoDelta, &ctx));
+        tasks.push_back(FireTask{idx, kNoDelta, 0, UINT32_MAX});
         continue;
       }
       for (size_t si : plan.match_steps) {
-        SEQLOG_RETURN_IF_ERROR(FireClause(plan, si, &ctx));
+        AppendDeltaTasks(idx, si, *state, &tasks);
       }
     }
-    SEQLOG_RETURN_IF_ERROR(MergeScratch(state));
+    SEQLOG_RETURN_IF_ERROR(FireRound(tasks, state));
     first = false;
     // Progress is measured after the merge: naive evaluation re-derives
     // old facts into the scratch set every round, so scratch inserts

@@ -18,6 +18,16 @@
 // All strategies are budgeted (Theorem 2: finiteness is undecidable);
 // divergent programs such as Example 1.6 end with kResourceExhausted and
 // partial results left in the model for inspection.
+//
+// Rounds are embarrassingly parallel: within one iteration every clause
+// firing reads the same frozen (model, delta, domain) triple and only
+// writes derived facts, so EvalOptions::num_threads > 1 fans the firings
+// (sharding large deltas by row range) out to a pool of workers with
+// thread-local scratch databases. Mutation is confined to the round
+// barrier, which merges scratches in deterministic task order and grows
+// the extended active domain single-writer; new sequences derived inside
+// a round are interned through the shared_mutex-guarded SequencePool.
+// The computed model is identical at every thread count.
 #ifndef SEQLOG_EVAL_ENGINE_H_
 #define SEQLOG_EVAL_ENGINE_H_
 
@@ -41,6 +51,22 @@ struct EvalOptions {
   EvalLimits limits;
   /// Record (facts, domain) after every iteration into stats.growth.
   bool track_growth = false;
+  /// Execution width of a fixpoint round: 0 = one thread per hardware
+  /// core, 1 = the exact single-threaded legacy path, N = up to N-way
+  /// parallelism. Within a round each clause firing (and, for large
+  /// deltas, each contiguous row shard of one firing) derives into a
+  /// thread-local scratch database; the round barrier merges the
+  /// scratches in deterministic task order, so the computed model, the
+  /// answer sets and the iteration/derivation counters are identical at
+  /// every width — only wall-clock time and budget-edge behaviour vary:
+  /// the round-global max_facts counter tallies a fact once per task
+  /// that derives it (it cannot see across private scratches), so a run
+  /// sitting exactly at the max_facts edge can exhaust at a width where
+  /// another width still fits. Small rounds stay serial regardless (the
+  /// pool
+  /// round-trip would cost more than the work), so point queries over
+  /// magic rewrites pay nothing for the default.
+  size_t num_threads = 0;
 };
 
 /// Status plus statistics; stats are valid even when status is an error
@@ -90,6 +116,10 @@ class Evaluator {
 
  private:
   struct RunState;
+  /// One clause firing of a round: plan index, delta literal (kNoDelta
+  /// for a full firing) and a delta row shard (parallel rounds split one
+  /// large delta into contiguous, disjointly covering ranges).
+  struct FireTask;
 
   Status InitState(const Database& edb, const Database* extra_facts,
                    std::shared_ptr<const ExtendedDomain> base_domain,
@@ -106,8 +136,22 @@ class Evaluator {
   /// Bumps the iteration counter and enforces the iteration and wall-time
   /// budgets. Called once per fixpoint round.
   Status CheckIterationBudget(RunState* state) const;
-  /// Merges state->scratch into the model, refreshing delta and domain.
-  Status MergeScratch(RunState* state) const;
+  /// Appends the semi-naive task(s) for delta literal `si` of plan
+  /// `idx`, sharding the delta relation across workers when it is large
+  /// enough and the run is multi-threaded.
+  void AppendDeltaTasks(size_t idx, size_t si, const RunState& state,
+                        std::vector<FireTask>* tasks) const;
+  /// Executes one round's tasks and merges the results. Small or
+  /// single-threaded rounds run the tasks serially into the shared
+  /// scratch database (the exact legacy path); otherwise the tasks fan
+  /// out to the run's thread pool, each deriving into a thread-local
+  /// scratch, merged deterministically in task order at the barrier.
+  Status FireRound(const std::vector<FireTask>& tasks,
+                   RunState* state) const;
+  /// Merges `sources` (in order) into the model, refreshing delta,
+  /// domain (single-writer batch extension) and growth stats.
+  Status MergeRound(const std::vector<const Database*>& sources,
+                    RunState* state) const;
 
   Status EvaluateFlat(const EvalOptions& options, RunState* state) const;
   Status EvaluateStratified(const EvalOptions& options,

@@ -13,8 +13,13 @@ namespace {
 /// Recursive backtracking evaluator for one firing of one clause.
 class Firer {
  public:
-  Firer(const ClausePlan& plan, size_t delta_step, FireContext* ctx)
-      : plan_(plan), delta_step_(delta_step), ctx_(ctx) {
+  Firer(const ClausePlan& plan, size_t delta_step, FireContext* ctx,
+        uint32_t delta_begin, uint32_t delta_end)
+      : plan_(plan),
+        delta_step_(delta_step),
+        delta_begin_(delta_begin),
+        delta_end_(delta_end),
+        ctx_(ctx) {
     env_.Resize(plan.num_seq_vars, plan.num_idx_vars);
   }
 
@@ -97,15 +102,30 @@ class Firer {
       }
     }
 
-    size_t count = candidates != nullptr
-                       ? candidates->size()
-                       : (have_key ? 0 : rel->size());
-    for (size_t k = 0; k < count; ++k) {
+    // Delta sharding (parallel rounds): this literal only sees rows in
+    // [begin, end) of the delta relation. Shards cover the relation
+    // disjointly across tasks, so every delta row is matched exactly
+    // once per round, same as an unsharded firing.
+    uint32_t begin = 0;
+    uint32_t end = rel->size();
+    if (si == delta_step_) {
+      begin = delta_begin_ < end ? delta_begin_ : end;
+      end = delta_end_ < end ? delta_end_ : end;
+    }
+    if (candidates != nullptr) {
+      for (uint32_t row : *candidates) {
+        if (row < begin || row >= end) continue;
+        SEQLOG_RETURN_IF_ERROR(CheckDeadline());
+        SEQLOG_RETURN_IF_ERROR(
+            MatchTuple(step, si, key_vals, rel->Row(row)));
+      }
+      return Status::Ok();
+    }
+    if (have_key) return Status::Ok();
+    for (uint32_t row = begin; row < end; ++row) {
       SEQLOG_RETURN_IF_ERROR(CheckDeadline());
-      uint32_t row = candidates != nullptr ? (*candidates)[k]
-                                           : static_cast<uint32_t>(k);
-      TupleView tuple = rel->Row(row);
-      SEQLOG_RETURN_IF_ERROR(MatchTuple(step, si, key_vals, tuple));
+      SEQLOG_RETURN_IF_ERROR(
+          MatchTuple(step, si, key_vals, rel->Row(row)));
     }
     return Status::Ok();
   }
@@ -256,7 +276,16 @@ class Firer {
     }
     if (ctx_->out->Insert(plan_.head_pred, tuple_)) {
       ++ctx_->out_new;
-      if (ctx_->existing_facts + ctx_->out_new > ctx_->limits->max_facts) {
+      // Serial rounds share one scratch database, so out_new is the
+      // round's exact new-fact count. Parallel tasks each have a private
+      // scratch; the shared round counter keeps the budget global (it
+      // may count a fact once per task that derives it — conservative,
+      // and exact whenever tasks derive disjoint facts).
+      size_t round_total =
+          ctx_->round_new != nullptr
+              ? ctx_->round_new->fetch_add(1, std::memory_order_relaxed) + 1
+              : ctx_->out_new;
+      if (ctx_->existing_facts + round_total > ctx_->limits->max_facts) {
         return Status::ResourceExhausted(
             StrCat("interpretation exceeded ", ctx_->limits->max_facts,
                    " facts"));
@@ -267,6 +296,8 @@ class Firer {
 
   const ClausePlan& plan_;
   size_t delta_step_;
+  uint32_t delta_begin_;
+  uint32_t delta_end_;
   FireContext* ctx_;
   Env env_;
   std::vector<SeqId> tuple_;
@@ -275,8 +306,9 @@ class Firer {
 }  // namespace
 
 Status FireClause(const ClausePlan& plan, size_t delta_step,
-                  FireContext* ctx) {
-  Firer firer(plan, delta_step, ctx);
+                  FireContext* ctx, uint32_t delta_begin,
+                  uint32_t delta_end) {
+  Firer firer(plan, delta_step, ctx, delta_begin, delta_end);
   return firer.Run();
 }
 

@@ -11,6 +11,7 @@
 #ifndef SEQLOG_EVAL_EXECUTOR_H_
 #define SEQLOG_EVAL_EXECUTOR_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -34,7 +35,9 @@ struct EvalLimits {
   int64_t max_millis = 0;  ///< 0 = no deadline.
 };
 
-/// Counters reported by an evaluation.
+/// Counters reported by an evaluation. All counters are aggregates that
+/// do not depend on clause firing order, so they are identical at every
+/// EvalOptions::num_threads.
 struct EvalStats {
   size_t iterations = 0;
   size_t facts = 0;             ///< atoms in the computed interpretation
@@ -42,12 +45,21 @@ struct EvalStats {
   size_t derivations = 0;       ///< head emissions attempted
   size_t strata = 0;            ///< stratified strategy only
   double millis = 0;
+  /// Wall-clock spent firing clauses — the phase that parallelises;
+  /// the rest of `millis` (EDB load and the merge barriers, including
+  /// the single-writer domain closure) is serial at every thread
+  /// count. fire_millis/millis bounds the achievable speedup (Amdahl).
+  double fire_millis = 0;
   /// Per-iteration (facts, domain size) when growth tracking is on; used
   /// by the Example 1.5 / 1.6 benchmarks to plot divergence.
   std::vector<std::pair<size_t, size_t>> growth;
 };
 
-/// Shared mutable state for all firings within one iteration.
+/// Mutable state for firings within one iteration. Serial rounds share
+/// one context across all clause firings; parallel rounds give each task
+/// a private context (with a private `out` scratch database and private
+/// `stats`) so firing never takes a lock — only `round_new`, when set,
+/// is shared between tasks.
 struct FireContext {
   SequencePool* pool = nullptr;
   const ExtendedDomain* domain = nullptr;
@@ -61,13 +73,25 @@ struct FireContext {
   size_t existing_facts = 0;  ///< facts in `full` (for max_facts checks)
   size_t out_new = 0;         ///< new facts inserted into `out`
   size_t tick = 0;            ///< deadline polling counter
+  /// Parallel rounds: new-fact count across all tasks of the round, so
+  /// the max_facts budget is enforced against the combined output rather
+  /// than per task. Null on the serial path (out_new alone is exact
+  /// there, because every firing shares one scratch database).
+  std::atomic<size_t>* round_new = nullptr;
 };
 
 /// Fires `plan` once. `delta_step` is the index into plan.steps of the
 /// single predicate literal to source from ctx->delta, or SIZE_MAX to
 /// source every literal from ctx->full.
+///
+/// `delta_begin`/`delta_end` restrict the delta literal to rows
+/// [delta_begin, min(delta_end, rows)) of its delta relation — the
+/// parallel evaluator shards one large delta across workers into
+/// contiguous row ranges that cover it disjointly. The defaults select
+/// every row; the range never applies to full (kNoDelta) firings.
 Status FireClause(const ClausePlan& plan, size_t delta_step,
-                  FireContext* ctx);
+                  FireContext* ctx, uint32_t delta_begin = 0,
+                  uint32_t delta_end = UINT32_MAX);
 
 }  // namespace eval
 }  // namespace seqlog

@@ -35,6 +35,14 @@ std::unique_ptr<ExtendedDomain> ExtendedDomain::CloneFlat() const {
   return copy;
 }
 
+Status ExtendedDomain::ExtendWith(std::span<const SeqId> roots,
+                                  size_t max_sequences) {
+  for (SeqId id : roots) {
+    SEQLOG_RETURN_IF_ERROR(AddRoot(id, max_sequences));
+  }
+  return Status::Ok();
+}
+
 Status ExtendedDomain::AddRoot(SeqId id, size_t max_sequences) {
   if (Contains(id)) return Status::Ok();
   SeqView v = pool_->View(id);

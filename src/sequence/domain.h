@@ -15,6 +15,7 @@
 #include <deque>
 #include <iterator>
 #include <memory>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -102,6 +103,14 @@ class ExtendedDomain {
   /// may then be partially extended, which is fine because callers abort
   /// evaluation on that status.
   Status AddRoot(SeqId id, size_t max_sequences = 0);
+
+  /// Batched growth for the evaluator's merge barrier: adds every id of
+  /// `roots` (each with its subsequence closure) under one budget, in
+  /// order. Parallel semi-naive rounds derive into thread-local scratch
+  /// databases and funnel ALL domain growth through this call at the
+  /// merge, so the closure structures stay single-writer and lock-free;
+  /// during a round the domain is read-only (eval/engine.cc).
+  Status ExtendWith(std::span<const SeqId> roots, size_t max_sequences = 0);
 
   /// Deep copy of a flat (non-layered) domain. Publish-side incremental
   /// closure (core/engine.cc): clone the previous snapshot's frozen

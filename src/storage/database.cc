@@ -89,6 +89,26 @@ Status Database::UnionWith(const Database& other) {
   return Status::Ok();
 }
 
+Status Database::MergeFrom(
+    const Database& src,
+    const std::function<Status(PredId, TupleView)>& on_new) {
+  for (PredId pred : src.PredicatesWithRelations()) {
+    const Relation* rel = src.Get(pred);
+    if (rel->empty()) continue;
+    Relation* target = GetOrCreate(pred);
+    SEQLOG_CHECK(target->arity() == rel->arity())
+        << "MergeFrom across catalogs: arity " << rel->arity() << " != "
+        << target->arity() << " for predicate '" << catalog_->Name(pred)
+        << "'";
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      TupleView row = rel->Row(i);
+      if (!target->Insert(row)) continue;
+      SEQLOG_RETURN_IF_ERROR(on_new(pred, row));
+    }
+  }
+  return Status::Ok();
+}
+
 std::unique_ptr<Database> Database::Clone() const {
   auto copy = std::make_unique<Database>(catalog_);
   // Same catalog: UnionWith cannot fail.

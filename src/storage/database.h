@@ -13,6 +13,7 @@
 #ifndef SEQLOG_STORAGE_DATABASE_H_
 #define SEQLOG_STORAGE_DATABASE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -66,6 +67,20 @@ class Database {
   /// Deep copy (same catalog). Used for snapshot publication
   /// (copy-on-publish): the clone is immutable-by-convention afterwards.
   std::unique_ptr<Database> Clone() const;
+
+  /// Merge endpoint of the parallel evaluator's round barrier
+  /// (eval/engine.cc): inserts every atom of `src` (same catalog —
+  /// CHECKed via arity like Insert) in src's deterministic iteration
+  /// order, invoking `on_new` for exactly the atoms that were not
+  /// already present. Returns the first non-OK status from `on_new`
+  /// (the database then holds everything merged up to that atom, which
+  /// is fine: callers abort evaluation on error). Merging thread-local
+  /// scratch databases task-by-task through this API gives the same
+  /// model as the serial shared-scratch path, because relations are
+  /// sets and `on_new` fires once per distinct new atom.
+  Status MergeFrom(
+      const Database& src,
+      const std::function<Status(PredId, TupleView)>& on_new);
 
   /// Ids of predicates that have a (possibly empty) relation.
   std::vector<PredId> PredicatesWithRelations() const;

@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""Documentation checker: intra-repo links + runnable shell transcripts.
+
+Two checks, both run by the `docs` CI job (and locally via
+`python3 tools/check_docs.py --shell build/examples/seqlog_shell`):
+
+1. **Links** — every relative markdown link `[text](path)` in the
+   repo's markdown files must point at an existing file or directory.
+   External links (`http...`), mailto and pure in-page anchors are
+   skipped; `path#anchor` is checked for the `path` part only.
+
+2. **Transcripts** — every fenced code block tagged ``seqlog-shell`` in
+   `docs/*.md` is executed against the real `seqlog_shell` binary.
+   Blocks look exactly like an interactive session:
+
+       ```seqlog-shell
+       seqlog> suffix(X[N:end]) :- r(X).
+       seqlog> +r acgt
+       seqlog> :run
+       fixpoint: 11 facts, 11 domain sequences, 2 iterations, * ms
+       ```
+
+   Lines starting with ``seqlog> `` are fed to the shell's stdin (in
+   order, with a final ``:quit`` appended); the lines between two
+   prompts are the expected output of the preceding command. Expected
+   lines may use ``*`` as a wildcard matching any run of characters
+   (timings, for example, are not deterministic). Each block runs in a
+   fresh shell process, so blocks are independent and self-contained.
+
+Exit status is non-zero when any link is broken or any transcript
+diverges, with a per-failure diagnostic.
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+
+# Directories that hold markdown worth checking (build trees excluded).
+MARKDOWN_GLOBS = ["*.md", "docs/**/*.md", "src/**/*.md", "tests/**/*.md",
+                  "bench/**/*.md", "examples/**/*.md", "tools/**/*.md"]
+
+
+def markdown_files():
+    seen = set()
+    for glob in MARKDOWN_GLOBS:
+        for path in REPO_ROOT.glob(glob):
+            if any(part.startswith("build") for part in path.parts):
+                continue
+            seen.add(path)
+    return sorted(seen)
+
+
+def check_links():
+    """Returns a list of 'file: broken link' diagnostics."""
+    errors = []
+    for md in markdown_files():
+        text = md.read_text(encoding="utf-8")
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if path_part.startswith("/"):
+                errors.append(f"{md.relative_to(REPO_ROOT)}: absolute link"
+                              f" '{target}' (use repo-relative paths)")
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{md.relative_to(REPO_ROOT)}: broken link"
+                              f" '{target}'")
+    return errors
+
+
+def parse_transcript(block_lines):
+    """Splits a transcript block into [(command, [expected lines])]."""
+    steps = []
+    for line in block_lines:
+        if line.startswith("seqlog> "):
+            steps.append((line[len("seqlog> "):], []))
+        elif steps:
+            steps[-1][1].append(line)
+        elif line.strip():
+            raise ValueError(f"output line before first prompt: {line!r}")
+    return steps
+
+
+def wildcard_match(expected, actual):
+    """Literal match except '*' matches any (possibly empty) run."""
+    parts = expected.split("*")
+    if len(parts) == 1:
+        return expected == actual
+    pos = 0
+    for i, part in enumerate(parts):
+        if i == 0:
+            if not actual.startswith(part):
+                return False
+            pos = len(part)
+        elif i == len(parts) - 1:
+            return part == "" or actual.endswith(part) and \
+                len(actual) - len(part) >= pos
+        else:
+            found = actual.find(part, pos)
+            if found < 0:
+                return False
+            pos = found + len(part)
+    return True
+
+
+def run_transcript(shell, steps, source):
+    """Runs one block; returns a list of diagnostics (empty = pass)."""
+    stdin = "".join(cmd + "\n" for cmd, _ in steps) + ":quit\n"
+    try:
+        proc = subprocess.run([str(shell)], input=stdin, text=True,
+                              capture_output=True, timeout=120)
+    except subprocess.TimeoutExpired:
+        return [f"{source}: shell timed out"]
+    if proc.returncode != 0:
+        return [f"{source}: shell exited {proc.returncode}:"
+                f" {proc.stderr.strip()}"]
+    # stdout is banner + per-command output, delimited by the prompt.
+    segments = proc.stdout.split("seqlog> ")
+    # segments[0] is the banner, segments[i] is the output of command i;
+    # the :quit we appended contributes a final (empty) segment.
+    if len(segments) < len(steps) + 1:
+        return [f"{source}: expected {len(steps)} command outputs, shell"
+                f" produced {len(segments) - 1}"]
+    errors = []
+    for i, (cmd, expected) in enumerate(steps):
+        actual = [l for l in segments[i + 1].split("\n") if l != ""]
+        if len(actual) != len(expected):
+            errors.append(
+                f"{source}: after '{cmd}': expected {len(expected)}"
+                f" line(s), got {len(actual)}:\n    expected: {expected}"
+                f"\n    actual:   {actual}")
+            continue
+        for exp, act in zip(expected, actual):
+            if not wildcard_match(exp, act):
+                errors.append(f"{source}: after '{cmd}':\n"
+                              f"    expected: {exp}\n    actual:   {act}")
+    return errors
+
+
+def check_transcripts(shell):
+    errors = []
+    count = 0
+    for md in markdown_files():
+        if md.parent.name != "docs":
+            continue
+        lines = md.read_text(encoding="utf-8").splitlines()
+        block, in_block, start = [], False, 0
+        for lineno, line in enumerate(lines, 1):
+            fence = FENCE_RE.match(line)
+            if fence and not in_block and fence.group(1) == "seqlog-shell":
+                in_block, block, start = True, [], lineno
+            elif fence and in_block:
+                in_block = False
+                count += 1
+                source = f"{md.relative_to(REPO_ROOT)}:{start}"
+                try:
+                    steps = parse_transcript(block)
+                except ValueError as err:
+                    errors.append(f"{source}: {err}")
+                    continue
+                errors.extend(run_transcript(shell, steps, source))
+            elif in_block:
+                block.append(line)
+    return errors, count
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shell", type=pathlib.Path,
+                        help="path to the built seqlog_shell binary; "
+                             "transcript checks are skipped when omitted")
+    args = parser.parse_args()
+
+    errors = check_links()
+    print(f"checked links in {len(markdown_files())} markdown files:"
+          f" {len(errors)} broken")
+
+    if args.shell is not None:
+        if not args.shell.exists():
+            print(f"error: shell binary {args.shell} not found",
+                  file=sys.stderr)
+            return 2
+        transcript_errors, count = check_transcripts(args.shell)
+        print(f"ran {count} shell transcript(s):"
+              f" {len(transcript_errors)} failure(s)")
+        errors.extend(transcript_errors)
+    else:
+        print("no --shell given: transcript checks skipped")
+
+    for error in errors:
+        print(f"FAIL {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
