@@ -8,17 +8,30 @@
 //  * abcn    — Example 1.3's a^n b^n c^n pattern (the bench_ex13
 //              family): three-way structural recursion, ~90% firing.
 //  * genome  — Example 7.1's DNA -> RNA -> protein pipeline (the
-//              bench_ex71 family): the transducer runs are cheap; almost
-//              all time is the single-writer domain closure of the
-//              derived sequences, so this row honestly reports ~1x and
-//              documents the Amdahl bound (ROADMAP lists the follow-up).
+//              bench_ex71 family): the transducer runs are cheap; the
+//              cost is the domain closure of the derived sequences.
+//              Serial runs pay it single-writer at the barrier; parallel
+//              runs pre-intern the spans inside the firing phase and
+//              shard the barrier's membership dedup, so the serial
+//              closure share collapses (docs/CONCURRENCY.md) and the
+//              Amdahl ceiling opens up.
 //
-// The reproduction table prints, per workload: the parallel fraction f
-// (stats.fire_millis / stats.millis at one thread), the Amdahl ceiling
-// 1/((1-f)+f/8) for eight threads, and the measured speedup per thread
-// count. Measured speedup is additionally capped by the cores actually
-// present — on a single-core host every row reports ~1x regardless of f.
+// The reproduction table prints, per workload and thread count: wall
+// clock, the measured phase split (fire share = stats.fire_millis /
+// stats.millis, closure share = stats.domain_millis / stats.millis —
+// both are measured, not inferred), the Amdahl ceiling 1/((1-f)+f/8)
+// using the parallel-mode fire share, and the measured speedup.
+// Measured speedup is additionally capped by the cores actually present
+// — on a single-core host every row reports ~1x regardless of f, but
+// the phase shares still show the serial bottleneck moving.
+//
+// The same shares are exported as google-benchmark counters
+// (fire_share / domain_share), so the committed BENCH_pr5.json records
+// the Amdahl trajectory per thread count.
 #include <benchmark/benchmark.h>
+
+#include <string_view>
+#include <utility>
 
 #include "base/thread_pool.h"
 #include "bench_util.h"
@@ -79,16 +92,20 @@ eval::EvalOutcome Run(Engine* engine, size_t threads) {
   return engine->Evaluate(options);
 }
 
+double Share(const eval::EvalStats& stats, double part) {
+  return stats.millis > 0 ? part / stats.millis : 0;
+}
+
 void PrintTable() {
   bench::Banner("PAR", "parallel semi-naive thread scaling (Section 3.3)");
   std::printf("host hardware threads: %zu (measured speedup is capped by"
               " this)\n",
               ThreadPool::HardwareThreads());
-  std::printf("%-9s %-9s %-10s %-10s %-7s %-11s %-9s\n", "workload",
-              "threads", "millis", "facts", "par f", "ceiling@8", "speedup");
+  std::printf("%-9s %-9s %-10s %-10s %-8s %-9s %-11s %-9s\n", "workload",
+              "threads", "millis", "facts", "fire", "closure", "ceiling@8",
+              "speedup");
   for (const char* workload : {"rep1", "abcn", "genome"}) {
     double serial_millis = 0;
-    double fraction = 0;
     size_t serial_facts = 0;
     for (size_t threads : {1u, 2u, 8u}) {
       auto engine = MakeEngine(workload);
@@ -97,60 +114,65 @@ void PrintTable() {
       if (threads == 1) {
         serial_millis = outcome.stats.millis;
         serial_facts = outcome.stats.facts;
-        fraction = outcome.stats.millis > 0
-                       ? outcome.stats.fire_millis / outcome.stats.millis
-                       : 0;
       }
       if (outcome.stats.facts != serial_facts) {
         std::printf("MODEL MISMATCH at %zu threads!\n", threads);
         std::abort();
       }
-      std::printf("%-9s %-9zu %-10.2f %-10zu %-7.2f %-11.2f %-9.2f\n",
+      // The fire share at this width is the measured parallel fraction;
+      // serial runs do the closure at the barrier, parallel runs absorb
+      // it into the firing phase via pre-interning, so the genome row's
+      // f jumps between the threads=1 and threads>1 lines.
+      double fire = Share(outcome.stats, outcome.stats.fire_millis);
+      std::printf("%-9s %-9zu %-10.2f %-10zu %-8.2f %-9.2f %-11.2f"
+                  " %-9.2f\n",
                   workload, threads, outcome.stats.millis,
-                  outcome.stats.facts, fraction,
-                  1.0 / ((1.0 - fraction) + fraction / 8.0),
+                  outcome.stats.facts, fire,
+                  Share(outcome.stats, outcome.stats.domain_millis),
+                  1.0 / ((1.0 - fire) + fire / 8.0),
                   serial_millis / outcome.stats.millis);
     }
   }
-  std::printf("(models are identical at every width; rep1/abcn rounds are"
-              " matching-bound and scale, genome is closure-bound and"
-              " does not — see ROADMAP open items)\n");
+  std::printf("(models are identical at every width; fire/closure are the"
+              " measured fire_millis/domain_millis shares of wall-clock —"
+              " at threads>1 the closure moves into the parallel firing"
+              " phase, so the closure column collapsing is the point)\n");
 }
 
-void BM_Rep1Fixpoint(benchmark::State& state) {
+/// Shared benchmark body: evaluates `workload` at `state.range(0)`
+/// threads and exports the measured phase split as counters, so the
+/// committed BENCH json carries fire_share/domain_share per width.
+void RunFixpointBenchmark(benchmark::State& state,
+                          std::string_view workload) {
   size_t threads = static_cast<size_t>(state.range(0));
-  auto engine = MakeRep1Engine();
+  auto engine = MakeEngine(workload);
+  eval::EvalStats last;
   for (auto _ : state) {
     eval::EvalOutcome outcome = Run(engine.get(), threads);
     if (!outcome.status.ok()) std::abort();
     benchmark::DoNotOptimize(outcome.stats.facts);
+    last = std::move(outcome.stats);
   }
+  state.counters["fire_share"] = Share(last, last.fire_millis);
+  state.counters["domain_share"] = Share(last, last.domain_millis);
+}
+
+void BM_Rep1Fixpoint(benchmark::State& state) {
+  RunFixpointBenchmark(state, "rep1");
 }
 BENCHMARK(BM_Rep1Fixpoint)->Arg(1)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_AbcnFixpoint(benchmark::State& state) {
-  size_t threads = static_cast<size_t>(state.range(0));
-  auto engine = MakeAbcnEngine();
-  for (auto _ : state) {
-    eval::EvalOutcome outcome = Run(engine.get(), threads);
-    if (!outcome.status.ok()) std::abort();
-    benchmark::DoNotOptimize(outcome.stats.facts);
-  }
+  RunFixpointBenchmark(state, "abcn");
 }
 BENCHMARK(BM_AbcnFixpoint)->Arg(1)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GenomeFixpoint(benchmark::State& state) {
-  size_t threads = static_cast<size_t>(state.range(0));
-  auto engine = MakeGenomeEngine();
-  for (auto _ : state) {
-    eval::EvalOutcome outcome = Run(engine.get(), threads);
-    if (!outcome.status.ok()) std::abort();
-    benchmark::DoNotOptimize(outcome.stats.facts);
-  }
+  RunFixpointBenchmark(state, "genome");
 }
-BENCHMARK(BM_GenomeFixpoint)->Arg(1)->Arg(8)
+BENCHMARK(BM_GenomeFixpoint)->Arg(1)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

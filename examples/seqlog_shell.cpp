@@ -52,6 +52,7 @@ constexpr char kHelp[] = R"(seqlog shell commands
   :dot                    dependency graph in Graphviz format (Figure 3)
   :limits <iters> <facts> set evaluation budgets
   :threads <n>            evaluation threads (0 = one per core, 1 = serial)
+  :stats                  time split of the last :run (firing vs closure)
   :load <file>            append rules from a file
   :clear                  drop program and facts
   :machines               list registered transducers
@@ -190,6 +191,8 @@ class Shell {
         std::cout << "threads: " << num_threads_
                   << (num_threads_ == 1 ? " (serial)" : "") << "\n";
       }
+    } else if (cmd == ":stats") {
+      PrintStats();
     } else if (cmd == ":load") {
       std::string path;
       in >> path;
@@ -298,7 +301,29 @@ class Shell {
                 << outcome.stats.iterations << " iterations, "
                 << outcome.stats.millis << " ms\n";
     }
+    last_stats_ = outcome.stats;
+    have_stats_ = true;
     evaluated_ = true;
+  }
+
+  /// Prints the Amdahl split of the last :run — the parallelisable
+  /// firing phase vs the serial domain-closure phase (EvalStats::
+  /// fire_millis / domain_millis; docs/CONCURRENCY.md).
+  void PrintStats() {
+    if (!have_stats_) {
+      std::cout << "? run :run first\n";
+      return;
+    }
+    auto share = [&](double part) {
+      return last_stats_.millis > 0
+                 ? static_cast<int>(100.0 * part / last_stats_.millis + 0.5)
+                 : 0;
+    };
+    std::cout << "last run: " << last_stats_.millis << " ms total\n"
+              << "  firing (parallel phase):  " << last_stats_.fire_millis
+              << " ms (" << share(last_stats_.fire_millis) << "%)\n"
+              << "  closure (serial barrier): " << last_stats_.domain_millis
+              << " ms (" << share(last_stats_.domain_millis) << "%)\n";
   }
 
   void Query(const std::string& pred) {
@@ -482,6 +507,8 @@ class Shell {
   std::map<std::string, seqlog::PreparedQuery> prepared_;
   seqlog::eval::EvalLimits limits_;
   size_t num_threads_ = 0;  ///< 0 = one per hardware core
+  seqlog::eval::EvalStats last_stats_;  ///< of the last :run, for :stats
+  bool have_stats_ = false;
   bool evaluated_ = false;
   bool engine_stale_ = false;
 };

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <memory>
 #include <numeric>
+#include <unordered_set>
 
 #include "analysis/safety.h"
 #include "ast/validate.h"
@@ -30,6 +31,39 @@ constexpr size_t kConstructiveWeight = 64;
 constexpr double kSlowRoundMillis = 0.3;
 /// Minimum delta rows per shard when splitting one firing.
 constexpr uint32_t kMinShardRows = 256;
+/// An EDB-load closure whose estimated subsequence-span count falls
+/// below this is closed serially even in a multi-threaded run: the
+/// pool round-trip would cost more than the hashing it spreads out.
+constexpr size_t kMinParallelClosureSpans = 4096;
+
+/// Pre-interns the subsequence closure of every sequence `scratch`
+/// mentions that is not already in `domain`, recording the id streams
+/// per root. Runs inside a worker task, concurrently with its siblings:
+/// pool interning is thread-safe and the domain is read-only const
+/// access during a round. Roots whose closure alone exceeds a non-zero
+/// `max_domain` budget are left unhinted — the barrier sends them
+/// through the budget-checked AddRoot, which bails out mid-closure
+/// instead of interning millions of spans a doomed run never needs.
+void PreInternClosures(const Database& scratch,
+                       const ExtendedDomain& domain, size_t max_domain,
+                       std::unordered_map<SeqId, std::vector<SeqId>>* hints) {
+  for (PredId pred : scratch.PredicatesWithRelations()) {
+    const Relation* rel = scratch.Get(pred);
+    if (rel == nullptr) continue;
+    for (uint32_t i = 0; i < rel->size(); ++i) {
+      for (SeqId arg : rel->Row(i)) {
+        if (domain.Contains(arg)) continue;
+        if (max_domain != 0 &&
+            domain.ClosureSpanCount(arg) > max_domain) {
+          continue;
+        }
+        auto [it, fresh] = hints->try_emplace(arg);
+        if (!fresh) continue;
+        domain.EnumerateClosure(arg, &it->second);
+      }
+    }
+  }
+}
 }  // namespace
 
 struct Evaluator::FireTask {
@@ -78,6 +112,7 @@ Status Evaluator::SetProgram(const ast::Program& program) {
 }
 
 Status Evaluator::LoadFacts(const Database& db, RunState* state) const {
+  std::vector<SeqId> roots;
   for (PredId pred : db.PredicatesWithRelations()) {
     const Relation* rel = db.Get(pred);
     if (rel->empty()) continue;
@@ -87,11 +122,61 @@ Status Evaluator::LoadFacts(const Database& db, RunState* state) const {
       TupleView row = rel->Row(i);
       state->model->Insert(pred, row);
       state->delta->Insert(pred, row);
-      for (SeqId arg : row) {
-        SEQLOG_RETURN_IF_ERROR(state->domain->AddRoot(
-            arg, state->options.limits.max_domain_sequences));
-      }
+      roots.insert(roots.end(), row.begin(), row.end());
     }
+  }
+  return CloseRoots(roots, state);
+}
+
+Status Evaluator::CloseRoots(const std::vector<SeqId>& roots,
+                             RunState* state) const {
+  const size_t max_domain = state->options.limits.max_domain_sequences;
+  if (state->threads > 1 && roots.size() > 1) {
+    // Estimate the closure's span count; small loads stay serial, and
+    // so does any load with a root whose closure alone overflows the
+    // budget (the AddRoot path bails out mid-closure there instead of
+    // pre-interning spans a doomed run never needs).
+    size_t spans = 0;
+    bool over_budget_root = false;
+    for (SeqId root : roots) {
+      if (state->domain->Contains(root)) continue;
+      size_t root_spans = state->domain->ClosureSpanCount(root);
+      if (max_domain != 0 && root_spans > max_domain) {
+        over_budget_root = true;
+        break;
+      }
+      spans += root_spans;
+    }
+    if (!over_budget_root && spans >= kMinParallelClosureSpans) {
+      if (state->pool == nullptr) {
+        state->pool = std::make_unique<ThreadPool>(state->threads);
+      }
+      // First occurrence wins, cold roots only — the same order the
+      // serial AddRoot loop below inserts in, so the resulting domain
+      // enumeration is identical.
+      std::vector<SeqId> fresh;
+      std::unordered_set<SeqId> seen;
+      for (SeqId root : roots) {
+        if (state->domain->Contains(root)) continue;
+        if (seen.insert(root).second) fresh.push_back(root);
+      }
+      std::vector<std::vector<SeqId>> streams(fresh.size());
+      state->pool->ParallelFor(fresh.size(), [&](size_t i) {
+        state->domain->EnumerateClosure(fresh[i], &streams[i]);
+      });
+      size_t total = 0;
+      for (const auto& s : streams) total += s.size();
+      std::vector<SeqId> stream;
+      stream.reserve(total);
+      for (const auto& s : streams) {
+        stream.insert(stream.end(), s.begin(), s.end());
+      }
+      return state->domain->ExtendWithClosed(stream, max_domain,
+                                             state->pool.get());
+    }
+  }
+  for (SeqId root : roots) {
+    SEQLOG_RETURN_IF_ERROR(state->domain->AddRoot(root, max_domain));
   }
   return Status::Ok();
 }
@@ -122,10 +207,16 @@ Status Evaluator::InitState(const Database& edb, const Database* extra_facts,
   // The database is a set of ground clauses with empty bodies
   // (Definition 4 treats db atoms as clauses): load it as the starting
   // interpretation and seed the extended active domain (Definition 3).
-  SEQLOG_RETURN_IF_ERROR(LoadFacts(edb, state));
-  if (extra_facts != nullptr) {
-    SEQLOG_RETURN_IF_ERROR(LoadFacts(*extra_facts, state));
+  const auto load_start = std::chrono::steady_clock::now();
+  Status load_status = LoadFacts(edb, state);
+  if (load_status.ok() && extra_facts != nullptr) {
+    load_status = LoadFacts(*extra_facts, state);
   }
+  state->stats.domain_millis +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - load_start)
+          .count();
+  SEQLOG_RETURN_IF_ERROR(load_status);
   // With a prebuilt base domain the AddRoots above short-circuit without
   // counting, so enforce the budget on the total explicitly — a snapshot
   // execution must fail the same way a live one does.
@@ -193,22 +284,77 @@ void Evaluator::AppendDeltaTasks(size_t idx, size_t si,
 // order. Database::MergeFrom invokes the callback once per atom that is
 // genuinely new to the model, which keeps multi-scratch merges (a fact
 // derived by several tasks appears in several scratches) equivalent to
-// the serial shared-scratch merge.
+// the serial shared-scratch merge. The wrapper accounts the barrier —
+// dominated by the domain closure — into EvalStats::domain_millis.
 Status Evaluator::MergeRound(const std::vector<const Database*>& sources,
+                             const std::vector<ClosureHints>* hints,
                              RunState* state) const {
+  const auto barrier_start = std::chrono::steady_clock::now();
+  Status status = MergeRoundImpl(sources, hints, state);
+  state->stats.domain_millis +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - barrier_start)
+          .count();
+  return status;
+}
+
+Status Evaluator::MergeRoundImpl(const std::vector<const Database*>& sources,
+                                 const std::vector<ClosureHints>* hints,
+                                 RunState* state) const {
   auto delta_new = std::make_unique<Database>(catalog_);
   size_t domain_before = state->domain->size();
   state->last_merged_new = 0;
-  for (const Database* src : sources) {
-    SEQLOG_RETURN_IF_ERROR(state->model->MergeFrom(
-        *src, [&](PredId pred, TupleView row) -> Status {
-          ++state->last_merged_new;
-          delta_new->Insert(pred, row);
-          // Single-writer domain growth, batched at the barrier: firing
-          // threads never touch the closure structures.
-          return state->domain->ExtendWith(
-              row, state->options.limits.max_domain_sequences);
-        }));
+  const size_t max_domain = state->options.limits.max_domain_sequences;
+  if (hints == nullptr) {
+    // Serial rounds: inline single-writer domain growth per new fact,
+    // the exact legacy path.
+    for (const Database* src : sources) {
+      SEQLOG_RETURN_IF_ERROR(state->model->MergeFrom(
+          *src, [&](PredId pred, TupleView row) -> Status {
+            ++state->last_merged_new;
+            delta_new->Insert(pred, row);
+            return state->domain->ExtendWith(row, max_domain);
+          }));
+    }
+  } else {
+    // Parallel rounds: the firing tasks pre-interned the closures of
+    // everything they derived, so the barrier only concatenates their
+    // id streams in deterministic fact order — no symbol hashing here —
+    // and hands the result to the sharded membership insert.
+    std::vector<SeqId> stream;
+    std::unordered_set<SeqId> pending;  // roots already in the stream
+    for (size_t i = 0; i < sources.size(); ++i) {
+      const ClosureHints& task_hints = (*hints)[i];
+      SEQLOG_RETURN_IF_ERROR(state->model->MergeFrom(
+          *sources[i], [&](PredId pred, TupleView row) -> Status {
+            ++state->last_merged_new;
+            delta_new->Insert(pred, row);
+            for (SeqId arg : row) {
+              if (state->domain->Contains(arg) ||
+                  !pending.insert(arg).second) {
+                continue;
+              }
+              auto it = task_hints.find(arg);
+              if (it != task_hints.end()) {
+                stream.insert(stream.end(), it->second.begin(),
+                              it->second.end());
+              } else {
+                // Unhinted root (its closure alone overflows the domain
+                // budget): flush the stream so insertion order stays
+                // exactly the serial one, then take the budget-checked
+                // AddRoot, which bails out mid-closure.
+                SEQLOG_RETURN_IF_ERROR(state->domain->ExtendWithClosed(
+                    stream, max_domain, state->pool.get()));
+                stream.clear();
+                SEQLOG_RETURN_IF_ERROR(
+                    state->domain->AddRoot(arg, max_domain));
+              }
+            }
+            return Status::Ok();
+          }));
+    }
+    SEQLOG_RETURN_IF_ERROR(state->domain->ExtendWithClosed(
+        stream, max_domain, state->pool.get()));
   }
   state->domain_grew = state->domain->size() != domain_before;
   state->delta = std::move(delta_new);
@@ -271,7 +417,7 @@ Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
             std::chrono::steady_clock::now() - fire_start)
             .count();
     state->stats.fire_millis += state->last_round_millis;
-    return MergeRound({state->scratch.get()}, state);
+    return MergeRound({state->scratch.get()}, /*hints=*/nullptr, state);
   }
 
   if (state->pool == nullptr) {
@@ -281,6 +427,7 @@ Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
   std::vector<std::unique_ptr<Database>> scratches(n);
   std::vector<EvalStats> task_stats(n);
   std::vector<Status> task_status(n, Status::Ok());
+  std::vector<ClosureHints> hints(n);
   std::atomic<size_t> round_new{0};
   state->pool->ParallelFor(n, [&](size_t i) {
     // Thread-local scratch: firing takes no locks except SequencePool
@@ -302,6 +449,15 @@ Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
     const FireTask& t = tasks[i];
     task_status[i] = FireClause(plans_[t.plan_idx], t.delta_step, &ctx,
                                 t.begin, t.end);
+    if (task_status[i].ok()) {
+      // Still inside the parallel phase: pre-intern the subsequence
+      // closures of what this task derived, so the serial barrier below
+      // finds every span warm in the pool and only does membership
+      // inserts.
+      PreInternClosures(*scratches[i], *state->domain,
+                        state->options.limits.max_domain_sequences,
+                        &hints[i]);
+    }
   });
   state->last_round_millis =
       std::chrono::duration<double, std::milli>(
@@ -320,7 +476,7 @@ Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
   std::vector<const Database*> sources;
   sources.reserve(n);
   for (const auto& scratch : scratches) sources.push_back(scratch.get());
-  return MergeRound(sources, state);
+  return MergeRound(sources, &hints, state);
 }
 
 Status Evaluator::Saturate(const std::vector<size_t>& subset, bool naive,

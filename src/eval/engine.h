@@ -24,14 +24,20 @@
 // writes derived facts, so EvalOptions::num_threads > 1 fans the firings
 // (sharding large deltas by row range) out to a pool of workers with
 // thread-local scratch databases. Mutation is confined to the round
-// barrier, which merges scratches in deterministic task order and grows
-// the extended active domain single-writer; new sequences derived inside
-// a round are interned through the shared_mutex-guarded SequencePool.
-// The computed model is identical at every thread count.
+// barrier, which merges scratches in deterministic task order. The
+// domain closure itself is parallelised end to end: worker tasks
+// pre-intern the subsequence spans of sequences they derive (lock-free
+// SequencePool reads, shared_mutex interning) and hand the barrier
+// ready-made closure id streams, so the barrier degrades to membership
+// inserts on warm pool entries — with the duplicate filtering sharded
+// across workers (ExtendedDomain::ExtendWithClosed); the EDB-load
+// closure fans out the same way. The computed model is identical at
+// every thread count. docs/CONCURRENCY.md holds the full contract.
 #ifndef SEQLOG_EVAL_ENGINE_H_
 #define SEQLOG_EVAL_ENGINE_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "ast/clause.h"
@@ -62,10 +68,13 @@ struct EvalOptions {
   /// the round-global max_facts counter tallies a fact once per task
   /// that derives it (it cannot see across private scratches), so a run
   /// sitting exactly at the max_facts edge can exhaust at a width where
-  /// another width still fits. Small rounds stay serial regardless (the
-  /// pool
-  /// round-trip would cost more than the work), so point queries over
-  /// magic rewrites pay nothing for the default.
+  /// another width still fits; similarly the domain budget is checked
+  /// against a parallel barrier batch's final size rather than
+  /// mid-closure, so a *failing* run's partial domain can differ by
+  /// width (the status and all successful runs are identical). Small
+  /// rounds stay serial regardless (the pool round-trip would cost more
+  /// than the work), so point queries over magic rewrites pay nothing
+  /// for the default.
   size_t num_threads = 0;
 };
 
@@ -120,13 +129,25 @@ class Evaluator {
   /// for a full firing) and a delta row shard (parallel rounds split one
   /// large delta into contiguous, disjointly covering ranges).
   struct FireTask;
+  /// Per-task closure hints: root id -> its pre-interned subsequence
+  /// closure stream (EnumerateClosure order). Worker tasks fill one map
+  /// per task during the firing phase; the merge barrier consumes them
+  /// so the domain extension never hashes a symbol span.
+  using ClosureHints = std::unordered_map<SeqId, std::vector<SeqId>>;
 
   Status InitState(const Database& edb, const Database* extra_facts,
                    std::shared_ptr<const ExtendedDomain> base_domain,
                    const EvalOptions& options, Database* model,
                    RunState* state) const;
-  /// Loads every atom of `db` into the model, delta and domain.
+  /// Loads every atom of `db` into the model and delta, then closes the
+  /// argument sequences into the domain via CloseRoots.
   Status LoadFacts(const Database& db, RunState* state) const;
+  /// Extends the domain with every id of `roots` (subsequence closure
+  /// included), in order. Multi-threaded runs with enough closure work
+  /// pre-intern the spans in parallel and batch the membership inserts
+  /// (ExtendWithClosed); otherwise this is the serial AddRoot loop. The
+  /// resulting domain is identical either way.
+  Status CloseRoots(const std::vector<SeqId>& roots, RunState* state) const;
   /// One least-fixpoint loop over the given clause subset; shared by all
   /// strategies. `first_full` forces a full firing pass first.
   Status Saturate(const std::vector<size_t>& subset, bool naive,
@@ -145,13 +166,22 @@ class Evaluator {
   /// single-threaded rounds run the tasks serially into the shared
   /// scratch database (the exact legacy path); otherwise the tasks fan
   /// out to the run's thread pool, each deriving into a thread-local
-  /// scratch, merged deterministically in task order at the barrier.
+  /// scratch — and pre-interning the closures of what it derived into
+  /// per-task ClosureHints — merged deterministically in task order at
+  /// the barrier.
   Status FireRound(const std::vector<FireTask>& tasks,
                    RunState* state) const;
   /// Merges `sources` (in order) into the model, refreshing delta,
-  /// domain (single-writer batch extension) and growth stats.
+  /// domain and growth stats; accumulates the elapsed time into
+  /// EvalStats::domain_millis. With `hints` (parallel rounds) the domain
+  /// grows through the warm-entry ExtendWithClosed path; without
+  /// (serial rounds) through the legacy inline ExtendWith.
   Status MergeRound(const std::vector<const Database*>& sources,
+                    const std::vector<ClosureHints>* hints,
                     RunState* state) const;
+  Status MergeRoundImpl(const std::vector<const Database*>& sources,
+                        const std::vector<ClosureHints>* hints,
+                        RunState* state) const;
 
   Status EvaluateFlat(const EvalOptions& options, RunState* state) const;
   Status EvaluateStratified(const EvalOptions& options,

@@ -45,11 +45,18 @@ struct EvalStats {
   size_t derivations = 0;       ///< head emissions attempted
   size_t strata = 0;            ///< stratified strategy only
   double millis = 0;
-  /// Wall-clock spent firing clauses — the phase that parallelises;
-  /// the rest of `millis` (EDB load and the merge barriers, including
-  /// the single-writer domain closure) is serial at every thread
-  /// count. fire_millis/millis bounds the achievable speedup (Amdahl).
+  /// Wall-clock spent firing clauses — the phase that parallelises.
+  /// Parallel runs also pre-intern the subsequence closures of derived
+  /// sequences inside this phase, so on constructive workloads most of
+  /// what used to be serial closure time moves here.
+  /// fire_millis/millis bounds the achievable speedup (Amdahl).
   double fire_millis = 0;
+  /// Wall-clock spent growing the extended active domain — the EDB load
+  /// and the round merge barriers (both dominated by the subsequence
+  /// closure). The serial counterpart of fire_millis: together they
+  /// account for nearly all of `millis`, so the Amdahl split in bench
+  /// output is measured, not inferred.
+  double domain_millis = 0;
   /// Per-iteration (facts, domain size) when growth tracking is on; used
   /// by the Example 1.5 / 1.6 benchmarks to plot divergence.
   std::vector<std::pair<size_t, size_t>> growth;

@@ -11,13 +11,44 @@ SequencePool::SequencePool() {
   SEQLOG_CHECK(empty == kEmptySeq);
 }
 
+SequencePool::~SequencePool() {
+  for (auto& leaf_slot : root_) {
+    Leaf* leaf = leaf_slot.load(std::memory_order_relaxed);
+    if (leaf == nullptr) continue;
+    for (auto& chunk_slot : leaf->chunks) {
+      delete chunk_slot.load(std::memory_order_relaxed);
+    }
+    delete leaf;
+  }
+}
+
 SeqId SequencePool::InternLocked(SeqView symbols) {
   auto it = ids_.find(symbols);
   if (it != ids_.end()) return it->second;
-  SeqId id = static_cast<SeqId>(seqs_.size());
+  size_t next = size_.load(std::memory_order_relaxed);
+  SeqId id = static_cast<SeqId>(next);
   SEQLOG_CHECK(id != kInvalidSeq) << "sequence pool overflow";
-  seqs_.emplace_back(symbols.begin(), symbols.end());
-  ids_.emplace(SeqView(seqs_.back()), id);
+  // Grow the directory if this id starts a new chunk. Writers are
+  // serialized by mu_; the release store of size_ below (plus the mutex
+  // hand-off between writers) publishes the new pointers to readers.
+  auto& leaf_slot = root_[id >> (kLeafBits + kChunkBits)];
+  Leaf* leaf = leaf_slot.load(std::memory_order_relaxed);
+  if (leaf == nullptr) {
+    leaf = new Leaf();
+    leaf_slot.store(leaf, std::memory_order_release);
+  }
+  auto& chunk_slot = leaf->chunks[(id >> kChunkBits) & (kLeafSize - 1)];
+  Chunk* chunk = chunk_slot.load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    chunk_slot.store(chunk, std::memory_order_release);
+  }
+  std::vector<Symbol>& entry = chunk->seqs[id & (kChunkSize - 1)];
+  entry.assign(symbols.begin(), symbols.end());
+  ids_.emplace(SeqView(entry), id);
+  // Publish: everything above is sequenced before this store, so any
+  // reader that observes size_ > id sees the complete entry.
+  size_.store(next + 1, std::memory_order_release);
   return id;
 }
 
@@ -35,14 +66,6 @@ SeqId SequencePool::Find(SeqView symbols) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   auto it = ids_.find(symbols);
   return it == ids_.end() ? kInvalidSeq : it->second;
-}
-
-SeqView SequencePool::View(SeqId id) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  SEQLOG_CHECK(id < seqs_.size()) << "bad sequence id " << id;
-  // The returned span points into the inner vector's heap buffer, which
-  // never moves; releasing the lock here is safe.
-  return seqs_[id];
 }
 
 SeqId SequencePool::Concat(SeqId a, SeqId b) {

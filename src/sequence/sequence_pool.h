@@ -8,6 +8,8 @@
 #ifndef SEQLOG_SEQUENCE_SEQUENCE_POOL_H_
 #define SEQLOG_SEQUENCE_SEQUENCE_POOL_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <shared_mutex>
 #include <span>
@@ -33,22 +35,31 @@ using SeqView = std::span<const Symbol>;
 
 /// Interning pool for symbol strings.
 ///
-/// Storage uses a vector of vectors; the inner heap buffers never move
-/// once inserted, so views handed out stay valid for the pool's lifetime.
+/// Storage is a three-level chunked directory (never-moving fixed-size
+/// chunks of per-sequence buffers), so views handed out stay valid for
+/// the pool's lifetime and id-indexed reads need no lock.
 ///
-/// Thread-safe: lookups and interning may run concurrently (readers share
-/// the lock; interning a *new* sequence takes it exclusively), so many
-/// threads can evaluate prepared queries against snapshots while the
-/// engine keeps adding facts. One pool per Engine.
+/// Thread-safety splits by access path (the full contract, including the
+/// memory-ordering argument, is in docs/CONCURRENCY.md):
 ///
-/// Cost note: View/Length/Render take the shared lock per call, which
-/// the evaluator's inner loops feel even single-threaded. A lock-free
-/// read path needs stable element addresses plus an atomic size gate
-/// (chunked storage instead of the outer vector) — a contained follow-up
-/// if profiles show reader contention on mu_.
+///  * **Id-indexed reads are lock-free.** `View`, `Length`, `Render` and
+///    `size` only gate on the atomic `size_`: an id below the acquire-
+///    loaded size names a fully published entry. This is the evaluator's
+///    hottest read path (term evaluation, inverse-suffix matching,
+///    rendering), hit from every firing thread of a parallel round.
+///  * **Content lookups share a lock.** `Find` and the already-interned
+///    fast path of `Intern` take `mu_` shared (the id map cannot be read
+///    lock-free while a writer rehashes it); interning a *new* sequence
+///    takes `mu_` exclusively and publishes the entry by storing the new
+///    size with release ordering.
+///
+/// Many threads may intern and resolve concurrently: parallel evaluation
+/// rounds pre-intern the subsequence spans they derive while snapshot
+/// readers render results. One pool per Engine.
 class SequencePool {
  public:
   SequencePool();
+  ~SequencePool();
   SequencePool(const SequencePool&) = delete;
   SequencePool& operator=(const SequencePool&) = delete;
 
@@ -59,11 +70,15 @@ class SequencePool {
   static constexpr SeqId kInvalidSeq = 0xFFFFFFFFu;
   SeqId Find(SeqView symbols) const;
 
-  /// Returns the symbols of sequence `id`. The view stays valid for the
-  /// pool's lifetime.
-  SeqView View(SeqId id) const;
+  /// Returns the symbols of sequence `id`. Lock-free; the view stays
+  /// valid for the pool's lifetime.
+  SeqView View(SeqId id) const {
+    size_t published = size_.load(std::memory_order_acquire);
+    SEQLOG_CHECK(id < published) << "bad sequence id " << id;
+    return *Slot(id);
+  }
 
-  /// len(sigma): the number of symbols in sequence `id`.
+  /// len(sigma): the number of symbols in sequence `id`. Lock-free.
   size_t Length(SeqId id) const { return View(id).size(); }
 
   /// Interns the concatenation sigma1 sigma2 (the paper's s1 . s2).
@@ -87,13 +102,31 @@ class SequencePool {
   /// The empty sequence renders as "" (callers add quoting as needed).
   std::string Render(SeqId id, const SymbolTable& symbols) const;
 
-  /// Number of interned sequences.
-  size_t size() const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    return seqs_.size();
-  }
+  /// Number of interned sequences. Lock-free; a reader may observe a
+  /// size that is stale by in-flight interns, never a torn one.
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
+  // Chunk geometry: 2^11 leaves x 2^11 chunks x 2^10 entries covers the
+  // full 32-bit SeqId space; the root directory is 16 KiB inline, leaves
+  // and chunks are allocated on demand by the (serialized) writers.
+  static constexpr size_t kChunkBits = 10;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kLeafBits = 11;
+  static constexpr size_t kLeafSize = size_t{1} << kLeafBits;
+  static constexpr size_t kRootSize =
+      (size_t{1} << 32) / (kChunkSize * kLeafSize);
+
+  /// One chunk of interned sequences. The vector objects never move once
+  /// their chunk is allocated; the symbol buffers they own never move at
+  /// all, so SeqViews handed out survive any amount of growth.
+  struct Chunk {
+    std::array<std::vector<Symbol>, kChunkSize> seqs;
+  };
+  struct Leaf {
+    std::array<std::atomic<Chunk*>, kLeafSize> chunks{};
+  };
+
   struct ViewHash {
     size_t operator()(SeqView v) const { return HashSpan(v); }
   };
@@ -104,13 +137,29 @@ class SequencePool {
     }
   };
 
-  /// Lock-free internals; callers hold mu_ as documented per method.
-  SeqId InternLocked(SeqView symbols);  ///< requires unique lock
+  /// Storage slot of `id`. Callers must have established that the entry
+  /// is published (id < an acquire-load of size_, or holding mu_).
+  const std::vector<Symbol>* Slot(SeqId id) const {
+    Leaf* leaf = root_[id >> (kLeafBits + kChunkBits)].load(
+        std::memory_order_acquire);
+    Chunk* chunk =
+        leaf->chunks[(id >> kChunkBits) & (kLeafSize - 1)].load(
+            std::memory_order_acquire);
+    return &chunk->seqs[id & (kChunkSize - 1)];
+  }
 
+  SeqId InternLocked(SeqView symbols);  ///< requires unique lock on mu_
+
+  /// Publication gate for the chunked storage: entry `id` is fully
+  /// constructed (and its directory path stored) before the writer
+  /// release-stores `id + 1`; a reader that acquire-loads a size above
+  /// `id` therefore sees the complete entry. Writers are serialized by
+  /// mu_, so the stored values are strictly increasing.
+  std::atomic<size_t> size_{0};
+  std::array<std::atomic<Leaf*>, kRootSize> root_{};
+
+  /// Guards ids_ (and serializes writers). Id-indexed reads never take it.
   mutable std::shared_mutex mu_;
-  // Outer vector may reallocate (guarded by mu_), but the inner vectors'
-  // heap buffers never move, so SeqViews handed out survive growth.
-  std::vector<std::vector<Symbol>> seqs_;
   std::unordered_map<SeqView, SeqId, ViewHash, ViewEq> ids_;
 };
 

@@ -206,6 +206,74 @@ TEST(ParallelEvalGenome, PipelineAgreesAtEveryThreadCount) {
   }
 }
 
+// The parallel domain-closure pipeline (worker pre-interning + the
+// warm-entry merge barrier + sharded membership dedup) must leave the
+// domain bit-identical to the serial AddRoot path: same size, same
+// enumeration order (observable through domain-sensitive clauses), same
+// counters. The long DNA inputs push the per-round closure stream past
+// the sharded-dedup threshold, and the EDB load past the parallel
+// closure threshold, so both new paths actually execute.
+TEST(ParallelEvalGenome, ClosurePipelineMatchesSerialClosure) {
+  std::vector<std::string> dna = RandomSequences(23, 20, 90, "acgt");
+  // A domain-sensitive clause on top of the constructive pipeline:
+  // suffixes of derived RNA enumerate an index variable over the domain,
+  // so any divergence in domain contents or enumeration order shows up
+  // as different answers, not just different stats.
+  std::string program = std::string(programs::kGenomePipeline) +
+                        "rsuffix(R[N:end]) :- rnaseq(D, R).\n";
+  std::map<size_t, std::map<std::string, std::vector<RenderedRow>>> rows;
+  std::map<size_t, eval::EvalStats> stats;
+  for (size_t threads : {1u, 2u, 8u}) {
+    Engine engine;
+    RegisterGenomeMachines(&engine);
+    ASSERT_TRUE(engine.LoadProgram(program).ok());
+    for (const std::string& d : dna) {
+      ASSERT_TRUE(engine.AddFact("dnaseq", {d}).ok());
+    }
+    eval::EvalOptions options;
+    options.num_threads = threads;
+    eval::EvalOutcome outcome = engine.Evaluate(options);
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    stats[threads] = outcome.stats;
+    for (const char* pred : {"rnaseq", "proteinseq", "rsuffix"}) {
+      auto result = engine.Query(pred);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      rows[threads][pred] = result.value();
+    }
+  }
+  // Enough closure work that the parallel run really took the sharded
+  // barrier (90-symbol roots alone are > 4000 spans each).
+  ASSERT_GE(stats[1].domain_sequences, 4096u);
+  for (size_t threads : {2u, 8u}) {
+    EXPECT_EQ(rows[1], rows[threads]) << "threads=" << threads;
+    EXPECT_EQ(stats[1].facts, stats[threads].facts);
+    EXPECT_EQ(stats[1].iterations, stats[threads].iterations);
+    EXPECT_EQ(stats[1].derivations, stats[threads].derivations);
+    EXPECT_EQ(stats[1].domain_sequences, stats[threads].domain_sequences);
+  }
+}
+
+// domain_millis + fire_millis account the run: both phases are measured
+// (nonzero on a workload this size) and bounded by the total.
+TEST(ParallelEvalGenome, DomainMillisIsMeasured) {
+  std::vector<std::string> dna = RandomSequences(29, 12, 80, "acgt");
+  for (size_t threads : {1u, 8u}) {
+    Engine engine;
+    RegisterGenomeMachines(&engine);
+    ASSERT_TRUE(engine.LoadProgram(programs::kGenomePipeline).ok());
+    for (const std::string& d : dna) {
+      ASSERT_TRUE(engine.AddFact("dnaseq", {d}).ok());
+    }
+    eval::EvalOptions options;
+    options.num_threads = threads;
+    eval::EvalOutcome outcome = engine.Evaluate(options);
+    ASSERT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+    EXPECT_GT(outcome.stats.domain_millis, 0.0) << "threads=" << threads;
+    EXPECT_LE(outcome.stats.domain_millis, outcome.stats.millis);
+    EXPECT_LE(outcome.stats.fire_millis, outcome.stats.millis);
+  }
+}
+
 // ---------------------------------------------------------------------
 // Delta sharding: a round whose delta is thousands of rows splits one
 // firing across workers; the merged result must still match serial.
