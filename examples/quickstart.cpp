@@ -18,6 +18,8 @@ int main() {
   //  * every pairwise concatenation                (Example 1.2)
   //  * the reverse of every r-sequence             (Example 1.4)
   seqlog::Status status = engine.LoadProgram(R"(
+    % lint-expect: SL-E010 — reverse (Example 1.4) is finite but not
+    % strongly safe; the budgeted semi-naive run below handles it.
     suffix(X[N:end]) :- r(X).
     pair(X ++ Y) :- r(X), r(Y).
     answer(Y) :- r(X), reverse(X, Y).

@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "analysis/safety.h"
 #include "core/engine.h"
 #include "transducer/genome.h"
@@ -49,6 +50,8 @@ constexpr char kHelp[] = R"(seqlog shell commands
                           against a fresh snapshot of the facts
   :program                show the accumulated program
   :safety                 safety report (Definitions 8-10)
+  :check [goal]           lint the program (analysis/lint.h); with a
+                          goal also checks reachability/bindability
   :dot                    dependency graph in Graphviz format (Figure 3)
   :limits <iters> <facts> set evaluation budgets
   :threads <n>            evaluation threads (0 = one per core, 1 = serial)
@@ -225,6 +228,10 @@ class Shell {
       std::vector<std::string> values;
       while (in >> value) values.push_back(value == "eps" ? "" : value);
       Exec(name, values);
+    } else if (cmd == ":check") {
+      std::string goal;
+      std::getline(in, goal);
+      Check(goal);
     } else if (cmd == ":safety") {
       Safety(/*dot=*/false);
     } else if (cmd == ":dot") {
@@ -461,6 +468,38 @@ class Shell {
       std::cout << ")\n";
     }
     std::cout << rows.size() << " tuple(s)\n";
+  }
+
+  /// Lints the accumulated program text (even when it does not validate
+  /// — the linter reports every problem, not just the first). Predicates
+  /// with +facts count as extensional; a goal argument enables the
+  /// reachability/bindability passes.
+  void Check(const std::string& goal_text) {
+    seqlog::analysis::LintOptions options;
+    options.include_info = true;
+    for (const auto& [pred, args] : facts_) {
+      options.edb_predicates.insert(pred);
+    }
+    // Lint in a scratch pool/symbol table: the program text may not even
+    // parse, and linting must not disturb the engine.
+    seqlog::SymbolTable symbols;
+    seqlog::SequencePool pool;
+    std::string trimmed_goal = Trim(goal_text);
+    if (!trimmed_goal.empty()) {
+      auto goal = seqlog::parser::ParseGoal(trimmed_goal, &symbols, &pool);
+      if (!goal.ok()) {
+        std::cout << "! " << goal.status().ToString() << "\n";
+        return;
+      }
+      options.goal = goal.value();
+    }
+    seqlog::analysis::DiagnosticReport report =
+        seqlog::analysis::LintSource(program_, &symbols, &pool, options);
+    if (report.empty()) {
+      std::cout << "no findings\n";
+      return;
+    }
+    std::cout << report.RenderText();
   }
 
   void Safety(bool dot) {

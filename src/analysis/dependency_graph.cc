@@ -119,6 +119,40 @@ bool DependencyGraph::HasConstructiveCycle(
   return false;
 }
 
+std::vector<std::string> DependencyGraph::ConstructiveCyclePath() const {
+  std::pair<std::string, std::string> witness;
+  if (!HasConstructiveCycle(&witness)) return {};
+  const auto& [p, q] = witness;
+  // Close the cycle with a shortest q ~> p path (BFS); since p and q are
+  // in one SCC such a path always exists (it is empty for a self-loop).
+  std::vector<std::string> path = {p, q};
+  if (p == q) return path;
+  std::map<std::string, std::string> parent;
+  std::vector<std::string> frontier = {q};
+  parent[q] = q;
+  while (!frontier.empty() && parent.find(p) == parent.end()) {
+    std::vector<std::string> next;
+    for (const std::string& v : frontier) {
+      auto it = edges_.find(v);
+      if (it == edges_.end()) continue;
+      for (const std::string& w : it->second) {
+        if (parent.emplace(w, v).second) next.push_back(w);
+      }
+    }
+    frontier = std::move(next);
+  }
+  SEQLOG_CHECK(parent.find(p) != parent.end())
+      << "constructive witness edge not on a cycle";
+  // Walk the parent pointers p -> ... -> q and reverse to extend the
+  // cycle q -> ... -> p (the final element is p, closing the cycle).
+  std::vector<std::string> tail;
+  for (std::string v = p; v != q; v = parent[v]) tail.push_back(v);
+  for (auto it = tail.rbegin(); it != tail.rend(); ++it) {
+    path.push_back(*it);
+  }
+  return path;
+}
+
 std::string DependencyGraph::ToDot() const {
   std::string out = "digraph dependencies {\n";
   for (const std::string& v : nodes_) {

@@ -46,6 +46,11 @@ class DependencyGraph {
   bool HasConstructiveCycle(
       std::pair<std::string, std::string>* witness = nullptr) const;
 
+  /// A shortest cycle through a constructive edge, as the node sequence
+  /// p, q, ..., p (first edge constructive, first == last); empty when
+  /// the program is strongly safe. Diagnostics render it "p -> q -> p".
+  std::vector<std::string> ConstructiveCyclePath() const;
+
   /// Graphviz rendering; constructive edges are labelled and bold
   /// (regenerates the shape of the paper's Figure 3).
   std::string ToDot() const;

@@ -1,0 +1,151 @@
+#include "analysis/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace analysis {
+
+std::string_view ToString(Severity severity) {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kInfo:
+      return "info";
+  }
+  return "unknown";
+}
+
+std::string ToString(const Diagnostic& d, std::string_view filename) {
+  std::string out;
+  if (!filename.empty()) {
+    out += filename;
+    out += ":";
+  }
+  if (d.loc.valid()) {
+    out += StrCat(d.loc.line, ":", d.loc.column, ":");
+  }
+  if (!out.empty()) out += " ";
+  out += StrCat(ToString(d.severity), "[", d.code, "]: ", d.message);
+  return out;
+}
+
+void DiagnosticReport::Add(Diagnostic d) { diags_.push_back(std::move(d)); }
+
+void DiagnosticReport::Add(std::string code, Severity severity,
+                           ast::SourceLoc loc, std::string predicate,
+                           std::string message) {
+  Diagnostic d;
+  d.code = std::move(code);
+  d.severity = severity;
+  d.loc = loc;
+  d.predicate = std::move(predicate);
+  d.message = std::move(message);
+  diags_.push_back(std::move(d));
+}
+
+size_t DiagnosticReport::ErrorCount() const {
+  return WithSeverity(Severity::kError).size();
+}
+
+size_t DiagnosticReport::WarningCount() const {
+  return WithSeverity(Severity::kWarning).size();
+}
+
+std::vector<Diagnostic> DiagnosticReport::WithSeverity(
+    Severity severity) const {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags_) {
+    if (d.severity == severity) out.push_back(d);
+  }
+  return out;
+}
+
+void DiagnosticReport::Sort() {
+  std::stable_sort(diags_.begin(), diags_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (!(a.loc == b.loc)) {
+                       // Valid locations first, in text order.
+                       if (a.loc.valid() != b.loc.valid()) {
+                         return a.loc.valid();
+                       }
+                       return a.loc < b.loc;
+                     }
+                     if (a.code != b.code) return a.code < b.code;
+                     return a.message < b.message;
+                   });
+}
+
+std::string DiagnosticReport::RenderText(std::string_view filename) const {
+  std::string out;
+  for (const Diagnostic& d : diags_) {
+    out += ToString(d, filename);
+    out += "\n";
+  }
+  if (!diags_.empty()) {
+    out += StrCat(ErrorCount(), " error(s), ", WarningCount(),
+                  " warning(s)\n");
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string DiagnosticReport::RenderJson(std::string_view filename) const {
+  std::string out = "{";
+  if (!filename.empty()) {
+    out += StrCat("\"file\": \"", JsonEscape(filename), "\", ");
+  }
+  out += "\"diagnostics\": [";
+  for (size_t i = 0; i < diags_.size(); ++i) {
+    const Diagnostic& d = diags_[i];
+    if (i > 0) out += ", ";
+    out += StrCat("{\"code\": \"", d.code, "\", \"severity\": \"",
+                  ToString(d.severity), "\", \"line\": ", d.loc.line,
+                  ", \"column\": ", d.loc.column, ", \"predicate\": \"",
+                  JsonEscape(d.predicate), "\", \"message\": \"",
+                  JsonEscape(d.message), "\"}");
+  }
+  out += StrCat("], \"errors\": ", ErrorCount(),
+                ", \"warnings\": ", WarningCount(), "}");
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace seqlog

@@ -1,0 +1,89 @@
+// seqlog: coded, severity-ranked, source-located diagnostics.
+//
+// Every finding of the static analyses (analysis/lint.h) is a Diagnostic
+// with a stable code ("SL-E010"), a severity, and the line:column of the
+// offending construct. DiagnosticReport accumulates them and renders the
+// set for humans (compiler-style text) or machines (JSON, consumed by the
+// lint-programs CI job through tools/seqlog-lint --format=json).
+//
+// Code space (stable; never renumber):
+//   SL-Exxx  errors   — the program is rejected or cannot terminate
+//   SL-Wxxx  warnings — legal but suspicious or slow
+//   SL-Ixxx  info     — positive findings (strong safety, PTIME class)
+#ifndef SEQLOG_ANALYSIS_DIAGNOSTICS_H_
+#define SEQLOG_ANALYSIS_DIAGNOSTICS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ast/source_loc.h"
+
+namespace seqlog {
+namespace analysis {
+
+enum class Severity {
+  kError,    // program is ill-formed or not strongly safe
+  kWarning,  // legal but likely wrong or needlessly expensive
+  kInfo,     // informational (positive analysis results)
+};
+
+/// "error" / "warning" / "info".
+std::string_view ToString(Severity severity);
+
+/// One analysis finding, attributable to program text.
+struct Diagnostic {
+  std::string code;            ///< stable code, e.g. "SL-E010"
+  Severity severity = Severity::kError;
+  ast::SourceLoc loc;          ///< {0,0} when no position applies
+  std::string predicate;       ///< offending predicate ("" if n/a)
+  std::string message;         ///< human-readable, position-free
+};
+
+/// Renders one diagnostic compiler-style:
+///   "file:3:7: error[SL-E010]: <message>"  (file/position when known).
+std::string ToString(const Diagnostic& d, std::string_view filename = "");
+
+/// An ordered collection of diagnostics for one program.
+class DiagnosticReport {
+ public:
+  void Add(Diagnostic d);
+  void Add(std::string code, Severity severity, ast::SourceLoc loc,
+           std::string predicate, std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  bool empty() const { return diags_.empty(); }
+  size_t size() const { return diags_.size(); }
+
+  size_t ErrorCount() const;
+  size_t WarningCount() const;
+  bool HasErrors() const { return ErrorCount() > 0; }
+
+  /// Diagnostics of exactly `severity`, in report order.
+  std::vector<Diagnostic> WithSeverity(Severity severity) const;
+
+  /// Orders by source position, then code, then message — the stable
+  /// order used by both renderers and the golden tests.
+  void Sort();
+
+  /// One ToString(d, filename) line per diagnostic, plus a trailing
+  /// "N error(s), M warning(s)" summary line when non-empty.
+  std::string RenderText(std::string_view filename = "") const;
+
+  /// Machine-readable form:
+  ///   {"file": "...", "diagnostics": [{"code": ..., "severity": ...,
+  ///    "line": ..., "column": ..., "predicate": ..., "message": ...}],
+  ///    "errors": N, "warnings": M}
+  std::string RenderJson(std::string_view filename = "") const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes excluded).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace analysis
+}  // namespace seqlog
+
+#endif  // SEQLOG_ANALYSIS_DIAGNOSTICS_H_

@@ -1,0 +1,425 @@
+#include "analysis/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <utility>
+
+#include "analysis/safety.h"
+#include "ast/validate.h"
+#include "base/string_util.h"
+#include "parser/parser.h"
+#include "query/adornment.h"
+
+namespace seqlog {
+namespace analysis {
+
+namespace {
+
+using ast::Atom;
+using ast::Clause;
+using ast::Program;
+using ast::SeqTermPtr;
+using ast::SourceLoc;
+
+/// Appends every sequence/index variable occurrence (with repetition)
+/// in `term` to `out`.
+void CollectVarOccurrences(const ast::IndexTermPtr& term,
+                           std::vector<std::string>* out) {
+  if (term == nullptr) return;
+  switch (term->kind) {
+    case ast::IndexTerm::Kind::kLiteral:
+    case ast::IndexTerm::Kind::kEnd:
+      return;
+    case ast::IndexTerm::Kind::kVariable:
+      out->push_back(term->var);
+      return;
+    case ast::IndexTerm::Kind::kAdd:
+    case ast::IndexTerm::Kind::kSub:
+      CollectVarOccurrences(term->lhs, out);
+      CollectVarOccurrences(term->rhs, out);
+      return;
+  }
+}
+
+void CollectVarOccurrences(const SeqTermPtr& term,
+                           std::vector<std::string>* out) {
+  if (term == nullptr) return;
+  switch (term->kind) {
+    case ast::SeqTerm::Kind::kConstant:
+      return;
+    case ast::SeqTerm::Kind::kVariable:
+      out->push_back(term->var);
+      return;
+    case ast::SeqTerm::Kind::kIndexed:
+      CollectVarOccurrences(term->base, out);
+      CollectVarOccurrences(term->lo, out);
+      CollectVarOccurrences(term->hi, out);
+      return;
+    case ast::SeqTerm::Kind::kConcat:
+      CollectVarOccurrences(term->left, out);
+      CollectVarOccurrences(term->right, out);
+      return;
+    case ast::SeqTerm::Kind::kTransducer:
+      for (const SeqTermPtr& a : term->args) CollectVarOccurrences(a, out);
+      return;
+  }
+}
+
+std::string RenderCycle(const std::vector<std::string>& path) {
+  return Join(path, " -> ");
+}
+
+/// Migrates ast::CollectValidationIssues onto Diagnostics.
+void ValidatePass(const Program& program, const LintOptions&,
+                  DiagnosticReport* report) {
+  for (ast::ValidationIssue& issue :
+       ast::CollectValidationIssues(program)) {
+    report->Add(std::move(issue.code), Severity::kError, issue.loc,
+                std::move(issue.predicate), std::move(issue.message));
+  }
+}
+
+/// Definition 10 (strong safety) with the full cycle path; positive
+/// findings (PTIME class, stratification) as info.
+void StrongSafetyPass(const Program& program, const LintOptions& options,
+                      DiagnosticReport* report) {
+  SafetyReport safety = AnalyzeSafety(program);
+  if (!safety.strongly_safe && safety.offending_edge.has_value()) {
+    report->Add("SL-E010", Severity::kError, safety.cycle_loc,
+                safety.offending_edge->first,
+                StrCat("constructive cycle ", RenderCycle(safety.cycle_path),
+                       " (Definition 10): the program is not strongly "
+                       "safe, so stratified evaluation may not terminate"));
+    return;
+  }
+  if (options.include_info) {
+    if (safety.non_constructive) {
+      report->Add("SL-I060", Severity::kInfo, {}, "",
+                  "program is non-constructive: data complexity is in "
+                  "PTIME (Theorem 3)");
+    }
+    report->Add("SL-I061", Severity::kInfo, {}, "",
+                StrCat("program is strongly safe (Definition 10); ",
+                       safety.strata.size(), " construction strata"));
+  }
+}
+
+/// Unguarded (SL-W020) and singleton (SL-W021) variables, per clause.
+void VariablePass(const Program& program, const LintOptions&,
+                  DiagnosticReport* report) {
+  for (const Clause& clause : program.clauses) {
+    const std::string head_pred =
+        clause.head.kind == Atom::Kind::kPredicate ? clause.head.predicate
+                                                   : "";
+    std::set<std::string> seq_vars;
+    ast::CollectAtomVars(clause.head, &seq_vars, nullptr);
+    for (const Atom& a : clause.body) {
+      ast::CollectAtomVars(a, &seq_vars, nullptr);
+    }
+    const std::set<std::string> guarded = ast::GuardedVars(clause);
+    for (const std::string& v : seq_vars) {
+      if (guarded.count(v) > 0 || v[0] == '$') continue;
+      report->Add(
+          "SL-W020", Severity::kWarning, ast::FindVarLoc(clause, v),
+          head_pred,
+          StrCat("sequence variable '", v,
+                 "' is unguarded (never a direct argument of a body "
+                 "predicate atom, Section 3.1); it ranges over the whole "
+                 "extended active domain"));
+    }
+
+    std::vector<std::string> occurrences;
+    for (const SeqTermPtr& t : clause.head.args) {
+      CollectVarOccurrences(t, &occurrences);
+    }
+    for (const Atom& a : clause.body) {
+      for (const SeqTermPtr& t : a.args) {
+        CollectVarOccurrences(t, &occurrences);
+      }
+    }
+    std::map<std::string, size_t> counts;
+    for (const std::string& v : occurrences) ++counts[v];
+    for (const auto& [v, n] : counts) {
+      if (n != 1 || v[0] == '_' || v[0] == '$') continue;
+      report->Add("SL-W021", Severity::kWarning,
+                  ast::FindVarLoc(clause, v), head_pred,
+                  StrCat("variable '", v,
+                         "' occurs only once in the clause; prefix it "
+                         "with '_' if that is intentional"));
+    }
+  }
+}
+
+/// Undefined (SL-W030) body predicates; with a goal, unused (SL-W031)
+/// predicates and unreachable (SL-W050) clauses.
+void PredicatePass(const Program& program, const LintOptions& options,
+                   DiagnosticReport* report) {
+  const std::set<std::string> idb = program.HeadPredicates();
+  std::set<std::string> referenced;  // mentioned in some body
+  std::set<std::string> reported_undefined;
+  for (const Clause& clause : program.clauses) {
+    for (const Atom& a : clause.body) {
+      if (a.kind != Atom::Kind::kPredicate) continue;
+      referenced.insert(a.predicate);
+      if (idb.count(a.predicate) > 0 ||
+          options.edb_predicates.count(a.predicate) > 0 ||
+          !reported_undefined.insert(a.predicate).second) {
+        continue;
+      }
+      report->Add(
+          "SL-W030", Severity::kWarning, a.loc, a.predicate,
+          StrCat("predicate '", a.predicate,
+                 "' is never defined by a clause and not declared "
+                 "extensional; the literal can only fail"));
+    }
+  }
+
+  if (!options.goal.has_value() ||
+      options.goal->kind != Atom::Kind::kPredicate) {
+    return;
+  }
+  const std::string& goal_pred = options.goal->predicate;
+  if (idb.count(goal_pred) == 0 &&
+      options.edb_predicates.count(goal_pred) == 0) {
+    report->Add("SL-W030", Severity::kWarning, options.goal->loc, goal_pred,
+                StrCat("goal predicate '", goal_pred,
+                       "' is never defined by a clause and not declared "
+                       "extensional"));
+  }
+
+  // Predicates reachable from the goal in the dependency graph; the
+  // magic rewrite keeps exactly the clauses of these predicates.
+  DependencyGraph graph = DependencyGraph::Build(program);
+  std::set<std::string> reachable = {goal_pred};
+  std::vector<std::string> frontier = {goal_pred};
+  while (!frontier.empty()) {
+    std::vector<std::string> next;
+    for (const std::string& p : frontier) {
+      for (const std::string& q : graph.Successors(p)) {
+        if (reachable.insert(q).second) next.push_back(q);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  std::set<std::string> reported_unused;
+  for (size_t ci = 0; ci < program.clauses.size(); ++ci) {
+    const Clause& clause = program.clauses[ci];
+    if (clause.head.kind != Atom::Kind::kPredicate) continue;
+    const std::string& p = clause.head.predicate;
+    if (reachable.count(p) > 0) continue;
+    if (referenced.count(p) == 0) {
+      if (reported_unused.insert(p).second) {
+        report->Add("SL-W031", Severity::kWarning, clause.loc, p,
+                    StrCat("predicate '", p,
+                           "' is defined but never used in a body and is "
+                           "not the goal"));
+      }
+    } else {
+      report->Add("SL-W050", Severity::kWarning, clause.loc, p,
+                  StrCat("clause for '", p,
+                         "' is unreachable from the goal '", goal_pred,
+                         "'; the demand rewrite drops it"));
+    }
+  }
+}
+
+/// Duplicate (SL-W040) and syntactically subsumed (SL-W041) clauses.
+/// Comparison is on rendered text — duplicates up to variable renaming
+/// are not detected.
+void ClausePass(const Program& program, const SequencePool& pool,
+                const SymbolTable& symbols, DiagnosticReport* report) {
+  struct Rendered {
+    std::string head;
+    std::set<std::string> body;
+  };
+  std::vector<Rendered> rendered;
+  rendered.reserve(program.clauses.size());
+  for (const Clause& clause : program.clauses) {
+    Rendered r;
+    r.head = ToString(clause.head, pool, symbols);
+    for (const Atom& a : clause.body) {
+      r.body.insert(ToString(a, pool, symbols));
+    }
+    rendered.push_back(std::move(r));
+  }
+  for (size_t j = 0; j < rendered.size(); ++j) {
+    for (size_t i = 0; i < rendered.size(); ++i) {
+      if (i == j || rendered[i].head != rendered[j].head) continue;
+      const auto& bi = rendered[i].body;
+      const auto& bj = rendered[j].body;
+      if (bi == bj) {
+        if (i < j) {  // report the later duplicate once
+          const std::string head_pred =
+              program.clauses[j].head.kind == Atom::Kind::kPredicate
+                  ? program.clauses[j].head.predicate
+                  : "";
+          report->Add("SL-W040", Severity::kWarning,
+                      program.clauses[j].loc, head_pred,
+                      StrCat("clause duplicates clause ", i + 1));
+          break;
+        }
+        continue;
+      }
+      if (std::includes(bj.begin(), bj.end(), bi.begin(), bi.end())) {
+        const std::string head_pred =
+            program.clauses[j].head.kind == Atom::Kind::kPredicate
+                ? program.clauses[j].head.predicate
+                : "";
+        report->Add(
+            "SL-W041", Severity::kWarning, program.clauses[j].loc,
+            head_pred,
+            StrCat("clause is subsumed by clause ", i + 1,
+                   " (same head, fewer body literals); it cannot derive "
+                   "anything new"));
+        break;
+      }
+    }
+  }
+}
+
+/// True when the head term at a goal position blocks bindability: it
+/// contains a constructive subterm or an unguarded sequence variable
+/// (the conditions of query/adornment.h).
+bool BlocksBindability(const Clause& clause, const SeqTermPtr& term) {
+  if (ast::IsConstructive(term)) return true;
+  std::set<std::string> vars;
+  ast::CollectSeqVars(term, &vars);
+  const std::set<std::string> guarded = ast::GuardedVars(clause);
+  for (const std::string& v : vars) {
+    if (guarded.count(v) == 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+const std::vector<LintPassInfo>& LintPasses() {
+  static const std::vector<LintPassInfo> kPasses = {
+      {"validate", "SL-E002,SL-E003,SL-E004,SL-E005,SL-E006,SL-E007"},
+      {"strong-safety", "SL-E010,SL-I060,SL-I061"},
+      {"variables", "SL-W020,SL-W021"},
+      {"predicates", "SL-W030,SL-W031,SL-W050"},
+      {"clauses", "SL-W040,SL-W041"},
+      {"goal-bindability", "SL-W051"},
+  };
+  return kPasses;
+}
+
+DiagnosticReport Lint(const Program& program, const SequencePool& pool,
+                      const SymbolTable& symbols,
+                      const LintOptions& options) {
+  DiagnosticReport report;
+  ValidatePass(program, options, &report);
+  StrongSafetyPass(program, options, &report);
+  VariablePass(program, options, &report);
+  PredicatePass(program, options, &report);
+  ClausePass(program, pool, symbols, &report);
+  if (options.goal.has_value()) {
+    for (Diagnostic& d : LintGoal(program, *options.goal)) {
+      report.Add(std::move(d));
+    }
+  }
+  report.Sort();
+  return report;
+}
+
+DiagnosticReport LintSource(std::string_view source, SymbolTable* symbols,
+                            SequencePool* pool,
+                            const LintOptions& options) {
+  Result<Program> program =
+      parser::ParseProgramUnvalidated(source, symbols, pool);
+  if (!program.ok()) {
+    // Parser/lexer messages carry "at L:C"; recover the position so the
+    // diagnostic points at the failure.
+    const std::string& msg = program.status().message();
+    SourceLoc loc;
+    size_t colon = msg.find(':');
+    while (colon != std::string::npos) {
+      size_t ls = colon;
+      while (ls > 0 &&
+             std::isdigit(static_cast<unsigned char>(msg[ls - 1]))) {
+        --ls;
+      }
+      size_t ce = colon + 1;
+      while (ce < msg.size() &&
+             std::isdigit(static_cast<unsigned char>(msg[ce]))) {
+        ++ce;
+      }
+      if (ls < colon && ce > colon + 1) {
+        loc.line = std::stoi(msg.substr(ls, colon - ls));
+        loc.column = std::stoi(msg.substr(colon + 1, ce - colon - 1));
+        break;
+      }
+      colon = msg.find(':', colon + 1);
+    }
+    DiagnosticReport report;
+    report.Add("SL-E001", Severity::kError, loc, "", msg);
+    return report;
+  }
+  return Lint(program.value(), *pool, *symbols, options);
+}
+
+std::vector<Diagnostic> LintGoal(const Program& program,
+                                 const ast::Atom& goal) {
+  std::vector<Diagnostic> out;
+  if (goal.kind != Atom::Kind::kPredicate) return out;
+  const std::set<std::string> idb = program.HeadPredicates();
+  if (idb.count(goal.predicate) == 0) return out;  // EDB goal: no rewrite
+
+  // Ground flags exactly as Solver::Prepare computes them: parameters
+  // and variable-free terms are bound, plain variables free. Argument
+  // shapes the solver rejects are skipped (Prepare reports those).
+  std::vector<bool> ground(goal.args.size(), false);
+  for (size_t j = 0; j < goal.args.size(); ++j) {
+    const SeqTermPtr& arg = goal.args[j];
+    if (arg == nullptr) return out;
+    if (arg->kind == ast::SeqTerm::Kind::kVariable) {
+      ground[j] = parser::IsParamVariable(arg->var);
+      continue;
+    }
+    std::set<std::string> vars;
+    ast::CollectSeqVars(arg, &vars);
+    ast::CollectIndexVars(arg, &vars);
+    if (!vars.empty()) return out;
+    ground[j] = true;
+  }
+
+  Result<query::AdornmentResult> adornment =
+      query::AdornProgram(program, goal.predicate, ground);
+  if (!adornment.ok()) return out;
+  const query::Adornment& effective = adornment.value().goal_adornment;
+  for (size_t j = 0; j < ground.size() && j < effective.size(); ++j) {
+    if (!ground[j] || effective[j] != 'f') continue;
+    // Point at the head term that makes the position unbindable.
+    SourceLoc loc = goal.loc;
+    for (const Clause& clause : program.clauses) {
+      if (clause.head.kind != Atom::Kind::kPredicate ||
+          clause.head.predicate != goal.predicate ||
+          j >= clause.head.args.size()) {
+        continue;
+      }
+      if (BlocksBindability(clause, clause.head.args[j])) {
+        loc = clause.head.args[j]->loc;
+        break;
+      }
+    }
+    Diagnostic d;
+    d.code = "SL-W051";
+    d.severity = Severity::kWarning;
+    d.loc = loc;
+    d.predicate = goal.predicate;
+    d.message = StrCat(
+        "goal argument ", j + 1, " of '", goal.predicate,
+        "' is bound but not bindable (a defining head term is "
+        "constructive or has unguarded variables); the binding is "
+        "applied as a post-filter and Prepare degrades toward a full "
+        "fixpoint");
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace seqlog

@@ -1,0 +1,92 @@
+// seqlog: the program linter — static analysis passes over a parsed
+// program, reported as coded, source-located diagnostics.
+//
+// The passes layer over the existing analyses (ast/validate.h,
+// analysis/safety.h, query/adornment.h) and add purely stylistic checks.
+// Each diagnostic code is stable and documented with an example in
+// src/analysis/README.md:
+//
+//   SL-E001 parse-error           source does not parse (LintSource only)
+//   SL-E002 head-not-predicate    clause head is =, != (validate)
+//   SL-E003 constructive-body     ++/@T term in a clause body (validate)
+//   SL-E004 indexed-base          indexed term with a non-atomic base
+//   SL-E005 malformed-equality    equality atom without two arguments
+//   SL-E006 arity-clash           predicate used with two arities
+//   SL-E007 variable-role-clash   one name as sequence and index variable
+//   SL-E010 constructive-cycle    Definition 10 fails; cycle rendered
+//   SL-W020 unguarded-variable    sequence variable ranges over the whole
+//                                 extended active domain (Section 3.1)
+//   SL-W021 singleton-variable    variable occurs once ('_' prefix opts out)
+//   SL-W030 undefined-predicate   body predicate never defined / declared
+//   SL-W031 unused-predicate      defined but unreachable and unreferenced
+//   SL-W040 duplicate-clause      clause repeats an earlier clause
+//   SL-W041 subsumed-clause       clause body is a superset of an earlier
+//                                 clause with the same head
+//   SL-W050 unreachable-clause    not reachable from the goal predicate
+//   SL-W051 unbindable-goal       bound goal argument demoted to free —
+//                                 Prepare degrades toward a full fixpoint
+//   SL-I060 non-constructive      no ++/@T anywhere: PTIME (Theorem 3)
+//   SL-I061 strongly-safe         Definition 10 holds; stratum count
+//
+// Unguarded variables are *warnings*, not errors: the extended active
+// domain semantics (Section 4) gives them a well-defined meaning; they
+// are only unusual and potentially expensive.
+#ifndef SEQLOG_ANALYSIS_LINT_H_
+#define SEQLOG_ANALYSIS_LINT_H_
+
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "ast/clause.h"
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+
+namespace seqlog {
+namespace analysis {
+
+struct LintOptions {
+  /// Goal to check reachability / bindability against. Without it the
+  /// goal-dependent passes (SL-W031/W050/W051) are skipped.
+  std::optional<ast::Atom> goal;
+  /// Predicates supplied extensionally at runtime (AddFact): body-only
+  /// use of these does not trigger SL-W030 undefined-predicate.
+  std::set<std::string> edb_predicates;
+  /// Emit the positive SL-Ixxx findings too (off by default).
+  bool include_info = false;
+};
+
+/// One registered lint pass (introspection for tools and docs).
+struct LintPassInfo {
+  std::string_view name;   ///< e.g. "strong-safety"
+  std::string_view codes;  ///< codes it may emit, comma-separated
+};
+
+/// The pass list, in execution order.
+const std::vector<LintPassInfo>& LintPasses();
+
+/// Lints a parsed program. `pool`/`symbols` are only read (for rendering
+/// clauses in duplicate/subsumption messages). The report is sorted.
+DiagnosticReport Lint(const ast::Program& program, const SequencePool& pool,
+                      const SymbolTable& symbols,
+                      const LintOptions& options = {});
+
+/// Parses `source` (without ast::Validate, so every structural problem is
+/// reported, not just the first) and lints it. Parse failures yield a
+/// single SL-E001 diagnostic carrying the parser's line:column.
+DiagnosticReport LintSource(std::string_view source, SymbolTable* symbols,
+                            SequencePool* pool,
+                            const LintOptions& options = {});
+
+/// The goal-dependent subset (SL-W051) only — what Engine::Prepare
+/// surfaces as preparation warnings without re-linting the program.
+std::vector<Diagnostic> LintGoal(const ast::Program& program,
+                                 const ast::Atom& goal);
+
+}  // namespace analysis
+}  // namespace seqlog
+
+#endif  // SEQLOG_ANALYSIS_LINT_H_

@@ -20,7 +20,31 @@ SafetyReport AnalyzeSafety(const ast::Program& program) {
   std::pair<std::string, std::string> witness;
   bool has_cycle = report.graph.HasConstructiveCycle(&witness);
   report.strongly_safe = !has_cycle;
-  if (has_cycle) report.offending_edge = witness;
+  if (has_cycle) {
+    report.offending_edge = witness;
+    report.cycle_path = report.graph.ConstructiveCyclePath();
+    // Attribute the cycle to the first constructive clause inducing the
+    // witness edge p -> q.
+    for (const ast::Clause& clause : program.clauses) {
+      if (clause.head.kind != ast::Atom::Kind::kPredicate ||
+          clause.head.predicate != witness.first ||
+          !clause.IsConstructiveClause()) {
+        continue;
+      }
+      bool mentions_q = false;
+      for (const ast::Atom& a : clause.body) {
+        if (a.kind == ast::Atom::Kind::kPredicate &&
+            a.predicate == witness.second) {
+          mentions_q = true;
+          break;
+        }
+      }
+      if (mentions_q) {
+        report.cycle_loc = clause.loc;
+        break;
+      }
+    }
+  }
 
   // Build strata from the SCC condensation (dependency order).
   auto components = report.graph.StronglyConnectedComponents();

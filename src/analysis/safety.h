@@ -42,6 +42,12 @@ struct SafetyReport {
   bool strongly_safe = false;
   /// One constructive edge on a cycle, when !strongly_safe.
   std::optional<std::pair<std::string, std::string>> offending_edge;
+  /// A full cycle through that edge as p, q, ..., p (empty when
+  /// strongly_safe); diagnostics render it "p -> q -> ... -> p".
+  std::vector<std::string> cycle_path;
+  /// Position of the first constructive clause inducing the offending
+  /// edge (invalid when strongly_safe or the program was synthesized).
+  ast::SourceLoc cycle_loc;
   /// Construction strata in dependency order (valid only when
   /// strongly_safe; otherwise the stratification is still returned but
   /// constructive rules may depend on their own stratum).

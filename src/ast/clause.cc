@@ -77,6 +77,20 @@ void CollectAtomVars(const Atom& atom, std::set<std::string>* seq_vars,
   }
 }
 
+SourceLoc FindVarLoc(const Clause& clause, std::string_view name) {
+  for (const SeqTermPtr& t : clause.head.args) {
+    SourceLoc loc = FindVarLoc(t, name);
+    if (loc.valid()) return loc;
+  }
+  for (const Atom& a : clause.body) {
+    for (const SeqTermPtr& t : a.args) {
+      SourceLoc loc = FindVarLoc(t, name);
+      if (loc.valid()) return loc;
+    }
+  }
+  return {};
+}
+
 std::set<std::string> GuardedVars(const Clause& clause) {
   std::set<std::string> guarded;
   for (const Atom& a : clause.body) {

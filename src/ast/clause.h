@@ -17,6 +17,9 @@ struct Atom {
   Kind kind = Kind::kPredicate;
   std::string predicate;         ///< kPredicate only.
   std::vector<SeqTermPtr> args;  ///< kEq/kNeq use exactly two args.
+  /// Position of the predicate name (kPredicate) or the left operand
+  /// (kEq/kNeq) in program text; {0,0} for synthesized atoms.
+  SourceLoc loc;
 };
 
 Atom MakePredicateAtom(std::string predicate, std::vector<SeqTermPtr> args);
@@ -31,6 +34,10 @@ struct Clause {
 
   /// A *constructive clause* has a ++ or @T(...) term in its head.
   bool IsConstructiveClause() const;
+
+  /// Position of the clause in program text (= head position for parsed
+  /// clauses; {0,0} for synthesized clauses).
+  SourceLoc loc;
 };
 
 /// A program is a list of clauses. Programs with transducer terms are
@@ -51,6 +58,10 @@ struct Program {
 /// Variable names of `atom`, split by role.
 void CollectAtomVars(const Atom& atom, std::set<std::string>* seq_vars,
                      std::set<std::string>* index_vars);
+
+/// Position of the first occurrence of variable `name` in `clause`
+/// (head first, then body literals in order); invalid if absent.
+SourceLoc FindVarLoc(const Clause& clause, std::string_view name);
 
 /// Sequence variables that are *guarded* in `clause`: those occurring in
 /// the body as a direct argument of a predicate atom (Section 3.1). The

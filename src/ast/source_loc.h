@@ -1,0 +1,42 @@
+// seqlog: source positions for program text.
+//
+// The lexer tracks line/column (1-based) per token; the parser stamps
+// them onto every term, atom and clause it builds so that analysis
+// diagnostics (analysis/diagnostics.h) and precondition errors can point
+// at program text. Synthesized AST nodes (magic rewrite, guarded
+// transform, translations) carry the default invalid location {0, 0}.
+#ifndef SEQLOG_AST_SOURCE_LOC_H_
+#define SEQLOG_AST_SOURCE_LOC_H_
+
+#include <string>
+
+namespace seqlog {
+namespace ast {
+
+/// A 1-based line:column position in program source text. The default
+/// {0, 0} means "no source position" (synthesized node).
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  /// True when this node came from parsed text (line/column are 1-based).
+  bool valid() const { return line > 0; }
+
+  friend bool operator==(const SourceLoc& a, const SourceLoc& b) {
+    return a.line == b.line && a.column == b.column;
+  }
+  friend bool operator<(const SourceLoc& a, const SourceLoc& b) {
+    return a.line != b.line ? a.line < b.line : a.column < b.column;
+  }
+};
+
+/// "3:7" for valid locations, "?" for synthesized nodes.
+inline std::string ToString(const SourceLoc& loc) {
+  if (!loc.valid()) return "?";
+  return std::to_string(loc.line) + ":" + std::to_string(loc.column);
+}
+
+}  // namespace ast
+}  // namespace seqlog
+
+#endif  // SEQLOG_AST_SOURCE_LOC_H_

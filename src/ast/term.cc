@@ -22,22 +22,29 @@ std::shared_ptr<SeqTerm> NewSeq(SeqTerm::Kind kind) {
 
 }  // namespace
 
-IndexTermPtr MakeIndexLiteral(int64_t value) {
+IndexTermPtr MakeIndexLiteral(int64_t value, SourceLoc loc) {
   auto t = NewIndex(IndexTerm::Kind::kLiteral);
   t->literal = value;
+  t->loc = loc;
   return t;
 }
 
-IndexTermPtr MakeIndexVariable(std::string name) {
+IndexTermPtr MakeIndexVariable(std::string name, SourceLoc loc) {
   auto t = NewIndex(IndexTerm::Kind::kVariable);
   t->var = std::move(name);
+  t->loc = loc;
   return t;
 }
 
-IndexTermPtr MakeIndexEnd() { return NewIndex(IndexTerm::Kind::kEnd); }
+IndexTermPtr MakeIndexEnd(SourceLoc loc) {
+  auto t = NewIndex(IndexTerm::Kind::kEnd);
+  t->loc = loc;
+  return t;
+}
 
 IndexTermPtr MakeIndexAdd(IndexTermPtr lhs, IndexTermPtr rhs) {
   auto t = NewIndex(IndexTerm::Kind::kAdd);
+  t->loc = lhs != nullptr ? lhs->loc : SourceLoc{};
   t->lhs = std::move(lhs);
   t->rhs = std::move(rhs);
   return t;
@@ -45,25 +52,29 @@ IndexTermPtr MakeIndexAdd(IndexTermPtr lhs, IndexTermPtr rhs) {
 
 IndexTermPtr MakeIndexSub(IndexTermPtr lhs, IndexTermPtr rhs) {
   auto t = NewIndex(IndexTerm::Kind::kSub);
+  t->loc = lhs != nullptr ? lhs->loc : SourceLoc{};
   t->lhs = std::move(lhs);
   t->rhs = std::move(rhs);
   return t;
 }
 
-SeqTermPtr MakeConstant(SeqId value) {
+SeqTermPtr MakeConstant(SeqId value, SourceLoc loc) {
   auto t = NewSeq(SeqTerm::Kind::kConstant);
   t->constant = value;
+  t->loc = loc;
   return t;
 }
 
-SeqTermPtr MakeVariable(std::string name) {
+SeqTermPtr MakeVariable(std::string name, SourceLoc loc) {
   auto t = NewSeq(SeqTerm::Kind::kVariable);
   t->var = std::move(name);
+  t->loc = loc;
   return t;
 }
 
 SeqTermPtr MakeIndexed(SeqTermPtr base, IndexTermPtr lo, IndexTermPtr hi) {
   auto t = NewSeq(SeqTerm::Kind::kIndexed);
+  t->loc = base != nullptr ? base->loc : SourceLoc{};
   t->base = std::move(base);
   t->lo = std::move(lo);
   t->hi = std::move(hi);
@@ -76,16 +87,18 @@ SeqTermPtr MakeIndexedPoint(SeqTermPtr base, IndexTermPtr at) {
 
 SeqTermPtr MakeConcat(SeqTermPtr left, SeqTermPtr right) {
   auto t = NewSeq(SeqTerm::Kind::kConcat);
+  t->loc = left != nullptr ? left->loc : SourceLoc{};
   t->left = std::move(left);
   t->right = std::move(right);
   return t;
 }
 
 SeqTermPtr MakeTransducerTerm(std::string name,
-                              std::vector<SeqTermPtr> args) {
+                              std::vector<SeqTermPtr> args, SourceLoc loc) {
   auto t = NewSeq(SeqTerm::Kind::kTransducer);
   t->transducer = std::move(name);
   t->args = std::move(args);
+  t->loc = loc;
   return t;
 }
 
@@ -199,6 +212,54 @@ void CollectTransducers(const SeqTermPtr& term,
       for (const SeqTermPtr& a : term->args) CollectTransducers(a, out);
       return;
   }
+}
+
+namespace {
+
+SourceLoc FindIndexVarLoc(const IndexTermPtr& term, std::string_view name) {
+  if (term == nullptr) return {};
+  switch (term->kind) {
+    case IndexTerm::Kind::kLiteral:
+    case IndexTerm::Kind::kEnd:
+      return {};
+    case IndexTerm::Kind::kVariable:
+      return term->var == name ? term->loc : SourceLoc{};
+    case IndexTerm::Kind::kAdd:
+    case IndexTerm::Kind::kSub: {
+      SourceLoc loc = FindIndexVarLoc(term->lhs, name);
+      return loc.valid() ? loc : FindIndexVarLoc(term->rhs, name);
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+SourceLoc FindVarLoc(const SeqTermPtr& term, std::string_view name) {
+  if (term == nullptr) return {};
+  switch (term->kind) {
+    case SeqTerm::Kind::kConstant:
+      return {};
+    case SeqTerm::Kind::kVariable:
+      return term->var == name ? term->loc : SourceLoc{};
+    case SeqTerm::Kind::kIndexed: {
+      SourceLoc loc = FindVarLoc(term->base, name);
+      if (loc.valid()) return loc;
+      loc = FindIndexVarLoc(term->lo, name);
+      return loc.valid() ? loc : FindIndexVarLoc(term->hi, name);
+    }
+    case SeqTerm::Kind::kConcat: {
+      SourceLoc loc = FindVarLoc(term->left, name);
+      return loc.valid() ? loc : FindVarLoc(term->right, name);
+    }
+    case SeqTerm::Kind::kTransducer:
+      for (const SeqTermPtr& a : term->args) {
+        SourceLoc loc = FindVarLoc(a, name);
+        if (loc.valid()) return loc;
+      }
+      return {};
+  }
+  return {};
 }
 
 std::string ToString(const IndexTermPtr& term) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "ast/source_loc.h"
 #include "sequence/sequence_pool.h"
 #include "sequence/symbol_table.h"
 
@@ -36,11 +37,14 @@ struct IndexTerm {
   std::string var;      ///< kVariable payload (index variable name).
   IndexTermPtr lhs;     ///< kAdd/kSub operands.
   IndexTermPtr rhs;
+  SourceLoc loc;        ///< position in program text ({0,0} = synthesized)
 };
 
-IndexTermPtr MakeIndexLiteral(int64_t value);
-IndexTermPtr MakeIndexVariable(std::string name);
-IndexTermPtr MakeIndexEnd();
+// Factories take an optional source location (the parser passes the
+// token position; program transformations omit it).
+IndexTermPtr MakeIndexLiteral(int64_t value, SourceLoc loc = {});
+IndexTermPtr MakeIndexVariable(std::string name, SourceLoc loc = {});
+IndexTermPtr MakeIndexEnd(SourceLoc loc = {});
 IndexTermPtr MakeIndexAdd(IndexTermPtr lhs, IndexTermPtr rhs);
 IndexTermPtr MakeIndexSub(IndexTermPtr lhs, IndexTermPtr rhs);
 
@@ -62,15 +66,17 @@ struct SeqTerm {
   SeqTermPtr right;
   std::string transducer;        ///< kTransducer machine name.
   std::vector<SeqTermPtr> args;  ///< kTransducer arguments.
+  SourceLoc loc;                 ///< position in text ({0,0} = synthesized)
 };
 
-SeqTermPtr MakeConstant(SeqId value);
-SeqTermPtr MakeVariable(std::string name);
+SeqTermPtr MakeConstant(SeqId value, SourceLoc loc = {});
+SeqTermPtr MakeVariable(std::string name, SourceLoc loc = {});
 SeqTermPtr MakeIndexed(SeqTermPtr base, IndexTermPtr lo, IndexTermPtr hi);
 /// Shorthand for the paper's s[n] == s[n:n].
 SeqTermPtr MakeIndexedPoint(SeqTermPtr base, IndexTermPtr at);
 SeqTermPtr MakeConcat(SeqTermPtr left, SeqTermPtr right);
-SeqTermPtr MakeTransducerTerm(std::string name, std::vector<SeqTermPtr> args);
+SeqTermPtr MakeTransducerTerm(std::string name, std::vector<SeqTermPtr> args,
+                              SourceLoc loc = {});
 
 /// True if the term contains a constructive (++) or transducer subterm.
 /// Clauses whose head contains one are the paper's *constructive clauses*.
@@ -87,6 +93,10 @@ void CollectIndexVars(const IndexTermPtr& term, std::set<std::string>* out);
 
 /// Adds the names of transducers mentioned in `term` to `out`.
 void CollectTransducers(const SeqTermPtr& term, std::set<std::string>* out);
+
+/// Source position of the first occurrence (pre-order) of the sequence
+/// or index variable `name` in `term`; the invalid location if absent.
+SourceLoc FindVarLoc(const SeqTermPtr& term, std::string_view name);
 
 /// Renders a term in the parser's surface syntax.
 std::string ToString(const IndexTermPtr& term);

@@ -1,6 +1,7 @@
 #include "ast/validate.h"
 
 #include <map>
+#include <utility>
 
 #include "base/string_util.h"
 
@@ -9,102 +10,129 @@ namespace ast {
 
 namespace {
 
+/// Collector for violations of one clause; issues share the clause index
+/// and default to the clause's own position when the construct has none.
+class IssueSink {
+ public:
+  IssueSink(std::vector<ValidationIssue>* out, const Clause& clause,
+            size_t clause_index)
+      : out_(out), clause_(clause), clause_index_(clause_index) {}
+
+  void Add(std::string code, SourceLoc loc, std::string predicate,
+           std::string message) {
+    ValidationIssue issue;
+    issue.code = std::move(code);
+    issue.loc = loc.valid() ? loc : clause_.loc;
+    issue.predicate = std::move(predicate);
+    issue.message = std::move(message);
+    issue.clause_index = clause_index_;
+    out_->push_back(std::move(issue));
+  }
+
+ private:
+  std::vector<ValidationIssue>* out_;
+  const Clause& clause_;
+  size_t clause_index_;
+};
+
 /// Checks term-structure restrictions common to every position.
-Status CheckTermStructure(const SeqTermPtr& term) {
+void CheckTermStructure(const SeqTermPtr& term, const std::string& pred,
+                        IssueSink* sink) {
   if (term == nullptr) {
-    return Status::Internal("null sequence term");
+    sink->Add("SL-E009", {}, pred, "null sequence term");
+    return;
   }
   switch (term->kind) {
     case SeqTerm::Kind::kConstant:
     case SeqTerm::Kind::kVariable:
-      return Status::Ok();
+      return;
     case SeqTerm::Kind::kIndexed: {
       if (term->base == nullptr || term->lo == nullptr ||
           term->hi == nullptr) {
-        return Status::Internal("indexed term with null components");
+        sink->Add("SL-E009", term->loc, pred,
+                  "indexed term with null components");
+        return;
       }
       if (term->base->kind != SeqTerm::Kind::kConstant &&
           term->base->kind != SeqTerm::Kind::kVariable) {
-        return Status::InvalidArgument(
-            "indexed terms must have a constant or variable base "
-            "(nested indexing and indexing of constructive terms is not "
-            "part of the term language)");
+        sink->Add("SL-E004", term->loc, pred,
+                  "indexed terms must have a constant or variable base "
+                  "(nested indexing and indexing of constructive terms is "
+                  "not part of the term language)");
       }
-      return Status::Ok();
+      return;
     }
     case SeqTerm::Kind::kConcat: {
-      SEQLOG_RETURN_IF_ERROR(CheckTermStructure(term->left));
-      return CheckTermStructure(term->right);
+      CheckTermStructure(term->left, pred, sink);
+      CheckTermStructure(term->right, pred, sink);
+      return;
     }
     case SeqTerm::Kind::kTransducer: {
       for (const SeqTermPtr& a : term->args) {
-        SEQLOG_RETURN_IF_ERROR(CheckTermStructure(a));
+        CheckTermStructure(a, pred, sink);
       }
-      return Status::Ok();
+      return;
     }
   }
-  return Status::Internal("unknown term kind");
+  sink->Add("SL-E009", {}, pred, "unknown term kind");
 }
 
-Status CheckBodyTerm(const SeqTermPtr& term) {
-  SEQLOG_RETURN_IF_ERROR(CheckTermStructure(term));
-  if (IsConstructive(term)) {
-    return Status::InvalidArgument(
-        "constructive and transducer terms may appear only in clause "
-        "heads, not in bodies (Section 3.1)");
+void CheckBodyTerm(const SeqTermPtr& term, const std::string& pred,
+                   IssueSink* sink) {
+  CheckTermStructure(term, pred, sink);
+  if (term != nullptr && IsConstructive(term)) {
+    sink->Add("SL-E003", term->loc, pred,
+              "constructive and transducer terms may appear only in clause "
+              "heads, not in bodies (Section 3.1)");
   }
-  return Status::Ok();
 }
 
 }  // namespace
 
-Status Validate(const Program& program) {
+std::vector<ValidationIssue> CollectValidationIssues(
+    const Program& program) {
+  std::vector<ValidationIssue> issues;
   std::map<std::string, size_t> arities;
   for (size_t ci = 0; ci < program.clauses.size(); ++ci) {
     const Clause& clause = program.clauses[ci];
-    auto fail = [&](const Status& s) {
-      return Status(s.code(),
-                    StrCat("clause ", ci + 1, ": ", s.message()));
-    };
+    IssueSink sink(&issues, clause, ci);
+    const std::string head_pred =
+        clause.head.kind == Atom::Kind::kPredicate ? clause.head.predicate
+                                                   : "";
 
     if (clause.head.kind != Atom::Kind::kPredicate) {
-      return fail(Status::InvalidArgument(
-          "clause head must be a predicate atom"));
+      sink.Add("SL-E002", clause.head.loc, "",
+               "clause head must be a predicate atom");
     }
     for (const SeqTermPtr& t : clause.head.args) {
-      Status s = CheckTermStructure(t);
-      if (!s.ok()) return fail(s);
+      CheckTermStructure(t, head_pred, &sink);
     }
 
     for (const Atom& atom : clause.body) {
+      const std::string pred =
+          atom.kind == Atom::Kind::kPredicate ? atom.predicate : head_pred;
       if (atom.kind != Atom::Kind::kPredicate && atom.args.size() != 2) {
-        return fail(Status::InvalidArgument(
-            "equality atoms take exactly two arguments"));
+        sink.Add("SL-E005", atom.loc, pred,
+                 "equality atoms take exactly two arguments");
       }
       for (const SeqTermPtr& t : atom.args) {
-        Status s = CheckBodyTerm(t);
-        if (!s.ok()) return fail(s);
+        CheckBodyTerm(t, pred, &sink);
       }
     }
 
     // Arity consistency.
-    auto check_arity = [&](const Atom& atom) -> Status {
-      if (atom.kind != Atom::Kind::kPredicate) return Status::Ok();
+    auto check_arity = [&](const Atom& atom) {
+      if (atom.kind != Atom::Kind::kPredicate) return;
       auto [it, inserted] =
           arities.emplace(atom.predicate, atom.args.size());
       if (!inserted && it->second != atom.args.size()) {
-        return Status::InvalidArgument(
-            StrCat("predicate '", atom.predicate, "' used with arity ",
-                   atom.args.size(), " and ", it->second));
+        sink.Add("SL-E006", atom.loc, atom.predicate,
+                 StrCat("predicate '", atom.predicate, "' used with arity ",
+                        atom.args.size(), " and ", it->second));
       }
-      return Status::Ok();
     };
-    Status s = check_arity(clause.head);
-    if (!s.ok()) return fail(s);
-    for (const Atom& atom : clause.body) {
-      s = check_arity(atom);
-      if (!s.ok()) return fail(s);
-    }
+    check_arity(clause.head);
+    for (const Atom& atom : clause.body) check_arity(atom);
 
     // Variable role consistency within the clause: V_Sigma and V_I are
     // disjoint sets in the paper.
@@ -116,14 +144,34 @@ Status Validate(const Program& program) {
     }
     for (const std::string& v : seq_vars) {
       if (index_vars.count(v) > 0) {
-        return fail(Status::InvalidArgument(
-            StrCat("variable '", v,
-                   "' is used both as a sequence variable and as an "
-                   "index variable")));
+        sink.Add("SL-E007", FindVarLoc(clause, v), head_pred,
+                 StrCat("variable '", v,
+                        "' is used both as a sequence variable and as an "
+                        "index variable"));
       }
     }
   }
-  return Status::Ok();
+  return issues;
+}
+
+Status Validate(const Program& program) {
+  std::vector<ValidationIssue> issues = CollectValidationIssues(program);
+  if (issues.empty()) return Status::Ok();
+  const ValidationIssue& first = issues[0];
+  // Historical message shape "clause N: <message>" kept as a prefix for
+  // callers that match on it; position and predicate are appended.
+  std::string msg =
+      StrCat("clause ", first.clause_index + 1, ": ", first.message);
+  if (first.loc.valid()) {
+    msg += StrCat(" [at ", ToString(first.loc),
+                  first.predicate.empty()
+                      ? ""
+                      : StrCat(", predicate '", first.predicate, "'"),
+                  "]");
+  }
+  StatusCode code = first.code == "SL-E009" ? StatusCode::kInternal
+                                            : StatusCode::kInvalidArgument;
+  return Status(code, msg);
 }
 
 Status ValidateSequenceDatalog(const Program& program) {

@@ -2,20 +2,42 @@
 #ifndef SEQLOG_AST_VALIDATE_H_
 #define SEQLOG_AST_VALIDATE_H_
 
+#include <string>
+#include <vector>
+
 #include "ast/clause.h"
 #include "base/status.h"
 
 namespace seqlog {
 namespace ast {
 
-/// Validates the syntactic restrictions of Sections 3.1 and 7.1:
-///  * clause heads are predicate atoms (no =, != heads);
-///  * constructive (++) and transducer (@T) terms appear only in heads;
-///  * indexed terms have a constant or variable base (no nesting, no
-///    indexing of constructive terms);
-///  * equality atoms have exactly two arguments;
-///  * a predicate name is used with one arity throughout the program;
-///  * no variable is used both as a sequence and as an index variable.
+/// A single well-formedness violation, located in program text. The
+/// linter (analysis/lint.h) surfaces these as diagnostics; Validate()
+/// folds the first one into a Status for callers that only need
+/// pass/fail.
+struct ValidationIssue {
+  std::string code;       ///< stable diagnostic code ("SL-E003", ...)
+  SourceLoc loc;          ///< position of the offending construct
+  std::string predicate;  ///< offending predicate name ("" if n/a)
+  std::string message;    ///< human-readable description, position-free
+  size_t clause_index = 0;  ///< 0-based index into program.clauses
+};
+
+/// Checks the syntactic restrictions of Sections 3.1 and 7.1 and returns
+/// *every* violation found (empty = well-formed):
+///  * clause heads are predicate atoms (no =, != heads)      [SL-E002]
+///  * constructive (++) and transducer (@T) terms appear
+///    only in heads                                          [SL-E003]
+///  * indexed terms have a constant or variable base (no
+///    nesting, no indexing of constructive terms)            [SL-E004]
+///  * equality atoms have exactly two arguments              [SL-E005]
+///  * a predicate name is used with one arity throughout     [SL-E006]
+///  * no variable is both a sequence and an index variable   [SL-E007]
+std::vector<ValidationIssue> CollectValidationIssues(const Program& program);
+
+/// Validates the restrictions above, folding the first violation into a
+/// Status whose message keeps the historical "clause N: ..." text and
+/// appends the source position and offending predicate.
 Status Validate(const Program& program);
 
 /// Validate() plus the Sequence Datalog restriction: no transducer terms

@@ -30,6 +30,20 @@ Status Engine::LoadProgramAst(const ast::Program& program) {
   program_ = program;
   program_loaded_ = true;
   model_.reset();
+  // Accumulate warnings for diagnostics(). Body-only predicates are
+  // extensional by convention (AddFact typically follows the load), so
+  // they are declared rather than reported as SL-W030.
+  analysis::LintOptions lint_options;
+  const std::set<std::string> idb = program_.HeadPredicates();
+  for (const ast::Clause& clause : program_.clauses) {
+    for (const ast::Atom& atom : clause.body) {
+      if (atom.kind == ast::Atom::Kind::kPredicate &&
+          idb.count(atom.predicate) == 0) {
+        lint_options.edb_predicates.insert(atom.predicate);
+      }
+    }
+  }
+  diagnostics_ = analysis::Lint(program_, pool_, symbols_, lint_options);
   return Status::Ok();
 }
 
@@ -70,8 +84,8 @@ Result<PreparedQuery> Engine::Prepare(std::string_view goal) {
   query::Solver solver(&catalog_, &pool_, &registry_);
   SEQLOG_ASSIGN_OR_RETURN(query::PreparedGoal prepared,
                           solver.Prepare(program_, parsed));
-  return PreparedQuery::Create(this, std::string(goal),
-                               std::move(prepared));
+  return PreparedQuery::Create(this, std::string(goal), std::move(prepared),
+                               analysis::LintGoal(program_, parsed));
 }
 
 Snapshot Engine::PublishSnapshot() {

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/lint.h"
 #include "analysis/safety.h"
 #include "ast/clause.h"
 #include "base/result.h"
@@ -84,6 +85,14 @@ class Engine {
   Status LoadProgramAst(const ast::Program& program);
 
   const ast::Program& program() const { return program_; }
+
+  /// Lint findings accumulated by the last successful LoadProgram
+  /// (body-only predicates are treated as extensional, since AddFact may
+  /// populate them after the load). Errors never appear here — programs
+  /// with lint errors still fail LoadProgram through ast::Validate.
+  const analysis::DiagnosticReport& diagnostics() const {
+    return diagnostics_;
+  }
 
   /// Adds a database fact; each argument string is interned one symbol
   /// per character (use AddFactIds for multi-character symbols).
@@ -159,6 +168,7 @@ class Engine {
   std::unique_ptr<Database> edb_;
   std::unique_ptr<Database> model_;
   ast::Program program_;
+  analysis::DiagnosticReport diagnostics_;
   std::unique_ptr<eval::Evaluator> evaluator_;
   bool program_loaded_ = false;
   /// Bumped on every EDB mutation; drives snapshot copy-on-publish.

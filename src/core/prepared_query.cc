@@ -12,12 +12,14 @@ namespace seqlog {
 
 struct PreparedQuery::Impl {
   Impl(Engine* engine_in, std::string goal_text_in,
-       query::PreparedGoal prepared_in)
+       query::PreparedGoal prepared_in,
+       std::vector<analysis::Diagnostic> warnings_in)
       : engine(engine_in),
         solver(engine_in->catalog(), engine_in->pool(),
                engine_in->registry()),
         goal_text(std::move(goal_text_in)),
         prepared(std::move(prepared_in)),
+        warnings(std::move(warnings_in)),
         bound(prepared.param_count) {
     goal_parses = 1;
     magic_rewrites = prepared.edb ? 0 : 1;
@@ -28,6 +30,7 @@ struct PreparedQuery::Impl {
   query::Solver solver;
   std::string goal_text;
   query::PreparedGoal prepared;
+  std::vector<analysis::Diagnostic> warnings;
   std::vector<std::optional<SeqId>> bound;
   size_t goal_parses = 0;
   size_t magic_rewrites = 0;
@@ -38,10 +41,12 @@ struct PreparedQuery::Impl {
 PreparedQuery::PreparedQuery(std::unique_ptr<Impl> impl)
     : impl_(std::move(impl)) {}
 
-PreparedQuery PreparedQuery::Create(Engine* engine, std::string goal_text,
-                                    query::PreparedGoal prepared) {
+PreparedQuery PreparedQuery::Create(
+    Engine* engine, std::string goal_text, query::PreparedGoal prepared,
+    std::vector<analysis::Diagnostic> warnings) {
   return PreparedQuery(std::make_unique<Impl>(engine, std::move(goal_text),
-                                              std::move(prepared)));
+                                              std::move(prepared),
+                                              std::move(warnings)));
 }
 PreparedQuery::PreparedQuery(PreparedQuery&&) noexcept = default;
 PreparedQuery& PreparedQuery::operator=(PreparedQuery&&) noexcept = default;
@@ -55,6 +60,10 @@ size_t PreparedQuery::param_count() const {
 
 const query::Adornment& PreparedQuery::goal_adornment() const {
   return impl_->prepared.goal_adornment;
+}
+
+const std::vector<analysis::Diagnostic>& PreparedQuery::warnings() const {
+  return impl_->warnings;
 }
 
 Status PreparedQuery::Bind(size_t param, std::string_view value) {

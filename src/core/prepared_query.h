@@ -35,7 +35,9 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "analysis/diagnostics.h"
 #include "base/result.h"
 #include "core/result_set.h"
 #include "core/snapshot.h"
@@ -70,6 +72,11 @@ class PreparedQuery {
   /// Effective goal adornment (after bindable demotion, query/adornment.h).
   const query::Adornment& goal_adornment() const;
 
+  /// Preparation warnings (analysis/lint.h, SL-W051): bound goal
+  /// arguments demoted to free, predicting execution cost closer to a
+  /// full fixpoint than a point lookup. Empty for fully-bindable goals.
+  const std::vector<analysis::Diagnostic>& warnings() const;
+
   /// Binds parameter `$param` (1-based) to the sequence of `value`'s
   /// characters (interned like Engine::AddFact arguments). Rebinding
   /// overwrites. kOutOfRange for an unknown parameter index. Not
@@ -99,7 +106,8 @@ class PreparedQuery {
   explicit PreparedQuery(std::unique_ptr<Impl> impl);
   /// Factory for Engine::Prepare (Impl is defined in the .cc).
   static PreparedQuery Create(Engine* engine, std::string goal_text,
-                              query::PreparedGoal prepared);
+                              query::PreparedGoal prepared,
+                              std::vector<analysis::Diagnostic> warnings);
 
   std::unique_ptr<Impl> impl_;
 };

@@ -93,6 +93,16 @@ inline constexpr char kTranscribeSimulation[] =
     "trans(c, g) :- true.\n"
     "trans(g, c) :- true.\n";
 
+/// The text-index workload of examples/text_index.cpp (not from the
+/// paper): shared substrings across documents via unguarded windows —
+/// the linter's worst case for the variable passes (every clause has
+/// an unguarded or equality-bound variable).
+inline constexpr char kTextIndex[] =
+    "occurs(W, D) :- doc(D), W = D[I:J].\n"
+    "shared(W) :- occurs(W, D1), occurs(W, D2), D1 != D2.\n"
+    "shared4(W) :- shared(W), W[4] = W[4:4].\n"
+    "hit(W, D) :- shared4(W), occurs(W, D).\n";
+
 }  // namespace programs
 }  // namespace seqlog
 

@@ -528,7 +528,13 @@ Status Evaluator::EvaluateStratified(const EvalOptions& options,
     if (report.offending_edge.has_value()) {
       detail = StrCat(" (constructive cycle through ",
                       report.offending_edge->first, " -> ",
-                      report.offending_edge->second, ")");
+                      report.offending_edge->second, "; full cycle ",
+                      Join(report.cycle_path, " -> "),
+                      report.cycle_loc.valid()
+                          ? StrCat(", clause at ",
+                                   ast::ToString(report.cycle_loc))
+                          : "",
+                      ")");
     }
     return Status::FailedPrecondition(
         StrCat("stratified evaluation requires a strongly safe program",

@@ -38,6 +38,13 @@ class TokenCursor {
                                           t.text, t.text.empty() ? "" : "'"));
   }
 
+  /// An error about an already-consumed construct: reports at the
+  /// construct's own position, not at the lookahead token.
+  Status ErrorAt(ast::SourceLoc loc, std::string_view what) const {
+    return Status::InvalidArgument(StrCat("parse error at ", loc.line, ":",
+                                          loc.column, ": ", what));
+  }
+
   Result<Token> Expect(TokenType type) {
     if (Peek().type != type) {
       return Error(StrCat("expected ", TokenTypeName(type)));
@@ -76,8 +83,10 @@ class Parser {
     Clause clause;
     SEQLOG_ASSIGN_OR_RETURN(clause.head, ParseAtom());
     if (clause.head.kind != Atom::Kind::kPredicate) {
-      return cur_.Error("clause head must be a predicate atom");
+      return cur_.ErrorAt(clause.head.loc,
+                          "clause head must be a predicate atom");
     }
+    clause.loc = clause.head.loc;
     if (cur_.Accept(TokenType::kImplies)) {
       if (cur_.Accept(TokenType::kTrueKw)) {
         // `head :- true.` is a fact.
@@ -101,7 +110,7 @@ class Parser {
     cur_.Accept(TokenType::kQuery);
     SEQLOG_ASSIGN_OR_RETURN(Atom goal, ParseAtom());
     if (goal.kind != Atom::Kind::kPredicate) {
-      return cur_.Error("goal must be a predicate atom");
+      return cur_.ErrorAt(goal.loc, "goal must be a predicate atom");
     }
     cur_.Accept(TokenType::kPeriod);
     if (!cur_.AtEof()) {
@@ -130,17 +139,24 @@ class Parser {
         SEQLOG_ASSIGN_OR_RETURN(Token rp, cur_.Expect(TokenType::kRParen));
         (void)rp;
       }
-      return ast::MakePredicateAtom(name.text, std::move(args));
+      Atom atom = ast::MakePredicateAtom(name.text, std::move(args));
+      atom.loc = {name.line, name.column};
+      return atom;
     }
     // Otherwise an equality literal: seqterm (= | !=) seqterm.
     SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr lhs, ParseSeqTerm());
+    ast::SourceLoc lhs_loc = lhs->loc;
     if (cur_.Accept(TokenType::kEq)) {
       SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr rhs, ParseSeqTerm());
-      return ast::MakeEqAtom(std::move(lhs), std::move(rhs));
+      Atom atom = ast::MakeEqAtom(std::move(lhs), std::move(rhs));
+      atom.loc = lhs_loc;
+      return atom;
     }
     if (cur_.Accept(TokenType::kNeq)) {
       SEQLOG_ASSIGN_OR_RETURN(SeqTermPtr rhs, ParseSeqTerm());
-      return ast::MakeNeqAtom(std::move(lhs), std::move(rhs));
+      Atom atom = ast::MakeNeqAtom(std::move(lhs), std::move(rhs));
+      atom.loc = lhs_loc;
+      return atom;
     }
     return cur_.Error("expected '=' or '!=' in equality literal");
   }
@@ -156,10 +172,11 @@ class Parser {
 
   Result<SeqTermPtr> ParsePrimary() {
     const Token& t = cur_.Peek();
+    const ast::SourceLoc loc{t.line, t.column};
     switch (t.type) {
       case TokenType::kEpsKw:
         cur_.Next();
-        return ast::MakeConstant(kEmptySeq);
+        return ast::MakeConstant(kEmptySeq, loc);
       case TokenType::kAt: {
         cur_.Next();
         SEQLOG_ASSIGN_OR_RETURN(Token name, cur_.Expect(TokenType::kIdent));
@@ -172,11 +189,11 @@ class Parser {
         } while (cur_.Accept(TokenType::kComma));
         SEQLOG_ASSIGN_OR_RETURN(Token rp, cur_.Expect(TokenType::kRParen));
         (void)rp;
-        return ast::MakeTransducerTerm(name.text, std::move(args));
+        return ast::MakeTransducerTerm(name.text, std::move(args), loc);
       }
       case TokenType::kVariable: {
         Token var = cur_.Next();
-        return MaybeIndexed(ast::MakeVariable(var.text));
+        return MaybeIndexed(ast::MakeVariable(var.text, loc));
       }
       case TokenType::kParam: {
         if (!allow_params_) {
@@ -186,19 +203,19 @@ class Parser {
         Token param = cur_.Next();
         // Parameters become variables in the reserved "$N" namespace
         // (the lexer never produces '$' in user identifiers).
-        return ast::MakeVariable(StrCat("$", param.text));
+        return ast::MakeVariable(StrCat("$", param.text), loc);
       }
       case TokenType::kString:
       case TokenType::kIdent:
       case TokenType::kInt: {
         Token text = cur_.Next();
         SeqId id = pool_->FromChars(text.text, symbols_);
-        return MaybeIndexed(ast::MakeConstant(id));
+        return MaybeIndexed(ast::MakeConstant(id, loc));
       }
       case TokenType::kQuotedSymbol: {
         Token sym = cur_.Next();
         SeqId id = pool_->Singleton(symbols_->Intern(sym.text));
-        return MaybeIndexed(ast::MakeConstant(id));
+        return MaybeIndexed(ast::MakeConstant(id, loc));
       }
       default:
         return cur_.Error("expected a sequence term");
@@ -235,21 +252,22 @@ class Parser {
 
   Result<IndexTermPtr> ParseIndexAtom() {
     const Token& t = cur_.Peek();
+    const ast::SourceLoc loc{t.line, t.column};
     switch (t.type) {
       case TokenType::kInt: {
         if (cur_.Peek().text.size() > 18) {
           return cur_.Error("integer literal too large");
         }
         Token lit = cur_.Next();
-        return ast::MakeIndexLiteral(std::stoll(lit.text));
+        return ast::MakeIndexLiteral(std::stoll(lit.text), loc);
       }
       case TokenType::kVariable: {
         Token var = cur_.Next();
-        return ast::MakeIndexVariable(var.text);
+        return ast::MakeIndexVariable(var.text, loc);
       }
       case TokenType::kEndKw:
         cur_.Next();
-        return ast::MakeIndexEnd();
+        return ast::MakeIndexEnd(loc);
       default:
         return cur_.Error("expected an index term (integer, variable, "
                           "or 'end')");
@@ -266,11 +284,18 @@ class Parser {
 
 Result<Program> ParseProgram(std::string_view source, SymbolTable* symbols,
                              SequencePool* pool) {
-  SEQLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
-  Parser parser(std::move(tokens), symbols, pool);
-  SEQLOG_ASSIGN_OR_RETURN(Program program, parser.ParseProgram());
+  SEQLOG_ASSIGN_OR_RETURN(Program program,
+                          ParseProgramUnvalidated(source, symbols, pool));
   SEQLOG_RETURN_IF_ERROR(ast::Validate(program));
   return program;
+}
+
+Result<Program> ParseProgramUnvalidated(std::string_view source,
+                                        SymbolTable* symbols,
+                                        SequencePool* pool) {
+  SEQLOG_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens), symbols, pool);
+  return parser.ParseProgram();
 }
 
 Result<ast::Atom> ParseGoal(std::string_view source, SymbolTable* symbols,

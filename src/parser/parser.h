@@ -38,6 +38,14 @@ namespace parser {
 Result<ast::Program> ParseProgram(std::string_view source,
                                   SymbolTable* symbols, SequencePool* pool);
 
+/// Parses `source` without applying ast::Validate. The linter
+/// (analysis/lint.h) uses this so it can report *all* structural
+/// problems as located diagnostics instead of stopping at the first
+/// validation error. Everything else should call ParseProgram.
+Result<ast::Program> ParseProgramUnvalidated(std::string_view source,
+                                             SymbolTable* symbols,
+                                             SequencePool* pool);
+
 /// Parses a goal `?- p(t1,...,tk).` into its predicate atom (the `?-`
 /// prefix and the trailing period are both optional). Goals drive the
 /// demand-driven solver (query/solver.h); which argument shapes are

@@ -236,11 +236,16 @@ Result<PreparedGoal> Solver::Prepare(const ast::Program& program,
       if (rewritten_report.offending_edge.has_value()) {
         detail = StrCat(" (constructive cycle through ",
                         rewritten_report.offending_edge->first, " -> ",
-                        rewritten_report.offending_edge->second, ")");
+                        rewritten_report.offending_edge->second,
+                        "; full cycle ",
+                        Join(rewritten_report.cycle_path, " -> "), ")");
       }
       return Status::FailedPrecondition(
-          StrCat("goal on '", goal.predicate,
-                 "' is not demand-evaluable: the magic rewrite is not "
+          StrCat("goal on '", goal.predicate, "'",
+                 goal.loc.valid()
+                     ? StrCat(" (at ", ast::ToString(goal.loc), ")")
+                     : "",
+                 " is not demand-evaluable: the magic rewrite is not "
                  "strongly safe although the program is",
                  detail, "; use Evaluate + Query instead"));
     }

@@ -1,0 +1,363 @@
+// Golden tests for the lint passes (analysis/lint.h): one per diagnostic
+// code, pinning code + location + message, plus the property test that
+// the paper's strongly-safe example programs lint error-free while the
+// not-strongly-safe ones produce exactly the SL-E010 cycle diagnostic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/lint.h"
+#include "core/engine.h"
+#include "core/programs.h"
+#include "parser/parser.h"
+
+namespace seqlog {
+namespace analysis {
+namespace {
+
+using ::testing::Test;
+
+class LintTest : public Test {
+ protected:
+  DiagnosticReport Run(std::string_view source, LintOptions options = {}) {
+    return LintSource(source, &symbols_, &pool_, options);
+  }
+
+  DiagnosticReport RunWithEdb(std::string_view source,
+                              std::initializer_list<const char*> edb) {
+    LintOptions options;
+    for (const char* p : edb) options.edb_predicates.insert(p);
+    return LintSource(source, &symbols_, &pool_, options);
+  }
+
+  static std::vector<Diagnostic> WithCode(const DiagnosticReport& report,
+                                          std::string_view code) {
+    std::vector<Diagnostic> out;
+    for (const Diagnostic& d : report.diagnostics()) {
+      if (d.code == code) out.push_back(d);
+    }
+    return out;
+  }
+
+  static std::vector<std::string> Codes(const DiagnosticReport& report) {
+    std::vector<std::string> out;
+    for (const Diagnostic& d : report.diagnostics()) out.push_back(d.code);
+    return out;
+  }
+
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+// ------------------------------------------------------------ pass list
+
+TEST_F(LintTest, PassListIsStable) {
+  const std::vector<LintPassInfo>& passes = LintPasses();
+  std::vector<std::string_view> names;
+  for (const LintPassInfo& p : passes) names.push_back(p.name);
+  EXPECT_EQ(names, (std::vector<std::string_view>{
+                       "validate", "strong-safety", "variables", "predicates",
+                       "clauses", "goal-bindability"}));
+}
+
+// ----------------------------------------------------- validate (SL-Exx)
+
+TEST_F(LintTest, ParseErrorIsE001WithParserPosition) {
+  DiagnosticReport r = Run("p(X :- q(X).\n");
+  ASSERT_EQ(r.size(), 1u);
+  const Diagnostic& d = r.diagnostics()[0];
+  EXPECT_EQ(d.code, "SL-E001");
+  EXPECT_EQ(d.severity, Severity::kError);
+  EXPECT_EQ(d.loc, (ast::SourceLoc{1, 5}));  // the ':-' that ends the atom
+}
+
+TEST_F(LintTest, ConstructiveBodyIsE003AtTheTerm) {
+  DiagnosticReport r = RunWithEdb("p(X) :- q(X ++ a).\n", {"q"});
+  std::vector<Diagnostic> e = WithCode(r, "SL-E003");
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0].loc, (ast::SourceLoc{1, 11}));  // the 'X' of 'X ++ a'
+  EXPECT_EQ(e[0].predicate, "q");  // the atom holding the term
+}
+
+TEST_F(LintTest, ArityClashIsE006AtTheSecondUse) {
+  DiagnosticReport r = RunWithEdb("p(a) :- q(a).\np(a, b) :- q(b).\n", {"q"});
+  std::vector<Diagnostic> e = WithCode(r, "SL-E006");
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0].loc, (ast::SourceLoc{2, 1}));
+  EXPECT_EQ(e[0].predicate, "p");
+  EXPECT_NE(e[0].message.find("arity"), std::string::npos);
+}
+
+TEST_F(LintTest, VariableRoleClashIsE007AtTheVariable) {
+  DiagnosticReport r = RunWithEdb("p(N, X) :- q(X), X[N:end] = X.\n", {"q"});
+  std::vector<Diagnostic> e = WithCode(r, "SL-E007");
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0].loc, (ast::SourceLoc{1, 3}));  // first use of N
+  EXPECT_NE(e[0].message.find("'N'"), std::string::npos);
+}
+
+// ------------------------------------------------- strong safety (E010)
+
+TEST_F(LintTest, ConstructiveSelfLoopIsE010WithRenderedCycle) {
+  DiagnosticReport r =
+      RunWithEdb("rep(X) :- r(X).\nrep(X ++ X) :- rep(X).\n", {"r"});
+  std::vector<Diagnostic> e = WithCode(r, "SL-E010");
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0].severity, Severity::kError);
+  // Located at the constructive clause, not the program start.
+  EXPECT_EQ(e[0].loc, (ast::SourceLoc{2, 1}));
+  EXPECT_EQ(e[0].predicate, "rep");
+  EXPECT_NE(e[0].message.find("rep -> rep"), std::string::npos);
+  EXPECT_NE(e[0].message.find("Definition 10"), std::string::npos);
+}
+
+TEST_F(LintTest, MultiNodeCycleRendersTheFullPath) {
+  // Example 8.1 program P3: the cycle runs q -> r -> p -> q; the witness
+  // edge is the constructive one (r -> p), so the rendered path starts
+  // at r and closes back on it.
+  DiagnosticReport r = Run(programs::kP3);
+  std::vector<Diagnostic> e = WithCode(r, "SL-E010");
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_NE(e[0].message.find("r -> p -> q -> r"), std::string::npos);
+  EXPECT_EQ(e[0].loc, (ast::SourceLoc{2, 1}));  // the @t clause
+}
+
+TEST_F(LintTest, InfoFindingsAreOptIn) {
+  const char kSafe[] = "suffix(X) :- r(X).\nsuffix(X[2:end]) :- suffix(X).\n";
+  DiagnosticReport quiet = RunWithEdb(kSafe, {"r"});
+  EXPECT_TRUE(WithCode(quiet, "SL-I060").empty());
+  EXPECT_TRUE(WithCode(quiet, "SL-I061").empty());
+
+  LintOptions options;
+  options.edb_predicates.insert("r");
+  options.include_info = true;
+  DiagnosticReport chatty = Run(kSafe, options);
+  EXPECT_EQ(WithCode(chatty, "SL-I060").size(), 1u);  // non-constructive
+  std::vector<Diagnostic> safe = WithCode(chatty, "SL-I061");
+  ASSERT_EQ(safe.size(), 1u);
+  EXPECT_EQ(safe[0].severity, Severity::kInfo);
+  EXPECT_NE(safe[0].message.find("strongly safe"), std::string::npos);
+}
+
+// ------------------------------------------------- variables (W020/W021)
+
+TEST_F(LintTest, UnguardedVariableIsW020AtItsFirstUse) {
+  DiagnosticReport r = RunWithEdb("p(X ++ Y) :- q(X).\n", {"q"});
+  std::vector<Diagnostic> w = WithCode(r, "SL-W020");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].severity, Severity::kWarning);  // legal under Section 4
+  EXPECT_EQ(w[0].loc, (ast::SourceLoc{1, 8}));   // the Y in the head
+  EXPECT_NE(w[0].message.find("'Y'"), std::string::npos);
+  EXPECT_NE(w[0].message.find("extended active domain"), std::string::npos);
+}
+
+TEST_F(LintTest, SingletonVariableIsW021AndUnderscoreOptsOut) {
+  DiagnosticReport r = RunWithEdb("p(X) :- q(X, Y).\n", {"q"});
+  std::vector<Diagnostic> w = WithCode(r, "SL-W021");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].loc, (ast::SourceLoc{1, 14}));
+  EXPECT_NE(w[0].message.find("'Y'"), std::string::npos);
+
+  DiagnosticReport silenced = RunWithEdb("p(X) :- q(X, _Y).\n", {"q"});
+  EXPECT_TRUE(WithCode(silenced, "SL-W021").empty());
+}
+
+// ------------------------------------------------ predicates (W030/W031)
+
+TEST_F(LintTest, UndefinedPredicateIsW030AtTheAtom) {
+  DiagnosticReport r = Run("p(X) :- q(X).\n");
+  std::vector<Diagnostic> w = WithCode(r, "SL-W030");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].loc, (ast::SourceLoc{1, 9}));
+  EXPECT_EQ(w[0].predicate, "q");
+}
+
+TEST_F(LintTest, EdbDeclarationSuppressesW030) {
+  DiagnosticReport r = RunWithEdb("p(X) :- q(X).\n", {"q"});
+  EXPECT_TRUE(WithCode(r, "SL-W030").empty());
+}
+
+TEST_F(LintTest, GoalSplitsUnusedFromUnreachable) {
+  // 'helper' is referenced (by 'uses') but unreachable from the goal:
+  // W050 per clause. 'uses' is never referenced anywhere: W031 once.
+  LintOptions options;
+  options.edb_predicates.insert("a");
+  options.goal = parser::ParseGoal("ans(X)", &symbols_, &pool_).value();
+  DiagnosticReport r = Run(
+      "ans(X) :- a(X).\nhelper(X) :- a(X).\nuses(X) :- helper(X).\n",
+      options);
+  std::vector<Diagnostic> unreachable = WithCode(r, "SL-W050");
+  ASSERT_EQ(unreachable.size(), 1u);
+  EXPECT_EQ(unreachable[0].loc, (ast::SourceLoc{2, 1}));
+  EXPECT_EQ(unreachable[0].predicate, "helper");
+  std::vector<Diagnostic> unused = WithCode(r, "SL-W031");
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0].loc, (ast::SourceLoc{3, 1}));
+  EXPECT_EQ(unused[0].predicate, "uses");
+}
+
+// --------------------------------------------------- clauses (W040/W041)
+
+TEST_F(LintTest, DuplicateClauseIsW040AtTheLaterCopy) {
+  DiagnosticReport r =
+      RunWithEdb("p(X) :- q(X).\np(X) :- q(X).\n", {"q"});
+  std::vector<Diagnostic> w = WithCode(r, "SL-W040");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].loc, (ast::SourceLoc{2, 1}));
+  EXPECT_NE(w[0].message.find("clause 1"), std::string::npos);
+}
+
+TEST_F(LintTest, SubsumedClauseIsW041) {
+  // Same head, strictly more body literals than clause 1: whatever the
+  // longer clause derives, the shorter one already does.
+  DiagnosticReport r =
+      RunWithEdb("p(X) :- q(X).\np(X) :- q(X), r(X).\n", {"q", "r"});
+  std::vector<Diagnostic> w = WithCode(r, "SL-W041");
+  ASSERT_EQ(w.size(), 1u);
+  EXPECT_EQ(w[0].loc, (ast::SourceLoc{2, 1}));
+  EXPECT_NE(w[0].message.find("subsumed"), std::string::npos);
+}
+
+// ---------------------------------------------- goal bindability (W051)
+
+TEST_F(LintTest, UnbindableGoalIsW051AtTheBlockingHeadTerm) {
+  LintOptions options;
+  options.edb_predicates = {"a", "b"};
+  options.goal = parser::ParseGoal("ans(ab)", &symbols_, &pool_).value();
+  DiagnosticReport r = Run("ans(X ++ Y) :- a(X), b(Y).\n", options);
+  std::vector<Diagnostic> w = WithCode(r, "SL-W051");
+  ASSERT_EQ(w.size(), 1u);
+  // Points at the constructive head term that forces the demotion.
+  EXPECT_EQ(w[0].loc, (ast::SourceLoc{1, 5}));
+  EXPECT_EQ(w[0].predicate, "ans");
+  EXPECT_NE(w[0].message.find("post-filter"), std::string::npos);
+}
+
+TEST_F(LintTest, BindableGoalProducesNoW051) {
+  LintOptions options;
+  options.edb_predicates = {"r"};
+  options.goal = parser::ParseGoal("suffix(abc)", &symbols_, &pool_).value();
+  DiagnosticReport r =
+      Run("suffix(X) :- r(X).\nsuffix(X[2:end]) :- suffix(X).\n", options);
+  EXPECT_TRUE(WithCode(r, "SL-W051").empty());
+}
+
+// ------------------------------------------------------------- renderers
+
+TEST_F(LintTest, RenderTextIsCompilerStyleAndSorted) {
+  DiagnosticReport r = RunWithEdb(
+      "p(X) :- q(X).\np(X ++ Y) :- q(X).\n", {"q"});
+  std::string text = r.RenderText("prog.sl");
+  // Line-2 findings follow line-1 findings, and the summary line counts.
+  EXPECT_NE(text.find("prog.sl:2:8: warning[SL-W020]"), std::string::npos);
+  EXPECT_NE(text.find("warning(s)"), std::string::npos);
+  std::vector<std::string> codes = Codes(r);
+  EXPECT_TRUE(std::is_sorted(
+      r.diagnostics().begin(), r.diagnostics().end(),
+      [](const Diagnostic& a, const Diagnostic& b) {
+        return a.loc < b.loc || (a.loc == b.loc && a.code < b.code);
+      }));
+}
+
+TEST_F(LintTest, RenderJsonEscapesAndCounts) {
+  DiagnosticReport r;
+  r.Add("SL-E001", Severity::kError, {1, 2}, "p",
+        "a \"quoted\"\nmessage");
+  std::string json = r.RenderJson("x.sl");
+  EXPECT_NE(json.find("\"code\": \"SL-E001\""), std::string::npos);
+  EXPECT_NE(json.find("a \\\"quoted\\\"\\nmessage"), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"line\": 1"), std::string::npos);
+}
+
+// ------------------------------------------- paper-program property test
+
+struct PaperProgram {
+  const char* name;
+  const char* source;
+  bool strongly_safe;
+};
+
+TEST_F(LintTest, PaperExamplesLintAsThePaperClassifiesThem) {
+  // The paper's own classification (Examples 1.1-1.6, 5.1, 7.1/7.2, 8.1):
+  // strongly-safe programs must lint with zero errors; the rest must
+  // produce exactly one error, and it must be the Definition 10 cycle.
+  const PaperProgram programs[] = {
+      {"kSuffixes", programs::kSuffixes, true},
+      {"kConcatPairs", programs::kConcatPairs, true},
+      {"kAbcN", programs::kAbcN, true},
+      {"kReverse", programs::kReverse, false},
+      {"kRep1", programs::kRep1, true},
+      {"kRep2", programs::kRep2, false},
+      {"kEcho", programs::kEcho, false},
+      {"kStratifiedDouble", programs::kStratifiedDouble, true},
+      {"kP1", programs::kP1, true},
+      {"kP2", programs::kP2, false},
+      {"kP3", programs::kP3, false},
+      {"kGenomePipeline", programs::kGenomePipeline, true},
+      {"kTranscribeSimulation", programs::kTranscribeSimulation, false},
+  };
+  for (const PaperProgram& p : programs) {
+    SymbolTable symbols;
+    SequencePool pool;
+    LintOptions options;
+    options.edb_predicates = {"r", "a", "dnaseq", "trans"};
+    DiagnosticReport report = LintSource(p.source, &symbols, &pool, options);
+    if (p.strongly_safe) {
+      EXPECT_EQ(report.ErrorCount(), 0u)
+          << p.name << ":\n" << report.RenderText(p.name);
+    } else {
+      std::vector<Diagnostic> errors = report.WithSeverity(Severity::kError);
+      ASSERT_EQ(errors.size(), 1u)
+          << p.name << ":\n" << report.RenderText(p.name);
+      EXPECT_EQ(errors[0].code, "SL-E010") << p.name;
+      EXPECT_TRUE(errors[0].loc.valid()) << p.name;
+    }
+  }
+}
+
+// ------------------------------------------------------ engine surfaces
+
+TEST_F(LintTest, EngineLoadProgramAccumulatesWarnings) {
+  Engine engine;
+  // 'q' is body-only, so the engine treats it as extensional (AddFact);
+  // the unguarded Y must still surface through Engine::diagnostics().
+  ASSERT_TRUE(engine.LoadProgram("p(X ++ Y) :- q(X).\n").ok());
+  const DiagnosticReport& report = engine.diagnostics();
+  EXPECT_FALSE(report.HasErrors());
+  ASSERT_EQ(report.WithSeverity(Severity::kWarning).size(), 2u);  // W020+W021
+  EXPECT_EQ(report.diagnostics()[0].code, "SL-W020");
+}
+
+TEST_F(LintTest, CleanProgramLoadsWithEmptyDiagnostics) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram(programs::kStratifiedDouble).ok());
+  EXPECT_TRUE(engine.diagnostics().empty())
+      << engine.diagnostics().RenderText();
+}
+
+TEST_F(LintTest, PrepareSurfacesW051AsWarnings) {
+  Engine engine;
+  ASSERT_TRUE(engine.LoadProgram("ans(X ++ Y) :- a(X), b(Y).\n").ok());
+  ASSERT_TRUE(engine.AddFact("a", {"x"}).ok());
+  ASSERT_TRUE(engine.AddFact("b", {"y"}).ok());
+  Result<PreparedQuery> prepared = engine.Prepare("ans($1)");
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  const std::vector<Diagnostic>& warnings = prepared.value().warnings();
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0].code, "SL-W051");
+
+  Engine clean;
+  ASSERT_TRUE(clean.LoadProgram(programs::kSuffixes).ok());
+  ASSERT_TRUE(clean.AddFact("r", {"abc"}).ok());
+  Result<PreparedQuery> ok = clean.Prepare("suffix($1)");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok.value().warnings().empty());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace seqlog

@@ -39,6 +39,36 @@ TEST_F(ParserTest, LexerTracksPositions) {
   EXPECT_EQ(tokens.value()[2].column, 3);
 }
 
+TEST_F(ParserTest, LexerStampsStartColumnOfMultiCharTokens) {
+  // Located diagnostics (analysis/lint.h) render these columns, so every
+  // multi-character token must carry its *start* column, not one past.
+  auto tokens = Tokenize("abc 12 ++ :- \"st\" 'q' $12 Xy");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<int> columns;
+  for (const Token& t : tokens.value()) columns.push_back(t.column);
+  EXPECT_EQ(columns,
+            (std::vector<int>{1, 5, 8, 11, 14, 19, 23, 27, 29}));
+}
+
+TEST_F(ParserTest, LexerErrorsPointAtTheOffendingTokenStart) {
+  // The opening quote of the unterminated constant, not past it...
+  Result<std::vector<Token>> q = Tokenize("p('ab");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("1:3"), std::string::npos)
+      << q.status().ToString();
+  // ...and the '$' of a malformed parameter, even mid-line.
+  Result<std::vector<Token>> d = Tokenize("abcdef $x");
+  ASSERT_FALSE(d.ok());
+  EXPECT_NE(d.status().message().find("1:8"), std::string::npos)
+      << d.status().ToString();
+  // A stray character right after a multi-char token: the column must
+  // account for the token's full width.
+  Result<std::vector<Token>> s = Tokenize("\"xy\"&");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.status().message().find("1:5"), std::string::npos)
+      << s.status().ToString();
+}
+
 TEST_F(ParserTest, LexerRejectsUnterminatedString) {
   EXPECT_FALSE(Tokenize("p(\"abc).").ok());
   EXPECT_FALSE(Tokenize("p('q0).").ok());

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Lints every Sequence Datalog program shipped with the repo.
+
+Driver of the `lint-programs` CI job (.github/workflows/ci.yml). Two
+program sources are swept:
+
+1. **examples/** — every ``LoadProgram(R"( ... )")`` raw-string literal
+   in the C++ examples. Predicates the same file feeds via
+   ``AddFact("name", ...)`` are declared extensional (``--edb``), as are
+   predicates bound to registered transducers.
+
+2. **docs transcripts** — every fenced ``seqlog-shell`` block in
+   ``docs/*.md`` (the blocks tools/check_docs.py replays). Clause lines
+   typed at the prompt form the program; ``+pred seq`` fact lines
+   declare the extensional predicates.
+
+Each program is piped through the built ``seqlog-lint`` binary. The
+gate is on *errors* (seqlog-lint's exit status): warnings are allowed —
+several shipped programs demonstrate warning diagnostics on purpose —
+but an unsafe or ill-formed program fails the job. Two escape hatches
+for *intentional* negative examples, which must keep failing lint (the
+gate inverts, and the promised codes must actually be emitted):
+
+* a transcript whose expected output shows an ``error[SL-`` diagnostic
+  (the docs demonstrate ``:check`` on unsafe programs);
+* a ``% lint-expect: SL-Exxx`` comment inside an embedded program
+  (quickstart ships the paper's not-strongly-safe Example 1.4).
+
+Usage: tools/lint_programs.py --lint build/tools/seqlog-lint
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+RAW_PROGRAM_RE = re.compile(r'LoadProgram\(R"\((.*?)\)"\)', re.DOTALL)
+ADD_FACT_RE = re.compile(r'AddFact\("([a-z][A-Za-z0-9_]*)"')
+LINT_EXPECT_RE = re.compile(r"%\s*lint-expect:\s*(SL-[EWI]\d+)")
+DOC_ERROR_RE = re.compile(r"error\[(SL-E\d+)\]")
+FENCE_RE = re.compile(r"^```(\S*)\s*$")
+PROMPT = "seqlog> "
+
+
+def example_programs():
+    """Yields (source_label, program_text, edb_predicates, expect_codes)."""
+    for cpp in sorted(REPO_ROOT.glob("examples/*.cpp")):
+        text = cpp.read_text(encoding="utf-8")
+        edb = set(ADD_FACT_RE.findall(text))
+        for i, match in enumerate(RAW_PROGRAM_RE.finditer(text), 1):
+            label = f"{cpp.relative_to(REPO_ROOT)}#program{i}"
+            expect = set(LINT_EXPECT_RE.findall(match.group(1)))
+            yield label, match.group(1), edb, expect
+
+
+def transcript_programs():
+    """Yields (source_label, program_text, edb, expect_codes)."""
+    for md in sorted(REPO_ROOT.glob("docs/*.md")):
+        lines = md.read_text(encoding="utf-8").splitlines()
+        in_block, start = False, 0
+        clauses, edb, expect = [], set(), set()
+        for lineno, line in enumerate(lines, 1):
+            fence = FENCE_RE.match(line)
+            if fence and not in_block and fence.group(1) == "seqlog-shell":
+                in_block, start = True, lineno
+                clauses, edb, expect = [], set(), set()
+            elif fence and in_block:
+                in_block = False
+                if clauses:
+                    label = f"{md.relative_to(REPO_ROOT)}:{start}"
+                    yield label, "\n".join(clauses) + "\n", edb, expect
+            elif in_block:
+                if line.startswith(PROMPT):
+                    cmd = line[len(PROMPT):].strip()
+                    if cmd.startswith("+"):
+                        # "+pred seq...": extensionally supplied.
+                        edb.add(cmd[1:].split()[0])
+                    elif (cmd and not cmd.startswith((":", "?-", "%"))
+                          and cmd.endswith(".")):
+                        clauses.append(cmd)
+                else:
+                    # The transcript demonstrates these error codes on
+                    # purpose; lint must keep reporting them.
+                    expect.update(DOC_ERROR_RE.findall(line))
+
+
+def run_lint(lint, label, program, edb, expect_codes):
+    """Returns a diagnostic string on failure, None on pass."""
+    cmd = [str(lint)]
+    if edb:
+        cmd.append("--edb=" + ",".join(sorted(edb)))
+    cmd.append("-")
+    proc = subprocess.run(cmd, input=program, text=True,
+                          capture_output=True, timeout=60)
+    if proc.returncode not in (0, 1):
+        return (f"{label}: seqlog-lint crashed (exit {proc.returncode}):\n"
+                f"{proc.stderr}")
+    failed = proc.returncode == 1
+    if expect_codes:
+        if not failed:
+            return (f"{label}: documented as erroneous but lints clean — "
+                    f"update the transcript or the program")
+        missing = [c for c in sorted(expect_codes) if c not in proc.stdout]
+        if missing:
+            return (f"{label}: expected {', '.join(missing)}, lint "
+                    f"reported:\n{proc.stdout}")
+    elif failed:
+        return f"{label}: lint errors:\n{proc.stdout}"
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--lint", type=pathlib.Path, required=True,
+                        help="path to the built seqlog-lint binary")
+    args = parser.parse_args()
+    if not args.lint.exists():
+        print(f"error: {args.lint} not found (build the seqlog-lint "
+              f"target first)", file=sys.stderr)
+        return 2
+
+    checked, failures = 0, []
+    for source in (example_programs(), transcript_programs()):
+        for label, program, edb, expect_codes in source:
+            checked += 1
+            diag = run_lint(args.lint, label, program, edb, expect_codes)
+            if diag:
+                failures.append(diag)
+
+    print(f"linted {checked} embedded program(s): {len(failures)} failure(s)")
+    for diag in failures:
+        print(f"FAIL {diag}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

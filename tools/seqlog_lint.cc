@@ -1,0 +1,153 @@
+// seqlog-lint: command-line linter for Sequence/Transducer Datalog
+// programs (the CLI surface of analysis/lint.h).
+//
+//   seqlog-lint [options] file.sl [file2.sl ...]
+//   seqlog-lint -                       # read one program from stdin
+//
+// Options:
+//   --format=text|json   output format (default text)
+//   --goal='?- p(X).'    enable the goal-dependent passes
+//                        (SL-W031 unused, SL-W050 unreachable,
+//                         SL-W051 unbindable)
+//   --edb=p,q,...        declare extensional predicates (suppresses
+//                        SL-W030 undefined-predicate for them)
+//   --info               also emit the positive SL-Ixxx findings
+//   --list-passes        print the pass/code registry and exit
+//
+// Exit status: 0 when no file has error-severity diagnostics, 1 when
+// any does (warnings alone do not fail), 2 on usage errors. The CI job
+// lints every program embedded in examples/ and docs/LANGUAGE.md with
+// --format=json and gates on the exit status.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+#include "base/string_util.h"
+#include "parser/parser.h"
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+
+namespace {
+
+using seqlog::analysis::DiagnosticReport;
+using seqlog::analysis::LintOptions;
+
+struct Args {
+  std::string format = "text";
+  std::string goal;
+  std::vector<std::string> edb;
+  bool info = false;
+  bool list_passes = false;
+  std::vector<std::string> files;
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      args->format = arg.substr(9);
+      if (args->format != "text" && args->format != "json") {
+        std::cerr << "seqlog-lint: unknown format '" << args->format
+                  << "' (expected text or json)\n";
+        return false;
+      }
+    } else if (arg.rfind("--goal=", 0) == 0) {
+      args->goal = arg.substr(7);
+    } else if (arg.rfind("--edb=", 0) == 0) {
+      for (const std::string& p : seqlog::Split(arg.substr(6), ',')) {
+        if (!p.empty()) args->edb.push_back(p);
+      }
+    } else if (arg == "--info") {
+      args->info = true;
+    } else if (arg == "--list-passes") {
+      args->list_passes = true;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "seqlog-lint: unknown option '" << arg << "'\n";
+      return false;
+    } else {
+      args->files.push_back(arg);
+    }
+  }
+  return args->list_passes || !args->files.empty();
+}
+
+void Usage() {
+  std::cerr
+      << "usage: seqlog-lint [--format=text|json] [--goal='?- p(X).']\n"
+         "                   [--edb=p,q,...] [--info] [--list-passes]\n"
+         "                   file.sl [file2.sl ...] | -\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+  if (args.list_passes) {
+    for (const seqlog::analysis::LintPassInfo& pass :
+         seqlog::analysis::LintPasses()) {
+      std::cout << pass.name << ": " << pass.codes << "\n";
+    }
+    return 0;
+  }
+
+  bool any_errors = false;
+  bool first_json = true;
+  if (args.format == "json") std::cout << "[";
+  for (const std::string& file : args.files) {
+    std::string source;
+    if (file == "-") {
+      std::ostringstream buf;
+      buf << std::cin.rdbuf();
+      source = buf.str();
+    } else {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "seqlog-lint: cannot read '" << file << "'\n";
+        return 2;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      source = buf.str();
+    }
+
+    seqlog::SymbolTable symbols;
+    seqlog::SequencePool pool;
+    LintOptions options;
+    options.include_info = args.info;
+    for (const std::string& p : args.edb) options.edb_predicates.insert(p);
+    if (!args.goal.empty()) {
+      seqlog::Result<seqlog::ast::Atom> goal =
+          seqlog::parser::ParseGoal(args.goal, &symbols, &pool);
+      if (!goal.ok()) {
+        std::cerr << "seqlog-lint: bad --goal: "
+                  << goal.status().message() << "\n";
+        return 2;
+      }
+      options.goal = goal.value();
+    }
+
+    DiagnosticReport report =
+        seqlog::analysis::LintSource(source, &symbols, &pool, options);
+    const std::string label = file == "-" ? "<stdin>" : file;
+    if (args.format == "json") {
+      if (!first_json) std::cout << ", ";
+      first_json = false;
+      std::cout << report.RenderJson(label);
+    } else {
+      std::cout << report.RenderText(label);
+    }
+    any_errors = any_errors || report.HasErrors();
+  }
+  if (args.format == "json") std::cout << "]\n";
+  return any_errors ? 1 : 0;
+}

@@ -1,0 +1,4 @@
+% Structural recursion over suffixes (paper Example 4): strongly safe,
+% non-constructive — lints clean with r declared extensional.
+suffix(X) :- r(X).
+suffix(X[2:end]) :- suffix(X).

@@ -1,0 +1,4 @@
+% This file intentionally does not parse: unclosed paren and a stray
+% operator. seqlog-lint must report SL-E001 and exit 1 without crashing.
+p(X :- q(X).
+== r(Y)

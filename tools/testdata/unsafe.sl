@@ -1,0 +1,4 @@
+% Paper Example: not strongly safe (constructive self-cycle, Def. 10).
+% seqlog-lint must render the cycle path and exit 1.
+rep(X) :- r(X).
+rep(X ++ X) :- rep(X).
