@@ -128,7 +128,7 @@ void PrintTable() {
                   " %-9.2f\n",
                   workload, threads, outcome.stats.millis,
                   outcome.stats.facts, fire,
-                  Share(outcome.stats, outcome.stats.domain_millis),
+                  Share(outcome.stats, outcome.stats.domain_millis()),
                   1.0 / ((1.0 - fire) + fire / 8.0),
                   serial_millis / outcome.stats.millis);
     }
@@ -154,7 +154,11 @@ void RunFixpointBenchmark(benchmark::State& state,
     last = std::move(outcome.stats);
   }
   state.counters["fire_share"] = Share(last, last.fire_millis);
-  state.counters["domain_share"] = Share(last, last.domain_millis);
+  state.counters["domain_share"] = Share(last, last.domain_millis());
+  state.counters["domain_load_share"] =
+      Share(last, last.domain_load_millis);
+  state.counters["domain_merge_share"] =
+      Share(last, last.domain_merge_millis);
 }
 
 void BM_Rep1Fixpoint(benchmark::State& state) {

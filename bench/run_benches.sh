@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 #
 # Runs every seqlog bench binary and aggregates their google-benchmark JSON
-# reports into one trajectory file (default: BENCH_pr6.json at the repo
-# root; BENCH_seed.json was the seed-state run, BENCH_pr4/pr5.json the
-# earlier PR runs). Each binary first prints its paper-reproduction
+# reports into one trajectory file (default: BENCH_pr7.json at the repo
+# root; BENCH_seed.json was the seed-state run, BENCH_pr4/pr5/pr6.json
+# the earlier PR runs). Each binary first prints its paper-reproduction
 # table; those tables are kept out of the JSON by sending the report
 # through --benchmark_out. The aggregate includes the
-# bench_parallel_eval thread-scaling series (1/2/8 threads per workload,
-# with the measured fire_share/domain_share Amdahl counters per width)
-# and the bench_lint linter-cost series on the load/prepare path.
+# bench_parallel_eval thread-scaling series, the bench_lint linter-cost
+# series, and (PR7) the bench_serve batch-amortisation rows plus a
+# "loadgen" section of closed-loop serving measurements: seqlog-serve is
+# started on an ephemeral loopback port and seqlog-loadgen drives the
+# text-index and genome workloads in exec and batch mode, emitting
+# qps/p50/p99 rows (tools/seqlog_loadgen.cc). The loadgen section is
+# skipped with a note when the tools are not built.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR  cmake build directory containing bench/ (default: build)
-#   OUT_JSON   aggregate output path (default: BENCH_pr6.json)
+#   OUT_JSON   aggregate output path (default: BENCH_pr7.json)
 #
 # Environment:
 #   SEQLOG_BENCH_MIN_TIME  --benchmark_min_time per benchmark (default 0.05)
@@ -21,7 +25,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT_JSON="${2:-$REPO_ROOT/BENCH_pr6.json}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_pr7.json}"
 MIN_TIME="${SEQLOG_BENCH_MIN_TIME:-0.05}"
 
 BENCH_DIR="$BUILD_DIR/bench"
@@ -51,13 +55,51 @@ for bin in "$BENCH_DIR"/bench_*; do
   fi
 done
 
+# --- Closed-loop serving measurements (tools/seqlog_loadgen.cc) ------
+SERVE_BIN="$BUILD_DIR/tools/seqlog-serve"
+LOADGEN_BIN="$BUILD_DIR/tools/seqlog-loadgen"
+if [ -x "$SERVE_BIN" ] && [ -x "$LOADGEN_BIN" ]; then
+  for workload in text genome; do
+    echo "== loadgen ${workload}"
+    SERVE_OUT="$TMP_DIR/serve_${workload}.out"
+    "$SERVE_BIN" --workload="$workload" --port=0 --sessions=4 \
+      >"$SERVE_OUT" 2>&1 &
+    SERVER_PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+      PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' \
+        "$SERVE_OUT" | head -1)"
+      [ -n "$PORT" ] && break
+      kill -0 "$SERVER_PID" 2>/dev/null || break
+      sleep 0.1
+    done
+    if [ -z "$PORT" ]; then
+      echo "error: seqlog-serve (${workload}) did not come up" >&2
+      cat "$SERVE_OUT" >&2
+      exit 1
+    fi
+    "$LOADGEN_BIN" --port="$PORT" --workload="$workload" --mode=exec \
+      --connections=4 --requests=100 --json \
+      > "$TMP_DIR/loadgen_${workload}_exec.json"
+    "$LOADGEN_BIN" --port="$PORT" --workload="$workload" --mode=batch \
+      --batch-size=32 --connections=2 --requests=20 --json \
+      > "$TMP_DIR/loadgen_${workload}_batch.json"
+    kill -TERM "$SERVER_PID"
+    wait "$SERVER_PID"
+  done
+else
+  echo "note: serving tools not built; skipping loadgen rows" >&2
+fi
+
 python3 - "$TMP_DIR" "$OUT_JSON" <<'PY'
 import json
 import pathlib
 import sys
 
 tmp, out = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
-agg = {"suite": "seqlog", "context": {}, "benchmarks": {}}
+agg = {"suite": "seqlog", "context": {}, "benchmarks": {}, "loadgen": []}
+for path in sorted(tmp.glob("loadgen_*.json")):
+    agg["loadgen"].append(json.loads(path.read_text()))
 for path in sorted(tmp.glob("bench_*.json")):
     text = path.read_text()
     if not text.strip():
@@ -71,5 +113,6 @@ for path in sorted(tmp.glob("bench_*.json")):
     agg["benchmarks"][path.stem] = report.get("benchmarks", [])
 out.write_text(json.dumps(agg, indent=2) + "\n")
 timings = sum(len(v) for v in agg["benchmarks"].values())
-print(f"wrote {out} ({len(agg['benchmarks'])} bench binaries, {timings} timings)")
+print(f"wrote {out} ({len(agg['benchmarks'])} bench binaries, {timings} "
+      f"timings, {len(agg['loadgen'])} loadgen rows)")
 PY

@@ -29,6 +29,7 @@
 #include "analysis/lint.h"
 #include "analysis/safety.h"
 #include "core/engine.h"
+#include "serve/client.h"
 #include "transducer/genome.h"
 #include "transducer/library.h"
 
@@ -56,6 +57,7 @@ constexpr char kHelp[] = R"(seqlog shell commands
   :limits <iters> <facts> set evaluation budgets
   :threads <n>            evaluation threads (0 = one per core, 1 = serial)
   :stats                  time split of the last :run (firing vs closure)
+  :serve-stats <host> <p> counters of a running seqlog-serve (STATS verb)
   :load <file>            append rules from a file
   :clear                  drop program and facts
   :machines               list registered transducers
@@ -196,6 +198,11 @@ class Shell {
       }
     } else if (cmd == ":stats") {
       PrintStats();
+    } else if (cmd == ":serve-stats") {
+      std::string host;
+      int port = 0;
+      in >> host >> port;
+      ServeStats(host, port);
     } else if (cmd == ":load") {
       std::string path;
       in >> path;
@@ -329,8 +336,43 @@ class Shell {
     std::cout << "last run: " << last_stats_.millis << " ms total\n"
               << "  firing (parallel phase):  " << last_stats_.fire_millis
               << " ms (" << share(last_stats_.fire_millis) << "%)\n"
-              << "  closure (serial barrier): " << last_stats_.domain_millis
-              << " ms (" << share(last_stats_.domain_millis) << "%)\n";
+              << "  closure (serial barrier): "
+              << last_stats_.domain_millis() << " ms ("
+              << share(last_stats_.domain_millis()) << "%)\n"
+              << "    domain load:  " << last_stats_.domain_load_millis
+              << " ms (" << share(last_stats_.domain_load_millis) << "%)\n"
+              << "    domain merge: " << last_stats_.domain_merge_millis
+              << " ms (" << share(last_stats_.domain_merge_millis)
+              << "%)\n";
+  }
+
+  /// The shell as a minimal monitoring client: fetches a running
+  /// seqlog-serve's counters via the STATS verb (docs/SERVING.md).
+  void ServeStats(const std::string& host, int port) {
+    if (host.empty() || port <= 0 || port > 65535) {
+      std::cout << "? usage: :serve-stats <host> <port>\n";
+      return;
+    }
+    seqlog::serve::TextClient client;
+    Status s = client.Connect(host, static_cast<uint16_t>(port));
+    if (!s.ok()) {
+      std::cout << "! " << s.ToString() << "\n";
+      return;
+    }
+    auto reply = client.Roundtrip("STATS");
+    if (!reply.ok()) {
+      std::cout << "! " << reply.status().ToString() << "\n";
+      return;
+    }
+    if (!reply.value().ok()) {
+      std::cout << "! " << reply.value().header << "\n";
+      return;
+    }
+    for (const std::string& line : reply.value().body) {
+      std::cout << "  "
+                << (line.rfind("STAT ", 0) == 0 ? line.substr(5) : line)
+                << "\n";
+    }
   }
 
   void Query(const std::string& pred) {

@@ -111,6 +111,29 @@ ResultSet PreparedQuery::Execute(const Snapshot& snapshot,
                    snapshot.shared());
 }
 
+ResultSet PreparedQuery::ExecuteWith(
+    const Snapshot& snapshot,
+    const std::vector<std::optional<SeqId>>& params,
+    const query::SolveOptions& options) const {
+  if (!snapshot.valid()) {
+    return ResultSet(
+        Status::InvalidArgument("invalid snapshot (default-constructed?)"));
+  }
+  query::SolveResult result = impl_->solver.Execute(
+      impl_->prepared, snapshot.db(), params, options,
+      snapshot.domain_base());
+  impl_->executions.fetch_add(1, std::memory_order_relaxed);
+  return ResultSet(std::move(result), impl_->prepared.goal.args.size(),
+                   impl_->engine->pool(), impl_->engine->symbols(),
+                   snapshot.shared());
+}
+
+const query::PreparedGoal& PreparedQuery::prepared_goal() const {
+  return impl_->prepared;
+}
+
+Engine* PreparedQuery::engine() const { return impl_->engine; }
+
 PreparedQueryStats PreparedQuery::stats() const {
   PreparedQueryStats stats;
   stats.goal_parses = impl_->goal_parses;

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -46,6 +47,9 @@
 namespace seqlog {
 
 class Engine;
+namespace serve {
+class BatchExecutor;
+}  // namespace serve
 
 /// Counters proving what the prepared path does (and does not) do.
 struct PreparedQueryStats {
@@ -97,11 +101,28 @@ class PreparedQuery {
   ResultSet Execute(const Snapshot& snapshot,
                     const query::SolveOptions& options = {}) const;
 
+  /// Executes against a published snapshot with per-call parameter
+  /// values (`params[i]` binds `$i+1`) instead of the shared Bind state,
+  /// which is neither read nor written — kFailedPrecondition when an
+  /// entry is missing. Const and thread-safe even while other threads
+  /// Bind: the serving tier's per-session execution path
+  /// (src/serve/server.h) — many sessions share one PreparedQuery and
+  /// never touch its Bind state.
+  ResultSet ExecuteWith(const Snapshot& snapshot,
+                        const std::vector<std::optional<SeqId>>& params,
+                        const query::SolveOptions& options = {}) const;
+
   /// Prepare/execution counters (see struct comment).
   PreparedQueryStats stats() const;
 
  private:
   friend class Engine;
+  /// The batch tier reads the compiled PreparedGoal (and the owning
+  /// engine) to run many bindings in one fixpoint (serve/batch_executor.h).
+  friend class serve::BatchExecutor;
+  /// Friendship accessors for the batch tier (Impl is .cc-private).
+  const query::PreparedGoal& prepared_goal() const;
+  Engine* engine() const;
   struct Impl;
   explicit PreparedQuery(std::unique_ptr<Impl> impl);
   /// Factory for Engine::Prepare (Impl is defined in the .cc).

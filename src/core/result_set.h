@@ -35,6 +35,9 @@ namespace seqlog {
 
 class ResultSet;
 class Row;
+namespace serve {
+class BatchExecutor;
+}  // namespace serve
 
 /// One answer cell: an interned sequence, rendered only on request.
 class Value {
@@ -148,6 +151,9 @@ class ResultSet {
   friend class PreparedQuery;
   friend class Row;
   friend class Value;
+  /// The batch tier materializes one ResultSet per batch item
+  /// (serve/batch_executor.h).
+  friend class serve::BatchExecutor;
 
   /// Takes ownership of the solve result's tuples; `keepalive` pins the
   /// snapshot the result was computed from (may be null for live-EDB

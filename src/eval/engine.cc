@@ -212,7 +212,7 @@ Status Evaluator::InitState(const Database& edb, const Database* extra_facts,
   if (load_status.ok() && extra_facts != nullptr) {
     load_status = LoadFacts(*extra_facts, state);
   }
-  state->stats.domain_millis +=
+  state->stats.domain_load_millis +=
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - load_start)
           .count();
@@ -285,13 +285,13 @@ void Evaluator::AppendDeltaTasks(size_t idx, size_t si,
 // genuinely new to the model, which keeps multi-scratch merges (a fact
 // derived by several tasks appears in several scratches) equivalent to
 // the serial shared-scratch merge. The wrapper accounts the barrier —
-// dominated by the domain closure — into EvalStats::domain_millis.
+// dominated by the domain closure — into EvalStats::domain_merge_millis.
 Status Evaluator::MergeRound(const std::vector<const Database*>& sources,
                              const std::vector<ClosureHints>* hints,
                              RunState* state) const {
   const auto barrier_start = std::chrono::steady_clock::now();
   Status status = MergeRoundImpl(sources, hints, state);
-  state->stats.domain_millis +=
+  state->stats.domain_merge_millis +=
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - barrier_start)
           .count();

@@ -173,7 +173,8 @@ class Evaluator {
                    RunState* state) const;
   /// Merges `sources` (in order) into the model, refreshing delta,
   /// domain and growth stats; accumulates the elapsed time into
-  /// EvalStats::domain_millis. With `hints` (parallel rounds) the domain
+  /// EvalStats::domain_merge_millis. With `hints` (parallel rounds) the
+  /// domain
   /// grows through the warm-entry ExtendWithClosed path; without
   /// (serial rounds) through the legacy inline ExtendWith.
   Status MergeRound(const std::vector<const Database*>& sources,

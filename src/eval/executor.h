@@ -51,12 +51,19 @@ struct EvalStats {
   /// what used to be serial closure time moves here.
   /// fire_millis/millis bounds the achievable speedup (Amdahl).
   double fire_millis = 0;
-  /// Wall-clock spent growing the extended active domain — the EDB load
-  /// and the round merge barriers (both dominated by the subsequence
-  /// closure). The serial counterpart of fire_millis: together they
-  /// account for nearly all of `millis`, so the Amdahl split in bench
-  /// output is measured, not inferred.
-  double domain_millis = 0;
+  /// Wall-clock spent growing the extended active domain, split by
+  /// phase. Together with fire_millis they account for nearly all of
+  /// `millis`, so the Amdahl split in bench output is measured, not
+  /// inferred. domain_load_millis covers the EDB/seed load closure at
+  /// run start; domain_merge_millis covers the round merge barriers —
+  /// the single-writer section the sharded-merge roadmap item targets,
+  /// so the two must be measurable separately.
+  double domain_load_millis = 0;
+  double domain_merge_millis = 0;
+  /// The combined domain time (the pre-split counter's value).
+  double domain_millis() const {
+    return domain_load_millis + domain_merge_millis;
+  }
   /// Per-iteration (facts, domain size) when growth tracking is on; used
   /// by the Example 1.5 / 1.6 benchmarks to plot divergence.
   std::vector<std::pair<size_t, size_t>> growth;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <unordered_set>
 #include <utility>
 
 #include "analysis/safety.h"
@@ -127,6 +128,23 @@ Result<std::vector<std::optional<SeqId>>> ResolveValues(
     values[j] = *params[idx - 1];
   }
   return values;
+}
+
+/// Builds the magic seed tuple for one resolved goal instance: the
+/// values at the goal's bound positions, in seed-position order.
+Result<std::vector<SeqId>> BuildSeedTuple(
+    const PreparedGoal& prepared,
+    const std::vector<std::optional<SeqId>>& values) {
+  std::vector<SeqId> seed_tuple;
+  seed_tuple.reserve(prepared.magic.seed_positions.size());
+  for (size_t j : prepared.magic.seed_positions) {
+    const std::optional<SeqId>& v = values[j];
+    if (!v.has_value()) {
+      return Status::Internal("bound goal position without a value");
+    }
+    seed_tuple.push_back(*v);
+  }
+  return seed_tuple;
 }
 
 }  // namespace
@@ -294,18 +312,13 @@ SolveResult Solver::Execute(
   // the cached rewrite into a scratch database with the shared
   // catalog/pool, so extensional PredIds and SeqIds line up.
   Database seeds(catalog_);
-  std::vector<SeqId> seed_tuple;
-  seed_tuple.reserve(prepared.magic.seed_positions.size());
-  for (size_t j : prepared.magic.seed_positions) {
-    const std::optional<SeqId>& v = values.value()[j];
-    if (!v.has_value()) {
-      result.status =
-          Status::Internal("bound goal position without a value");
-      return result;
-    }
-    seed_tuple.push_back(*v);
+  Result<std::vector<SeqId>> seed_tuple =
+      BuildSeedTuple(prepared, values.value());
+  if (!seed_tuple.ok()) {
+    result.status = seed_tuple.status();
+    return result;
   }
-  seeds.Insert(prepared.seed_pred, seed_tuple);
+  seeds.Insert(prepared.seed_pred, seed_tuple.value());
 
   Database scratch(catalog_);
   eval::EvalOutcome outcome = prepared.evaluator->Evaluate(
@@ -329,6 +342,192 @@ SolveResult Solver::Execute(
   result.stats.answers = result.answers.size();
   result.status = std::move(outcome.status);
   return result;
+}
+
+Result<std::shared_ptr<const eval::Evaluator>> Solver::FuseGoals(
+    const std::vector<const PreparedGoal*>& goals,
+    const SymbolTable& symbols) const {
+  // Union the rewrites clause by clause. Goals sharing an adorned
+  // subgoal predicate contribute byte-identical clauses (AdornedName is
+  // deterministic), so rendering is a sound dedup key.
+  ast::Program fused;
+  std::unordered_set<std::string> seen;
+  size_t rewrites = 0;
+  bool each_strongly_safe = true;
+  for (const PreparedGoal* goal : goals) {
+    if (goal == nullptr || goal->edb) continue;
+    ++rewrites;
+    each_strongly_safe =
+        each_strongly_safe &&
+        analysis::AnalyzeSafety(goal->magic.program).strongly_safe;
+    for (const ast::Clause& clause : goal->magic.program.clauses) {
+      std::string key = ast::ToString(clause, *pool_, symbols);
+      if (!seen.insert(std::move(key)).second) continue;
+      fused.clauses.push_back(clause);
+    }
+  }
+  if (rewrites < 2) return std::shared_ptr<const eval::Evaluator>();
+
+  // Shared subgoals can route one goal's guard edges through another
+  // goal's clauses: if that closes a constructive cycle no individual
+  // rewrite has, a fused run could diverge where the per-goal runs
+  // would not — refuse, the caller falls back to per-goal runs.
+  if (each_strongly_safe &&
+      !analysis::AnalyzeSafety(fused).strongly_safe) {
+    return Status::FailedPrecondition(
+        "fusing these goals closes a constructive cycle that no "
+        "individual rewrite has; execute them as separate runs");
+  }
+
+  auto evaluator =
+      std::make_shared<eval::Evaluator>(catalog_, pool_, registry_);
+  SEQLOG_RETURN_IF_ERROR(evaluator->SetProgram(fused));
+  return std::shared_ptr<const eval::Evaluator>(std::move(evaluator));
+}
+
+BatchSolveResult Solver::ExecuteBatch(
+    const std::vector<const PreparedGoal*>& goals,
+    const eval::Evaluator* fused, const Database& edb,
+    const std::vector<BatchItem>& items, const SolveOptions& options,
+    std::shared_ptr<const ExtendedDomain> base_domain) const {
+  BatchSolveResult out;
+  out.items.resize(items.size());
+
+  // Per-item admission: resolve values now, answer EDB goals by direct
+  // scan now, and queue IDB items for the shared run(s).
+  std::vector<std::vector<std::optional<SeqId>>> values(items.size());
+  std::vector<size_t> idb_items;
+  for (size_t i = 0; i < items.size(); ++i) {
+    SolveResult& item_result = out.items[i];
+    if (items[i].goal >= goals.size() || goals[items[i].goal] == nullptr) {
+      item_result.status = Status::OutOfRange(
+          StrCat("batch item ", i, " references goal ", items[i].goal,
+                 " of a batch over ", goals.size(), " goal(s)"));
+      continue;
+    }
+    const PreparedGoal& prepared = *goals[items[i].goal];
+    item_result.stats.goal_adornment = prepared.goal_adornment;
+    item_result.stats.adorned_predicates = prepared.adorned_predicates;
+    item_result.stats.rewritten_clauses =
+        prepared.magic.program.clauses.size();
+    Result<std::vector<std::optional<SeqId>>> resolved =
+        ResolveValues(prepared, items[i].params);
+    if (!resolved.ok()) {
+      item_result.status = resolved.status();
+      continue;
+    }
+    values[i] = std::move(resolved).value();
+    if (prepared.edb) {
+      item_result.answers = FilterRelation(edb.Get(prepared.edb_pred),
+                                           values[i], prepared.var_groups);
+      item_result.stats.answers = item_result.answers.size();
+      item_result.status = Status::Ok();
+      continue;
+    }
+    idb_items.push_back(i);
+  }
+  if (idb_items.empty()) {
+    out.status = Status::Ok();
+    return out;
+  }
+
+  // Partition the IDB items into runs: one shared run with the fused
+  // evaluator, or one run per distinct goal without it. Items of one
+  // run inject their seed facts together (duplicate bindings collapse
+  // to one seed — Database relations are sets) and the run's rounds and
+  // domain closure are paid once for all of them.
+  struct Run {
+    const eval::Evaluator* evaluator;
+    std::vector<size_t> members;
+  };
+  std::vector<Run> runs;
+  if (fused != nullptr) {
+    runs.push_back(Run{fused, idb_items});
+  } else {
+    std::map<size_t, size_t> run_of_goal;  // goal index -> runs index
+    for (size_t i : idb_items) {
+      auto [it, added] =
+          run_of_goal.try_emplace(items[i].goal, runs.size());
+      if (added) {
+        runs.push_back(
+            Run{goals[items[i].goal]->evaluator.get(), {}});
+      }
+      runs[it->second].members.push_back(i);
+    }
+  }
+
+  out.status = Status::Ok();
+  for (const Run& run : runs) {
+    Database seeds(catalog_);
+    bool seeded = false;
+    for (size_t i : run.members) {
+      const PreparedGoal& prepared = *goals[items[i].goal];
+      Result<std::vector<SeqId>> seed_tuple =
+          BuildSeedTuple(prepared, values[i]);
+      if (!seed_tuple.ok()) {
+        out.items[i].status = seed_tuple.status();
+        continue;
+      }
+      seeds.Insert(prepared.seed_pred, seed_tuple.value());
+      seeded = true;
+    }
+    if (!seeded) continue;
+
+    Database scratch(catalog_);
+    eval::EvalOutcome outcome =
+        run.evaluator->Evaluate(edb, &seeds, base_domain, options.eval,
+                                &scratch);
+    ++out.evaluations;
+    out.eval.iterations += outcome.stats.iterations;
+    out.eval.facts += outcome.stats.facts;
+    out.eval.domain_sequences += outcome.stats.domain_sequences;
+    out.eval.derivations += outcome.stats.derivations;
+    out.eval.millis += outcome.stats.millis;
+    out.eval.fire_millis += outcome.stats.fire_millis;
+    out.eval.domain_load_millis += outcome.stats.domain_load_millis;
+    out.eval.domain_merge_millis += outcome.stats.domain_merge_millis;
+    if (!outcome.status.ok() && out.status.ok()) {
+      out.status = outcome.status;
+    }
+
+    // Shared counters of the run, attributed to each member (they are
+    // not per-item separable: the rounds served every member at once).
+    const size_t edb_facts = edb.TotalFacts();
+    const size_t total_facts = scratch.TotalFacts();
+    const size_t derived =
+        total_facts > edb_facts ? total_facts - edb_facts : 0;
+    size_t magic_facts = 0;
+    std::set<std::string> magic_names;
+    for (size_t i : run.members) {
+      const auto& names = goals[items[i].goal]->magic.magic_predicates;
+      magic_names.insert(names.begin(), names.end());
+    }
+    for (const std::string& name : magic_names) {
+      Result<PredId> pred = catalog_->Find(name);
+      if (!pred.ok()) continue;
+      const Relation* rel = scratch.Get(pred.value());
+      if (rel != nullptr) magic_facts += rel->size();
+    }
+
+    // Demultiplex: each member's answers are its goal's answer-predicate
+    // tuples matching the member's bound values — for a magic rewrite
+    // the bound positions are exactly what the seed demanded, so the
+    // filter recovers precisely the answers a solo run would derive
+    // (like Evaluate, a budget-exhausted run keeps partial answers).
+    for (size_t i : run.members) {
+      if (!out.items[i].status.ok()) continue;  // seed construction failed
+      const PreparedGoal& prepared = *goals[items[i].goal];
+      out.items[i].answers =
+          FilterRelation(scratch.Get(prepared.answer_pred), values[i],
+                         prepared.var_groups);
+      out.items[i].stats.answers = out.items[i].answers.size();
+      out.items[i].stats.derived_facts = derived;
+      out.items[i].stats.magic_facts = magic_facts;
+      out.items[i].stats.eval = outcome.stats;
+      out.items[i].status = outcome.status;
+    }
+  }
+  return out;
 }
 
 SolveResult Solver::Solve(const ast::Program& program, const ast::Atom& goal,

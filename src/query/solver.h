@@ -44,6 +44,7 @@
 #include "query/adornment.h"
 #include "query/magic.h"
 #include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
 #include "storage/database.h"
 
 namespace seqlog {
@@ -107,6 +108,29 @@ struct PreparedGoal {
   size_t adorned_predicates = 0;
 };
 
+/// One entry of a batched execution: which prepared goal it instantiates
+/// (an index into the goal list passed to ExecuteBatch) and the `$N`
+/// parameter values for that instance.
+struct BatchItem {
+  size_t goal = 0;
+  std::vector<std::optional<SeqId>> params;
+};
+
+/// Result of one ExecuteBatch call. `items[i]` answers `items[i]` of the
+/// request in order, each with the exact status/answers an individual
+/// Execute of that binding would produce — answer parity is the batch
+/// invariant (tests/batch_executor_test.cc). Per-item eval counters are
+/// those of the *shared* run that answered the item (rounds are
+/// amortised across the batch, so they are not per-item attributable);
+/// `eval` aggregates them across runs and `evaluations` counts the
+/// semi-naive runs actually performed (1 for a single-goal batch).
+struct BatchSolveResult {
+  Status status;
+  std::vector<SolveResult> items;
+  size_t evaluations = 0;
+  eval::EvalStats eval;
+};
+
 /// Stateless facade over adornment + magic rewrite + evaluation. Shares
 /// the engine's catalog/pool/registry so SeqIds and PredIds line up with
 /// the extensional database.
@@ -145,6 +169,43 @@ class Solver {
   /// directly from `edb`.
   SolveResult Solve(const ast::Program& program, const ast::Atom& goal,
                     const Database& edb, const SolveOptions& options = {});
+
+  // ------------------------------------------------------------------
+  // Batched execution — many bindings, one semi-naive run.
+  // ------------------------------------------------------------------
+
+  /// Compiles ONE evaluator that answers every goal of `goals` in a
+  /// single run: the union of the goals' magic rewrites, deduplicated
+  /// clause-by-clause (goals sharing adorned subgoals contribute each
+  /// shared clause once). `symbols` is only used to key the dedup.
+  /// Returns null when fewer than two goals carry a rewrite (a single
+  /// IDB goal's own cached evaluator already is the fused plan — use
+  /// it). kFailedPrecondition when the union closes a constructive
+  /// cycle that no individual rewrite has (Definition 10): such goal
+  /// sets must fall back to per-goal runs, which ExecuteBatch performs
+  /// when `fused` is null.
+  Result<std::shared_ptr<const eval::Evaluator>> FuseGoals(
+      const std::vector<const PreparedGoal*>& goals,
+      const SymbolTable& symbols) const;
+
+  /// Answers every item of `items` (each an instantiation of one goal
+  /// in `goals`) with the minimum number of fixpoint runs: all magic
+  /// seed facts of the items sharing a run are injected together, the
+  /// rounds and the domain closure are paid once for the whole batch,
+  /// and the answers are demultiplexed per item from its goal's answer
+  /// predicate by the item's bound values. With `fused` non-null (built
+  /// by FuseGoals over the same `goals` list) every IDB item shares ONE
+  /// run; with `fused` null items are grouped per goal — one run per
+  /// distinct goal. EDB goals are answered by direct scans, as in
+  /// Execute. Items with unbound parameters or out-of-range goal
+  /// indices fail individually (their SolveResult carries the error)
+  /// without failing the batch. Const and thread-safe under the same
+  /// contract as Execute.
+  BatchSolveResult ExecuteBatch(
+      const std::vector<const PreparedGoal*>& goals,
+      const eval::Evaluator* fused, const Database& edb,
+      const std::vector<BatchItem>& items, const SolveOptions& options = {},
+      std::shared_ptr<const ExtendedDomain> base_domain = nullptr) const;
 
  private:
   Catalog* catalog_;

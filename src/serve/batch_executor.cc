@@ -1,0 +1,100 @@
+#include "serve/batch_executor.h"
+
+#include <utility>
+
+#include "base/string_util.h"
+#include "core/engine.h"
+
+namespace seqlog {
+namespace serve {
+
+BatchExecutor::BatchExecutor(Engine* engine,
+                             std::vector<const PreparedQuery*> queries,
+                             const BatchOptions& options)
+    : engine_(engine),
+      queries_(std::move(queries)),
+      solver_(engine->catalog(), engine->pool(), engine->registry()) {
+  if (!options.fuse) return;
+  std::vector<const query::PreparedGoal*> goals;
+  goals.reserve(queries_.size());
+  for (const PreparedQuery* q : queries_) {
+    goals.push_back(&q->prepared_goal());
+  }
+  Result<std::shared_ptr<const eval::Evaluator>> fused =
+      solver_.FuseGoals(goals, *engine_->symbols());
+  if (fused.ok()) {
+    // Null when fewer than two goals carry a rewrite — groupwise runs
+    // already are optimal there.
+    fused_ = std::move(fused).value();
+  } else {
+    // The union is not demand-evaluable; run one fixpoint per distinct
+    // goal instead (still amortised across that goal's items).
+    fusion_status_ = fused.status();
+  }
+}
+
+Result<BatchExecutor::Item> BatchExecutor::MakeItem(
+    size_t query, const std::vector<std::string>& args) const {
+  if (query >= queries_.size()) {
+    return Status::OutOfRange(StrCat("no query #", query, " in batch (",
+                                     queries_.size(), " prepared)"));
+  }
+  const size_t want = queries_[query]->param_count();
+  if (args.size() != want) {
+    return Status::InvalidArgument(
+        StrCat("query '", queries_[query]->goal(), "' takes ", want,
+               " parameter(s), got ", args.size()));
+  }
+  Item item;
+  item.query = query;
+  item.params.reserve(args.size());
+  for (const std::string& arg : args) {
+    item.params.emplace_back(
+        engine_->pool()->FromChars(arg, engine_->symbols()));
+  }
+  return item;
+}
+
+BatchResult BatchExecutor::Execute(const Snapshot& snapshot,
+                                   const std::vector<Item>& items,
+                                   const query::SolveOptions& options) const {
+  BatchResult out;
+  if (!snapshot.valid()) {
+    out.status =
+        Status::InvalidArgument("invalid snapshot (default-constructed?)");
+    return out;
+  }
+  std::vector<const query::PreparedGoal*> goals;
+  goals.reserve(queries_.size());
+  for (const PreparedQuery* q : queries_) {
+    goals.push_back(&q->prepared_goal());
+  }
+  std::vector<query::BatchItem> batch;
+  batch.reserve(items.size());
+  for (const Item& item : items) {
+    batch.push_back(query::BatchItem{item.query, item.params});
+  }
+  query::BatchSolveResult solved =
+      solver_.ExecuteBatch(goals, fused_.get(), snapshot.db(), batch,
+                           options, snapshot.domain_base());
+  out.status = std::move(solved.status);
+  out.stats.items = items.size();
+  out.stats.evaluations = solved.evaluations;
+  out.stats.fused = fused_ != nullptr;
+  out.stats.eval = solved.eval;
+  out.results.reserve(solved.items.size());
+  for (size_t i = 0; i < solved.items.size(); ++i) {
+    // Out-of-range goal indices carry their error in the per-item
+    // status; render them with arity 0.
+    const size_t arity = batch[i].goal < goals.size()
+                             ? goals[batch[i].goal]->goal.args.size()
+                             : 0;
+    out.results.push_back(ResultSet(std::move(solved.items[i]), arity,
+                                    engine_->pool(), engine_->symbols(),
+                                    snapshot.shared()));
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace seqlog

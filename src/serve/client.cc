@@ -1,0 +1,166 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace serve {
+
+namespace {
+
+/// Value of a `key=<n>` token in a reply header, or 0.
+uint64_t HeaderCount(const std::string& header, const char* key) {
+  std::string needle = StrCat(" ", key, "=");
+  size_t at = header.find(needle);
+  if (at == std::string::npos) return 0;
+  uint64_t value = 0;
+  for (size_t i = at + needle.size();
+       i < header.size() && header[i] >= '0' && header[i] <= '9'; ++i) {
+    value = value * 10 + static_cast<uint64_t>(header[i] - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+std::string Reply::error_code() const {
+  if (ok() || header.rfind("ERR ", 0) != 0) return std::string();
+  size_t end = header.find(' ', 4);
+  if (end == std::string::npos) end = header.size();
+  return header.substr(4, end - 4);
+}
+
+TextClient::~TextClient() { Close(); }
+
+TextClient::TextClient(TextClient&& other) noexcept
+    : fd_(other.fd_), buffer_(std::move(other.buffer_)) {
+  other.fd_ = -1;
+}
+
+TextClient& TextClient::operator=(TextClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    buffer_ = std::move(other.buffer_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TextClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status TextClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const char* numeric = host == "localhost" ? "127.0.0.1" : host.c_str();
+  if (::inet_pton(AF_INET, numeric, &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrCat("bad host '", host, "' (numeric IPv4 or localhost)"));
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(StrCat("socket: ", std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Status status = Status::Internal(
+        StrCat("connect ", host, ":", port, ": ", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  return Status::Ok();
+}
+
+Status TextClient::SendLine(const std::string& line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string wire = line;
+  wire.push_back('\n');
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("send: ", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> TextClient::RecvLine() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrCat("recv: ", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::NotFound("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<Reply> TextClient::ReadReply() {
+  Reply reply;
+  SEQLOG_ASSIGN_OR_RETURN(reply.header, RecvLine());
+  if (!reply.ok()) return reply;  // ERR replies are a single line
+  // The OK header announces the body: stats=K STAT lines, or items=M
+  // ITEM lines plus rows=R ROW lines (EXEC has only rows=).
+  uint64_t body = HeaderCount(reply.header, "stats") +
+                  HeaderCount(reply.header, "items") +
+                  HeaderCount(reply.header, "rows");
+  reply.body.reserve(body);
+  for (uint64_t i = 0; i < body; ++i) {
+    std::string line;
+    SEQLOG_ASSIGN_OR_RETURN(line, RecvLine());
+    reply.body.push_back(std::move(line));
+  }
+  return reply;
+}
+
+Result<Reply> TextClient::Roundtrip(const std::string& line) {
+  SEQLOG_RETURN_IF_ERROR(SendLine(line));
+  return ReadReply();
+}
+
+Result<Reply> TextClient::Roundtrip(
+    const std::string& line, const std::vector<std::string>& extra_lines) {
+  SEQLOG_RETURN_IF_ERROR(SendLine(line));
+  for (const std::string& extra : extra_lines) {
+    SEQLOG_RETURN_IF_ERROR(SendLine(extra));
+  }
+  return ReadReply();
+}
+
+}  // namespace serve
+}  // namespace seqlog

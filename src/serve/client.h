@@ -1,0 +1,76 @@
+// seqlog serving tier: a minimal blocking client for the wire protocol.
+//
+// TextClient speaks the newline-delimited protocol of protocol.h over a
+// TCP connection: SendLine/RecvLine are the raw transport, Roundtrip
+// sends one request and collects the complete reply (the OK header
+// announces its body line count, so the client reads exactly that many
+// lines — no sniffing, no timeouts on well-formed streams).
+//
+// Used by tools/seqlog-loadgen (closed-loop load generation), the
+// shell's :serve-stats command, and the end-to-end server tests. One
+// TextClient is one connection and is NOT thread-safe; closed-loop
+// clients open one per worker thread.
+#ifndef SEQLOG_SERVE_CLIENT_H_
+#define SEQLOG_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+
+namespace seqlog {
+namespace serve {
+
+/// One complete reply: the OK/ERR header plus its announced body lines
+/// (ROW/ITEM/STAT), newline-stripped.
+struct Reply {
+  std::string header;
+  std::vector<std::string> body;
+
+  bool ok() const { return header.rfind("OK", 0) == 0; }
+  /// The SL-xxx code of an ERR header ("" when ok()).
+  std::string error_code() const;
+};
+
+class TextClient {
+ public:
+  TextClient() = default;
+  ~TextClient();
+  TextClient(TextClient&& other) noexcept;
+  TextClient& operator=(TextClient&& other) noexcept;
+  TextClient(const TextClient&) = delete;
+  TextClient& operator=(const TextClient&) = delete;
+
+  /// Connects to `host:port`. `host` is a numeric IPv4 address or
+  /// "localhost" (the serving tier binds loopback; no resolver).
+  Status Connect(const std::string& host, uint16_t port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Raw transport: one line out (newline appended) / one line in
+  /// (newline stripped, '\r' tolerated). kFailedPrecondition when not
+  /// connected; kUnavailable-like kInternal on socket errors; kNotFound
+  /// on clean EOF (the server drained).
+  Status SendLine(const std::string& line);
+  Result<std::string> RecvLine();
+
+  /// Sends one request line and reads the complete reply, body
+  /// included. An ERR reply is still an OK *Result* (protocol-level
+  /// success) — check Reply::ok(); only transport failures error.
+  Result<Reply> Roundtrip(const std::string& line);
+  /// BATCH needs its item lines between request and reply.
+  Result<Reply> Roundtrip(const std::string& line,
+                          const std::vector<std::string>& extra_lines);
+
+ private:
+  Result<Reply> ReadReply();
+
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes received past the last returned line
+};
+
+}  // namespace serve
+}  // namespace seqlog
+
+#endif  // SEQLOG_SERVE_CLIENT_H_

@@ -1,0 +1,195 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace serve {
+
+namespace {
+
+/// Splits on runs of spaces/tabs (raw tokens, no decoding).
+std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+Result<size_t> ParseCount(std::string_view token, const char* what) {
+  size_t value = 0;
+  if (token.empty()) {
+    return Status::InvalidArgument(StrCat("missing ", what));
+  }
+  for (char c : token) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return Status::InvalidArgument(
+          StrCat("bad ", what, " '", std::string(token), "'"));
+    }
+    value = value * 10 + static_cast<size_t>(c - '0');
+    if (value > 100'000'000) {
+      return Status::InvalidArgument(
+          StrCat("bad ", what, " '", std::string(token), "' (too large)"));
+    }
+  }
+  return value;
+}
+
+Status BadArity(const char* verb, const char* want) {
+  return Status::InvalidArgument(
+      StrCat("usage: ", verb, " ", want));
+}
+
+}  // namespace
+
+std::string EncodeValue(std::string_view value) {
+  if (value.empty()) return std::string(kEmptyToken);
+  return std::string(value);
+}
+
+std::string DecodeValue(std::string_view token) {
+  if (token == kEmptyToken) return std::string();
+  return std::string(token);
+}
+
+std::vector<std::string> SplitValues(std::string_view line) {
+  std::vector<std::string> values;
+  for (std::string_view token : Tokenize(line)) {
+    values.push_back(DecodeValue(token));
+  }
+  return values;
+}
+
+Result<Request> ParseRequest(std::string_view line) {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::vector<std::string_view> tokens = Tokenize(line);
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty request");
+  }
+  std::string_view verb = tokens[0];
+  Request req;
+  if (verb == "PREPARE") {
+    // The goal is the rest of the line after the name token, verbatim
+    // (goals contain spaces).
+    if (tokens.size() < 3) return BadArity("PREPARE", "<name> <goal>");
+    req.verb = Verb::kPrepare;
+    req.name = std::string(tokens[1]);
+    size_t goal_at = tokens[2].data() - line.data();
+    req.goal = std::string(line.substr(goal_at));
+    return req;
+  }
+  if (verb == "BIND") {
+    if (tokens.size() != 4) return BadArity("BIND", "<name> <i> <value>");
+    req.verb = Verb::kBind;
+    req.name = std::string(tokens[1]);
+    SEQLOG_ASSIGN_OR_RETURN(req.index,
+                            ParseCount(tokens[2], "parameter index"));
+    if (req.index == 0) {
+      return Status::InvalidArgument("parameter indices are 1-based");
+    }
+    req.values.push_back(DecodeValue(tokens[3]));
+    return req;
+  }
+  if (verb == "DEADLINE") {
+    if (tokens.size() != 2) return BadArity("DEADLINE", "<millis>");
+    req.verb = Verb::kDeadline;
+    size_t millis = 0;
+    SEQLOG_ASSIGN_OR_RETURN(millis, ParseCount(tokens[1], "deadline"));
+    req.millis = millis;
+    return req;
+  }
+  if (verb == "EXEC") {
+    if (tokens.size() < 2) return BadArity("EXEC", "<name> [values...]");
+    req.verb = Verb::kExec;
+    req.name = std::string(tokens[1]);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      req.values.push_back(DecodeValue(tokens[i]));
+    }
+    return req;
+  }
+  if (verb == "BATCH") {
+    if (tokens.size() != 3) return BadArity("BATCH", "<name> <count>");
+    req.verb = Verb::kBatch;
+    req.name = std::string(tokens[1]);
+    SEQLOG_ASSIGN_OR_RETURN(req.count, ParseCount(tokens[2], "item count"));
+    return req;
+  }
+  if (verb == "FACT") {
+    if (tokens.size() < 2) return BadArity("FACT", "<pred> [values...]");
+    req.verb = Verb::kFact;
+    req.name = std::string(tokens[1]);
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      req.values.push_back(DecodeValue(tokens[i]));
+    }
+    return req;
+  }
+  if (verb == "STATS") {
+    if (tokens.size() != 1) return BadArity("STATS", "(no arguments)");
+    req.verb = Verb::kStats;
+    return req;
+  }
+  if (verb == "HEALTH") {
+    if (tokens.size() != 1) return BadArity("HEALTH", "(no arguments)");
+    req.verb = Verb::kHealth;
+    return req;
+  }
+  if (verb == "PUBLISH") {
+    if (tokens.size() != 1) return BadArity("PUBLISH", "(no arguments)");
+    req.verb = Verb::kPublish;
+    return req;
+  }
+  if (verb == "QUIT") {
+    req.verb = Verb::kQuit;
+    return req;
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown verb '", std::string(verb),
+             "' (expected PREPARE/BIND/DEADLINE/EXEC/BATCH/STATS/HEALTH/"
+             "FACT/PUBLISH/QUIT)"));
+}
+
+std::string_view WireCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+      return "SL-E001";  // malformed program/goal text (parse family)
+    case StatusCode::kFailedPrecondition:
+      return "SL-E010";  // not demand-evaluable / wrong state
+    case StatusCode::kResourceExhausted:
+      return kCodeDeadline;  // budget or deadline exhausted
+    case StatusCode::kOutOfRange:
+      return kCodeBadRequest;
+    case StatusCode::kNotFound:
+    case StatusCode::kUnimplemented:
+    case StatusCode::kInternal:
+    case StatusCode::kOk:
+      break;
+  }
+  return kCodeExecFailed;
+}
+
+std::string ErrorReply(std::string_view code, std::string_view message) {
+  std::string out = "ERR ";
+  out.append(code);
+  out.push_back(' ');
+  for (char c : message) {
+    if (c == '\n') {
+      out.append("; ");
+    } else if (c != '\r') {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string ErrorReply(const Status& status) {
+  return ErrorReply(WireCode(status), status.message());
+}
+
+}  // namespace serve
+}  // namespace seqlog

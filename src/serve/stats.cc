@@ -1,0 +1,126 @@
+#include "serve/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace seqlog {
+namespace serve {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", value);
+  return buf;
+}
+
+}  // namespace
+
+size_t LatencyHistogram::BucketOf(double micros) {
+  if (!(micros > 1.0)) return 0;
+  // Four buckets per octave: index = 4 * log2(us).
+  double index = 4.0 * std::log2(micros);
+  if (index >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<size_t>(index);
+}
+
+double LatencyHistogram::BucketMidpoint(size_t bucket) {
+  // Geometric midpoint of [2^(b/4), 2^((b+1)/4)).
+  return std::exp2((static_cast<double>(bucket) + 0.5) / 4.0);
+}
+
+void LatencyHistogram::Record(double micros) {
+  if (micros < 0) micros = 0;
+  buckets_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(static_cast<uint64_t>(micros * 1e3),
+                       std::memory_order_relaxed);
+}
+
+double LatencyHistogram::mean_micros() const {
+  uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) /
+         1e3 / static_cast<double>(n);
+}
+
+double LatencyHistogram::PercentileMicros(double p) const {
+  uint64_t n = count_.load(std::memory_order_relaxed);
+  if (n == 0) return 0;
+  // Rank of the percentile sample (1-based, nearest-rank method).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank < 1) rank = 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketMidpoint(b);
+  }
+  return BucketMidpoint(kBuckets - 1);
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (size_t b = 0; b < kBuckets; ++b) {
+    uint64_t c = other.buckets_[b].load(std::memory_order_relaxed);
+    if (c != 0) buckets_[b].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  sum_nanos_.fetch_add(other.sum_nanos_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+}
+
+double ServerStats::uptime_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+double ServerStats::qps() const {
+  double up = uptime_seconds();
+  if (up <= 0) return 0;
+  return static_cast<double>(requests.load(std::memory_order_relaxed)) / up;
+}
+
+std::vector<std::pair<std::string, std::string>> ServerStats::Render()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  auto put_u = [&out](const char* key, uint64_t value) {
+    out.emplace_back(key, std::to_string(value));
+  };
+  auto put_i = [&out](const char* key, int64_t value) {
+    out.emplace_back(key, std::to_string(value));
+  };
+  auto put_d = [&out](const char* key, double value) {
+    out.emplace_back(key, FormatDouble(value));
+  };
+  put_u("connections_accepted", connections_accepted.load());
+  put_u("connections_rejected", connections_rejected.load());
+  put_i("queue_depth", queue_depth.load());
+  put_u("requests", requests.load());
+  put_u("exec_requests", exec_requests.load());
+  put_u("batch_requests", batch_requests.load());
+  put_u("batch_items", batch_items.load());
+  put_u("rows_returned", rows_returned.load());
+  put_i("in_flight", in_flight.load());
+  put_u("protocol_errors", protocol_errors.load());
+  put_u("exec_errors", exec_errors.load());
+  put_u("deadline_exceeded", deadline_exceeded.load());
+  put_d("uptime_seconds", uptime_seconds());
+  put_d("qps", qps());
+  auto put_hist = [&](const char* prefix, const LatencyHistogram& h) {
+    std::string p(prefix);
+    out.emplace_back(p + "_count", std::to_string(h.count()));
+    out.emplace_back(p + "_mean_us", FormatDouble(h.mean_micros()));
+    out.emplace_back(p + "_p50_us", FormatDouble(h.PercentileMicros(50)));
+    out.emplace_back(p + "_p95_us", FormatDouble(h.PercentileMicros(95)));
+    out.emplace_back(p + "_p99_us", FormatDouble(h.PercentileMicros(99)));
+  };
+  put_hist("queue_wait", queue_wait);
+  put_hist("exec", exec_latency);
+  put_hist("request", request_latency);
+  return out;
+}
+
+}  // namespace serve
+}  // namespace seqlog

@@ -100,6 +100,10 @@ Status Database::MergeFrom(
         << "MergeFrom across catalogs: arity " << rel->arity() << " != "
         << target->arity() << " for predicate '" << catalog_->Name(pred)
         << "'";
+    // Round-barrier merges arrive as many medium-sized scratches; sizing
+    // the destination for the incoming rows up front keeps the hash
+    // indexes from rehashing inside the single-writer section.
+    target->Reserve(rel->size());
     for (uint32_t i = 0; i < rel->size(); ++i) {
       TupleView row = rel->Row(i);
       if (!target->Insert(row)) continue;

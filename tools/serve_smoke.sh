@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the serving tier (run by ctest and the
+# release CI job): start seqlog-serve on an ephemeral loopback port,
+# drive it with seqlog-loadgen in both modes, require nonzero qps and
+# zero protocol errors, then SIGTERM the server and require a clean
+# drain (exit 0).
+#
+# usage: serve_smoke.sh <seqlog-serve> <seqlog-loadgen> [workload]
+set -u
+
+SERVE="${1:?path to seqlog-serve}"
+LOADGEN="${2:?path to seqlog-loadgen}"
+WORKLOAD="${3:-genome}"
+
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"; [ -n "${SERVER_PID:-}" ] && kill -9 "$SERVER_PID" 2>/dev/null' EXIT
+
+"$SERVE" --workload="$WORKLOAD" --port=0 --sessions=4 >"$OUT" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listening line and extract the bound port.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on [0-9.]*:\([0-9]*\).*/\1/p' "$OUT" | head -1)"
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: server exited before listening"; cat "$OUT"; exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: no listening port after 10s"; cat "$OUT"; exit 1
+fi
+echo "server up on port $PORT"
+
+fail() { echo "FAIL: $*"; cat "$OUT"; exit 1; }
+
+EXEC_JSON="$("$LOADGEN" --port="$PORT" --workload="$WORKLOAD" \
+  --mode=exec --connections=4 --requests=25 --json)" \
+  || fail "loadgen exec mode errored: $EXEC_JSON"
+echo "$EXEC_JSON"
+echo "$EXEC_JSON" | grep -q '"errors": 0,' || fail "exec mode errors"
+echo "$EXEC_JSON" | grep -q '"qps": 0\.0,' && fail "exec mode zero qps"
+
+BATCH_JSON="$("$LOADGEN" --port="$PORT" --workload="$WORKLOAD" \
+  --mode=batch --batch-size=8 --connections=2 --requests=5 --json)" \
+  || fail "loadgen batch mode errored: $BATCH_JSON"
+echo "$BATCH_JSON"
+echo "$BATCH_JSON" | grep -q '"errors": 0,' || fail "batch mode errors"
+
+# Graceful drain: SIGTERM must lead to exit code 0.
+kill -TERM "$SERVER_PID"
+DRAIN_OK=1
+for _ in $(seq 1 100); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then DRAIN_OK=0; break; fi
+  sleep 0.1
+done
+[ "$DRAIN_OK" -eq 0 ] || fail "server did not exit within 10s of SIGTERM"
+wait "$SERVER_PID"
+STATUS=$?
+SERVER_PID=""
+[ "$STATUS" -eq 0 ] || fail "server exited with status $STATUS"
+grep -q "drained cleanly" "$OUT" || fail "missing drain summary"
+
+echo "PASS: serve smoke ($WORKLOAD)"
+exit 0
