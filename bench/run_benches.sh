@@ -1,22 +1,25 @@
 #!/usr/bin/env bash
 #
 # Runs every seqlog bench binary and aggregates their google-benchmark JSON
-# reports into one trajectory file (default: BENCH_pr7.json at the repo
-# root; BENCH_seed.json was the seed-state run, BENCH_pr4/pr5/pr6.json
-# the earlier PR runs). Each binary first prints its paper-reproduction
+# reports into one trajectory file (default: BENCH_pr8.json at the repo
+# root; BENCH_seed.json was the seed-state run, BENCH_pr4..pr7.json the
+# earlier PR runs). Each binary first prints its paper-reproduction
 # table; those tables are kept out of the JSON by sending the report
 # through --benchmark_out. The aggregate includes the
 # bench_parallel_eval thread-scaling series, the bench_lint linter-cost
-# series, and (PR7) the bench_serve batch-amortisation rows plus a
-# "loadgen" section of closed-loop serving measurements: seqlog-serve is
-# started on an ephemeral loopback port and seqlog-loadgen drives the
-# text-index and genome workloads in exec and batch mode, emitting
-# qps/p50/p99 rows (tools/seqlog_loadgen.cc). The loadgen section is
-# skipped with a note when the tools are not built.
+# series, the bench_serve batch-amortisation rows (PR7), the bench_ivm
+# incremental-vs-cold maintenance rows (PR8), and a "loadgen" section of
+# closed-loop serving measurements: seqlog-serve is started on an
+# ephemeral loopback port and seqlog-loadgen drives the text-index and
+# genome workloads in exec, batch, and (PR8) mixed read/write mode —
+# the mixed rows carry separate read_*/write_* percentiles so read-path
+# latency under a live write stream is checkable from the JSON
+# (tools/seqlog_loadgen.cc). The loadgen section is skipped with a note
+# when the tools are not built.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR  cmake build directory containing bench/ (default: build)
-#   OUT_JSON   aggregate output path (default: BENCH_pr7.json)
+#   OUT_JSON   aggregate output path (default: BENCH_pr8.json)
 #
 # Environment:
 #   SEQLOG_BENCH_MIN_TIME  --benchmark_min_time per benchmark (default 0.05)
@@ -25,7 +28,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT_JSON="${2:-$REPO_ROOT/BENCH_pr7.json}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_pr8.json}"
 MIN_TIME="${SEQLOG_BENCH_MIN_TIME:-0.05}"
 
 BENCH_DIR="$BUILD_DIR/bench"
@@ -84,6 +87,11 @@ if [ -x "$SERVE_BIN" ] && [ -x "$LOADGEN_BIN" ]; then
     "$LOADGEN_BIN" --port="$PORT" --workload="$workload" --mode=batch \
       --batch-size=32 --connections=2 --requests=20 --json \
       > "$TMP_DIR/loadgen_${workload}_batch.json"
+    # Mixed read/write: a quarter of the requests are FACT writes staged
+    # on the live-ingest queue; each writer ends with a PUBLISH drain.
+    "$LOADGEN_BIN" --port="$PORT" --workload="$workload" --mode=exec \
+      --connections=4 --requests=100 --write-mix=0.25 --json \
+      > "$TMP_DIR/loadgen_${workload}_mixed.json"
     kill -TERM "$SERVER_PID"
     wait "$SERVER_PID"
   done

@@ -43,6 +43,8 @@ constexpr char kHelp[] = R"(seqlog shell commands
   +<pred> <arg> ...       add a database fact, e.g.  +r acgt
   ?- <pred>(<args>).      solve one goal by demand (magic sets)
   :run [naive|semi|strat] evaluate (default: semi-naive)
+  :drain                  apply facts added since :run incrementally
+                          (live ingest; retractions recompute cold)
   :query <pred>           print the predicate's tuples in the model
   :solve <goal>           same as ?- <goal>, e.g.  :solve suffix(acgt)
   :prepare <name> <goal>  compile a goal once, e.g. :prepare s suffix($1)
@@ -211,6 +213,8 @@ class Shell {
       std::string mode;
       in >> mode;
       Run(mode);
+    } else if (cmd == ":drain") {
+      Drain();
     } else if (cmd == ":query") {
       std::string pred;
       in >> pred;
@@ -320,6 +324,45 @@ class Shell {
     evaluated_ = true;
   }
 
+  /// Applies facts added since the last :run incrementally — the engine
+  /// staged them on its ingest queue; DrainIngest re-saturates the model
+  /// from them as a delta (docs/STREAMING.md) instead of recomputing.
+  void Drain() {
+    // Facts added since :run flipped evaluated_, but the engine still
+    // holds the model with those facts staged — exactly what a drain
+    // re-saturates. Only new rules (engine_stale_) force a full :run.
+    if (engine_stale_ || !engine_->live_model().built()) {
+      std::cout << "? run :run first\n";
+      return;
+    }
+    seqlog::eval::EvalOptions options;
+    options.limits = limits_;
+    options.num_threads = num_threads_;
+    seqlog::eval::EvalOutcome outcome = engine_->DrainIngest(options);
+    if (!outcome.status.ok()) {
+      std::cout << "! " << outcome.status.ToString() << "\n";
+      return;
+    }
+    if (outcome.stats.ingested_facts == 0) {
+      std::cout << "nothing staged\n";
+      return;
+    }
+    last_stats_ = outcome.stats;
+    have_stats_ = true;
+    evaluated_ = true;  // the model covers every fact again
+    if (outcome.stats.cold_fallback) {
+      std::cout << "cold recompute (" << outcome.stats.ingested_facts
+                << " staged facts): " << outcome.stats.facts << " facts, "
+                << outcome.stats.iterations << " iterations, "
+                << outcome.stats.millis << " ms\n";
+    } else {
+      std::cout << "resaturated: +" << outcome.stats.ingested_facts
+                << " facts -> " << outcome.stats.facts << " total, "
+                << outcome.stats.resaturate_rounds << " rounds, "
+                << outcome.stats.resaturate_millis << " ms\n";
+    }
+  }
+
   /// Prints the Amdahl split of the last :run — the parallelisable
   /// firing phase vs the serial domain-closure phase (EvalStats::
   /// fire_millis / domain_millis; docs/CONCURRENCY.md).
@@ -344,6 +387,14 @@ class Shell {
               << "    domain merge: " << last_stats_.domain_merge_millis
               << " ms (" << share(last_stats_.domain_merge_millis)
               << "%)\n";
+    if (last_stats_.ingested_facts > 0) {
+      std::cout << "  live ingest: " << last_stats_.ingested_facts
+                << " facts applied, " << last_stats_.resaturate_rounds
+                << " resaturation rounds, " << last_stats_.resaturate_millis
+                << " ms"
+                << (last_stats_.cold_fallback ? " (cold fallback)" : "")
+                << "\n";
+    }
   }
 
   /// The shell as a minimal monitoring client: fetches a running

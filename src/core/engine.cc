@@ -10,7 +10,8 @@ namespace seqlog {
 Engine::Engine()
     : edb_(std::make_unique<Database>(&catalog_)),
       evaluator_(
-          std::make_unique<eval::Evaluator>(&catalog_, &pool_, &registry_)) {}
+          std::make_unique<eval::Evaluator>(&catalog_, &pool_, &registry_)),
+      live_model_(evaluator_.get(), &catalog_) {}
 
 Status Engine::RegisterTransducer(
     std::shared_ptr<const SequenceFunction> fn) {
@@ -29,7 +30,11 @@ Status Engine::LoadProgramAst(const ast::Program& program) {
   SEQLOG_RETURN_IF_ERROR(evaluator_->SetProgram(program));
   program_ = program;
   program_loaded_ = true;
-  model_.reset();
+  // A model of the previous program cannot be extended under the new
+  // one. The ingest queue survives: staged facts reach the EDB at the
+  // next drain or Evaluate regardless of which program is loaded.
+  live_model_.Invalidate();
+  ivm_cold_pending_ = false;
   // Accumulate warnings for diagnostics(). Body-only predicates are
   // extensional by convention (AddFact typically follows the load), so
   // they are declared rather than reported as SL-W030.
@@ -62,13 +67,88 @@ Status Engine::AddFactIds(std::string_view predicate,
   SEQLOG_ASSIGN_OR_RETURN(PredId pred,
                           catalog_.GetOrCreate(predicate, args.size()));
   SEQLOG_ASSIGN_OR_RETURN(bool inserted, edb_->TryInsert(pred, args));
-  if (inserted) ++edb_version_;
+  if (inserted) {
+    ++edb_version_;
+    // Post-fixpoint insert: stage it as a pending delta instead of
+    // invalidating the model — DrainIngest re-saturates. If the queue
+    // is full the model is stale beyond what the queue records; the
+    // next drain recomputes cold.
+    if (live_model_.built() && !ivm_cold_pending_) {
+      if (!ingest_.TryPush(ivm::PendingFact{pred, std::move(args)}).ok()) {
+        ivm_cold_pending_ = true;
+      }
+    }
+  }
   return Status::Ok();
+}
+
+Status Engine::EnqueueFact(std::string_view predicate,
+                           const std::vector<std::string>& args) {
+  std::vector<SeqId> ids;
+  ids.reserve(args.size());
+  for (const std::string& a : args) {
+    ids.push_back(pool_.FromChars(a, &symbols_));
+  }
+  return EnqueueFactIds(predicate, std::move(ids));
+}
+
+Status Engine::EnqueueFactIds(std::string_view predicate,
+                              std::vector<SeqId> args) {
+  // Interning and catalog registration are shared_mutex-guarded, and the
+  // queue is MPSC: this whole path is safe from any writer thread while
+  // readers execute against snapshots. The EDB (single-writer) is only
+  // touched later, by the drain's single consumer.
+  SEQLOG_ASSIGN_OR_RETURN(PredId pred,
+                          catalog_.GetOrCreate(predicate, args.size()));
+  return ingest_.TryPush(ivm::PendingFact{pred, std::move(args)});
+}
+
+eval::EvalOutcome Engine::DrainIngest(const eval::EvalOptions& options) {
+  eval::EvalOutcome outcome;
+  std::vector<ivm::PendingFact> pending;
+  ingest_.DrainTo(&pending);
+  // EDB first, so snapshots and a potential cold rebuild both see every
+  // staged fact. TryInsert is idempotent: AddFact-originated entries are
+  // already present, EnqueueFact-originated ones land here.
+  Database batch(&catalog_);
+  for (const ivm::PendingFact& fact : pending) {
+    Result<bool> inserted = edb_->TryInsert(fact.pred, fact.args);
+    if (!inserted.ok()) {
+      outcome.status = inserted.status();
+      return outcome;
+    }
+    if (inserted.value()) ++edb_version_;
+    batch.Insert(fact.pred, fact.args);
+  }
+  outcome.stats.ingested_facts = pending.size();
+  if (!program_loaded_) return outcome;
+  if (ivm_cold_pending_) {
+    live_model_.Invalidate();
+    outcome = live_model_.Build(*edb_, options);
+    outcome.stats.cold_fallback = true;
+    outcome.stats.ingested_facts = pending.size();
+    ivm_cold_pending_ = !outcome.status.ok();
+    return outcome;
+  }
+  if (!live_model_.built() || pending.empty()) {
+    // No model to maintain (Evaluate never ran) or nothing new: the
+    // facts are in the EDB and snapshots pick them up.
+    return outcome;
+  }
+  outcome = live_model_.Apply(batch, options);
+  if (!outcome.status.ok()) ivm_cold_pending_ = true;
+  return outcome;
 }
 
 void Engine::ClearFacts() {
   edb_ = std::make_unique<Database>(&catalog_);
-  model_.reset();
+  // Retractions are not expressible as insert deltas: invalidate and let
+  // the next DrainIngest recompute cold (EvalStats::cold_fallback).
+  ivm_cold_pending_ = live_model_.built() && program_loaded_;
+  live_model_.Invalidate();
+  // Facts staged before the clear are dropped with everything else.
+  std::vector<ivm::PendingFact> discarded;
+  ingest_.DrainTo(&discarded);
   ++edb_version_;
   // The publish cache is built incrementally and assumes facts are only
   // ever added; dropping facts invalidates it. Snapshots already handed
@@ -134,8 +214,21 @@ eval::EvalOutcome Engine::Evaluate(const eval::EvalOptions& options) {
     outcome.status = Status::FailedPrecondition("no program loaded");
     return outcome;
   }
-  model_ = std::make_unique<Database>(&catalog_);
-  return evaluator_->Evaluate(*edb_, options, model_.get());
+  // Writers may have staged facts that never reached the EDB
+  // (EnqueueFact): flush them so the cold run covers everything, then
+  // the queue is empty and the fresh model owes it nothing.
+  std::vector<ivm::PendingFact> pending;
+  ingest_.DrainTo(&pending);
+  for (const ivm::PendingFact& fact : pending) {
+    Result<bool> inserted = edb_->TryInsert(fact.pred, fact.args);
+    if (!inserted.ok()) {
+      outcome.status = inserted.status();
+      return outcome;
+    }
+    if (inserted.value()) ++edb_version_;
+  }
+  ivm_cold_pending_ = false;
+  return live_model_.Build(*edb_, options);
 }
 
 SolveOutcome Engine::Solve(std::string_view goal,
@@ -159,13 +252,14 @@ SolveOutcome Engine::Solve(std::string_view goal,
 
 Result<std::vector<std::vector<SeqId>>> Engine::QueryIds(
     std::string_view predicate) const {
-  if (model_ == nullptr) {
+  const Database* model = live_model_.model();
+  if (model == nullptr) {
     return Status::FailedPrecondition(
         "no model computed; call Evaluate or use Solve");
   }
   SEQLOG_ASSIGN_OR_RETURN(PredId pred, catalog_.Find(predicate));
   std::vector<std::vector<SeqId>> rows;
-  const Relation* rel = model_->Get(pred);
+  const Relation* rel = model->Get(pred);
   if (rel != nullptr) {
     rows.reserve(rel->size());
     for (uint32_t i = 0; i < rel->size(); ++i) {

@@ -39,6 +39,8 @@
 #include "core/snapshot.h"
 #include "eval/engine.h"
 #include "eval/function_registry.h"
+#include "ivm/incremental_model.h"
+#include "ivm/ingest_queue.h"
 #include "parser/parser.h"
 #include "query/solver.h"
 #include "sequence/domain.h"
@@ -95,14 +97,46 @@ class Engine {
   }
 
   /// Adds a database fact; each argument string is interned one symbol
-  /// per character (use AddFactIds for multi-character symbols).
+  /// per character (use AddFactIds for multi-character symbols). After a
+  /// fixpoint exists (Evaluate ran), the fact is additionally staged on
+  /// the ingest queue as a pending delta: the model is NOT invalidated —
+  /// DrainIngest re-saturates it incrementally.
   Status AddFact(std::string_view predicate,
                  const std::vector<std::string>& args);
   Status AddFactIds(std::string_view predicate, std::vector<SeqId> args);
   /// Drops all database facts (the program stays loaded). Published
-  /// snapshots are unaffected (they own their copy).
+  /// snapshots are unaffected (they own their copy). Retractions cannot
+  /// be re-saturated (deltas are insert-only), so a live model is
+  /// invalidated and the next DrainIngest recomputes cold, flagging
+  /// EvalStats::cold_fallback.
   void ClearFacts();
   const Database& edb() const { return *edb_; }
+
+  // ------------------------------------------------------------------
+  // Live ingest (src/ivm/): writers stage, one consumer re-saturates.
+  // ------------------------------------------------------------------
+
+  /// Stages a fact on the ingest queue WITHOUT touching the EDB — safe
+  /// from any thread concurrently with snapshot readers (interning is
+  /// shared_mutex-guarded; the queue is MPSC), which is how serve
+  /// sessions handle FACT/INGEST without the engine mutex. The fact
+  /// reaches the EDB and the model at the next DrainIngest.
+  /// kResourceExhausted when the queue is full (backpressure).
+  Status EnqueueFact(std::string_view predicate,
+                     const std::vector<std::string>& args);
+  Status EnqueueFactIds(std::string_view predicate,
+                        std::vector<SeqId> args);
+
+  /// Drains the ingest queue: inserts every staged fact into the EDB,
+  /// then brings the model back to the fixpoint — incrementally via
+  /// ivm::IncrementalModel::Apply when a live model exists, cold (with
+  /// EvalStats::cold_fallback set) after ClearFacts or queue overflow.
+  /// Single-consumer: call from one thread at a time (the Republisher
+  /// thread in serve), never concurrently with other Engine mutations.
+  eval::EvalOutcome DrainIngest(const eval::EvalOptions& options = {});
+
+  ivm::IngestQueue* ingest_queue() { return &ingest_; }
+  const ivm::IncrementalModel& live_model() const { return live_model_; }
 
   // ------------------------------------------------------------------
   // Prepared queries & snapshots — the execute-many query surface.
@@ -129,8 +163,10 @@ class Engine {
   /// Static analysis of the loaded program (Definitions 8-10).
   analysis::SafetyReport AnalyzeSafety() const;
 
-  /// Computes the least fixpoint over the current database. The model is
-  /// kept for Query until the next Evaluate/LoadProgram.
+  /// Computes the least fixpoint over the current database (staged
+  /// ingest-queue facts are flushed into the EDB first). The model is
+  /// kept — paired with its extended active domain — for Query and for
+  /// incremental DrainIngest until the next Evaluate/LoadProgram.
   eval::EvalOutcome Evaluate(const eval::EvalOptions& options = {});
 
   /// Answers one goal, e.g. `?- suffix(acgt).` or `?- rnaseq(X, Y).`,
@@ -145,7 +181,7 @@ class Engine {
                      const query::SolveOptions& options = {});
 
   /// The computed interpretation (null before Evaluate).
-  const Database* model() const { return model_.get(); }
+  const Database* model() const { return live_model_.model(); }
 
   /// All tuples of `predicate` in the computed model, rendered; rows are
   /// sorted for deterministic comparison. kFailedPrecondition before the
@@ -166,10 +202,18 @@ class Engine {
   Catalog catalog_;
   eval::FunctionRegistry registry_;
   std::unique_ptr<Database> edb_;
-  std::unique_ptr<Database> model_;
   ast::Program program_;
   analysis::DiagnosticReport diagnostics_;
   std::unique_ptr<eval::Evaluator> evaluator_;
+  /// The saturated model + domain pair (replaces the old bare model_);
+  /// declared after evaluator_ — the constructor wires them in order.
+  ivm::IncrementalModel live_model_;
+  /// Staged post-fixpoint insertions awaiting DrainIngest.
+  ivm::IngestQueue ingest_;
+  /// Set when the live model can no longer be extended incrementally
+  /// (ClearFacts retraction, ingest-queue overflow, failed Apply): the
+  /// next DrainIngest recomputes cold and flags EvalStats::cold_fallback.
+  bool ivm_cold_pending_ = false;
   bool program_loaded_ = false;
   /// Bumped on every EDB mutation; drives snapshot copy-on-publish.
   uint64_t edb_version_ = 0;

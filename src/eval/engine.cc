@@ -75,7 +75,10 @@ struct Evaluator::FireTask {
 
 struct Evaluator::RunState {
   Database* model = nullptr;
-  std::unique_ptr<ExtendedDomain> domain;
+  /// The run's domain: owned_domain.get() for cold Evaluate runs,
+  /// the caller's live domain for Resaturate (which borrows).
+  ExtendedDomain* domain = nullptr;
+  std::unique_ptr<ExtendedDomain> owned_domain;
   std::unique_ptr<Database> delta;
   std::unique_ptr<Database> scratch;
   EvalOptions options;
@@ -192,10 +195,11 @@ Status Evaluator::InitState(const Database& edb, const Database* extra_facts,
   state->options = options;
   state->threads = options.num_threads != 0 ? options.num_threads
                                             : ThreadPool::HardwareThreads();
-  state->domain =
+  state->owned_domain =
       base_domain != nullptr
           ? std::make_unique<ExtendedDomain>(pool_, std::move(base_domain))
           : std::make_unique<ExtendedDomain>(pool_);
+  state->domain = state->owned_domain.get();
   state->delta = std::make_unique<Database>(catalog_);
   state->scratch = std::make_unique<Database>(catalog_);
   state->start = std::chrono::steady_clock::now();
@@ -398,7 +402,7 @@ Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
     state->scratch->Clear();
     FireContext ctx;
     ctx.pool = pool_;
-    ctx.domain = state->domain.get();
+    ctx.domain = state->domain;
     ctx.full = state->model;
     ctx.delta = state->delta.get();
     ctx.out = state->scratch.get();
@@ -436,7 +440,7 @@ Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
     scratches[i] = std::make_unique<Database>(catalog_);
     FireContext ctx;
     ctx.pool = pool_;
-    ctx.domain = state->domain.get();
+    ctx.domain = state->domain;
     ctx.full = state->model;
     ctx.delta = state->delta.get();
     ctx.out = scratches[i].get();
@@ -480,9 +484,9 @@ Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
 }
 
 Status Evaluator::Saturate(const std::vector<size_t>& subset, bool naive,
-                           RunState* state) const {
+                           bool first_full, RunState* state) const {
   if (subset.empty()) return Status::Ok();
-  bool first = true;
+  bool first = first_full;
   while (true) {
     SEQLOG_RETURN_IF_ERROR(CheckIterationBudget(state));
     bool domain_grew_last_round = state->domain_grew;
@@ -516,7 +520,8 @@ Status Evaluator::EvaluateFlat(const EvalOptions& options,
   (void)options;
   std::vector<size_t> all(plans_.size());
   std::iota(all.begin(), all.end(), 0);
-  return Saturate(all, options.strategy == Strategy::kNaive, state);
+  return Saturate(all, options.strategy == Strategy::kNaive,
+                  /*first_full=*/true, state);
 }
 
 Status Evaluator::EvaluateStratified(const EvalOptions& options,
@@ -550,8 +555,9 @@ Status Evaluator::EvaluateStratified(const EvalOptions& options,
       SEQLOG_RETURN_IF_ERROR(
           FireSubsetOnce(stratum.constructive_clauses, state));
     }
-    SEQLOG_RETURN_IF_ERROR(
-        Saturate(stratum.nonconstructive_clauses, /*naive=*/false, state));
+    SEQLOG_RETURN_IF_ERROR(Saturate(stratum.nonconstructive_clauses,
+                                    /*naive=*/false, /*first_full=*/true,
+                                    state));
   }
   return Status::Ok();
 }
@@ -566,6 +572,15 @@ EvalOutcome Evaluator::Evaluate(
     const Database& edb, const Database* extra_facts,
     std::shared_ptr<const ExtendedDomain> base_domain,
     const EvalOptions& options, Database* model) const {
+  return Evaluate(edb, extra_facts, std::move(base_domain), options, model,
+                  /*domain_out=*/nullptr);
+}
+
+EvalOutcome Evaluator::Evaluate(
+    const Database& edb, const Database* extra_facts,
+    std::shared_ptr<const ExtendedDomain> base_domain,
+    const EvalOptions& options, Database* model,
+    std::unique_ptr<ExtendedDomain>* domain_out) const {
   EvalOutcome outcome;
   RunState state;
   outcome.status = InitState(edb, extra_facts, std::move(base_domain),
@@ -587,6 +602,87 @@ EvalOutcome Evaluator::Evaluate(
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - state.start)
           .count();
+  outcome.stats = std::move(state.stats);
+  if (domain_out != nullptr) {
+    // Hand the run's domain to the caller (live-ingest keeps it paired
+    // with the model for later Resaturate calls). On error it is the
+    // partial domain of a failed run — discard it with the model.
+    *domain_out = std::move(state.owned_domain);
+  }
+  return outcome;
+}
+
+EvalOutcome Evaluator::Resaturate(Database* model, ExtendedDomain* domain,
+                                  const Database& batch,
+                                  const EvalOptions& options) const {
+  EvalOutcome outcome;
+  RunState state;
+  state.model = model;
+  state.domain = domain;
+  state.options = options;
+  state.threads = options.num_threads != 0 ? options.num_threads
+                                           : ThreadPool::HardwareThreads();
+  state.delta = std::make_unique<Database>(catalog_);
+  state.scratch = std::make_unique<Database>(catalog_);
+  state.start = std::chrono::steady_clock::now();
+  if (options.limits.max_millis > 0) {
+    state.has_deadline = true;
+    state.deadline =
+        state.start + std::chrono::milliseconds(options.limits.max_millis);
+  }
+  // Seed: only facts genuinely new to the model become the round-0
+  // delta; their argument sequences close into the domain exactly like
+  // an EDB load. Duplicates are already below the fixpoint — reseeding
+  // them would only re-derive what the model holds.
+  const size_t domain_before = domain->size();
+  const auto load_start = std::chrono::steady_clock::now();
+  std::vector<SeqId> roots;
+  Status status = Status::Ok();
+  for (PredId pred : batch.PredicatesWithRelations()) {
+    const Relation* rel = batch.Get(pred);
+    if (rel == nullptr || rel->empty()) continue;
+    for (uint32_t i = 0; i < rel->size() && status.ok(); ++i) {
+      TupleView row = rel->Row(i);
+      Result<bool> inserted = model->TryInsert(pred, row);
+      if (!inserted.ok()) {
+        status = inserted.status();
+        break;
+      }
+      if (!inserted.value()) continue;
+      ++state.stats.ingested_facts;
+      state.delta->Insert(pred, row);
+      roots.insert(roots.end(), row.begin(), row.end());
+    }
+    if (!status.ok()) break;
+  }
+  if (status.ok()) status = CloseRoots(roots, &state);
+  state.stats.domain_load_millis +=
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - load_start)
+          .count();
+  state.domain_grew = domain->size() != domain_before;
+  state.last_merged_new = state.stats.ingested_facts;
+  if (status.ok() && state.stats.ingested_facts > 0) {
+    // Same rounds as a cold run, minus the initial full firing: any new
+    // derivation uses at least one seeded fact (semi-naive argument), or
+    // a domain element the seed closure introduced — which the
+    // domain-sensitive full re-fires inside Saturate cover. Always the
+    // flat loop: re-applying rules to a saturated model is sound for any
+    // interpretation between the old and the new fixpoint, so stratified
+    // programs need no stratum order here.
+    std::vector<size_t> all(plans_.size());
+    std::iota(all.begin(), all.end(), 0);
+    status = Saturate(all, /*naive=*/false, /*first_full=*/false, &state);
+  }
+  outcome.status = status;
+  state.stats.facts = model->TotalFacts();
+  state.stats.domain_sequences = domain->size();
+  state.stats.resaturate_rounds = state.stats.iterations;
+  state.stats.millis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - state.start)
+          .count();
+  state.stats.resaturate_millis = state.stats.millis;
   outcome.stats = std::move(state.stats);
   return outcome;
 }

@@ -121,7 +121,38 @@ class Evaluator {
   /// pays for sequences it derives itself.
   EvalOutcome Evaluate(const Database& edb, const Database* extra_facts,
                        std::shared_ptr<const ExtendedDomain> base_domain,
+                       const EvalOptions& options, Database* model,
+                       std::unique_ptr<ExtendedDomain>* domain_out) const;
+
+  EvalOutcome Evaluate(const Database& edb, const Database* extra_facts,
+                       std::shared_ptr<const ExtendedDomain> base_domain,
                        const EvalOptions& options, Database* model) const;
+
+  /// Incremental re-saturation (the live-ingest entry point, src/ivm/):
+  /// `model` must hold the least fixpoint of the current program over
+  /// some database D and `domain` must be the extended active domain of
+  /// that run (keep both via the `domain_out` Evaluate overload). The
+  /// atoms of `batch` are seeded as a round-0 delta — duplicates already
+  /// in the model are dropped, new argument sequences close into the
+  /// domain exactly like an EDB load — and the same semi-naive rounds
+  /// re-run until the fixpoint: delta firings per body literal, full
+  /// re-fires of domain-sensitive clauses while the domain grows, the
+  /// same parallel fan-out and round barrier as a cold run. Because the
+  /// T-operator is monotone for insert-only deltas, the result equals a
+  /// cold Evaluate over D union batch (property-tested bit-identically,
+  /// tests/ivm_test.cc); retractions are NOT supported — callers must
+  /// cold-recompute instead (EvalStats::cold_fallback).
+  ///
+  /// Always runs the flat semi-naive loop regardless of
+  /// options.strategy: re-applying rules to an already-saturated model
+  /// is sound and complete for any set between D and lfp(D union batch).
+  /// Fills EvalStats::resaturate_rounds / resaturate_millis /
+  /// ingested_facts. On a budget error the model holds a partial
+  /// extension (supersets D's fixpoint) — callers should treat it as
+  /// poisoned and rebuild cold.
+  EvalOutcome Resaturate(Database* model, ExtendedDomain* domain,
+                         const Database& batch,
+                         const EvalOptions& options) const;
 
  private:
   struct RunState;
@@ -149,9 +180,11 @@ class Evaluator {
   /// resulting domain is identical either way.
   Status CloseRoots(const std::vector<SeqId>& roots, RunState* state) const;
   /// One least-fixpoint loop over the given clause subset; shared by all
-  /// strategies. `first_full` forces a full firing pass first.
+  /// strategies. `first_full` forces a full firing pass first — cold
+  /// runs need it (the round-0 delta alone misses empty-body clauses);
+  /// Resaturate starts from an already-saturated model and skips it.
   Status Saturate(const std::vector<size_t>& subset, bool naive,
-                  RunState* state) const;
+                  bool first_full, RunState* state) const;
   Status FireSubsetOnce(const std::vector<size_t>& subset,
                         RunState* state) const;
   /// Bumps the iteration counter and enforces the iteration and wall-time

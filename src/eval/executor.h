@@ -64,6 +64,19 @@ struct EvalStats {
   double domain_millis() const {
     return domain_load_millis + domain_merge_millis;
   }
+  /// Live-ingest counters (Evaluator::Resaturate and the src/ivm/
+  /// pipeline built on it). Zero on cold Evaluate runs.
+  /// Fixpoint rounds run by the incremental re-saturation.
+  size_t resaturate_rounds = 0;
+  /// Wall-clock of the incremental re-saturation (seed closure included).
+  double resaturate_millis = 0;
+  /// Batch facts genuinely new to the model (duplicates are dropped at
+  /// the seed, so this is the round-0 delta size).
+  size_t ingested_facts = 0;
+  /// True when a drain could not re-saturate incrementally (retraction
+  /// via ClearFacts, or ingest-queue overflow) and fell back to a cold
+  /// recompute of the whole model instead.
+  bool cold_fallback = false;
   /// Per-iteration (facts, domain size) when growth tracking is on; used
   /// by the Example 1.5 / 1.6 benchmarks to plot divergence.
   std::vector<std::pair<size_t, size_t>> growth;

@@ -1,0 +1,158 @@
+#include "ivm/republisher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace seqlog {
+namespace ivm {
+
+Republisher::Republisher(Engine* engine, RepublisherOptions options,
+                         PublishHook hook)
+    : engine_(engine),
+      options_(options),
+      hook_(std::move(hook)),
+      queue_(engine->ingest_queue()) {}
+
+Republisher::~Republisher() { Stop(); }
+
+void Republisher::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_ = false;
+  }
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Republisher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  queue_->Wake();
+  if (thread_.joinable()) thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    running_ = false;
+  }
+  cv_.notify_all();
+}
+
+Status Republisher::ForcePublish() {
+  uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_ || stop_) {
+      return Status::FailedPrecondition("republisher is not running");
+    }
+    target = ++force_seq_;
+  }
+  queue_->Wake();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_seq_ >= target || !running_; });
+  if (done_seq_ < target) {
+    return Status::FailedPrecondition("republisher stopped while waiting");
+  }
+  return last_status_;
+}
+
+bool Republisher::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+IngestStats Republisher::stats() const {
+  IngestStats s;
+  s.ingested_facts = ingested_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.resaturate_rounds = rounds_.load(std::memory_order_relaxed);
+  s.resaturate_millis =
+      static_cast<double>(resaturate_micros_.load(std::memory_order_relaxed)) /
+      1000.0;
+  s.publishes = publishes_.load(std::memory_order_relaxed);
+  s.cold_fallbacks = cold_fallbacks_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  s.last_version = last_version_.load(std::memory_order_relaxed);
+  return s;
+}
+
+double Republisher::SnapshotStalenessMillis() const {
+  return queue_->OldestPendingMillis();
+}
+
+void Republisher::Loop() {
+  const auto cadence = std::chrono::milliseconds(
+      options_.cadence_ms == 0 ? 1 : options_.cadence_ms);
+  const size_t threshold = std::max<size_t>(options_.drain_threshold, 1);
+  for (;;) {
+    bool stopping;
+    bool forced;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stopping = stop_;
+      forced = force_seq_ > done_seq_;
+    }
+    if (stopping) break;
+    const size_t depth = queue_->depth();
+    const double age_ms = queue_->OldestPendingMillis();
+    if (forced || depth >= threshold ||
+        (depth > 0 && age_ms >= static_cast<double>(cadence.count()))) {
+      DrainAndPublish();
+      continue;
+    }
+    // Sleep until the oldest staged fact would turn cadence-old; a
+    // push past the threshold, a force request or Stop wakes us early.
+    auto timeout = cadence;
+    if (depth > 0) {
+      auto remaining = cadence - std::chrono::milliseconds(
+                                     static_cast<int64_t>(age_ms));
+      timeout = std::max(remaining, std::chrono::milliseconds(1));
+    }
+    queue_->WaitForWork(threshold, timeout);
+  }
+  // Final drain: staged facts must not be stranded by shutdown.
+  DrainAndPublish();
+}
+
+void Republisher::DrainAndPublish() {
+  uint64_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Force requests issued before the drain starts are satisfied by
+    // it (the drain empties the whole queue); later requests trigger
+    // another cycle.
+    target = force_seq_;
+  }
+  eval::EvalOutcome outcome = engine_->DrainIngest(options_.eval);
+  ingested_.fetch_add(outcome.stats.ingested_facts,
+                      std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  rounds_.fetch_add(outcome.stats.resaturate_rounds,
+                    std::memory_order_relaxed);
+  resaturate_micros_.fetch_add(
+      static_cast<uint64_t>(outcome.stats.resaturate_millis * 1000.0),
+      std::memory_order_relaxed);
+  if (outcome.stats.cold_fallback) {
+    cold_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (outcome.status.ok()) {
+    Snapshot snapshot = engine_->PublishSnapshot();
+    last_version_.store(snapshot.version(), std::memory_order_relaxed);
+    if (hook_) hook_(snapshot);
+    publishes_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_seq_ = std::max(done_seq_, target);
+    last_status_ = outcome.status;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace ivm
+}  // namespace seqlog

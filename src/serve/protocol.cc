@@ -129,6 +129,13 @@ Result<Request> ParseRequest(std::string_view line) {
     }
     return req;
   }
+  if (verb == "INGEST") {
+    if (tokens.size() != 3) return BadArity("INGEST", "<pred> <count>");
+    req.verb = Verb::kIngest;
+    req.name = std::string(tokens[1]);
+    SEQLOG_ASSIGN_OR_RETURN(req.count, ParseCount(tokens[2], "fact count"));
+    return req;
+  }
   if (verb == "STATS") {
     if (tokens.size() != 1) return BadArity("STATS", "(no arguments)");
     req.verb = Verb::kStats;
@@ -151,7 +158,7 @@ Result<Request> ParseRequest(std::string_view line) {
   return Status::InvalidArgument(
       StrCat("unknown verb '", std::string(verb),
              "' (expected PREPARE/BIND/DEADLINE/EXEC/BATCH/STATS/HEALTH/"
-             "FACT/PUBLISH/QUIT)"));
+             "FACT/INGEST/PUBLISH/QUIT)"));
 }
 
 std::string_view WireCode(const Status& status) {

@@ -17,8 +17,13 @@
 //                              ITEM 1 ERR SL-E010 <message>
 //   STATS                      OK stats=29     (+29 "STAT <key> <value>")
 //   HEALTH                     OK serving snapshot=3 uptime_ms=1200
-//   FACT <pred> [v1 ...]       OK fact          (visible after PUBLISH)
-//   PUBLISH                    OK snapshot=4 facts=1201
+//   FACT <pred> [v1 ...]       OK fact queued depth=3
+//                              (staged on the ingest queue; visible once
+//                              the republisher drains, or after PUBLISH)
+//   INGEST <pred> <n>          (then n lines "v1 ... vk", one fact each)
+//                              OK ingested=n depth=12
+//   PUBLISH                    OK snapshot=4 facts=1201   (forces a
+//                              drain + resaturation + republish first)
 //   QUIT                       OK bye           (server closes)
 //
 // Values are rendered sequences; the empty sequence travels as the
@@ -66,6 +71,7 @@ enum class Verb {
   kStats,
   kHealth,
   kFact,
+  kIngest,
   kPublish,
   kQuit,
 };
@@ -73,13 +79,14 @@ enum class Verb {
 /// One parsed request line.
 struct Request {
   Verb verb = Verb::kHealth;
-  /// Statement name (PREPARE/BIND/EXEC/BATCH) or predicate (FACT).
+  /// Statement name (PREPARE/BIND/EXEC/BATCH) or predicate
+  /// (FACT/INGEST).
   std::string name;
   /// PREPARE only: the goal text (rest of the line, verbatim).
   std::string goal;
   /// BIND only: 1-based parameter index.
   size_t index = 0;
-  /// BATCH only: number of item lines that follow.
+  /// BATCH/INGEST: number of item lines that follow.
   size_t count = 0;
   /// DEADLINE only: milliseconds (0 clears).
   uint64_t millis = 0;

@@ -14,9 +14,17 @@
 //    queue bounds memory.
 //  * Every EXEC/BATCH pins the LATEST PUBLISHED Snapshot at request
 //    start and runs PreparedQuery::ExecuteWith / BatchExecutor::Execute
-//    against it — const, lock-free reads. Engine MUTATIONS (PREPARE,
-//    FACT, PUBLISH) serialise on one engine mutex; they never block
-//    executing readers, which hold their snapshot.
+//    against it — const, lock-free reads.
+//  * WRITES never hold the engine mutex (the PR 7 write stall): FACT
+//    and INGEST intern on the session thread and stage on the engine's
+//    bounded ingest queue (Engine::EnqueueFact); an ivm::Republisher
+//    thread — the engine's only mutator while the server runs — drains
+//    at a cadence/threshold, re-saturates the model incrementally and
+//    swaps the published snapshot. PUBLISH forces one such cycle.
+//    PREPARE takes no lock either: it only reads the (immutable while
+//    serving) program and interns through shared_mutex-guarded tables,
+//    so a slow resaturation never stalls session threads. With
+//    options.live_ingest=false the legacy engine_mu_ paths remain.
 //  * Per-request deadlines (session DEADLINE verb or the configured
 //    default) map onto the engine's own time budget
 //    (eval::EvalLimits::max_millis), so a deadline cuts the fixpoint
@@ -49,6 +57,7 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "ivm/republisher.h"
 #include "serve/protocol.h"
 #include "serve/stats.h"
 
@@ -70,6 +79,16 @@ struct ServerOptions {
   uint64_t default_deadline_ms = 0;
   /// Evaluation options for EXEC/BATCH runs (thread count, budgets).
   eval::EvalOptions eval;
+  /// Live ingest: when true (default) the server runs an
+  /// ivm::Republisher that owns all engine mutations — FACT/INGEST
+  /// stage on the ingest queue lock-free and snapshots republish on a
+  /// cadence. When false, FACT/PUBLISH serialise on the engine mutex
+  /// (the pre-IVM behaviour; facts are only visible after PUBLISH).
+  bool live_ingest = true;
+  /// Republisher knobs (cadence, drain threshold); the eval options for
+  /// resaturation runs are taken from `eval` above.
+  uint64_t ingest_cadence_ms = 25;
+  size_t ingest_threshold = 256;
 };
 
 class Server {
@@ -131,6 +150,8 @@ class Server {
   std::string HandleStats();
   std::string HandleHealth();
   std::string HandleFact(const Request& request);
+  std::string HandleIngest(const Request& request, LineReader* reader,
+                           bool* close_conn);
   std::string HandlePublish();
 
   std::shared_ptr<PreparedQuery> FindStatement(const std::string& name);
@@ -156,9 +177,13 @@ class Server {
   std::condition_variable queue_cv_;
   std::deque<PendingConn> queue_;
 
-  /// Serialises engine mutations (PREPARE/FACT/PUBLISH). Execution
-  /// paths never take it — they read pinned snapshots.
+  /// Serialises engine mutations on the legacy (live_ingest=false)
+  /// FACT/PUBLISH paths. Execution paths never take it — they read
+  /// pinned snapshots — and with live ingest on, nothing takes it: the
+  /// Republisher thread is the engine's only mutator.
   std::mutex engine_mu_;
+  /// Drains the ingest queue, re-saturates, republishes (live ingest).
+  std::unique_ptr<ivm::Republisher> republisher_;
   std::shared_mutex stmts_mu_;
   std::map<std::string, std::shared_ptr<PreparedQuery>> statements_;
   std::shared_mutex snapshot_mu_;

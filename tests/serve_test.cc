@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +66,12 @@ TEST(Protocol, ParsesEveryVerb) {
   EXPECT_EQ(r->verb, Verb::kFact);
   EXPECT_EQ(r->name, "r");
 
+  r = ParseRequest("INGEST doc 128");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->verb, Verb::kIngest);
+  EXPECT_EQ(r->name, "doc");
+  EXPECT_EQ(r->count, 128u);
+
   // Trailing carriage returns (telnet) are tolerated.
   EXPECT_TRUE(ParseRequest("HEALTH\r").ok());
 }
@@ -77,6 +84,8 @@ TEST(Protocol, RejectsMalformedRequests) {
   EXPECT_FALSE(ParseRequest("BIND q 0 acgt").ok());    // 1-based
   EXPECT_FALSE(ParseRequest("BATCH q").ok());          // missing count
   EXPECT_FALSE(ParseRequest("BATCH q -3").ok());
+  EXPECT_FALSE(ParseRequest("INGEST r").ok());  // missing count
+  EXPECT_FALSE(ParseRequest("INGEST r x").ok());
   EXPECT_FALSE(ParseRequest("STATS now").ok());
 }
 
@@ -226,7 +235,13 @@ TEST_F(ServeTest, ErrorsCarryStableCodes) {
 }
 
 TEST_F(ServeTest, RequestsPinTheLatestPublishedSnapshot) {
-  StartServer();
+  // Legacy write path (live_ingest off): FACT mutates the engine inline
+  // and visibility is gated on an explicit PUBLISH — the deterministic
+  // form of the snapshot-pinning contract (with live ingest on, the
+  // republisher may publish between the two EXECs on its own cadence).
+  ServerOptions options;
+  options.live_ingest = false;
+  StartServer(options);
   TextClient client = Connect();
   ASSERT_TRUE(client.Roundtrip("PREPARE q ?- suffix($1).")->ok());
 
@@ -245,6 +260,162 @@ TEST_F(ServeTest, RequestsPinTheLatestPublishedSnapshot) {
   ASSERT_TRUE(reply.ok());
   ASSERT_EQ(reply->body.size(), 1u);
   EXPECT_EQ(reply->body[0], "ROW zzz");
+}
+
+TEST_F(ServeTest, LiveIngestStagesFactsAndPublishForcesTheDrain) {
+  StartServer();  // live ingest is the default
+  TextClient client = Connect();
+  ASSERT_TRUE(client.Roundtrip("PREPARE q ?- suffix($1).")->ok());
+
+  Result<Reply> fact = client.Roundtrip("FACT r zzzz");
+  ASSERT_TRUE(fact.ok());
+  ASSERT_TRUE(fact->ok()) << fact->header;
+  // The live reply reports the staging depth, not a mutation.
+  EXPECT_EQ(fact->header.rfind("OK fact queued depth=", 0), 0u)
+      << fact->header;
+
+  // PUBLISH forces drain + resaturation + republish: the fact is
+  // visible afterwards, deterministically.
+  Result<Reply> published = client.Roundtrip("PUBLISH");
+  ASSERT_TRUE(published.ok());
+  ASSERT_TRUE(published->ok()) << published->header;
+  EXPECT_EQ(published->header.rfind("OK snapshot=", 0), 0u)
+      << published->header;
+  Result<Reply> reply = client.Roundtrip("EXEC q zzz");
+  ASSERT_TRUE(reply.ok());
+  ASSERT_EQ(reply->body.size(), 1u);
+  EXPECT_EQ(reply->body[0], "ROW zzz");
+}
+
+TEST_F(ServeTest, IngestVerbStagesABatch) {
+  StartServer();
+  TextClient client = Connect();
+  ASSERT_TRUE(client.Roundtrip("PREPARE q ?- suffix($1).")->ok());
+
+  Result<Reply> reply =
+      client.Roundtrip("INGEST r 3", {"zzzz", "yy", "xx"});
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  ASSERT_TRUE(reply->ok()) << reply->header;
+  EXPECT_EQ(reply->header.rfind("OK ingested=3", 0), 0u) << reply->header;
+
+  ASSERT_TRUE(client.Roundtrip("PUBLISH")->ok());
+  for (const char* probe : {"zzz", "y", "x"}) {
+    Result<Reply> exec =
+        client.Roundtrip(std::string("EXEC q ") + probe);
+    ASSERT_TRUE(exec.ok());
+    EXPECT_EQ(exec->body.size(), 1u) << probe;
+  }
+
+  // A malformed batch fails fast but stays in protocol framing.
+  reply = client.Roundtrip("INGEST r 2", {"ok but wrong arity", "gg"});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply->ok());
+  // The connection survives: the server consumed all count lines.
+  EXPECT_TRUE(client.Roundtrip("HEALTH")->ok());
+}
+
+TEST_F(ServeTest, LiveIngestPublishesOnItsOwnCadence) {
+  ServerOptions options;
+  options.ingest_cadence_ms = 5;
+  StartServer(options);
+  TextClient client = Connect();
+  ASSERT_TRUE(client.Roundtrip("PREPARE q ?- suffix($1).")->ok());
+  ASSERT_TRUE(client.Roundtrip("FACT r zzzz")->ok());
+
+  // No explicit PUBLISH: the republisher drains on its cadence. Poll
+  // with a deadline; each EXEC pins the then-latest snapshot.
+  bool visible = false;
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    Result<Reply> reply = client.Roundtrip("EXEC q zzz");
+    ASSERT_TRUE(reply.ok());
+    if (!reply->body.empty()) {
+      visible = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(visible);
+}
+
+TEST_F(ServeTest, StatsReportIngestCounters) {
+  StartServer();
+  TextClient client = Connect();
+  ASSERT_TRUE(client.Roundtrip("FACT r zzzz")->ok());
+  ASSERT_TRUE(client.Roundtrip("PUBLISH")->ok());
+
+  Result<Reply> stats = client.Roundtrip("STATS");
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(stats->ok());
+  bool saw_depth = false, saw_ingested = false, saw_rounds = false,
+       saw_staleness = false, saw_rate = false;
+  for (const std::string& line : stats->body) {
+    if (line.rfind("STAT ingest_queue_depth ", 0) == 0) saw_depth = true;
+    if (line == "STAT ingested_facts 1") saw_ingested = true;
+    if (line.rfind("STAT resaturate_rounds ", 0) == 0) saw_rounds = true;
+    if (line.rfind("STAT snapshot_staleness_ms ", 0) == 0) {
+      saw_staleness = true;
+    }
+    if (line.rfind("STAT ingest_facts_per_sec ", 0) == 0) saw_rate = true;
+  }
+  EXPECT_TRUE(saw_depth);
+  EXPECT_TRUE(saw_ingested);
+  EXPECT_TRUE(saw_rounds);
+  EXPECT_TRUE(saw_staleness);
+  EXPECT_TRUE(saw_rate);
+}
+
+/// The PR 7 write-stall regression: a drain cycle chewing through a
+/// large staged batch must not block concurrent PREPARE/EXEC — reads
+/// pin snapshots and PREPARE takes no engine mutex, so sessions stay
+/// responsive while the republisher is mid-resaturation. A regression
+/// deadlocks or serialises here and trips the test timeout.
+TEST_F(ServeTest, SlowPublishDoesNotBlockConcurrentReads) {
+  ServerOptions options;
+  options.sessions = 4;
+  StartServer(options);
+  {
+    TextClient setup = Connect();
+    ASSERT_TRUE(setup.Roundtrip("PREPARE q ?- suffix($1).")->ok());
+    // Stage a batch big enough that its resaturation does real work.
+    std::vector<std::string> lines;
+    for (int i = 0; i < 400; ++i) {
+      std::string value = "zz";
+      value.append(static_cast<size_t>(1 + i % 17), 'g');
+      value += std::to_string(i);
+      lines.push_back(std::move(value));
+    }
+    Result<Reply> reply = setup.Roundtrip(
+        "INGEST r " + std::to_string(lines.size()), lines);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_TRUE(reply->ok()) << reply->header;
+  }
+
+  std::atomic<size_t> failures{0};
+  std::thread publisher([this, &failures] {
+    TextClient writer;
+    if (!writer.Connect("127.0.0.1", server_->port()).ok()) {
+      failures.fetch_add(1);
+      return;
+    }
+    if (!writer.Roundtrip("PUBLISH")->ok()) failures.fetch_add(1);
+  });
+  // While the forced drain runs, fresh PREPAREs and EXECs must keep
+  // completing on other sessions.
+  TextClient reader = Connect();
+  for (int i = 0; i < 20; ++i) {
+    std::string name = "p";
+    name += std::to_string(i);
+    if (!reader.Roundtrip("PREPARE " + name + " ?- suffix($1).")->ok()) {
+      failures.fetch_add(1);
+    }
+    if (!reader.Roundtrip("EXEC " + name + " acgt")->ok()) {
+      failures.fetch_add(1);
+    }
+  }
+  publisher.join();
+  EXPECT_EQ(failures.load(), 0u);
 }
 
 TEST_F(ServeTest, DeadlineCutsOffDivergentPrograms) {

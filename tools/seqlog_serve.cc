@@ -8,6 +8,12 @@
 //   seqlog-serve --workload=genome --port=0 --sessions=4
 //     -> "seqlog-serve listening on 127.0.0.1:37103" (stdout, flushed)
 //
+// Live ingest is on by default: the workload is saturated once at
+// startup and a republisher thread drains FACT/INGEST writes at
+// --ingest-cadence-ms / --ingest-threshold, re-saturating the model
+// incrementally. --ivm=0 restores the legacy mutex-serialised write
+// path (facts visible only after PUBLISH).
+//
 // Protocol: docs/SERVING.md. Load generation: seqlog-loadgen.
 #include <csignal>
 #include <cstdio>
@@ -40,7 +46,9 @@ int Usage() {
       "usage: seqlog-serve [--workload=genome|text|suffix] [--port=N]\n"
       "                    [--host=A.B.C.D] [--sessions=N]\n"
       "                    [--max-pending=N] [--deadline-ms=N]\n"
-      "                    [--eval-threads=N]\n");
+      "                    [--eval-threads=N] [--ivm=0|1]\n"
+      "                    [--ingest-cadence-ms=N]\n"
+      "                    [--ingest-threshold=N]\n");
   return 2;
 }
 
@@ -68,6 +76,12 @@ int main(int argc, char** argv) {
           static_cast<uint64_t>(std::atoll(value));
     } else if (FlagValue(argv[i], "--eval-threads", &value)) {
       options.eval.num_threads = static_cast<size_t>(std::atoi(value));
+    } else if (FlagValue(argv[i], "--ivm", &value)) {
+      options.live_ingest = std::atoi(value) != 0;
+    } else if (FlagValue(argv[i], "--ingest-cadence-ms", &value)) {
+      options.ingest_cadence_ms = static_cast<uint64_t>(std::atoll(value));
+    } else if (FlagValue(argv[i], "--ingest-threshold", &value)) {
+      options.ingest_threshold = static_cast<size_t>(std::atoi(value));
     } else {
       return Usage();
     }
@@ -79,6 +93,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "seqlog-serve: %s\n",
                  status.ToString().c_str());
     return 1;
+  }
+  if (options.live_ingest) {
+    // Saturate once up front so the republisher's drains run the cheap
+    // incremental path instead of falling back to cold recomputes.
+    eval::EvalOutcome warm = engine.Evaluate(options.eval);
+    if (!warm.status.ok()) {
+      std::fprintf(stderr, "seqlog-serve: initial evaluation failed: %s\n",
+                   warm.status.ToString().c_str());
+      return 1;
+    }
   }
 
   serve::Server server(&engine, options);

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # End-to-end smoke test of the serving tier (run by ctest and the
 # release CI job): start seqlog-serve on an ephemeral loopback port,
-# drive it with seqlog-loadgen in both modes, require nonzero qps and
-# zero protocol errors, then SIGTERM the server and require a clean
-# drain (exit 0).
+# drive it with seqlog-loadgen in both modes plus a mixed read/write
+# phase (FACT writes through the live-ingest queue, ending in a forced
+# PUBLISH drain), require nonzero qps and zero protocol errors, then
+# SIGTERM the server and require a clean drain (exit 0).
 #
 # usage: serve_smoke.sh <seqlog-serve> <seqlog-loadgen> [workload]
 set -u
@@ -47,6 +48,15 @@ BATCH_JSON="$("$LOADGEN" --port="$PORT" --workload="$WORKLOAD" \
   || fail "loadgen batch mode errored: $BATCH_JSON"
 echo "$BATCH_JSON"
 echo "$BATCH_JSON" | grep -q '"errors": 0,' || fail "batch mode errors"
+
+# Mixed read/write phase: a quarter of the requests are FACT writes
+# staged on the live-ingest queue; each writer ends with PUBLISH, so
+# the run only passes if the drain + resaturation path works too.
+MIXED_JSON="$("$LOADGEN" --port="$PORT" --workload="$WORKLOAD" \
+  --mode=exec --connections=4 --requests=50 --write-mix=0.25 --json)" \
+  || fail "loadgen mixed mode errored: $MIXED_JSON"
+echo "$MIXED_JSON"
+echo "$MIXED_JSON" | grep -q '"errors": 0,' || fail "mixed mode errors"
 
 # Graceful drain: SIGTERM must lead to exit code 0.
 kill -TERM "$SERVER_PID"

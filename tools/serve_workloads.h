@@ -67,6 +67,34 @@ inline const char* WorkloadGoal(std::string_view name) {
   return "";
 }
 
+/// The extensional predicate FACT/INGEST writes target for workload
+/// `name` ("" for an unknown name) — the same predicate SetupWorkload
+/// populates, so mixed-load writes extend the live data set.
+inline const char* WorkloadWritePred(std::string_view name) {
+  if (name == "genome") return "dnaseq";
+  if (name == "text") return "doc";
+  if (name == "suffix") return "r";
+  return "";
+}
+
+/// Deterministic write values for mixed read/write runs: the same
+/// generator family as the setup facts but a disjoint per-writer seed
+/// space, so concurrent writers stage distinct facts (the genome/suffix
+/// spaces are large enough that collisions with the setup set are
+/// negligible; duplicates are dropped at the resaturation seed anyway).
+inline std::vector<std::string> WorkloadWriteValues(
+    std::string_view name, unsigned writer, size_t count) {
+  const unsigned seed = 1000003u + writer * 7919u;
+  if (name == "genome") {
+    return DeterministicSequences(seed, count, 24, "acgt");
+  }
+  if (name == "text") return DeterministicSequences(seed, count, 10, "ab");
+  if (name == "suffix") {
+    return DeterministicSequences(seed, count, 32, "acgt");
+  }
+  return {};
+}
+
 /// Loads program + facts of workload `name` into `engine`.
 inline Status SetupWorkload(Engine* engine, std::string_view name) {
   if (name == "genome") {
