@@ -159,6 +159,11 @@ void RunFixpointBenchmark(benchmark::State& state,
       Share(last, last.domain_load_millis);
   state.counters["domain_merge_share"] =
       Share(last, last.domain_merge_millis);
+  // Row-merge phase of the round barrier (Database::MergeFromAll).
+  // Shard-parallel at threads>1, so this share falling while models
+  // stay identical is the sharded-relation payoff.
+  state.counters["relation_merge_share"] =
+      Share(last, last.relation_merge_millis);
 }
 
 void BM_Rep1Fixpoint(benchmark::State& state) {

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 #
 # Runs every seqlog bench binary and aggregates their google-benchmark JSON
-# reports into one trajectory file (default: BENCH_pr8.json at the repo
-# root; BENCH_seed.json was the seed-state run, BENCH_pr4..pr7.json the
+# reports into one trajectory file (default: BENCH_pr9.json at the repo
+# root; BENCH_seed.json was the seed-state run, BENCH_pr4..pr8.json the
 # earlier PR runs). Each binary first prints its paper-reproduction
 # table; those tables are kept out of the JSON by sending the report
 # through --benchmark_out. The aggregate includes the
@@ -19,7 +19,7 @@
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR  cmake build directory containing bench/ (default: build)
-#   OUT_JSON   aggregate output path (default: BENCH_pr8.json)
+#   OUT_JSON   aggregate output path (default: BENCH_pr9.json)
 #
 # Environment:
 #   SEQLOG_BENCH_MIN_TIME  --benchmark_min_time per benchmark (default 0.05)
@@ -28,7 +28,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT_JSON="${2:-$REPO_ROOT/BENCH_pr8.json}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_pr9.json}"
 MIN_TIME="${SEQLOG_BENCH_MIN_TIME:-0.05}"
 
 BENCH_DIR="$BUILD_DIR/bench"

@@ -190,7 +190,7 @@ Snapshot Engine::PublishSnapshot() {
       }
       for (uint32_t i = published_row_watermark_[pred]; i < rel->size();
            ++i) {
-        for (SeqId arg : rel->Row(i)) {
+        for (SeqId arg : rel->RowAt(i)) {
           // Unbudgeted: the EDB was already admitted by AddFact.
           Status s = domain->AddRoot(arg);
           SEQLOG_CHECK(s.ok()) << s.ToString();
@@ -263,7 +263,7 @@ Result<std::vector<std::vector<SeqId>>> Engine::QueryIds(
   if (rel != nullptr) {
     rows.reserve(rel->size());
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      TupleView row = rel->Row(i);
+      TupleView row = rel->RowAt(i);
       rows.emplace_back(row.begin(), row.end());
     }
   }

@@ -51,7 +51,7 @@ void PreInternClosures(const Database& scratch,
     const Relation* rel = scratch.Get(pred);
     if (rel == nullptr) continue;
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      for (SeqId arg : rel->Row(i)) {
+      for (SeqId arg : rel->RowAt(i)) {
         if (domain.Contains(arg)) continue;
         if (max_domain != 0 &&
             domain.ClosureSpanCount(arg) > max_domain) {
@@ -122,7 +122,7 @@ Status Evaluator::LoadFacts(const Database& db, RunState* state) const {
     state->model->GetOrCreate(pred)->Reserve(rel->size());
     state->delta->GetOrCreate(pred)->Reserve(rel->size());
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      TupleView row = rel->Row(i);
+      TupleView row = rel->RowAt(i);
       state->model->Insert(pred, row);
       state->delta->Insert(pred, row);
       roots.insert(roots.end(), row.begin(), row.end());
@@ -285,20 +285,24 @@ void Evaluator::AppendDeltaTasks(size_t idx, size_t si,
 }
 
 // Round barrier: merges the scratch databases in deterministic task
-// order. Database::MergeFrom invokes the callback once per atom that is
-// genuinely new to the model, which keeps multi-scratch merges (a fact
-// derived by several tasks appears in several scratches) equivalent to
-// the serial shared-scratch merge. The wrapper accounts the barrier —
-// dominated by the domain closure — into EvalStats::domain_merge_millis.
+// order. Database::MergeFromAll invokes the callback once per atom that
+// is genuinely new to the model, which keeps multi-scratch merges (a
+// fact derived by several tasks appears in several scratches) equivalent
+// to the serial shared-scratch merge. The impl accounts the fanned-out
+// row-merge phase into EvalStats::relation_merge_millis; the wrapper
+// puts the remainder of the barrier — commit replay plus domain
+// closure — into domain_merge_millis.
 Status Evaluator::MergeRound(const std::vector<const Database*>& sources,
                              const std::vector<ClosureHints>* hints,
                              RunState* state) const {
   const auto barrier_start = std::chrono::steady_clock::now();
+  const double row_before = state->stats.relation_merge_millis;
   Status status = MergeRoundImpl(sources, hints, state);
-  state->stats.domain_merge_millis +=
-      std::chrono::duration<double, std::milli>(
-          std::chrono::steady_clock::now() - barrier_start)
-          .count();
+  const double total = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - barrier_start)
+                           .count();
+  const double row_share = state->stats.relation_merge_millis - row_before;
+  state->stats.domain_merge_millis += std::max(0.0, total - row_share);
   return status;
 }
 
@@ -310,53 +314,56 @@ Status Evaluator::MergeRoundImpl(const std::vector<const Database*>& sources,
   state->last_merged_new = 0;
   const size_t max_domain = state->options.limits.max_domain_sequences;
   if (hints == nullptr) {
-    // Serial rounds: inline single-writer domain growth per new fact,
-    // the exact legacy path.
-    for (const Database* src : sources) {
-      SEQLOG_RETURN_IF_ERROR(state->model->MergeFrom(
-          *src, [&](PredId pred, TupleView row) -> Status {
-            ++state->last_merged_new;
-            delta_new->Insert(pred, row);
-            return state->domain->ExtendWith(row, max_domain);
-          }));
-    }
+    // Serial rounds: inline single-writer domain growth per new fact in
+    // the exact legacy per-source order (MergeFromAll without a pool
+    // runs its shard items inline and replays identically).
+    SEQLOG_RETURN_IF_ERROR(state->model->MergeFromAll(
+        sources, /*pool=*/nullptr,
+        [&](PredId pred, TupleView row, size_t) -> Status {
+          ++state->last_merged_new;
+          delta_new->Insert(pred, row);
+          return state->domain->ExtendWith(row, max_domain);
+        },
+        &state->stats.relation_merge_millis));
   } else {
-    // Parallel rounds: the firing tasks pre-interned the closures of
-    // everything they derived, so the barrier only concatenates their
-    // id streams in deterministic fact order — no symbol hashing here —
-    // and hands the result to the sharded membership insert.
+    // Parallel rounds: the row merge fans out over the pool (one writer
+    // per relation shard), and the firing tasks pre-interned the
+    // closures of everything they derived, so the serial replay below
+    // only concatenates their id streams in deterministic fact order —
+    // no symbol hashing here — and hands the result to the sharded
+    // membership insert.
     std::vector<SeqId> stream;
     std::unordered_set<SeqId> pending;  // roots already in the stream
-    for (size_t i = 0; i < sources.size(); ++i) {
-      const ClosureHints& task_hints = (*hints)[i];
-      SEQLOG_RETURN_IF_ERROR(state->model->MergeFrom(
-          *sources[i], [&](PredId pred, TupleView row) -> Status {
-            ++state->last_merged_new;
-            delta_new->Insert(pred, row);
-            for (SeqId arg : row) {
-              if (state->domain->Contains(arg) ||
-                  !pending.insert(arg).second) {
-                continue;
-              }
-              auto it = task_hints.find(arg);
-              if (it != task_hints.end()) {
-                stream.insert(stream.end(), it->second.begin(),
-                              it->second.end());
-              } else {
-                // Unhinted root (its closure alone overflows the domain
-                // budget): flush the stream so insertion order stays
-                // exactly the serial one, then take the budget-checked
-                // AddRoot, which bails out mid-closure.
-                SEQLOG_RETURN_IF_ERROR(state->domain->ExtendWithClosed(
-                    stream, max_domain, state->pool.get()));
-                stream.clear();
-                SEQLOG_RETURN_IF_ERROR(
-                    state->domain->AddRoot(arg, max_domain));
-              }
+    SEQLOG_RETURN_IF_ERROR(state->model->MergeFromAll(
+        sources, state->pool.get(),
+        [&](PredId pred, TupleView row, size_t src) -> Status {
+          const ClosureHints& task_hints = (*hints)[src];
+          ++state->last_merged_new;
+          delta_new->Insert(pred, row);
+          for (SeqId arg : row) {
+            if (state->domain->Contains(arg) ||
+                !pending.insert(arg).second) {
+              continue;
             }
-            return Status::Ok();
-          }));
-    }
+            auto it = task_hints.find(arg);
+            if (it != task_hints.end()) {
+              stream.insert(stream.end(), it->second.begin(),
+                            it->second.end());
+            } else {
+              // Unhinted root (its closure alone overflows the domain
+              // budget): flush the stream so insertion order stays
+              // exactly the serial one, then take the budget-checked
+              // AddRoot, which bails out mid-closure.
+              SEQLOG_RETURN_IF_ERROR(state->domain->ExtendWithClosed(
+                  stream, max_domain, state->pool.get()));
+              stream.clear();
+              SEQLOG_RETURN_IF_ERROR(
+                  state->domain->AddRoot(arg, max_domain));
+            }
+          }
+          return Status::Ok();
+        },
+        &state->stats.relation_merge_millis));
     SEQLOG_RETURN_IF_ERROR(state->domain->ExtendWithClosed(
         stream, max_domain, state->pool.get()));
   }
@@ -372,6 +379,9 @@ Status Evaluator::MergeRoundImpl(const std::vector<const Database*>& sources,
 Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
                             RunState* state) const {
   const size_t model_facts = state->model->TotalFacts();
+  const size_t min_parallel_work = state->options.min_parallel_work != 0
+                                       ? state->options.min_parallel_work
+                                       : kMinParallelWork;
   bool parallel = state->threads > 1 && tasks.size() > 1;
   if (parallel && state->last_round_millis < kSlowRoundMillis) {
     // Row estimate: full firings scan the model, delta firings their
@@ -390,9 +400,9 @@ Status Evaluator::FireRound(const std::vector<FireTask>& tasks,
       }
       work += plan.constructive ? rows * kConstructiveWeight : rows;
       if (plan.domain_sensitive) work += state->domain->size();
-      if (work >= kMinParallelWork) break;
+      if (work >= min_parallel_work) break;
     }
-    parallel = work >= kMinParallelWork;
+    parallel = work >= min_parallel_work;
   }
 
   auto fire_start = std::chrono::steady_clock::now();
@@ -642,7 +652,7 @@ EvalOutcome Evaluator::Resaturate(Database* model, ExtendedDomain* domain,
     const Relation* rel = batch.Get(pred);
     if (rel == nullptr || rel->empty()) continue;
     for (uint32_t i = 0; i < rel->size() && status.ok(); ++i) {
-      TupleView row = rel->Row(i);
+      TupleView row = rel->RowAt(i);
       Result<bool> inserted = model->TryInsert(pred, row);
       if (!inserted.ok()) {
         status = inserted.status();

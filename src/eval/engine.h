@@ -76,6 +76,12 @@ struct EvalOptions {
   /// than the work), so point queries over magic rewrites pay nothing
   /// for the default.
   size_t num_threads = 0;
+  /// Estimated-row floor below which a round stays serial (0 = the
+  /// built-in default). Tests set 1 to force tiny rounds through the
+  /// parallel fan-out and shard-parallel merge barrier — the production
+  /// heuristic would keep them on the serial path and the parallel
+  /// machinery would go unexercised.
+  size_t min_parallel_work = 0;
 };
 
 /// Status plus statistics; stats are valid even when status is an error
@@ -204,12 +210,15 @@ class Evaluator {
   /// the barrier.
   Status FireRound(const std::vector<FireTask>& tasks,
                    RunState* state) const;
-  /// Merges `sources` (in order) into the model, refreshing delta,
-  /// domain and growth stats; accumulates the elapsed time into
-  /// EvalStats::domain_merge_millis. With `hints` (parallel rounds) the
-  /// domain
-  /// grows through the warm-entry ExtendWithClosed path; without
-  /// (serial rounds) through the legacy inline ExtendWith.
+  /// Merges `sources` (in order) into the model via
+  /// Database::MergeFromAll — parallel rounds fan the row merge over the
+  /// run's pool, one writer per relation shard — refreshing delta,
+  /// domain and growth stats. The row-merge phase is accounted into
+  /// EvalStats::relation_merge_millis, the rest of the barrier (commit
+  /// replay, domain closure) into domain_merge_millis. With `hints`
+  /// (parallel rounds) the domain grows through the warm-entry
+  /// ExtendWithClosed path; without (serial rounds) through the legacy
+  /// inline ExtendWith.
   Status MergeRound(const std::vector<const Database*>& sources,
                     const std::vector<ClosureHints>* hints,
                     RunState* state) const;

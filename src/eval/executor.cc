@@ -1,6 +1,7 @@
 #include "eval/executor.h"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
 #include "base/string_util.h"
@@ -86,7 +87,8 @@ class Firer {
     // and must not clobber this literal's keys.
     size_t n_args = step.args.size();
     std::vector<SeqId> key_vals(n_args, kEmptySeq);
-    const std::vector<uint32_t>* candidates = nullptr;
+    Relation::Candidates candidates;
+    bool have_candidates = false;
     bool have_key = false;
     for (size_t i = 0; i < n_args; ++i) {
       if (step.modes[i] != ArgMode::kKey) continue;
@@ -95,10 +97,11 @@ class Firer {
       if (!v.has_value()) return Status::Ok();  // theta undefined here
       key_vals[i] = *v;
       have_key = true;
-      const std::vector<uint32_t>* rows = rel->RowsWithValue(i, *v);
-      if (rows == nullptr) return Status::Ok();  // no matching fact
-      if (candidates == nullptr || rows->size() < candidates->size()) {
+      Relation::Candidates rows = rel->RowsWithValue(i, *v);
+      if (rows.empty()) return Status::Ok();  // no matching fact
+      if (!have_candidates || rows.size() < candidates.size()) {
         candidates = rows;
+        have_candidates = true;
       }
     }
 
@@ -112,12 +115,50 @@ class Firer {
       begin = delta_begin_ < end ? delta_begin_ : end;
       end = delta_end_ < end ? delta_end_ : end;
     }
-    if (candidates != nullptr) {
-      for (uint32_t row : *candidates) {
-        if (row < begin || row >= end) continue;
+    const bool ranged = begin != 0 || end != rel->size();
+    if (have_candidates) {
+      if (candidates.num_lists == 1 && !ranged) {
+        // Single storage shard holds every match (always the case for a
+        // first-column probe); its list is already ascending in scan
+        // position, so iterate it directly.
+        for (RowId id : *candidates.lists[0]) {
+          SEQLOG_RETURN_IF_ERROR(CheckDeadline());
+          SEQLOG_RETURN_IF_ERROR(
+              MatchTuple(step, si, key_vals, rel->RowById(id)));
+        }
+        return Status::Ok();
+      }
+      // Matches span storage shards: merge the per-shard lists by scan
+      // position. Candidate order must stay the global insertion order —
+      // the order the flat pre-shard index produced — because match
+      // order decides scratch insertion order and therefore the model's
+      // row order; shard-major iteration would leak the SeqId hash (a
+      // schedule-dependent value in parallel runs) into it.
+      std::array<size_t, Relation::kNumShards> cursor{};
+      std::array<uint32_t, Relation::kNumShards> head_pos;
+      for (uint32_t li = 0; li < candidates.num_lists; ++li) {
+        head_pos[li] = rel->PositionOf((*candidates.lists[li])[0]);
+      }
+      for (size_t remaining = candidates.total; remaining > 0;
+           --remaining) {
+        uint32_t best_pos = UINT32_MAX;
+        uint32_t best_li = 0;
+        for (uint32_t li = 0; li < candidates.num_lists; ++li) {
+          if (cursor[li] < candidates.lists[li]->size() &&
+              head_pos[li] < best_pos) {
+            best_pos = head_pos[li];
+            best_li = li;
+          }
+        }
+        const std::vector<RowId>& list = *candidates.lists[best_li];
+        RowId id = list[cursor[best_li]];
+        if (++cursor[best_li] < list.size()) {
+          head_pos[best_li] = rel->PositionOf(list[cursor[best_li]]);
+        }
+        if (ranged && (best_pos < begin || best_pos >= end)) continue;
         SEQLOG_RETURN_IF_ERROR(CheckDeadline());
         SEQLOG_RETURN_IF_ERROR(
-            MatchTuple(step, si, key_vals, rel->Row(row)));
+            MatchTuple(step, si, key_vals, rel->RowById(id)));
       }
       return Status::Ok();
     }
@@ -125,7 +166,7 @@ class Firer {
     for (uint32_t row = begin; row < end; ++row) {
       SEQLOG_RETURN_IF_ERROR(CheckDeadline());
       SEQLOG_RETURN_IF_ERROR(
-          MatchTuple(step, si, key_vals, rel->Row(row)));
+          MatchTuple(step, si, key_vals, rel->RowAt(row)));
     }
     return Status::Ok();
   }

@@ -60,6 +60,14 @@ struct EvalStats {
   /// so the two must be measurable separately.
   double domain_load_millis = 0;
   double domain_merge_millis = 0;
+  /// Wall-clock of the row-merge phase of the round barriers (dedup
+  /// probes, row appends, index maintenance) — the part
+  /// Database::MergeFromAll fans out one writer per relation shard.
+  /// domain_merge_millis keeps the rest of the barrier: the serial
+  /// commit/callback replay and the domain closure inserts. The two are
+  /// split so BENCH_pr*.json can show the sharded merge share falling
+  /// while the closure share stays put.
+  double relation_merge_millis = 0;
   /// The combined domain time (the pre-split counter's value).
   double domain_millis() const {
     return domain_load_millis + domain_merge_millis;

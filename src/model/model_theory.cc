@@ -41,7 +41,7 @@ Result<std::unique_ptr<Database>> ModelChecker::ApplyTOnce(
   for (PredId pred : interp.PredicatesWithRelations()) {
     const Relation* rel = interp.Get(pred);
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      for (SeqId arg : rel->Row(i)) {
+      for (SeqId arg : rel->RowAt(i)) {
         SEQLOG_RETURN_IF_ERROR(domain.AddRoot(arg));
       }
     }
@@ -53,7 +53,7 @@ Result<std::unique_ptr<Database>> ModelChecker::ApplyTOnce(
   for (PredId pred : db.PredicatesWithRelations()) {
     const Relation* rel = db.Get(pred);
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      out->Insert(pred, rel->Row(i));
+      out->Insert(pred, rel->RowAt(i));
     }
   }
 
@@ -83,7 +83,7 @@ Result<ModelCheckResult> ModelChecker::IsModel(const Database& db,
   for (PredId pred : t_of_i->PredicatesWithRelations()) {
     const Relation* rel = t_of_i->Get(pred);
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      TupleView row = rel->Row(i);
+      TupleView row = rel->RowAt(i);
       if (interp.Contains(pred, row)) continue;
       result.is_model = false;
       Violation v;

@@ -102,7 +102,7 @@ std::vector<std::vector<SeqId>> FilterRelation(
   std::vector<std::vector<SeqId>> rows;
   if (rel == nullptr) return rows;
   for (uint32_t i = 0; i < rel->size(); ++i) {
-    TupleView row = rel->Row(i);
+    TupleView row = rel->RowAt(i);
     if (RowMatchesGoal(row, values, var_groups)) {
       rows.emplace_back(row.begin(), row.end());
     }
@@ -486,6 +486,7 @@ BatchSolveResult Solver::ExecuteBatch(
     out.eval.fire_millis += outcome.stats.fire_millis;
     out.eval.domain_load_millis += outcome.stats.domain_load_millis;
     out.eval.domain_merge_millis += outcome.stats.domain_merge_millis;
+    out.eval.relation_merge_millis += outcome.stats.relation_merge_millis;
     if (!outcome.status.ok() && out.status.ok()) {
       out.status = outcome.status;
     }

@@ -1,0 +1,431 @@
+// Randomized differential testing of the evaluator (PR 9 satellite):
+// a seed-reproducible generator emits bounded strongly-safe programs
+// over a small EDB alphabet, an independent reference evaluator (naive
+// fixpoint over plain string sets, no sharing with src/) computes the
+// expected model, and every generated program is checked bit-identical
+// across thread widths 1/2/8 — with the parallel fan-out and the
+// shard-parallel merge barrier forced on via
+// EvalOptions::min_parallel_work = 1 — plus the naive and stratified
+// strategy oracles.
+//
+// Flags (also usable for CI soak runs, .github/workflows/soak.yml):
+//   --seed=N    base seed of the corpus (default: fixed corpus)
+//   --iters=N   number of generated programs (default 200)
+// Environment:
+//   SEQLOG_DIFF_SEED / SEQLOG_DIFF_ITERS  same as the flags
+//   SEQLOG_DIFF_SEED_LOG  file to append failing seeds to (CI uploads
+//                         it as an artifact)
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+
+namespace seqlog {
+namespace {
+
+uint64_t g_base_seed = 20250807;
+size_t g_iters = 200;
+
+// ---------------------------------------------------------------------
+// Program IR. Generated rules are range-restricted by construction
+// (every head variable occurs in a positive body literal) and
+// constructive heads only ever sit on EDB-only bodies with the head
+// predicate used nowhere else, so every program is strongly safe and
+// its model finite.
+// ---------------------------------------------------------------------
+
+struct Pred {
+  std::string name;
+  int arity;
+};
+
+struct Lit {
+  int pred;
+  std::vector<int> vars;  // indices into kVarNames
+};
+
+struct Rule {
+  int head_pred;
+  std::vector<int> head_vars;
+  bool head_concat = false;  // head is name(v0 ++ v1)
+  std::vector<Lit> body;
+};
+
+struct GenProgram {
+  std::vector<Pred> preds;  // [0] = e1/1, [1] = e2/2, rest IDB
+  std::vector<Rule> rules;
+  std::vector<std::string> e1_facts;
+  std::vector<std::pair<std::string, std::string>> e2_facts;
+};
+
+constexpr const char* kVarNames[] = {"X", "Y", "Z", "W"};
+
+std::string RandomSeq(std::mt19937_64* rng) {
+  std::uniform_int_distribution<int> len_dist(1, 4);
+  std::uniform_int_distribution<int> sym_dist(0, 1);
+  int len = len_dist(*rng);
+  std::string s;
+  for (int i = 0; i < len; ++i) s.push_back(sym_dist(*rng) ? 'b' : 'a');
+  return s;
+}
+
+GenProgram Generate(uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  GenProgram prog;
+  prog.preds.push_back({"e1", 1});
+  prog.preds.push_back({"e2", 2});
+  std::uniform_int_distribution<int> e1_count(3, 8);
+  std::uniform_int_distribution<int> e2_count(4, 12);
+  int n1 = e1_count(rng);
+  for (int i = 0; i < n1; ++i) prog.e1_facts.push_back(RandomSeq(&rng));
+  int n2 = e2_count(rng);
+  for (int i = 0; i < n2; ++i) {
+    prog.e2_facts.emplace_back(RandomSeq(&rng), RandomSeq(&rng));
+  }
+
+  auto new_pred = [&prog](int arity) {
+    std::string name = "p";
+    name += std::to_string(prog.preds.size() - 2);
+    prog.preds.push_back({std::move(name), arity});
+    return static_cast<int>(prog.preds.size()) - 1;
+  };
+  std::vector<int> binary_idb;  // non-sink binary IDB preds, for reuse
+
+  std::uniform_int_distribution<int> rule_count(2, 6);
+  std::uniform_int_distribution<int> template_dist(0, 7);
+  int n_rules = rule_count(rng);
+  for (int r = 0; r < n_rules; ++r) {
+    switch (template_dist(rng)) {
+      case 0: {  // projection: p(X) :- e2(X, Y).  (either column)
+        int p = new_pred(1);
+        bool first = rng() & 1;
+        prog.rules.push_back(
+            Rule{p, {first ? 0 : 1}, false, {Lit{1, {0, 1}}}});
+        break;
+      }
+      case 1: {  // join: p(X, Z) :- e2(X, Y), e2(Y, Z).
+        int p = new_pred(2);
+        prog.rules.push_back(
+            Rule{p, {0, 2}, false, {Lit{1, {0, 1}}, Lit{1, {1, 2}}}});
+        binary_idb.push_back(p);
+        break;
+      }
+      case 2: {  // transitive closure of e2
+        int p = new_pred(2);
+        prog.rules.push_back(Rule{p, {0, 1}, false, {Lit{1, {0, 1}}}});
+        prog.rules.push_back(
+            Rule{p, {0, 2}, false, {Lit{p, {0, 1}}, Lit{1, {1, 2}}}});
+        binary_idb.push_back(p);
+        break;
+      }
+      case 3: {  // filter: p(X) :- e1(X), e2(X, Y).
+        int p = new_pred(1);
+        prog.rules.push_back(
+            Rule{p, {0}, false, {Lit{0, {0}}, Lit{1, {0, 1}}}});
+        break;
+      }
+      case 4: {  // constructive sink: c(X ++ Y) :- e1(X), e1(Y).
+        int p = new_pred(1);
+        prog.rules.push_back(
+            Rule{p, {0, 1}, true, {Lit{0, {0}}, Lit{0, {1}}}});
+        break;
+      }
+      case 5: {  // constructive sink from pairs: c(X ++ Y) :- e2(X, Y).
+        int p = new_pred(1);
+        prog.rules.push_back(Rule{p, {0, 1}, true, {Lit{1, {0, 1}}}});
+        break;
+      }
+      case 6: {  // self-join column equality: p(X) :- e2(X, X).
+        int p = new_pred(1);
+        prog.rules.push_back(Rule{p, {0}, false, {Lit{1, {0, 0}}}});
+        break;
+      }
+      default: {  // IDB chaining: p(Y) :- q(X, Y). over a prior binary
+        if (binary_idb.empty()) {
+          int p = new_pred(1);
+          prog.rules.push_back(Rule{p, {0}, false, {Lit{0, {0}}}});
+          break;
+        }
+        int q = binary_idb[rng() % binary_idb.size()];
+        int p = new_pred(1);
+        prog.rules.push_back(Rule{p, {1}, false, {Lit{q, {0, 1}}}});
+        break;
+      }
+    }
+  }
+  return prog;
+}
+
+std::string RenderProgram(const GenProgram& prog) {
+  std::string out;
+  for (const Rule& rule : prog.rules) {
+    out += prog.preds[rule.head_pred].name;
+    out += '(';
+    if (rule.head_concat) {
+      out += kVarNames[rule.head_vars[0]];
+      out += " ++ ";
+      out += kVarNames[rule.head_vars[1]];
+    } else {
+      for (size_t i = 0; i < rule.head_vars.size(); ++i) {
+        if (i) out += ", ";
+        out += kVarNames[rule.head_vars[i]];
+      }
+    }
+    out += ") :- ";
+    for (size_t li = 0; li < rule.body.size(); ++li) {
+      if (li) out += ", ";
+      out += prog.preds[rule.body[li].pred].name;
+      out += '(';
+      for (size_t i = 0; i < rule.body[li].vars.size(); ++i) {
+        if (i) out += ", ";
+        out += kVarNames[rule.body[li].vars[i]];
+      }
+      out += ')';
+    }
+    out += ".\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Reference evaluator: naive fixpoint over sets of string tuples. No
+// SeqIds, no relations, no sharing with src/ — the pre-shard (indeed
+// pre-everything) model the engine must reproduce.
+// ---------------------------------------------------------------------
+
+using RefModel = std::map<int, std::set<std::vector<std::string>>>;
+
+void RefMatch(const Rule& rule, size_t li, const RefModel& model,
+              std::vector<std::optional<std::string>>* env,
+              std::set<std::vector<std::string>>* out) {
+  if (li == rule.body.size()) {
+    std::vector<std::string> head;
+    if (rule.head_concat) {
+      head.push_back(*(*env)[rule.head_vars[0]] +
+                     *(*env)[rule.head_vars[1]]);
+    } else {
+      for (int v : rule.head_vars) head.push_back(*(*env)[v]);
+    }
+    out->insert(std::move(head));
+    return;
+  }
+  const Lit& lit = rule.body[li];
+  auto it = model.find(lit.pred);
+  if (it == model.end()) return;
+  for (const std::vector<std::string>& row : it->second) {
+    std::vector<int> bound_here;
+    bool ok = true;
+    for (size_t i = 0; i < lit.vars.size() && ok; ++i) {
+      int v = lit.vars[i];
+      if ((*env)[v].has_value()) {
+        ok = *(*env)[v] == row[i];
+      } else {
+        (*env)[v] = row[i];
+        bound_here.push_back(v);
+      }
+    }
+    if (ok) RefMatch(rule, li + 1, model, env, out);
+    for (int v : bound_here) (*env)[v].reset();
+  }
+}
+
+RefModel RefEvaluate(const GenProgram& prog) {
+  RefModel model;
+  for (const std::string& s : prog.e1_facts) model[0].insert({s});
+  for (const auto& [a, b] : prog.e2_facts) model[1].insert({a, b});
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : prog.rules) {
+      std::set<std::vector<std::string>> derived;
+      std::vector<std::optional<std::string>> env(4);
+      RefMatch(rule, 0, model, &env, &derived);
+      for (const std::vector<std::string>& row : derived) {
+        if (model[rule.head_pred].insert(row).second) changed = true;
+      }
+    }
+  }
+  return model;
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+void LogFailingSeed(uint64_t seed) {
+  const char* path = std::getenv("SEQLOG_DIFF_SEED_LOG");
+  if (path == nullptr || *path == '\0') return;
+  if (FILE* f = std::fopen(path, "a")) {
+    std::fprintf(f, "%llu\n", static_cast<unsigned long long>(seed));
+    std::fclose(f);
+  }
+}
+
+/// Evaluates `prog` in a fresh Engine and returns the sorted rendered
+/// rows per predicate index, or nullopt (with a test failure) on error.
+std::optional<std::vector<std::vector<RenderedRow>>> RunEngine(
+    const GenProgram& prog, const eval::EvalOptions& options,
+    eval::EvalStats* stats) {
+  Engine engine;
+  Status s = engine.LoadProgram(RenderProgram(prog));
+  EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << RenderProgram(prog);
+  if (!s.ok()) return std::nullopt;
+  for (const std::string& f : prog.e1_facts) {
+    EXPECT_TRUE(engine.AddFact("e1", {f}).ok());
+  }
+  for (const auto& [a, b] : prog.e2_facts) {
+    EXPECT_TRUE(engine.AddFact("e2", {a, b}).ok());
+  }
+  eval::EvalOutcome outcome = engine.Evaluate(options);
+  EXPECT_TRUE(outcome.status.ok()) << outcome.status.ToString();
+  if (!outcome.status.ok()) return std::nullopt;
+  if (stats != nullptr) *stats = outcome.stats;
+  std::vector<std::vector<RenderedRow>> per_pred;
+  for (const Pred& pred : prog.preds) {
+    Result<std::vector<RenderedRow>> rows = engine.Query(pred.name);
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    if (!rows.ok()) return std::nullopt;
+    per_pred.push_back(std::move(rows).value());
+  }
+  return per_pred;
+}
+
+std::vector<std::vector<RenderedRow>> RefRows(const GenProgram& prog,
+                                              const RefModel& model) {
+  std::vector<std::vector<RenderedRow>> per_pred;
+  for (size_t p = 0; p < prog.preds.size(); ++p) {
+    std::vector<RenderedRow> rows;
+    auto it = model.find(static_cast<int>(p));
+    if (it != model.end()) {
+      rows.assign(it->second.begin(), it->second.end());
+    }
+    // std::set<vector<string>> iterates in the same lexicographic order
+    // Engine::Query sorts into.
+    per_pred.push_back(std::move(rows));
+  }
+  return per_pred;
+}
+
+/// One generated program checked across widths and strategies; returns
+/// false (after logging the seed) on any mismatch.
+bool CheckSeed(uint64_t seed, bool strategy_oracles) {
+  const GenProgram prog = Generate(seed);
+  const RefModel ref_model = RefEvaluate(prog);
+  const std::vector<std::vector<RenderedRow>> expected =
+      RefRows(prog, ref_model);
+
+  bool ok = true;
+  eval::EvalStats serial_stats;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    eval::EvalOptions options;
+    options.num_threads = threads;
+    // Force even these tiny rounds through the parallel fan-out and the
+    // shard-parallel merge barrier; the production floor would keep
+    // them serial and test nothing new.
+    options.min_parallel_work = 1;
+    eval::EvalStats stats;
+    auto got = RunEngine(prog, options, &stats);
+    if (!got.has_value()) return false;
+    if (*got != expected) {
+      ADD_FAILURE() << "model mismatch vs reference at threads="
+                    << threads << " seed=" << seed << "\n"
+                    << RenderProgram(prog);
+      ok = false;
+    }
+    if (threads == 1) {
+      serial_stats = stats;
+    } else {
+      // The counters the parallel contract pins across widths.
+      EXPECT_EQ(stats.facts, serial_stats.facts) << "seed=" << seed;
+      EXPECT_EQ(stats.iterations, serial_stats.iterations)
+          << "seed=" << seed;
+      EXPECT_EQ(stats.derivations, serial_stats.derivations)
+          << "seed=" << seed;
+      EXPECT_EQ(stats.domain_sequences, serial_stats.domain_sequences)
+          << "seed=" << seed;
+      ok = ok && stats.facts == serial_stats.facts &&
+           stats.iterations == serial_stats.iterations &&
+           stats.derivations == serial_stats.derivations &&
+           stats.domain_sequences == serial_stats.domain_sequences;
+    }
+  }
+  if (strategy_oracles) {
+    for (auto strategy :
+         {eval::Strategy::kNaive, eval::Strategy::kStratified}) {
+      eval::EvalOptions options;
+      options.strategy = strategy;
+      options.num_threads = strategy == eval::Strategy::kNaive ? 1 : 8;
+      options.min_parallel_work = 1;
+      auto got = RunEngine(prog, options, nullptr);
+      if (!got.has_value()) return false;
+      if (*got != expected) {
+        ADD_FAILURE() << "model mismatch vs reference for strategy "
+                      << (strategy == eval::Strategy::kNaive
+                              ? "naive"
+                              : "stratified")
+                      << " seed=" << seed << "\n" << RenderProgram(prog);
+        ok = false;
+      }
+    }
+  }
+  if (!ok) LogFailingSeed(seed);
+  return ok;
+}
+
+TEST(DifferentialTest, GeneratedProgramsMatchReferenceAtAllWidths) {
+  size_t failures = 0;
+  for (size_t i = 0; i < g_iters; ++i) {
+    if (!CheckSeed(g_base_seed + i, /*strategy_oracles=*/false)) {
+      ++failures;
+      if (failures >= 5) {
+        GTEST_FAIL() << "stopping after 5 failing seeds";
+        return;
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, StrategyOraclesAgreeOnCorpusPrefix) {
+  // Naive and stratified re-evaluate everything each round — cap the
+  // corpus prefix so this stays cheap; the width sweep above covers the
+  // full corpus.
+  const size_t n = std::min<size_t>(g_iters, 50);
+  for (size_t i = 0; i < n; ++i) {
+    if (!CheckSeed(g_base_seed + i, /*strategy_oracles=*/true)) {
+      GTEST_FAIL() << "stopping at first failing oracle seed";
+      return;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace seqlog
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (const char* env = std::getenv("SEQLOG_DIFF_SEED")) {
+    seqlog::g_base_seed = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("SEQLOG_DIFF_ITERS")) {
+    seqlog::g_iters = std::strtoull(env, nullptr, 10);
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seqlog::g_base_seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      seqlog::g_iters = std::strtoull(argv[i] + 8, nullptr, 10);
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -91,7 +91,7 @@ TEST_F(ModelTheoryTest, LfpMinusAnyDerivedAtomIsNotAModel) {
   for (PredId pred : lfp->PredicatesWithRelations()) {
     const Relation* rel = lfp->Get(pred);
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      TupleView row = rel->Row(i);
+      TupleView row = rel->RowAt(i);
       atoms.emplace_back(pred, std::vector<SeqId>(row.begin(), row.end()));
     }
   }
@@ -175,7 +175,7 @@ TEST_F(ModelTheoryTest, TOperatorIsMonotonic) {
   for (PredId pred : (*t_i1)->PredicatesWithRelations()) {
     const Relation* rel = (*t_i1)->Get(pred);
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      EXPECT_TRUE((*t_i2)->Contains(pred, rel->Row(i)));
+      EXPECT_TRUE((*t_i2)->Contains(pred, rel->RowAt(i)));
     }
   }
 }
@@ -201,7 +201,7 @@ TEST_F(ModelTheoryTest, IteratingTReachesTheLfp) {
   for (PredId pred : lfp->PredicatesWithRelations()) {
     const Relation* rel = lfp->Get(pred);
     for (uint32_t i = 0; i < rel->size(); ++i) {
-      EXPECT_TRUE(current->Contains(pred, rel->Row(i)));
+      EXPECT_TRUE(current->Contains(pred, rel->RowAt(i)));
     }
   }
 }
