@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 #
 # Runs every seqlog bench binary and aggregates their google-benchmark JSON
-# reports into one trajectory file (default: BENCH_pr9.json at the repo
-# root; BENCH_seed.json was the seed-state run, BENCH_pr4..pr8.json the
+# reports into one trajectory file (default: BENCH_pr10.json at the repo
+# root; BENCH_seed.json was the seed-state run, BENCH_pr4..pr9.json the
 # earlier PR runs). Each binary first prints its paper-reproduction
 # table; those tables are kept out of the JSON by sending the report
 # through --benchmark_out. The aggregate includes the
@@ -15,11 +15,14 @@
 # the mixed rows carry separate read_*/write_* percentiles so read-path
 # latency under a live write stream is checkable from the JSON
 # (tools/seqlog_loadgen.cc). The loadgen section is skipped with a note
-# when the tools are not built.
+# when the tools are not built. PR10 adds the bench_transducer_compile
+# rows (compiled/fused vs interpreted transducer networks); that binary
+# enforces its >= 3x fused-speedup bar in-process and fails the run
+# when missed.
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [OUT_JSON]
 #   BUILD_DIR  cmake build directory containing bench/ (default: build)
-#   OUT_JSON   aggregate output path (default: BENCH_pr9.json)
+#   OUT_JSON   aggregate output path (default: BENCH_pr10.json)
 #
 # Environment:
 #   SEQLOG_BENCH_MIN_TIME  --benchmark_min_time per benchmark (default 0.05)
@@ -28,7 +31,7 @@ set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT_JSON="${2:-$REPO_ROOT/BENCH_pr9.json}"
+OUT_JSON="${2:-$REPO_ROOT/BENCH_pr10.json}"
 MIN_TIME="${SEQLOG_BENCH_MIN_TIME:-0.05}"
 
 BENCH_DIR="$BUILD_DIR/bench"

@@ -32,6 +32,7 @@
 #include "serve/client.h"
 #include "transducer/genome.h"
 #include "transducer/library.h"
+#include "transducer/network.h"
 
 namespace {
 
@@ -87,6 +88,29 @@ Status RegisterStandardMachines(Engine* engine) {
       reg(seqlog::transducer::MakeTranscribe("transcribe", syms)));
   SEQLOG_RETURN_IF_ERROR(
       reg(seqlog::transducer::MakeTranslate("translate", syms)));
+  // The genome pipeline as a compiled network: @rnapipe(X) is
+  // translate(transcribe(X)) fused into one deterministic machine
+  // (transducer/determinize.h, fuse.h); :stats shows the compile
+  // counters after a run that used it.
+  {
+    auto transcribe = seqlog::transducer::MakeTranscribe("t", syms);
+    auto translate = seqlog::transducer::MakeTranslate("tr", syms);
+    if (!transcribe.ok()) return transcribe.status();
+    if (!translate.ok()) return translate.status();
+    auto net =
+        std::make_shared<seqlog::transducer::TransducerNetwork>("rnapipe", 1);
+    SEQLOG_ASSIGN_OR_RETURN(
+        size_t n0,
+        net->AddNode(transcribe.value(),
+                     {seqlog::transducer::InputSource::FromNetwork(0)}));
+    SEQLOG_ASSIGN_OR_RETURN(
+        size_t n1,
+        net->AddNode(translate.value(),
+                     {seqlog::transducer::InputSource::FromNode(n0)}));
+    SEQLOG_RETURN_IF_ERROR(net->SetOutput(n1));
+    SEQLOG_RETURN_IF_ERROR(net->Compile(dna));
+    SEQLOG_RETURN_IF_ERROR(engine->RegisterTransducer(std::move(net)));
+  }
   return Status::Ok();
 }
 
@@ -394,6 +418,20 @@ class Shell {
                 << " ms"
                 << (last_stats_.cold_fallback ? " (cold fallback)" : "")
                 << "\n";
+    }
+    const seqlog::TransducerStats& t = last_stats_.transducer;
+    // Shown once a compiled network actually ran (the counters are
+    // cumulative over the engine's lifetime); runs that never touch a
+    // network keep the classic five-line output.
+    if (t.compiled_node_runs + t.interpreted_node_runs > 0) {
+      std::cout << "  transducers: " << t.machines_compiled
+                << " machine(s) compiled (" << t.states_in << " -> "
+                << t.states_out << " states, delay <= " << t.delay_bound
+                << "), " << t.fusion_hits << " fusion(s), "
+                << t.fusion_fallbacks << " fallback(s)\n"
+                << "    node runs: " << t.compiled_node_runs
+                << " compiled, " << t.interpreted_node_runs
+                << " interpreted\n";
     }
   }
 

@@ -104,6 +104,9 @@ Status Engine::EnqueueFactIds(std::string_view predicate,
 }
 
 eval::EvalOutcome Engine::DrainIngest(const eval::EvalOptions& options) {
+  // The drain proper; transducer counters are collected once, on the
+  // way out, whichever path produced the outcome.
+  auto drain = [&]() -> eval::EvalOutcome {
   eval::EvalOutcome outcome;
   std::vector<ivm::PendingFact> pending;
   ingest_.DrainTo(&pending);
@@ -138,6 +141,10 @@ eval::EvalOutcome Engine::DrainIngest(const eval::EvalOptions& options) {
   outcome = live_model_.Apply(batch, options);
   if (!outcome.status.ok()) ivm_cold_pending_ = true;
   return outcome;
+  };
+  eval::EvalOutcome drained = drain();
+  registry_.CollectTransducerStats(&drained.stats.transducer);
+  return drained;
 }
 
 void Engine::ClearFacts() {
@@ -228,7 +235,9 @@ eval::EvalOutcome Engine::Evaluate(const eval::EvalOptions& options) {
     if (inserted.value()) ++edb_version_;
   }
   ivm_cold_pending_ = false;
-  return live_model_.Build(*edb_, options);
+  outcome = live_model_.Build(*edb_, options);
+  registry_.CollectTransducerStats(&outcome.stats.transducer);
+  return outcome;
 }
 
 SolveOutcome Engine::Solve(std::string_view goal,

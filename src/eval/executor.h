@@ -19,6 +19,7 @@
 #include "base/status.h"
 #include "eval/clause_plan.h"
 #include "sequence/domain.h"
+#include "sequence/seq_function.h"
 #include "storage/database.h"
 
 namespace seqlog {
@@ -88,6 +89,13 @@ struct EvalStats {
   /// Per-iteration (facts, domain size) when growth tracking is on; used
   /// by the Example 1.5 / 1.6 benchmarks to plot divergence.
   std::vector<std::pair<size_t, size_t>> growth;
+  /// Compiled-transducer counters aggregated over the engine's function
+  /// registry after the run (Engine::Evaluate / DrainIngest). The
+  /// machine/state/fusion fields describe registered machines (stable
+  /// across runs); the *_node_runs counters are cumulative over the
+  /// engine's lifetime — unlike every counter above, they do grow with
+  /// each evaluation and are not part of the thread-width invariant.
+  TransducerStats transducer;
 };
 
 /// Mutable state for firings within one iteration. Serial rounds share

@@ -28,5 +28,9 @@ std::map<std::string, int> FunctionRegistry::Orders() const {
   return out;
 }
 
+void FunctionRegistry::CollectTransducerStats(TransducerStats* out) const {
+  for (const auto& [name, fn] : fns_) fn->CollectStats(out);
+}
+
 }  // namespace eval
 }  // namespace seqlog

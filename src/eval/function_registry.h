@@ -1,4 +1,6 @@
-// seqlog: registry of interpreted sequence functions for @T(...) terms.
+// seqlog: registry of the sequence functions backing @T(...) terms —
+// interpreted machines, compiled DetTransducers, and (compiled or
+// interpreted) transducer networks alike.
 #ifndef SEQLOG_EVAL_FUNCTION_REGISTRY_H_
 #define SEQLOG_EVAL_FUNCTION_REGISTRY_H_
 
@@ -27,6 +29,11 @@ class FunctionRegistry {
   /// Orders of all registered functions, keyed by name (for
   /// analysis::ProgramOrder).
   std::map<std::string, int> Orders() const;
+
+  /// Merges every registered function's compilation/run counters into
+  /// `out` (SequenceFunction::CollectStats); Engine::Evaluate and
+  /// DrainIngest use this to fill EvalStats::transducer.
+  void CollectTransducerStats(TransducerStats* out) const;
 
  private:
   std::map<std::string, std::shared_ptr<const SequenceFunction>> fns_;

@@ -7,6 +7,8 @@
 #ifndef SEQLOG_SEQUENCE_SEQ_FUNCTION_H_
 #define SEQLOG_SEQUENCE_SEQ_FUNCTION_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <span>
 #include <string>
 
@@ -14,6 +16,43 @@
 #include "sequence/sequence_pool.h"
 
 namespace seqlog {
+
+/// Counters describing the compiled-machine backing of @T(...) terms
+/// (src/transducer/determinize.h, fuse.h, Network::Compile). Aggregated
+/// over a FunctionRegistry into EvalStats::transducer and shown by the
+/// shell's :stats. The *_runs counters are cumulative over the function's
+/// lifetime, not per evaluation.
+struct TransducerStats {
+  size_t machines_compiled = 0;  ///< deterministic machines backing terms
+  size_t states_in = 0;          ///< NFA states before determinization
+  size_t states_out = 0;         ///< dense DetTransducer states after
+  size_t delay_bound = 0;        ///< max output delay over all machines
+  size_t fusion_hits = 0;        ///< network chains fused into one machine
+  size_t fusion_fallbacks = 0;   ///< chains refused (node-by-node fallback)
+  size_t compiled_nodes = 0;     ///< network nodes backed by a DetTransducer
+  size_t interpreted_nodes = 0;  ///< network nodes on the interpreted path
+  uint64_t compiled_node_runs = 0;     ///< node executions, compiled path
+  uint64_t interpreted_node_runs = 0;  ///< node executions, interpreted path
+
+  void MergeFrom(const TransducerStats& o) {
+    machines_compiled += o.machines_compiled;
+    states_in += o.states_in;
+    states_out += o.states_out;
+    delay_bound = std::max(delay_bound, o.delay_bound);
+    fusion_hits += o.fusion_hits;
+    fusion_fallbacks += o.fusion_fallbacks;
+    compiled_nodes += o.compiled_nodes;
+    interpreted_nodes += o.interpreted_nodes;
+    compiled_node_runs += o.compiled_node_runs;
+    interpreted_node_runs += o.interpreted_node_runs;
+  }
+  /// True when any machine was compiled or any fusion was attempted —
+  /// the shell only prints the transducer section then.
+  bool Any() const {
+    return machines_compiled > 0 || fusion_hits > 0 ||
+           fusion_fallbacks > 0 || interpreted_node_runs > 0;
+  }
+};
 
 /// A total or partial mapping (Sigma*)^m -> Sigma*.
 class SequenceFunction {
@@ -41,6 +80,14 @@ class SequenceFunction {
   /// evaluation.
   virtual Result<SeqId> Apply(std::span<const SeqId> inputs,
                               SequencePool* pool) const = 0;
+
+  /// Merges this function's compilation/run counters into `out`.
+  /// Interpreted machines report nothing (the default); compiled
+  /// machines (transducer::DetTransducer) and compiled networks
+  /// (transducer::TransducerNetwork after Compile) override.
+  virtual void CollectStats(TransducerStats* out) const {
+    (void)out;
+  }
 };
 
 }  // namespace seqlog

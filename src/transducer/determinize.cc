@@ -1,0 +1,492 @@
+#include "transducer/determinize.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "base/string_util.h"
+
+namespace seqlog {
+namespace transducer {
+namespace {
+
+// A refusal is both a coded diagnostic (when the caller wants the
+// report) and a kFailedPrecondition whose message leads with the same
+// stable code, so fallback sites can branch on the code alone.
+Status Refuse(const char* code, const std::string& machine,
+              std::string message, analysis::DiagnosticReport* report) {
+  if (report != nullptr) {
+    report->Add(code, analysis::Severity::kError, ast::SourceLoc{}, machine,
+                message);
+  }
+  return Status::FailedPrecondition(
+      StrCat(code, ": machine '", machine, "': ", message));
+}
+
+// Largest symbol id we are willing to build a dense symbol->index table
+// for. Alphabet symbols come from SymbolTable interning, so they are
+// small in practice; the bound only guards against kEndMarker leaking in.
+constexpr Symbol kMaxAlphabetSymbol = 1u << 20;
+
+Status ValidateAlphabet(const std::string& machine,
+                        std::span<const Symbol> alphabet) {
+  for (Symbol s : alphabet) {
+    if (s >= kMaxAlphabetSymbol) {
+      return Status::InvalidArgument(
+          StrCat("machine '", machine, "': alphabet symbol ", s,
+                 " out of range (marker cannot be an input symbol)"));
+    }
+  }
+  return Status::Ok();
+}
+
+std::vector<Symbol> SortedUnique(std::span<const Symbol> alphabet) {
+  std::vector<Symbol> out(alphabet.begin(), alphabet.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+// One element of a deterministic subset state: an NFA state plus the
+// output this run still owes beyond what the subset has emitted.
+struct Residual {
+  StateId state;
+  std::vector<Symbol> out;
+
+  bool operator<(const Residual& o) const {
+    return state != o.state ? state < o.state : out < o.out;
+  }
+  bool operator==(const Residual& o) const {
+    return state == o.state && out == o.out;
+  }
+};
+
+using Subset = std::vector<Residual>;
+
+std::vector<uint32_t> SubsetKey(const Subset& subset) {
+  std::vector<uint32_t> key;
+  key.reserve(subset.size() * 3);
+  for (const Residual& r : subset) {
+    key.push_back(r.state);
+    key.push_back(static_cast<uint32_t>(r.out.size()));
+    key.insert(key.end(), r.out.begin(), r.out.end());
+  }
+  return key;
+}
+
+// Longest common prefix length of `a` and `b`.
+size_t LcpLen(std::span<const Symbol> a, std::span<const Symbol> b) {
+  size_t n = std::min(a.size(), b.size());
+  size_t i = 0;
+  while (i < n && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace
+
+std::shared_ptr<const DetTransducer> DetTransducer::FromSpec(Spec spec) {
+  auto m = std::shared_ptr<DetTransducer>(new DetTransducer());
+  m->name_ = std::move(spec.name);
+  m->alphabet_ = std::move(spec.alphabet);
+  m->num_states_ = spec.num_states;
+  m->initial_ = spec.initial;
+  m->delay_bound_ = spec.delay_bound;
+  m->source_states_ = spec.source_states;
+
+  Symbol max_sym = 0;
+  for (Symbol s : m->alphabet_) max_sym = std::max(max_sym, s);
+  m->sym_index_.assign(m->alphabet_.empty() ? 0 : max_sym + 1, kStuck);
+  for (size_t i = 0; i < m->alphabet_.size(); ++i) {
+    m->sym_index_[m->alphabet_[i]] = static_cast<uint32_t>(i);
+  }
+
+  m->table_.resize(spec.cells.size());
+  for (size_t i = 0; i < spec.cells.size(); ++i) {
+    m->table_[i].next = spec.cells[i].next;
+    m->table_[i].out_begin = static_cast<uint32_t>(m->out_pool_.size());
+    m->table_[i].out_len = static_cast<uint32_t>(spec.cells[i].out.size());
+    m->out_pool_.insert(m->out_pool_.end(), spec.cells[i].out.begin(),
+                        spec.cells[i].out.end());
+  }
+  m->final_.resize(spec.final_out.size());
+  for (size_t i = 0; i < spec.final_out.size(); ++i) {
+    if (!spec.final_out[i].has_value()) continue;
+    m->final_[i].is_final = true;
+    m->final_[i].out_begin = static_cast<uint32_t>(m->out_pool_.size());
+    m->final_[i].out_len = static_cast<uint32_t>(spec.final_out[i]->size());
+    m->out_pool_.insert(m->out_pool_.end(), spec.final_out[i]->begin(),
+                        spec.final_out[i]->end());
+  }
+  return m;
+}
+
+bool DetTransducer::Transduce(std::span<const Symbol> input,
+                              std::vector<Symbol>* out) const {
+  out->clear();
+  if (num_states_ == 0) return false;
+  uint32_t state = initial_;
+  const size_t width = alphabet_.size();
+  for (Symbol s : input) {
+    const uint32_t si = SymIndex(s);
+    if (si == kStuck) return false;
+    const Cell& cell = table_[state * width + si];
+    if (cell.next == kStuck) return false;
+    out->insert(out->end(), out_pool_.begin() + cell.out_begin,
+                out_pool_.begin() + cell.out_begin + cell.out_len);
+    state = cell.next;
+  }
+  const Final& fin = final_[state];
+  if (!fin.is_final) return false;
+  out->insert(out->end(), out_pool_.begin() + fin.out_begin,
+              out_pool_.begin() + fin.out_begin + fin.out_len);
+  return true;
+}
+
+Result<SeqId> DetTransducer::Apply(std::span<const SeqId> inputs,
+                                   SequencePool* pool) const {
+  if (inputs.size() != 1) {
+    return Status::InvalidArgument(
+        StrCat("machine '", name_, "' takes 1 input, got ", inputs.size()));
+  }
+  std::vector<Symbol> out;
+  if (!Transduce(pool->View(inputs[0]), &out)) {
+    return Status::FailedPrecondition(
+        StrCat("machine '", name_, "' undefined on input"));
+  }
+  return pool->Intern(SeqView(out.data(), out.size()));
+}
+
+void DetTransducer::CollectStats(TransducerStats* out) const {
+  out->machines_compiled += 1;
+  out->states_in += source_states_;
+  out->states_out += num_states_;
+  out->delay_bound = std::max(out->delay_bound, delay_bound_);
+}
+
+Result<NfaTransducer> NfaFromNondet(const NondetTransducer& machine,
+                                    std::span<const Symbol> alphabet) {
+  if (machine.NumInputs() != 1 || machine.Order() != 1) {
+    return Refuse(kCodeUnsupportedShape, machine.name(),
+                  StrCat("determinization needs a single-input order-1 "
+                         "machine; this one has ",
+                         machine.NumInputs(), " input(s), order ",
+                         machine.Order()),
+                  nullptr);
+  }
+  if (Status vs = ValidateAlphabet(machine.name(), alphabet); !vs.ok()) {
+    return vs;
+  }
+
+  NfaTransducer nfa;
+  nfa.name = machine.name();
+  nfa.num_states = machine.num_states();
+  nfa.initial = machine.initial_state();
+  nfa.alphabet = SortedUnique(alphabet);
+  // Definition-7 single-input machines advance their only head every
+  // step and halt exactly at the marker: every state is final with an
+  // empty final word, and no row can scan the marker (the builders
+  // reject marker/stay rows on the sole tape).
+  nfa.final_out.assign(nfa.num_states, std::vector<Symbol>{});
+  for (const NdTransition& row : machine.transitions()) {
+    const SymPattern& pat = row.scanned[0];
+    if (pat.kind == SymPattern::Kind::kMarker) continue;
+    for (Symbol a : nfa.alphabet) {
+      if (!pat.Matches(a)) continue;
+      NfaTransition t;
+      t.from = row.from;
+      t.sym = a;
+      t.to = row.to;
+      switch (row.output.kind) {
+        case NdOutput::Kind::kEpsilon:
+          break;
+        case NdOutput::Kind::kSymbol:
+          t.out.push_back(row.output.symbol);
+          break;
+        case NdOutput::Kind::kEcho:
+          t.out.push_back(a);
+          break;
+        case NdOutput::Kind::kCall:
+          return Refuse(kCodeUnsupportedShape, machine.name(),
+                        "subtransducer calls cannot be determinized",
+                        nullptr);
+      }
+      nfa.rows.push_back(std::move(t));
+    }
+  }
+  return nfa;
+}
+
+Result<NfaTransducer> NfaFromDeterministic(const Transducer& machine,
+                                           std::span<const Symbol> alphabet) {
+  if (machine.NumInputs() != 1 || machine.Order() != 1) {
+    return Refuse(kCodeUnsupportedShape, machine.name(),
+                  StrCat("compilation needs a single-input order-1 "
+                         "machine; this one has ",
+                         machine.NumInputs(), " input(s), order ",
+                         machine.Order()),
+                  nullptr);
+  }
+  if (Status vs = ValidateAlphabet(machine.name(), alphabet); !vs.ok()) {
+    return vs;
+  }
+
+  NfaTransducer nfa;
+  nfa.name = machine.name();
+  nfa.num_states = machine.num_states();
+  nfa.initial = machine.initial_state();
+  nfa.alphabet = SortedUnique(alphabet);
+  nfa.final_out.assign(nfa.num_states, std::vector<Symbol>{});
+  // EnumerateGroundTransitions resolves first-match-wins priority: at
+  // most one ground row per (state, symbol) survives, so the NFA below
+  // is in fact deterministic and the subset construction is exact.
+  for (const Transducer::GroundTransition& row :
+       machine.EnumerateGroundTransitions(alphabet)) {
+    if (row.scanned[0] == kEndMarker) continue;
+    NfaTransition t;
+    t.from = row.from;
+    t.sym = row.scanned[0];
+    t.to = row.to;
+    switch (row.output.kind) {
+      case Output::Kind::kEpsilon:
+        break;
+      case Output::Kind::kSymbol:
+        t.out.push_back(row.output.symbol);
+        break;
+      case Output::Kind::kEcho:
+        t.out.push_back(row.scanned[0]);
+        break;
+      case Output::Kind::kCall:
+        return Refuse(kCodeUnsupportedShape, machine.name(),
+                      "subtransducer calls cannot be compiled", nullptr);
+    }
+    nfa.rows.push_back(std::move(t));
+  }
+  return nfa;
+}
+
+Result<std::shared_ptr<const DetTransducer>> Determinize(
+    const NfaTransducer& machine, const DeterminizeOptions& options,
+    DeterminizeStats* stats, analysis::DiagnosticReport* report) {
+  DeterminizeStats local_stats;
+  DeterminizeStats* st = stats != nullptr ? stats : &local_stats;
+  *st = DeterminizeStats{};
+  if (Status vs = ValidateAlphabet(machine.name, machine.alphabet);
+      !vs.ok()) {
+    return vs;
+  }
+  if (machine.num_states == 0 || machine.initial >= machine.num_states ||
+      machine.final_out.size() != machine.num_states) {
+    return Status::InvalidArgument(
+        StrCat("machine '", machine.name, "': malformed NFA"));
+  }
+  for (const NfaTransition& row : machine.rows) {
+    if (row.from >= machine.num_states || row.to >= machine.num_states) {
+      return Status::InvalidArgument(
+          StrCat("machine '", machine.name, "': transition state out of "
+                 "range"));
+    }
+  }
+
+  const std::vector<Symbol> alphabet = SortedUnique(machine.alphabet);
+  const size_t width = alphabet.size();
+  Symbol max_sym = alphabet.empty() ? 0 : alphabet.back();
+  std::vector<uint32_t> sym_index(max_sym + 1, DetTransducer::kStuck);
+  for (size_t i = 0; i < width; ++i) {
+    sym_index[alphabet[i]] = static_cast<uint32_t>(i);
+  }
+
+  // Trim to co-accessible states (states from which a final state is
+  // reachable): a run stranded in a non-co-accessible state can never
+  // yield, so its residual must not constrain the LCP — classical Mohri
+  // assumes a trimmed machine and diverges otherwise.
+  std::vector<char> coacc(machine.num_states, 0);
+  {
+    std::vector<std::vector<StateId>> rev(machine.num_states);
+    for (const NfaTransition& row : machine.rows) {
+      rev[row.to].push_back(row.from);
+    }
+    std::deque<StateId> queue;
+    for (StateId q = 0; q < machine.num_states; ++q) {
+      if (machine.final_out[q].has_value()) {
+        coacc[q] = 1;
+        queue.push_back(q);
+      }
+    }
+    while (!queue.empty()) {
+      StateId q = queue.front();
+      queue.pop_front();
+      for (StateId p : rev[q]) {
+        if (!coacc[p]) {
+          coacc[p] = 1;
+          queue.push_back(p);
+        }
+      }
+    }
+  }
+  st->states_in = machine.num_states;
+
+  // Per (state, alphabet index): surviving transition rows.
+  std::vector<std::vector<uint32_t>> trans(machine.num_states * width);
+  for (uint32_t ri = 0; ri < machine.rows.size(); ++ri) {
+    const NfaTransition& row = machine.rows[ri];
+    if (!coacc[row.from] || !coacc[row.to]) continue;
+    trans[row.from * width + sym_index[row.sym]].push_back(ri);
+  }
+
+  DetTransducer::Spec spec;
+  spec.name = machine.name;
+  spec.alphabet = alphabet;
+  spec.source_states = machine.num_states;
+
+  std::map<std::vector<uint32_t>, uint32_t> subset_ids;
+  std::vector<Subset> subsets;
+  std::deque<uint32_t> worklist;
+
+  // Registers `subset` (sorted, deduped), enforcing the delay cutoff and
+  // the functionality check, and returns its deterministic state id.
+  auto intern_subset = [&](Subset subset,
+                           size_t depth) -> Result<uint32_t> {
+    std::sort(subset.begin(), subset.end());
+    subset.erase(std::unique(subset.begin(), subset.end()), subset.end());
+    for (const Residual& r : subset) {
+      st->max_delay = std::max(st->max_delay, r.out.size());
+      if (r.out.size() > options.max_delay) {
+        return Refuse(
+            kCodeNotSequential, machine.name,
+            StrCat("output delay exceeded ", options.max_delay,
+                   " after an input of length ", depth,
+                   ": the machine is not sequential (twinning violated)"),
+            report);
+      }
+    }
+    // Two final members disagreeing on their total remaining output
+    // witness two outputs for the input that reaches this subset.
+    const std::vector<Symbol>* final_word = nullptr;
+    for (const Residual& r : subset) {
+      if (!machine.final_out[r.state].has_value()) continue;
+      std::vector<Symbol> total = r.out;
+      total.insert(total.end(), machine.final_out[r.state]->begin(),
+                   machine.final_out[r.state]->end());
+      if (final_word == nullptr) {
+        spec.final_out.emplace_back(std::move(total));
+        final_word = &*spec.final_out.back();
+      } else if (*final_word != total) {
+        spec.final_out.pop_back();
+        return Refuse(
+            kCodeNotFunctional, machine.name,
+            StrCat("an input of length ", depth,
+                   " has two distinct outputs: the machine is not "
+                   "functional"),
+            report);
+      }
+    }
+    if (final_word == nullptr) spec.final_out.emplace_back(std::nullopt);
+
+    std::vector<uint32_t> key = SubsetKey(subset);
+    auto [it, inserted] =
+        subset_ids.emplace(std::move(key),
+                           static_cast<uint32_t>(subsets.size()));
+    if (!inserted) {
+      spec.final_out.pop_back();  // already recorded for this subset
+      return it->second;
+    }
+    if (subsets.size() >= options.max_states) {
+      return Refuse(kCodeStateBudget, machine.name,
+                    StrCat("subset construction exceeded ",
+                           options.max_states, " states"),
+                    report);
+    }
+    subsets.push_back(std::move(subset));
+    worklist.push_back(it->second);
+    return it->second;
+  };
+
+  if (!coacc[machine.initial]) {
+    // The machine yields on no input at all: the compiled form is a
+    // single stuck, non-final state (the everywhere-undefined function).
+    spec.num_states = 1;
+    spec.initial = 0;
+    spec.cells.assign(width, DetTransducer::Spec::Cell{});
+    spec.final_out.assign(1, std::nullopt);
+    st->states_out = 1;
+    return DetTransducer::FromSpec(std::move(spec));
+  }
+
+  SEQLOG_ASSIGN_OR_RETURN(uint32_t start,
+                          intern_subset({{machine.initial, {}}}, 0));
+  (void)start;
+  std::vector<size_t> depth_of(1, 0);
+
+  while (!worklist.empty()) {
+    const uint32_t si = worklist.front();
+    worklist.pop_front();
+    const size_t depth = depth_of[si];
+    // Cells for this subset land at rows [si*width, (si+1)*width).
+    if (spec.cells.size() < (static_cast<size_t>(si) + 1) * width) {
+      spec.cells.resize((static_cast<size_t>(si) + 1) * width);
+    }
+    for (size_t ai = 0; ai < width; ++ai) {
+      // Candidate successors: every surviving run extended by one step.
+      Subset cands;
+      for (const Residual& r : subsets[si]) {
+        for (uint32_t ri : trans[r.state * width + ai]) {
+          const NfaTransition& row = machine.rows[ri];
+          Residual next;
+          next.state = row.to;
+          next.out = r.out;
+          next.out.insert(next.out.end(), row.out.begin(), row.out.end());
+          cands.push_back(std::move(next));
+        }
+      }
+      if (cands.empty()) continue;  // stuck cell
+      // Emit the longest common prefix of all candidate outputs; the
+      // remainders become the residuals of the successor subset.
+      size_t lcp = cands[0].out.size();
+      for (size_t ci = 1; ci < cands.size() && lcp > 0; ++ci) {
+        lcp = std::min(lcp, LcpLen(cands[0].out, cands[ci].out));
+      }
+      std::vector<Symbol> emitted(cands[0].out.begin(),
+                                  cands[0].out.begin() + lcp);
+      for (Residual& r : cands) {
+        r.out.erase(r.out.begin(), r.out.begin() + lcp);
+      }
+      SEQLOG_ASSIGN_OR_RETURN(uint32_t ti,
+                              intern_subset(std::move(cands), depth + 1));
+      if (depth_of.size() <= ti) depth_of.resize(ti + 1, depth + 1);
+      DetTransducer::Spec::Cell& cell = spec.cells[si * width + ai];
+      cell.next = ti;
+      cell.out = std::move(emitted);
+      ++st->transitions_out;
+    }
+  }
+
+  spec.num_states = subsets.size();
+  spec.initial = 0;
+  spec.cells.resize(spec.num_states * width);
+  spec.final_out.resize(spec.num_states);
+  spec.delay_bound = st->max_delay;
+  st->states_out = spec.num_states;
+  return DetTransducer::FromSpec(std::move(spec));
+}
+
+Result<std::shared_ptr<const DetTransducer>> DeterminizeMachine(
+    const NondetTransducer& machine, std::span<const Symbol> alphabet,
+    const DeterminizeOptions& options, DeterminizeStats* stats,
+    analysis::DiagnosticReport* report) {
+  SEQLOG_ASSIGN_OR_RETURN(NfaTransducer nfa,
+                          NfaFromNondet(machine, alphabet));
+  return Determinize(nfa, options, stats, report);
+}
+
+Result<std::shared_ptr<const DetTransducer>> CompileSingle(
+    const Transducer& machine, std::span<const Symbol> alphabet,
+    const DeterminizeOptions& options, DeterminizeStats* stats,
+    analysis::DiagnosticReport* report) {
+  SEQLOG_ASSIGN_OR_RETURN(NfaTransducer nfa,
+                          NfaFromDeterministic(machine, alphabet));
+  return Determinize(nfa, options, stats, report);
+}
+
+}  // namespace transducer
+}  // namespace seqlog

@@ -1,0 +1,213 @@
+// seqlog: subset-construction transducer determinization (Mohri).
+//
+// The interpreted machines (transducer.h, nondet.h) pay a per-step
+// pattern scan — and NondetTransducer enumerates every run breadth-first
+// on every call. This module compiles single-input order-1 machines into
+// a DetTransducer: a dense (state x alphabet) table walked once per input
+// symbol, with per-transition output words and per-state final words.
+//
+// The algorithm is Mohri's subset construction with longest-common-prefix
+// output delay: a deterministic state is a set of (NFA state, residual
+// output) pairs; on each symbol the construction emits the LCP of all
+// candidate outputs and keeps the remainders as residuals. Residuals
+// growing past DeterminizeOptions::max_delay mean the machine violates
+// the twinning property (it is not sequential) and the construction
+// refuses — the bounded-delay cutoff stands in for the exact twinning
+// test. Two final states of one reachable subset disagreeing on their
+// total output witness a non-functional machine (two outputs for one
+// input), also a refusal.
+//
+// A Definition-7 single-input machine advances its head every step and
+// halts exactly at the marker, so every state is final with an empty
+// final word and the domain is prefix-closed. In that special case
+// functionality already implies sequentiality with zero stored delay —
+// the residual machinery earns its keep on the general NfaTransducer IR
+// below (non-final states, final words), which fusion and the decision-
+// procedure tests exercise directly.
+//
+// Refusals are Status::FailedPrecondition carrying a stable SL- code
+// (analysis/diagnostics.h), so callers can fall back to the interpreted
+// path and surface the reason:
+//   SL-E200  unsupported shape (multi-input or order > 1)
+//   SL-E201  not functional (one input, two witnessed outputs)
+//   SL-E202  not sequential (output delay exceeded the twinning cutoff)
+//   SL-E203  state budget exceeded (subset or product blow-up)
+#ifndef SEQLOG_TRANSDUCER_DETERMINIZE_H_
+#define SEQLOG_TRANSDUCER_DETERMINIZE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "base/result.h"
+#include "sequence/seq_function.h"
+#include "transducer/nondet.h"
+#include "transducer/transducer.h"
+
+namespace seqlog {
+namespace transducer {
+
+/// Stable diagnostic codes of the compilation decision procedures.
+inline constexpr char kCodeUnsupportedShape[] = "SL-E200";
+inline constexpr char kCodeNotFunctional[] = "SL-E201";
+inline constexpr char kCodeNotSequential[] = "SL-E202";
+inline constexpr char kCodeStateBudget[] = "SL-E203";
+inline constexpr char kCodeFusionUnsupported[] = "SL-E204";
+inline constexpr char kCodeFusionMismatch[] = "SL-E205";
+
+/// One ground transition of the determinizer's input IR.
+struct NfaTransition {
+  StateId from = 0;
+  Symbol sym = 0;  ///< scanned input symbol (never kEndMarker)
+  StateId to = 0;
+  std::vector<Symbol> out;  ///< output word appended by this step
+};
+
+/// The determinizer's input: a ground (pattern-free) nondeterministic
+/// transducer over an explicit finite alphabet, with per-state optional
+/// final output words — the classical transducer model, strictly more
+/// general than a Definition-7 machine (which is the all-states-final,
+/// empty-final-word special case produced by NfaFromNondet).
+struct NfaTransducer {
+  std::string name;
+  size_t num_states = 0;
+  StateId initial = 0;
+  std::vector<NfaTransition> rows;
+  /// Per state: the word appended when input ends here, or nullopt when
+  /// the state is not final (a run ending here yields no output).
+  std::vector<std::optional<std::vector<Symbol>>> final_out;
+  std::vector<Symbol> alphabet;  ///< input alphabet (no kEndMarker)
+};
+
+struct DeterminizeOptions {
+  size_t max_states = 1u << 14;  ///< subset-state budget (SL-E203)
+  size_t max_delay = 64;         ///< residual-length cutoff (SL-E202)
+};
+
+struct DeterminizeStats {
+  size_t states_in = 0;       ///< NFA states (after trimming)
+  size_t states_out = 0;      ///< deterministic subset states
+  size_t transitions_out = 0;
+  size_t max_delay = 0;       ///< longest residual kept in any subset
+};
+
+/// A compiled deterministic sequence transducer: dense transition table,
+/// O(1) per input symbol, no pattern scan, no allocation per step beyond
+/// the output buffer. Implements SequenceFunction (single input,
+/// order 1), so compiled machines back @T(...) terms directly.
+///
+/// Immutable after construction; safe to share across threads.
+class DetTransducer : public SequenceFunction {
+ public:
+  static constexpr uint32_t kStuck = UINT32_MAX;
+
+  /// Construction input (used by Determinize and FuseChain).
+  struct Spec {
+    struct Cell {
+      uint32_t next = kStuck;  ///< kStuck = undefined (partial machine)
+      std::vector<Symbol> out;
+    };
+    std::string name;
+    std::vector<Symbol> alphabet;  ///< sorted, unique, no kEndMarker
+    size_t num_states = 0;
+    uint32_t initial = 0;
+    std::vector<Cell> cells;  ///< dense num_states * alphabet.size()
+    std::vector<std::optional<std::vector<Symbol>>> final_out;
+    size_t delay_bound = 0;
+    size_t source_states = 0;  ///< states of the machine compiled from
+  };
+  static std::shared_ptr<const DetTransducer> FromSpec(Spec spec);
+
+  // SequenceFunction:
+  const std::string& name() const override { return name_; }
+  size_t NumInputs() const override { return 1; }
+  int Order() const override { return 1; }
+  Result<SeqId> Apply(std::span<const SeqId> inputs,
+                      SequencePool* pool) const override;
+  void CollectStats(TransducerStats* out) const override;
+
+  /// Pool-free core: transduces `input` into `*out` (cleared first).
+  /// False when the machine is undefined on `input` (stuck mid-way, an
+  /// out-of-alphabet symbol, or ending in a non-final state).
+  bool Transduce(std::span<const Symbol> input,
+                 std::vector<Symbol>* out) const;
+
+  size_t num_states() const { return num_states_; }
+  size_t source_states() const { return source_states_; }
+  size_t delay_bound() const { return delay_bound_; }
+  const std::vector<Symbol>& alphabet() const { return alphabet_; }
+
+ private:
+  struct Cell {
+    uint32_t next = kStuck;
+    uint32_t out_begin = 0;
+    uint32_t out_len = 0;
+  };
+  struct Final {
+    bool is_final = false;
+    uint32_t out_begin = 0;
+    uint32_t out_len = 0;
+  };
+
+  DetTransducer() = default;
+
+  /// Dense alphabet index of `s`, or kStuck when out of alphabet.
+  uint32_t SymIndex(Symbol s) const {
+    return s < sym_index_.size() ? sym_index_[s] : kStuck;
+  }
+
+  std::string name_;
+  std::vector<Symbol> alphabet_;
+  std::vector<uint32_t> sym_index_;  ///< symbol -> alphabet index
+  size_t num_states_ = 0;
+  uint32_t initial_ = 0;
+  std::vector<Cell> table_;  ///< num_states_ * alphabet_.size()
+  std::vector<Final> final_;
+  std::vector<Symbol> out_pool_;  ///< all output words, concatenated
+  size_t delay_bound_ = 0;
+  size_t source_states_ = 0;
+};
+
+/// Mohri subset-construction determinization of `machine`. On success the
+/// result computes exactly the machine's input/output function (which the
+/// construction proves single-valued along the way). Refusals are
+/// kFailedPrecondition with an SL-E20x code in the message; when `report`
+/// is non-null the refusal is also added there as a coded Diagnostic.
+Result<std::shared_ptr<const DetTransducer>> Determinize(
+    const NfaTransducer& machine, const DeterminizeOptions& options = {},
+    DeterminizeStats* stats = nullptr,
+    analysis::DiagnosticReport* report = nullptr);
+
+/// Grounds a single-input order-1 NondetTransducer over `alphabet` into
+/// the determinizer IR (every state final with an empty word — Definition
+/// 7 machines halt exactly at the marker). SL-E200 for other shapes.
+Result<NfaTransducer> NfaFromNondet(const NondetTransducer& machine,
+                                    std::span<const Symbol> alphabet);
+
+/// Grounds a single-input order-1 deterministic Transducer (first-match-
+/// wins already resolved by EnumerateGroundTransitions). SL-E200 for
+/// other shapes.
+Result<NfaTransducer> NfaFromDeterministic(const Transducer& machine,
+                                           std::span<const Symbol> alphabet);
+
+/// NfaFromNondet + Determinize.
+Result<std::shared_ptr<const DetTransducer>> DeterminizeMachine(
+    const NondetTransducer& machine, std::span<const Symbol> alphabet,
+    const DeterminizeOptions& options = {}, DeterminizeStats* stats = nullptr,
+    analysis::DiagnosticReport* report = nullptr);
+
+/// Compiles one deterministic pattern machine to its dense form
+/// (NfaFromDeterministic + Determinize; the subset construction is then
+/// exact and cheap — all subsets are singletons). Network::Compile uses
+/// this for nodes it cannot fuse.
+Result<std::shared_ptr<const DetTransducer>> CompileSingle(
+    const Transducer& machine, std::span<const Symbol> alphabet,
+    const DeterminizeOptions& options = {}, DeterminizeStats* stats = nullptr,
+    analysis::DiagnosticReport* report = nullptr);
+
+}  // namespace transducer
+}  // namespace seqlog
+
+#endif  // SEQLOG_TRANSDUCER_DETERMINIZE_H_

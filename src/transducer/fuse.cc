@@ -1,0 +1,292 @@
+#include "transducer/fuse.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "base/string_util.h"
+#include "sequence/sequence_pool.h"
+
+namespace seqlog {
+namespace transducer {
+namespace {
+
+Status Refuse(const char* code, const std::string& machine,
+              std::string message, analysis::DiagnosticReport* report) {
+  if (report != nullptr) {
+    report->Add(code, analysis::Severity::kError, ast::SourceLoc{}, machine,
+                message);
+  }
+  return Status::FailedPrecondition(
+      StrCat(code, ": chain '", machine, "': ", message));
+}
+
+// One machine grounded to a dense (state x alphabet) table; order-1
+// single-input rows emit at most one symbol per step.
+struct GroundTable {
+  struct Cell {
+    uint32_t next = DetTransducer::kStuck;
+    bool has_out = false;
+    Symbol out = 0;
+  };
+  std::vector<Symbol> alphabet;      // sorted unique
+  std::vector<uint32_t> sym_index;   // symbol -> alphabet index
+  std::vector<Cell> cells;           // num_states * alphabet.size()
+  size_t num_states = 0;
+  uint32_t initial = 0;
+
+  uint32_t SymIndex(Symbol s) const {
+    return s < sym_index.size() ? sym_index[s]
+                                : DetTransducer::kStuck;
+  }
+  const Cell* Find(uint32_t state, Symbol s) const {
+    const uint32_t si = SymIndex(s);
+    if (si == DetTransducer::kStuck) return nullptr;
+    const Cell& cell = cells[state * alphabet.size() + si];
+    return cell.next == DetTransducer::kStuck ? nullptr : &cell;
+  }
+};
+
+GroundTable Ground(const Transducer& machine,
+                   std::span<const Symbol> alphabet) {
+  GroundTable table;
+  table.alphabet.assign(alphabet.begin(), alphabet.end());
+  std::sort(table.alphabet.begin(), table.alphabet.end());
+  table.alphabet.erase(
+      std::unique(table.alphabet.begin(), table.alphabet.end()),
+      table.alphabet.end());
+  table.num_states = machine.num_states();
+  table.initial = machine.initial_state();
+  Symbol max_sym = table.alphabet.empty() ? 0 : table.alphabet.back();
+  table.sym_index.assign(table.alphabet.empty() ? 0 : max_sym + 1,
+                         DetTransducer::kStuck);
+  for (size_t i = 0; i < table.alphabet.size(); ++i) {
+    table.sym_index[table.alphabet[i]] = static_cast<uint32_t>(i);
+  }
+  table.cells.assign(table.num_states * table.alphabet.size(),
+                     GroundTable::Cell{});
+  for (const Transducer::GroundTransition& row :
+       machine.EnumerateGroundTransitions(table.alphabet)) {
+    if (row.scanned[0] == kEndMarker) continue;
+    GroundTable::Cell& cell =
+        table.cells[row.from * table.alphabet.size() +
+                    table.sym_index[row.scanned[0]]];
+    cell.next = row.to;
+    switch (row.output.kind) {
+      case Output::Kind::kEpsilon:
+        break;
+      case Output::Kind::kSymbol:
+        cell.has_out = true;
+        cell.out = row.output.symbol;
+        break;
+      case Output::Kind::kEcho:
+        cell.has_out = true;
+        cell.out = row.scanned[0];
+        break;
+      case Output::Kind::kCall:
+        break;  // excluded by the order-1 pre-check
+    }
+  }
+  return table;
+}
+
+// Replays every chain input up to options.verify_max_length (capped at
+// verify_max_inputs) through both the fused machine and the interpreted
+// node-by-node composition; any disagreement — on outputs or on where
+// the composition is undefined — fails the fusion.
+Status VerifyEquivalence(const Transducer& first, const Transducer& second,
+                         const DetTransducer& fused,
+                         std::span<const Symbol> alphabet,
+                         const FuseOptions& options, FuseStats* stats,
+                         const std::string& chain_name,
+                         analysis::DiagnosticReport* report) {
+  SequencePool pool;
+  std::vector<Symbol> input;
+  std::vector<Symbol> fused_out;
+  size_t checked = 0;
+  for (size_t len = 0; len <= options.verify_max_length; ++len) {
+    if (len > 0 && alphabet.empty()) break;
+    std::vector<size_t> odo(len, 0);
+    while (true) {
+      if (checked >= options.verify_max_inputs) {
+        stats->verified_inputs = checked;
+        return Status::Ok();
+      }
+      input.clear();
+      for (size_t i = 0; i < len; ++i) input.push_back(alphabet[odo[i]]);
+      ++checked;
+
+      // Interpreted reference: second(first(x)), undefined when either
+      // machine reports kFailedPrecondition.
+      bool ref_defined = true;
+      SeqId ref_out = kEmptySeq;
+      const SeqId x = pool.Intern(SeqView(input.data(), input.size()));
+      Result<SeqId> y1 = first.Apply(std::span<const SeqId>(&x, 1), &pool);
+      if (!y1.ok()) {
+        if (y1.status().code() != StatusCode::kFailedPrecondition) {
+          return y1.status();
+        }
+        ref_defined = false;
+      } else {
+        const SeqId mid = y1.value();
+        Result<SeqId> y2 =
+            second.Apply(std::span<const SeqId>(&mid, 1), &pool);
+        if (!y2.ok()) {
+          if (y2.status().code() != StatusCode::kFailedPrecondition) {
+            return y2.status();
+          }
+          ref_defined = false;
+        } else {
+          ref_out = y2.value();
+        }
+      }
+
+      const bool fused_defined =
+          fused.Transduce(std::span<const Symbol>(input), &fused_out);
+      bool agree = fused_defined == ref_defined;
+      if (agree && ref_defined) {
+        SeqView ref_view = pool.View(ref_out);
+        agree = ref_view.size() == fused_out.size() &&
+                std::equal(ref_view.begin(), ref_view.end(),
+                           fused_out.begin());
+      }
+      if (!agree) {
+        return Refuse(
+            kCodeFusionMismatch, chain_name,
+            StrCat("fused machine disagrees with the node-by-node run on "
+                   "an input of length ", len,
+                   " — refusing the fusion"),
+            report);
+      }
+
+      // Next input of this length (odometer).
+      size_t pos = len;
+      while (pos > 0) {
+        if (++odo[pos - 1] < alphabet.size()) break;
+        odo[pos - 1] = 0;
+        --pos;
+      }
+      if (pos == 0) break;  // wrapped: all inputs of `len` done
+    }
+  }
+  stats->verified_inputs = checked;
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const DetTransducer>> FuseChain(
+    const Transducer& first, const Transducer& second,
+    std::span<const Symbol> alphabet, const FuseOptions& options,
+    FuseStats* stats, analysis::DiagnosticReport* report) {
+  FuseStats local_stats;
+  FuseStats* st = stats != nullptr ? stats : &local_stats;
+  *st = FuseStats{};
+  const std::string chain_name =
+      StrCat("fuse(", first.name(), ",", second.name(), ")");
+  if (first.NumInputs() != 1 || second.NumInputs() != 1) {
+    return Refuse(kCodeFusionUnsupported, chain_name,
+                  "only single-input machines fuse (a multi-input node "
+                  "reads tapes the product cannot track)",
+                  report);
+  }
+  if (first.Order() != 1 || second.Order() != 1) {
+    return Refuse(kCodeFusionUnsupported, chain_name,
+                  "only order-1 machines fuse (a subtransducer call "
+                  "needs the unmaterialised intermediate tape)",
+                  report);
+  }
+
+  const GroundTable a = Ground(first, alphabet);
+  // The intermediate alphabet is whatever `first` can emit; `second` is
+  // grounded over exactly that, so chains crossing alphabets (DNA ->
+  // RNA -> protein) fuse without the chain input alphabet ever naming
+  // the intermediate symbols.
+  std::vector<Symbol> mid_alphabet;
+  for (const GroundTable::Cell& cell : a.cells) {
+    if (cell.next != DetTransducer::kStuck && cell.has_out) {
+      mid_alphabet.push_back(cell.out);
+    }
+  }
+  const GroundTable b = Ground(second, mid_alphabet);
+
+  // Lockstep product, breadth-first over reachable (A state, B state)
+  // pairs: one product step consumes one chain symbol in A and pushes
+  // A's emission (at most one symbol) through B.
+  DetTransducer::Spec spec;
+  spec.name = chain_name;
+  spec.alphabet = a.alphabet;
+  spec.source_states = first.num_states() + second.num_states();
+  const size_t width = a.alphabet.size();
+
+  std::map<uint64_t, uint32_t> ids;
+  std::vector<std::pair<uint32_t, uint32_t>> states;
+  std::deque<uint32_t> worklist;
+  auto intern = [&](uint32_t sa, uint32_t sb) -> Result<uint32_t> {
+    const uint64_t key = (static_cast<uint64_t>(sa) << 32) | sb;
+    auto [it, inserted] =
+        ids.emplace(key, static_cast<uint32_t>(states.size()));
+    if (inserted) {
+      if (states.size() >= options.max_states) {
+        return Refuse(kCodeStateBudget, chain_name,
+                      StrCat("product exceeded ", options.max_states,
+                             " states"),
+                      report);
+      }
+      states.emplace_back(sa, sb);
+      worklist.push_back(it->second);
+    }
+    return it->second;
+  };
+  Result<uint32_t> start = intern(a.initial, b.initial);
+  if (!start.ok()) return start.status();
+
+  while (!worklist.empty()) {
+    const uint32_t si = worklist.front();
+    worklist.pop_front();
+    if (spec.cells.size() < (static_cast<size_t>(si) + 1) * width) {
+      spec.cells.resize((static_cast<size_t>(si) + 1) * width);
+    }
+    const auto [sa, sb] = states[si];
+    for (size_t ai = 0; ai < width; ++ai) {
+      const GroundTable::Cell& ca = a.cells[sa * width + ai];
+      if (ca.next == DetTransducer::kStuck) continue;  // A stuck
+      uint32_t nb = sb;
+      std::vector<Symbol> emitted;
+      if (ca.has_out) {
+        const GroundTable::Cell* cb = b.Find(sb, ca.out);
+        if (cb == nullptr) continue;  // B stuck on A's emission
+        nb = cb->next;
+        if (cb->has_out) emitted.push_back(cb->out);
+      }
+      SEQLOG_ASSIGN_OR_RETURN(uint32_t ti, intern(ca.next, nb));
+      DetTransducer::Spec::Cell& cell = spec.cells[si * width + ai];
+      cell.next = ti;
+      cell.out = std::move(emitted);
+    }
+  }
+
+  // Both machines halt exactly when the chain input ends (Definition-7
+  // single-input machines are real-time), so every reachable product
+  // state is final with an empty word and the fused delay is zero.
+  spec.num_states = states.size();
+  spec.initial = 0;
+  spec.cells.resize(spec.num_states * width);
+  spec.final_out.assign(spec.num_states, std::vector<Symbol>{});
+  spec.delay_bound = 0;
+  st->states_out = spec.num_states;
+
+  std::shared_ptr<const DetTransducer> fused =
+      DetTransducer::FromSpec(std::move(spec));
+  if (Status vs = VerifyEquivalence(first, second, *fused, a.alphabet,
+                                    options, st, chain_name, report);
+      !vs.ok()) {
+    return vs;
+  }
+  return fused;
+}
+
+}  // namespace transducer
+}  // namespace seqlog

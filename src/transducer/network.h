@@ -11,14 +11,29 @@
 //
 // Networks implement SequenceFunction, so a whole network can back a
 // @name(...) term in Transducer Datalog.
+//
+// Networks are no longer always interpreted: Compile() lowers eligible
+// nodes onto dense deterministic machines (determinize.h) and fuses
+// order-<=2 two-node chains into a single product machine (fuse.h), so
+// a @T(...) hot path costs one table walk per input symbol instead of a
+// pattern scan per node per step. Nodes the decision procedures refuse
+// (multi-input wiring, subtransducer calls, failed equivalence checks)
+// keep the node-by-node interpreted run — compilation never changes
+// semantics, only speed.
 #ifndef SEQLOG_TRANSDUCER_NETWORK_H_
 #define SEQLOG_TRANSDUCER_NETWORK_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostics.h"
 #include "base/result.h"
+#include "transducer/determinize.h"
+#include "transducer/fuse.h"
 #include "transducer/transducer.h"
 
 namespace seqlog {
@@ -36,6 +51,13 @@ struct InputSource {
   static InputSource FromNode(size_t node) {
     return InputSource{Kind::kNode, node};
   }
+};
+
+/// Knobs of Network::Compile.
+struct NetworkCompileOptions {
+  bool enable_fusion = true;  ///< false: per-node compilation only
+  DeterminizeOptions determinize;
+  FuseOptions fuse;
 };
 
 /// A single-output acyclic network of generalized transducers.
@@ -71,9 +93,48 @@ class TransducerNetwork : public SequenceFunction {
 
   size_t num_nodes() const { return nodes_.size(); }
 
+  /// Compiles the network for inputs over `alphabet`: fuses two-node
+  /// chains (a node whose output feeds exactly one single-input
+  /// successor) into one product machine via FuseChain, and lowers the
+  /// remaining single-input order-1 nodes onto dense DetTransducers via
+  /// CompileSingle. Nodes the decision procedures refuse — and every
+  /// node downstream of a machine whose output alphabet cannot be
+  /// bounded (subtransducer calls) — keep the interpreted run;
+  /// per-refusal diagnostics land in `report` when non-null, and the
+  /// fusion_hits/fusion_fallbacks split is in compile_stats().
+  ///
+  /// Call once, before the network is shared across threads (typically
+  /// right before Engine::RegisterTransducer); Run stays const and
+  /// thread-safe afterwards. Compiling again replaces the plan.
+  Status Compile(std::span<const Symbol> alphabet,
+                 const NetworkCompileOptions& options = {},
+                 analysis::DiagnosticReport* report = nullptr);
+
+  bool compiled() const { return !plan_.empty(); }
+
+  /// Compile-time decisions and machine sizes (zero before Compile).
+  /// The *_node_runs counters are reported by CollectStats, not here.
+  const TransducerStats& compile_stats() const { return compile_stats_; }
+
+  void CollectStats(TransducerStats* out) const override;
+
  private:
   struct Node {
     std::shared_ptr<const Transducer> machine;
+    std::vector<InputSource> inputs;
+  };
+
+  /// One node of the compiled execution plan.
+  struct PlanNode {
+    enum class Mode : uint8_t {
+      kInterpreted,  ///< run the original pattern machine
+      kCompiled,     ///< run `det` (single node or a fused chain)
+      kFusedAway,    ///< consumed by the successor's fused machine
+    };
+    Mode mode = Mode::kInterpreted;
+    std::shared_ptr<const DetTransducer> det;
+    /// Effective sources: a fused node reads the fused-away
+    /// predecessor's sources directly.
     std::vector<InputSource> inputs;
   };
 
@@ -82,6 +143,13 @@ class TransducerNetwork : public SequenceFunction {
   std::vector<Node> nodes_;
   size_t output_node_ = 0;
   bool output_set_ = false;
+  /// Non-empty after Compile; parallel to nodes_.
+  std::vector<PlanNode> plan_;
+  TransducerStats compile_stats_;
+  /// Node executions on each path, cumulative over the network's
+  /// lifetime (relaxed: counters only, no ordering required).
+  mutable std::atomic<uint64_t> compiled_node_runs_{0};
+  mutable std::atomic<uint64_t> interpreted_node_runs_{0};
 };
 
 }  // namespace transducer

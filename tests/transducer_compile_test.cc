@@ -1,0 +1,483 @@
+// Decision-procedure tests for the transducer compilation layer
+// (src/transducer/determinize.h, fuse.h, Network::Compile):
+//
+//  - machines the procedures refuse carry the stable SL-E20x codes
+//    (SL-E200 shape, SL-E201 not functional, SL-E202 not sequential,
+//    SL-E203 state budget, SL-E204/205 fusion refusals), both in the
+//    Status message and as coded Diagnostics when a report is passed;
+//  - functional-but-not-sequential machines (expressible in the general
+//    NfaTransducer IR: distinct final words keep diverging branches
+//    alive) hit the bounded-delay / twinning cutoff;
+//  - the paper's library machines round-trip: genome transcription
+//    determinizes and fuses with translation unchanged in semantics,
+//    and kReverse (order 2) is refused but the containing network still
+//    answers identically through the interpreted fallback.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sequence/sequence_pool.h"
+#include "sequence/symbol_table.h"
+#include "transducer/builder.h"
+#include "transducer/determinize.h"
+#include "transducer/fuse.h"
+#include "transducer/genome.h"
+#include "transducer/library.h"
+#include "transducer/network.h"
+#include "transducer/nondet.h"
+
+namespace seqlog {
+namespace transducer {
+namespace {
+
+bool HasCode(const Status& status, const char* code) {
+  return status.code() == StatusCode::kFailedPrecondition &&
+         status.message().find(code) != std::string::npos;
+}
+
+bool ReportHasCode(const analysis::DiagnosticReport& report,
+                   const char* code) {
+  for (const analysis::Diagnostic& d : report.diagnostics()) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+class TransducerCompileTest : public ::testing::Test {
+ protected:
+  Symbol Sym(std::string_view name) { return symbols_.Intern(name); }
+  SeqId Seq(std::string_view text) {
+    return pool_.FromChars(text, &symbols_);
+  }
+  std::string Render(SeqId id) { return pool_.Render(id, symbols_); }
+  std::vector<Symbol> Alpha(std::string_view chars) {
+    std::vector<Symbol> out;
+    for (char c : chars) out.push_back(Sym(std::string_view(&c, 1)));
+    return out;
+  }
+
+  SymbolTable symbols_;
+  SequencePool pool_;
+};
+
+// ---------------------------------------------------------------------
+// Determinization of Definition-7 machines.
+// ---------------------------------------------------------------------
+
+TEST_F(TransducerCompileTest, DeterminizesStateNondeterminism) {
+  // Two echoing branches from the start state that only differ in their
+  // future partiality: q1 accepts a*, q2 accepts ab*. Functional (all
+  // surviving runs echo), but genuinely nondeterministic in states.
+  const Symbol a = Sym("a");
+  const Symbol b = Sym("b");
+  NondetBuilder builder("branchy", 1);
+  StateId q0 = builder.State("q0");
+  StateId q1 = builder.State("q1");
+  StateId q2 = builder.State("q2");
+  builder.SetInitial(q0);
+  builder.Add(q0, {SymPattern::Exact(a)}, q1, {HeadMove::kAdvance},
+              NdOutput::Echo(0));
+  builder.Add(q0, {SymPattern::Exact(a)}, q2, {HeadMove::kAdvance},
+              NdOutput::Echo(0));
+  builder.Add(q1, {SymPattern::Exact(a)}, q1, {HeadMove::kAdvance},
+              NdOutput::Echo(0));
+  builder.Add(q2, {SymPattern::Exact(b)}, q2, {HeadMove::kAdvance},
+              NdOutput::Echo(0));
+  auto machine = builder.Build();
+  ASSERT_TRUE(machine.ok());
+
+  DeterminizeStats stats;
+  auto det = DeterminizeMachine(*machine.value(), Alpha("ab"), {}, &stats);
+  ASSERT_TRUE(det.ok()) << det.status().message();
+  EXPECT_EQ(stats.states_in, 3u);
+  EXPECT_GE(stats.states_out, 2u);
+
+  // Semantics agree with the breadth-first reference on a few inputs.
+  for (std::string_view input : {"", "a", "aa", "ab", "abb", "aab", "b"}) {
+    SeqId x = Seq(input);
+    auto ref = machine.value()->RunAll(std::span<const SeqId>(&x, 1),
+                                       &pool_);
+    ASSERT_TRUE(ref.ok());
+    auto got = det.value()->Apply(std::span<const SeqId>(&x, 1), &pool_);
+    if (ref.value().empty()) {
+      EXPECT_FALSE(got.ok()) << "input " << input;
+    } else {
+      ASSERT_EQ(ref.value().size(), 1u) << "input " << input;
+      ASSERT_TRUE(got.ok()) << "input " << input;
+      EXPECT_EQ(got.value(), ref.value()[0]) << "input " << input;
+    }
+  }
+}
+
+TEST_F(TransducerCompileTest, RefusesNonFunctionalWithStableCode) {
+  // One input symbol, two outputs: classic guess machine.
+  const Symbol a = Sym("a");
+  const Symbol x = Sym("x");
+  const Symbol y = Sym("y");
+  NondetBuilder builder("guess", 1);
+  StateId q0 = builder.State("q0");
+  builder.SetInitial(q0);
+  builder.Add(q0, {SymPattern::Exact(a)}, q0, {HeadMove::kAdvance},
+              NdOutput::Emit(x));
+  builder.Add(q0, {SymPattern::Exact(a)}, q0, {HeadMove::kAdvance},
+              NdOutput::Emit(y));
+  auto machine = builder.Build();
+  ASSERT_TRUE(machine.ok());
+
+  analysis::DiagnosticReport report;
+  auto det =
+      DeterminizeMachine(*machine.value(), Alpha("a"), {}, nullptr, &report);
+  ASSERT_FALSE(det.ok());
+  EXPECT_TRUE(HasCode(det.status(), kCodeNotFunctional))
+      << det.status().message();
+  EXPECT_TRUE(ReportHasCode(report, kCodeNotFunctional));
+}
+
+TEST_F(TransducerCompileTest, RefusesCopyOrSkipScatterAsNonFunctional) {
+  // Every symbol is either copied or skipped: 2^n outputs per input.
+  const Symbol a = Sym("a");
+  NondetBuilder builder("scatter", 1);
+  StateId q0 = builder.State("q0");
+  builder.SetInitial(q0);
+  builder.Add(q0, {SymPattern::Any()}, q0, {HeadMove::kAdvance},
+              NdOutput::Echo(0));
+  builder.Add(q0, {SymPattern::Any()}, q0, {HeadMove::kAdvance},
+              NdOutput::Epsilon());
+  auto machine = builder.Build();
+  ASSERT_TRUE(machine.ok());
+  (void)a;
+
+  auto det = DeterminizeMachine(*machine.value(), Alpha("a"));
+  ASSERT_FALSE(det.ok());
+  EXPECT_TRUE(HasCode(det.status(), kCodeNotFunctional))
+      << det.status().message();
+}
+
+TEST_F(TransducerCompileTest, RefusesUnsupportedShapes) {
+  // Multi-input and order-2 machines are out of scope for the subset
+  // construction (SL-E200), as are fusions over them (SL-E204).
+  auto append = MakeAppend("app", 2);
+  ASSERT_TRUE(append.ok());
+  auto lifted = LiftDeterministic(*append.value(), Alpha("ab"));
+  ASSERT_TRUE(lifted.ok());
+  auto det = DeterminizeMachine(*lifted.value(), Alpha("ab"));
+  ASSERT_FALSE(det.ok());
+  EXPECT_TRUE(HasCode(det.status(), kCodeUnsupportedShape))
+      << det.status().message();
+
+  auto reverse = MakeReverse("rev", Alpha("ab"));
+  ASSERT_TRUE(reverse.ok());
+  auto single = CompileSingle(*reverse.value(), Alpha("ab"));
+  ASSERT_FALSE(single.ok());
+  EXPECT_TRUE(HasCode(single.status(), kCodeUnsupportedShape))
+      << single.status().message();
+}
+
+TEST_F(TransducerCompileTest, StateBudgetRefusalHasStableCode) {
+  // "a on the 3rd-from-last position": the subsets track every suffix
+  // window, blowing up past a tiny budget. All-echo outputs keep the
+  // machine functional, so the refusal is the budget, nothing else.
+  const Symbol a = Sym("a");
+  const Symbol b = Sym("b");
+  NondetBuilder builder("suffix3", 1);
+  StateId q0 = builder.State("q0");
+  StateId q1 = builder.State("q1");
+  StateId q2 = builder.State("q2");
+  StateId q3 = builder.State("q3");
+  builder.SetInitial(q0);
+  for (Symbol s : {a, b}) {
+    builder.Add(q0, {SymPattern::Exact(s)}, q0, {HeadMove::kAdvance},
+                NdOutput::Echo(0));
+  }
+  builder.Add(q0, {SymPattern::Exact(a)}, q1, {HeadMove::kAdvance},
+              NdOutput::Echo(0));
+  for (Symbol s : {a, b}) {
+    builder.Add(q1, {SymPattern::Exact(s)}, q2, {HeadMove::kAdvance},
+                NdOutput::Echo(0));
+    builder.Add(q2, {SymPattern::Exact(s)}, q3, {HeadMove::kAdvance},
+                NdOutput::Echo(0));
+  }
+  auto machine = builder.Build();
+  ASSERT_TRUE(machine.ok());
+
+  DeterminizeOptions tight;
+  tight.max_states = 4;
+  analysis::DiagnosticReport report;
+  auto det = DeterminizeMachine(*machine.value(), Alpha("ab"), tight,
+                                nullptr, &report);
+  ASSERT_FALSE(det.ok());
+  EXPECT_TRUE(HasCode(det.status(), kCodeStateBudget))
+      << det.status().message();
+  EXPECT_TRUE(ReportHasCode(report, kCodeStateBudget));
+
+  // With a real budget the same machine determinizes fine.
+  auto ok = DeterminizeMachine(*machine.value(), Alpha("ab"));
+  EXPECT_TRUE(ok.ok()) << ok.status().message();
+}
+
+// ---------------------------------------------------------------------
+// The general IR: functional-but-not-sequential machines.
+// ---------------------------------------------------------------------
+
+// T(a^n b) = x^(n+1), T(a^n c) = y^(n+1): functional, but the two
+// branches' outputs diverge unboundedly before the last symbol decides —
+// the textbook twinning-property violation. (Definition-7 machines
+// cannot express this: their prefix-closed, all-states-final semantics
+// makes every functional machine sequential, which is why this lives in
+// the NfaTransducer IR.)
+NfaTransducer DivergingBranches(Symbol a, Symbol b, Symbol c, Symbol x,
+                                Symbol y) {
+  NfaTransducer nfa;
+  nfa.name = "diverge";
+  nfa.num_states = 4;  // 0 = start, 1 = x-branch, 2 = y-branch, 3 = final
+  nfa.initial = 0;
+  nfa.alphabet = {a, b, c};
+  nfa.final_out.assign(4, std::nullopt);
+  nfa.final_out[3] = std::vector<Symbol>{};
+  nfa.rows = {
+      {0, a, 1, {x}}, {0, a, 2, {y}},  // guess the branch
+      {1, a, 1, {x}}, {2, a, 2, {y}},  // keep diverging
+      {1, b, 3, {x}}, {2, c, 3, {y}},  // resolved only at the end
+  };
+  return nfa;
+}
+
+TEST_F(TransducerCompileTest, FunctionalButNotSequentialHitsDelayCutoff) {
+  NfaTransducer nfa = DivergingBranches(Sym("a"), Sym("b"), Sym("c"),
+                                        Sym("x"), Sym("y"));
+  DeterminizeOptions options;
+  options.max_delay = 8;
+  analysis::DiagnosticReport report;
+  auto det = Determinize(nfa, options, nullptr, &report);
+  ASSERT_FALSE(det.ok());
+  EXPECT_TRUE(HasCode(det.status(), kCodeNotSequential))
+      << det.status().message();
+  EXPECT_TRUE(ReportHasCode(report, kCodeNotSequential));
+}
+
+TEST_F(TransducerCompileTest, DelayWithinBoundDeterminizesWithFinalWords) {
+  // Same shape, but the diverging run is cut off after one step by
+  // making state 2 a dead end: trimming removes it and the remaining
+  // machine is sequential with a one-symbol delay resolved by final
+  // words. Checks the Mohri residual machinery end to end.
+  const Symbol a = Sym("a");
+  const Symbol b = Sym("b");
+  const Symbol x = Sym("x");
+  const Symbol y = Sym("y");
+  NfaTransducer nfa;
+  nfa.name = "delayed";
+  nfa.num_states = 4;
+  nfa.initial = 0;
+  nfa.alphabet = {a, b};
+  nfa.final_out.assign(4, std::nullopt);
+  nfa.final_out[1] = std::vector<Symbol>{};
+  nfa.final_out[3] = std::vector<Symbol>{};
+  // On a: branch to 1 emitting x (final), or to 2 emitting y (not
+  // final); 2 only reaches the final state 3 through a b (emitting
+  // nothing). T(a) = x, T(ab) = y: the x-vs-y choice is delayed one
+  // step and resolved by the determinized state's final word.
+  nfa.rows = {
+      {0, a, 1, {x}},
+      {0, a, 2, {y}},
+      {2, b, 3, {}},
+  };
+  DeterminizeStats stats;
+  auto det = Determinize(nfa, {}, &stats);
+  ASSERT_TRUE(det.ok()) << det.status().message();
+  EXPECT_GE(stats.max_delay, 1u);
+  EXPECT_EQ(det.value()->delay_bound(), stats.max_delay);
+
+  std::vector<Symbol> out;
+  ASSERT_TRUE(det.value()->Transduce(std::vector<Symbol>{a}, &out));
+  EXPECT_EQ(out, std::vector<Symbol>{x});
+  ASSERT_TRUE(det.value()->Transduce(std::vector<Symbol>{a, b}, &out));
+  EXPECT_EQ(out, std::vector<Symbol>{y});
+  EXPECT_FALSE(det.value()->Transduce(std::vector<Symbol>{b}, &out));
+  EXPECT_FALSE(det.value()->Transduce(std::vector<Symbol>{a, a}, &out));
+}
+
+// ---------------------------------------------------------------------
+// Library machines round-trip through determinize/fuse.
+// ---------------------------------------------------------------------
+
+TEST_F(TransducerCompileTest, TranscriptionCompilesUnchanged) {
+  auto transcribe = MakeTranscribe("transcribe", &symbols_);
+  ASSERT_TRUE(transcribe.ok());
+  auto det = CompileSingle(*transcribe.value(), Alpha("acgt"));
+  ASSERT_TRUE(det.ok()) << det.status().message();
+
+  for (std::string_view dna : {"", "a", "tacgtt", "acgtacgtacgt", "gggg"}) {
+    SeqId x = Seq(dna);
+    auto want = transcribe.value()->Apply(std::span<const SeqId>(&x, 1),
+                                          &pool_);
+    auto got = det.value()->Apply(std::span<const SeqId>(&x, 1), &pool_);
+    ASSERT_TRUE(want.ok() && got.ok()) << "dna " << dna;
+    EXPECT_EQ(want.value(), got.value()) << "dna " << dna;
+  }
+  // Partiality is preserved: transcription is stuck on non-DNA input.
+  SeqId bad = Seq("acgx");
+  EXPECT_EQ(det.value()
+                ->Apply(std::span<const SeqId>(&bad, 1), &pool_)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TransducerCompileTest, GenomePipelineFusesUnchanged) {
+  auto transcribe = MakeTranscribe("transcribe", &symbols_);
+  auto translate = MakeTranslate("translate", &symbols_);
+  ASSERT_TRUE(transcribe.ok() && translate.ok());
+
+  FuseStats stats;
+  auto fused = FuseChain(*transcribe.value(), *translate.value(),
+                         Alpha("acgt"), {}, &stats);
+  ASSERT_TRUE(fused.ok()) << fused.status().message();
+  EXPECT_GT(stats.states_out, 0u);
+  EXPECT_GT(stats.verified_inputs, 0u);
+
+  // Fused protein == translate(transcribe(dna)) well beyond the lengths
+  // the in-fusion equivalence check replayed.
+  for (std::string_view dna :
+       {"", "ta", "tac", "tacgtt", "tacgttacgtacgttacgtacgtacgtacg"}) {
+    SeqId x = Seq(dna);
+    auto mid = transcribe.value()->Apply(std::span<const SeqId>(&x, 1),
+                                         &pool_);
+    ASSERT_TRUE(mid.ok());
+    const SeqId mid_id = mid.value();
+    auto want = translate.value()->Apply(
+        std::span<const SeqId>(&mid_id, 1), &pool_);
+    auto got = fused.value()->Apply(std::span<const SeqId>(&x, 1), &pool_);
+    ASSERT_TRUE(want.ok() && got.ok()) << "dna " << dna;
+    EXPECT_EQ(want.value(), got.value()) << "dna " << dna;
+  }
+  // The paper's example: tacgtt -> (RNA augcaa) -> MQ.
+  SeqId x = Seq("tacgtt");
+  auto protein = fused.value()->Apply(std::span<const SeqId>(&x, 1), &pool_);
+  ASSERT_TRUE(protein.ok());
+  EXPECT_EQ(Render(protein.value()), "MQ");
+}
+
+TEST_F(TransducerCompileTest, FusionRefusesOrder2WithStableCode) {
+  auto transcribe = MakeTranscribe("transcribe", &symbols_);
+  auto reverse = MakeDnaReverse("rev", &symbols_);
+  ASSERT_TRUE(transcribe.ok() && reverse.ok());
+  analysis::DiagnosticReport report;
+  auto fused = FuseChain(*transcribe.value(), *reverse.value(),
+                         Alpha("acgt"), {}, nullptr, &report);
+  ASSERT_FALSE(fused.ok());
+  EXPECT_TRUE(HasCode(fused.status(), kCodeFusionUnsupported))
+      << fused.status().message();
+  EXPECT_TRUE(ReportHasCode(report, kCodeFusionUnsupported));
+}
+
+// ---------------------------------------------------------------------
+// Network::Compile: fusion, per-node compilation, fallback.
+// ---------------------------------------------------------------------
+
+TEST_F(TransducerCompileTest, NetworkCompileFusesGenomeChain) {
+  auto transcribe = MakeTranscribe("transcribe", &symbols_);
+  auto translate = MakeTranslate("translate", &symbols_);
+  ASSERT_TRUE(transcribe.ok() && translate.ok());
+  TransducerNetwork net("rnapipe", 1);
+  auto n0 = net.AddNode(transcribe.value(), {InputSource::FromNetwork(0)});
+  ASSERT_TRUE(n0.ok());
+  auto n1 = net.AddNode(translate.value(), {InputSource::FromNode(*n0)});
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(net.SetOutput(*n1).ok());
+
+  SeqId x = Seq("tacgttacg");
+  auto before = net.Apply(std::span<const SeqId>(&x, 1), &pool_);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(net.Compile(Alpha("acgt")).ok());
+  EXPECT_TRUE(net.compiled());
+  EXPECT_EQ(net.compile_stats().fusion_hits, 1u);
+  EXPECT_EQ(net.compile_stats().fusion_fallbacks, 0u);
+  EXPECT_EQ(net.compile_stats().compiled_nodes, 1u);
+  EXPECT_EQ(net.compile_stats().interpreted_nodes, 0u);
+  EXPECT_EQ(net.compile_stats().machines_compiled, 1u);
+
+  auto after = net.Apply(std::span<const SeqId>(&x, 1), &pool_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before.value(), after.value());
+
+  TransducerStats run_stats;
+  net.CollectStats(&run_stats);
+  EXPECT_GE(run_stats.compiled_node_runs, 1u);
+}
+
+TEST_F(TransducerCompileTest, NetworkCompileFallsBackOnOrder2Nodes) {
+  // transcribe -> reverse: the chain cannot fuse (reverse is order 2)
+  // and reverse cannot compile alone, so the network falls back to the
+  // interpreted run — with identical semantics before and after.
+  auto transcribe = MakeTranscribe("transcribe", &symbols_);
+  auto reverse = MakeDnaReverse("rev", &symbols_);
+  ASSERT_TRUE(transcribe.ok() && reverse.ok());
+  // reverse is built over DNA; transcription emits RNA, so reverse here
+  // gets the RNA alphabet instead.
+  auto rna_reverse = MakeReverse("rna_rev", Alpha("acgu"));
+  ASSERT_TRUE(rna_reverse.ok());
+
+  TransducerNetwork net("revpipe", 1);
+  auto n0 = net.AddNode(transcribe.value(), {InputSource::FromNetwork(0)});
+  ASSERT_TRUE(n0.ok());
+  auto n1 = net.AddNode(rna_reverse.value(), {InputSource::FromNode(*n0)});
+  ASSERT_TRUE(n1.ok());
+  ASSERT_TRUE(net.SetOutput(*n1).ok());
+
+  SeqId x = Seq("tacgtt");
+  auto before = net.Apply(std::span<const SeqId>(&x, 1), &pool_);
+  ASSERT_TRUE(before.ok());
+
+  analysis::DiagnosticReport report;
+  ASSERT_TRUE(net.Compile(Alpha("acgt"), {}, &report).ok());
+  EXPECT_EQ(net.compile_stats().fusion_hits, 0u);
+  EXPECT_EQ(net.compile_stats().fusion_fallbacks, 1u);
+  // transcribe still compiles alone; reverse stays interpreted.
+  EXPECT_EQ(net.compile_stats().compiled_nodes, 1u);
+  EXPECT_EQ(net.compile_stats().interpreted_nodes, 1u);
+  EXPECT_TRUE(ReportHasCode(report, kCodeFusionUnsupported));
+
+  auto after = net.Apply(std::span<const SeqId>(&x, 1), &pool_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before.value(), after.value());
+}
+
+TEST_F(TransducerCompileTest, NetworkCompileKeepsFanOutInterpretedChainsApart) {
+  // The intermediate output feeds two consumers: fusing would lose the
+  // materialised sequence, so the planner must not fuse — but both
+  // consumers still compile individually.
+  auto transcribe = MakeTranscribe("transcribe", &symbols_);
+  auto id = MakeIdentity("copy");
+  auto append = MakeAppend("app", 2);
+  ASSERT_TRUE(transcribe.ok() && id.ok() && append.ok());
+
+  TransducerNetwork net("fanout", 1);
+  auto n0 = net.AddNode(transcribe.value(), {InputSource::FromNetwork(0)});
+  ASSERT_TRUE(n0.ok());
+  auto n1 = net.AddNode(id.value(), {InputSource::FromNode(*n0)});
+  ASSERT_TRUE(n1.ok());
+  auto n2 = net.AddNode(append.value(), {InputSource::FromNode(*n0),
+                                         InputSource::FromNode(*n1)});
+  ASSERT_TRUE(n2.ok());
+  ASSERT_TRUE(net.SetOutput(*n2).ok());
+
+  SeqId x = Seq("acgt");
+  auto before = net.Apply(std::span<const SeqId>(&x, 1), &pool_);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(net.Compile(Alpha("acgt")).ok());
+  EXPECT_EQ(net.compile_stats().fusion_hits, 0u);
+  // transcribe and copy compile; append (multi-input) stays interpreted.
+  EXPECT_EQ(net.compile_stats().compiled_nodes, 2u);
+  EXPECT_EQ(net.compile_stats().interpreted_nodes, 1u);
+
+  auto after = net.Apply(std::span<const SeqId>(&x, 1), &pool_);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(before.value(), after.value());
+}
+
+}  // namespace
+}  // namespace transducer
+}  // namespace seqlog
